@@ -1,0 +1,82 @@
+//! Criterion bench for the Figure 11 table: maintenance of a single
+//! SUM aggregate on Housing across all five strategies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fivm_bench::{
+    DbtReMaintainer, FIvmMaintainer, FReMaintainer, Maintainer, RecursiveMaintainer, ScalarFleet,
+    ScalarKind,
+};
+use fivm_core::{Lifting, LiftingMap, Value};
+use fivm_data::{housing, HousingConfig};
+use fivm_query::ViewTree;
+use std::hint::black_box;
+
+fn sum_bench(c: &mut Criterion) {
+    let h = housing::generate(&HousingConfig {
+        postcodes: 150,
+        scale: 1,
+        ..Default::default()
+    });
+    let q = h.query.clone();
+    let tree = ViewTree::build(&q, &h.order);
+    let all: Vec<usize> = (0..q.relations.len()).collect();
+    let mut lifts = LiftingMap::<f64>::new();
+    lifts.set(
+        q.catalog.lookup("postcode").unwrap(),
+        Lifting::from_fn(|v: &Value| v.as_f64().unwrap()),
+    );
+    let batches = h.stream(500);
+
+    let mut group = c.benchmark_group("fig11_sum_housing");
+    group.sample_size(10);
+    group.bench_function("F-IVM", |b| {
+        b.iter(|| {
+            let mut m = FIvmMaintainer::<f64>::new(q.clone(), tree.clone(), &all, lifts.clone());
+            for batch in &batches {
+                m.apply_batch(batch.relation, black_box(&batch.tuples));
+            }
+        });
+    });
+    group.bench_function("DBT", |b| {
+        b.iter(|| {
+            let mut m = RecursiveMaintainer::<f64>::new(q.clone(), &all, lifts.clone());
+            for batch in &batches {
+                m.apply_batch(batch.relation, black_box(&batch.tuples));
+            }
+        });
+    });
+    group.bench_function("1-IVM", |b| {
+        b.iter(|| {
+            let mut m = ScalarFleet::new(
+                ScalarKind::FirstOrder,
+                q.clone(),
+                &tree,
+                &all,
+                vec![lifts.clone()],
+            );
+            for batch in &batches {
+                m.apply_batch(batch.relation, black_box(&batch.tuples));
+            }
+        });
+    });
+    group.bench_function("F-RE", |b| {
+        b.iter(|| {
+            let mut m = FReMaintainer::new(q.clone(), tree.clone(), lifts.clone());
+            for batch in &batches {
+                m.apply_batch(batch.relation, black_box(&batch.tuples));
+            }
+        });
+    });
+    group.bench_function("DBT-RE", |b| {
+        b.iter(|| {
+            let mut m = DbtReMaintainer::new(q.clone(), lifts.clone());
+            for batch in &batches {
+                m.apply_batch(batch.relation, black_box(&batch.tuples));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sum_bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for Figure 12: the effect of batch size on cofactor
+//! maintenance (F-IVM on Housing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fivm_bench::{FIvmMaintainer, Maintainer};
+use fivm_core::ring::cofactor::Cofactor;
+use fivm_data::{housing, HousingConfig};
+use fivm_ml::CofactorSpec;
+use fivm_query::ViewTree;
+use std::hint::black_box;
+
+fn batch_size_bench(c: &mut Criterion) {
+    let h = housing::generate(&HousingConfig {
+        postcodes: 200,
+        scale: 1,
+        ..Default::default()
+    });
+    let q = h.query.clone();
+    let tree = ViewTree::build(&q, &h.order);
+    let spec = CofactorSpec::over_all_vars(&q);
+    let all: Vec<usize> = (0..q.relations.len()).collect();
+    let total = h.total_tuples();
+
+    let mut group = c.benchmark_group("fig12_batch_size");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total as u64));
+    for bs in [10usize, 100, 1_000] {
+        let batches = h.stream(bs);
+        group.bench_with_input(BenchmarkId::new("F-IVM", bs), &bs, |b, _| {
+            b.iter(|| {
+                let mut m = FIvmMaintainer::<Cofactor>::new(
+                    q.clone(),
+                    tree.clone(),
+                    &all,
+                    spec.liftings(),
+                );
+                for batch in &batches {
+                    m.apply_batch(batch.relation, black_box(&batch.tuples));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, batch_size_bench);
+criterion_main!(benches);

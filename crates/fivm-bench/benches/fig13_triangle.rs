@@ -1,0 +1,88 @@
+//! Criterion bench for Figure 13: cofactor maintenance over the cyclic
+//! triangle query, with and without indicator projections, against
+//! DBT-RING — plus the Appendix B single-relation (ONE) scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fivm_bench::{FIvmMaintainer, Maintainer, RecursiveMaintainer};
+use fivm_core::ring::cofactor::Cofactor;
+use fivm_core::Semiring;
+use fivm_data::{twitter, TwitterConfig};
+use fivm_engine::Database;
+use fivm_ml::CofactorSpec;
+use fivm_query::{add_indicators, ViewTree};
+use std::hint::black_box;
+
+fn triangle_bench(c: &mut Criterion) {
+    let t = twitter::generate(&TwitterConfig {
+        edges: 3_000,
+        nodes: 1_500,
+        ..Default::default()
+    });
+    let q = t.query.clone();
+    let spec = CofactorSpec::over_all_vars(&q);
+    let all = [0usize, 1, 2];
+    let plain = ViewTree::build(&q, &t.order);
+    let mut with_ind = plain.clone();
+    add_indicators(&mut with_ind, &q);
+    let batches = t.stream(1000);
+
+    let mut group = c.benchmark_group("fig13_triangle_cofactor");
+    group.sample_size(10);
+    group.bench_function("F-IVM+indicator", |b| {
+        b.iter(|| {
+            let mut m = FIvmMaintainer::<Cofactor>::new(
+                q.clone(),
+                with_ind.clone(),
+                &all,
+                spec.liftings(),
+            );
+            for batch in &batches {
+                m.apply_batch(batch.relation, black_box(&batch.tuples));
+            }
+        });
+    });
+    group.bench_function("F-IVM plain", |b| {
+        b.iter(|| {
+            let mut m =
+                FIvmMaintainer::<Cofactor>::new(q.clone(), plain.clone(), &all, spec.liftings());
+            for batch in &batches {
+                m.apply_batch(batch.relation, black_box(&batch.tuples));
+            }
+        });
+    });
+    group.bench_function("DBT-RING", |b| {
+        b.iter(|| {
+            let mut m = RecursiveMaintainer::<Cofactor>::new(q.clone(), &all, spec.liftings());
+            for batch in &batches {
+                m.apply_batch(batch.relation, black_box(&batch.tuples));
+            }
+        });
+    });
+
+    // ONE scenario: S and T static, stream R
+    let one_batches = t.stream_r_only(1000);
+    let mut static_db = Database::<Cofactor>::empty(&q);
+    for ri in 1..3 {
+        for tu in &t.tuples[ri] {
+            static_db.relations[ri].insert(tu.clone(), Cofactor::one());
+        }
+    }
+    group.bench_function("F-IVM ONE", |b| {
+        b.iter(|| {
+            let mut m = FIvmMaintainer::<Cofactor>::new(
+                q.clone(),
+                with_ind.clone(),
+                &[0],
+                spec.liftings(),
+            );
+            m.engine.load(&static_db);
+            for batch in &one_batches {
+                m.apply_batch(batch.relation, black_box(&batch.tuples));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, triangle_bench);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion bench for Figure 6: matrix chain maintenance under
+//! one-row (rank-1) and rank-r updates to A₂ in A = A₁A₂A₃.
+//!
+//! Left plot: per-update latency across strategies and dimensions —
+//! F-IVM stays O(n²) while 1-IVM / RE-EVAL pay O(n³).
+//! Right plot: rank-r sweep for F-IVM, linear in r.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fivm_data::matrices;
+use fivm_linalg::{DenseChainIvm, FirstOrderChain, Matrix, ReEvalChain};
+use std::hint::black_box;
+
+fn dense_chain(n: usize) -> Vec<Matrix> {
+    matrices::random_chain(3, n, 42)
+        .iter()
+        .map(|d| Matrix::from_fn(n, n, |i, j| d[i * n + j]))
+        .collect()
+}
+
+fn fig6_left(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_left_row_update");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let chain = dense_chain(n);
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(7);
+        let (u, v) = matrices::one_row_update(n, n / 2, &mut rng);
+        let mut delta = Matrix::zeros(n, n);
+        delta.add_outer(&u, &v);
+
+        group.bench_with_input(BenchmarkId::new("F-IVM", n), &n, |b, _| {
+            let mut m = DenseChainIvm::new(chain.clone());
+            b.iter(|| m.apply_rank1(1, black_box(&u), black_box(&v)));
+        });
+        group.bench_with_input(BenchmarkId::new("1-IVM", n), &n, |b, _| {
+            let mut m = FirstOrderChain::new(chain.clone());
+            b.iter(|| m.apply(1, black_box(&delta)));
+        });
+        group.bench_with_input(BenchmarkId::new("RE-EVAL", n), &n, |b, _| {
+            let mut m = ReEvalChain::new(chain.clone());
+            b.iter(|| m.apply(1, black_box(&delta)));
+        });
+    }
+    group.finish();
+}
+
+fn fig6_right(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_right_rank_r");
+    group.sample_size(10);
+    let n = 128usize;
+    let chain = dense_chain(n);
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(9);
+    for r in [1usize, 4, 16] {
+        let factors = matrices::rank_r_update(n, r, &mut rng);
+        group.bench_with_input(BenchmarkId::new("F-IVM", r), &r, |b, _| {
+            let mut m = DenseChainIvm::new(chain.clone());
+            b.iter(|| m.apply_rank_r(1, black_box(&factors)));
+        });
+    }
+    group.bench_function("RE-EVAL_once", |b| {
+        b.iter(|| ReEvalChain::new(black_box(chain.clone())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig6_left, fig6_right);
+criterion_main!(benches);

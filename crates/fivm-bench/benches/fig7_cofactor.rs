@@ -1,0 +1,97 @@
+//! Criterion bench for Figure 7: cofactor-matrix maintenance on the
+//! Retailer and Housing schemas — per-batch latency of F-IVM vs SQL-OPT
+//! vs DBT-RING (the scalar fleets are covered by the `experiments`
+//! binary; they are deliberately too slow for a tight criterion loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fivm_bench::{FIvmMaintainer, Maintainer, RecursiveMaintainer};
+use fivm_core::ring::cofactor::Cofactor;
+use fivm_core::ring::degree::DegreeRing;
+use fivm_data::{housing, retailer, HousingConfig, RetailerConfig};
+use fivm_ml::CofactorSpec;
+use fivm_query::ViewTree;
+use std::hint::black_box;
+
+fn retailer_bench(c: &mut Criterion) {
+    let cfg = RetailerConfig {
+        inventory_rows: 4_000,
+        ..Default::default()
+    };
+    let r = retailer::generate(&cfg);
+    let q = r.query.clone();
+    let tree = ViewTree::build(&q, &r.order);
+    let spec = CofactorSpec::over_all_vars(&q);
+    let all: Vec<usize> = (0..q.relations.len()).collect();
+    let batches = r.stream(1000);
+
+    let mut group = c.benchmark_group("fig7_retailer_cofactor");
+    group.sample_size(10);
+    group.bench_function("F-IVM", |b| {
+        b.iter(|| {
+            let mut m =
+                FIvmMaintainer::<Cofactor>::new(q.clone(), tree.clone(), &all, spec.liftings());
+            for batch in &batches {
+                m.apply_batch(batch.relation, black_box(&batch.tuples));
+            }
+        });
+    });
+    group.bench_function("SQL-OPT", |b| {
+        b.iter(|| {
+            let mut m = FIvmMaintainer::<DegreeRing>::new(
+                q.clone(),
+                tree.clone(),
+                &all,
+                spec.degree_liftings(),
+            );
+            for batch in &batches {
+                m.apply_batch(batch.relation, black_box(&batch.tuples));
+            }
+        });
+    });
+    group.bench_function("DBT-RING", |b| {
+        b.iter(|| {
+            let mut m = RecursiveMaintainer::<Cofactor>::new(q.clone(), &all, spec.liftings());
+            for batch in &batches {
+                m.apply_batch(batch.relation, black_box(&batch.tuples));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn housing_bench(c: &mut Criterion) {
+    let h = housing::generate(&HousingConfig {
+        postcodes: 200,
+        scale: 1,
+        ..Default::default()
+    });
+    let q = h.query.clone();
+    let tree = ViewTree::build(&q, &h.order);
+    let spec = CofactorSpec::over_all_vars(&q);
+    let all: Vec<usize> = (0..q.relations.len()).collect();
+    let batches = h.stream(1000);
+
+    let mut group = c.benchmark_group("fig7_housing_cofactor");
+    group.sample_size(10);
+    group.bench_function("F-IVM", |b| {
+        b.iter(|| {
+            let mut m =
+                FIvmMaintainer::<Cofactor>::new(q.clone(), tree.clone(), &all, spec.liftings());
+            for batch in &batches {
+                m.apply_batch(batch.relation, black_box(&batch.tuples));
+            }
+        });
+    });
+    group.bench_function("DBT-RING", |b| {
+        b.iter(|| {
+            let mut m = RecursiveMaintainer::<Cofactor>::new(q.clone(), &all, spec.liftings());
+            for batch in &batches {
+                m.apply_batch(batch.relation, black_box(&batch.tuples));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, retailer_bench, housing_bench);
+criterion_main!(benches);

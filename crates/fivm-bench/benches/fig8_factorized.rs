@@ -1,0 +1,69 @@
+//! Criterion bench for Figure 8: conjunctive-query maintenance with
+//! factorized vs listing payloads on the Housing star join.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fivm_bench::{FIvmMaintainer, Maintainer};
+use fivm_core::ring::relational::RelPayload;
+use fivm_core::{Lifting, LiftingMap, Schema, Value};
+use fivm_data::{housing, HousingConfig};
+use fivm_engine::enumerate::{factorized_preprojection, factorized_transform};
+use fivm_engine::IvmEngine;
+use fivm_query::{QueryDef, ViewTree};
+use std::hint::black_box;
+
+fn cq_liftings(q: &QueryDef) -> LiftingMap<RelPayload> {
+    let mut lifts = LiftingMap::new();
+    for &v in q.all_vars().iter() {
+        lifts.set(
+            v,
+            Lifting::from_fn(move |val: &Value| {
+                RelPayload::lift_free(Schema::new(vec![v]), val)
+            }),
+        );
+    }
+    lifts
+}
+
+fn housing_scales(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_housing_join");
+    group.sample_size(10);
+    for scale in [1usize, 2, 4] {
+        let h = housing::generate(&HousingConfig {
+            postcodes: 50,
+            scale,
+            ..Default::default()
+        });
+        let q = h.query.clone();
+        let tree = ViewTree::build(&q, &h.order);
+        let all: Vec<usize> = (0..q.relations.len()).collect();
+        let lifts = cq_liftings(&q);
+        let batches = h.stream(1000);
+
+        group.bench_with_input(BenchmarkId::new("factorized", scale), &scale, |b, _| {
+            b.iter(|| {
+                let engine =
+                    IvmEngine::<RelPayload>::new(q.clone(), tree.clone(), &all, lifts.clone())
+                        .with_payload_transform(factorized_transform(&tree))
+                        .with_payload_preprojection(factorized_preprojection());
+                let mut m = FIvmMaintainer::from_engine(engine);
+                for batch in &batches {
+                    m.apply_batch(batch.relation, black_box(&batch.tuples));
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("listing", scale), &scale, |b, _| {
+            b.iter(|| {
+                let engine =
+                    IvmEngine::<RelPayload>::new(q.clone(), tree.clone(), &all, lifts.clone());
+                let mut m = FIvmMaintainer::from_engine(engine);
+                for batch in &batches {
+                    m.apply_batch(batch.relation, black_box(&batch.tuples));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, housing_scales);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Lifting functions `g_X : Dom(X) → D` (paper §2).
+//!
+//! Marginalizing a bound variable `X` applies its lifting function to
+//! each value before summing: `(⊕X R)[t] = Σ R[t1] * g_X(π_X(t1))`.
+//! Different applications use different liftings over the *same* view
+//! tree: `COUNT` lifts everything to `1`, `SUM(B·D·E)` lifts those
+//! variables to themselves, the regression ring lifts variable `j` to
+//! `(1, x·e_j, x²·e_j e_jᵀ)`, and the relational ring lifts free
+//! variables to singleton relations.
+
+use crate::hash::FxHashMap;
+use crate::ring::Semiring;
+use crate::schema::VarId;
+use crate::value::Value;
+use std::sync::Arc;
+
+/// A lifting function for one variable.
+#[derive(Clone)]
+pub enum Lifting<R> {
+    /// `g(x) = 1` for every `x` — the default (pure join counting).
+    One,
+    /// An arbitrary mapping from key values into the ring.
+    Apply(Arc<dyn Fn(&Value) -> R + Send + Sync>),
+}
+
+impl<R: Semiring> Lifting<R> {
+    /// Build from a closure.
+    pub fn from_fn(f: impl Fn(&Value) -> R + Send + Sync + 'static) -> Self {
+        Lifting::Apply(Arc::new(f))
+    }
+
+    /// Apply to a value.
+    #[inline]
+    pub fn lift(&self, v: &Value) -> R {
+        match self {
+            Lifting::One => R::one(),
+            Lifting::Apply(f) => f(v),
+        }
+    }
+
+    /// True for the trivial lifting (lets the engine skip multiplication
+    /// by `1`).
+    pub fn is_one(&self) -> bool {
+        matches!(self, Lifting::One)
+    }
+}
+
+impl<R> std::fmt::Debug for Lifting<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Lifting::One => write!(f, "Lifting::One"),
+            Lifting::Apply(_) => write!(f, "Lifting::Apply(..)"),
+        }
+    }
+}
+
+/// Numeric identity lifting `g(x) = x` into any ring built from `f64`
+/// (used by `SUM` of a column).
+pub fn numeric_identity() -> Lifting<f64> {
+    Lifting::from_fn(|v| v.as_f64().expect("numeric lifting on non-numeric value"))
+}
+
+/// Integer identity lifting `g(x) = x` into the `Z` ring.
+pub fn int_identity() -> Lifting<i64> {
+    Lifting::from_fn(|v| v.as_int().expect("integer lifting on non-integer value"))
+}
+
+/// Per-variable lifting assignment for a query; variables without an
+/// entry lift to `1`.
+#[derive(Clone, Debug)]
+pub struct LiftingMap<R> {
+    map: FxHashMap<VarId, Lifting<R>>,
+}
+
+impl<R: Semiring> Default for LiftingMap<R> {
+    fn default() -> Self {
+        LiftingMap {
+            map: FxHashMap::default(),
+        }
+    }
+}
+
+impl<R: Semiring> LiftingMap<R> {
+    /// Empty map: every variable lifts to `1`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the lifting for `var`.
+    pub fn set(&mut self, var: VarId, lifting: Lifting<R>) -> &mut Self {
+        self.map.insert(var, lifting);
+        self
+    }
+
+    /// Builder-style [`LiftingMap::set`].
+    pub fn with(mut self, var: VarId, lifting: Lifting<R>) -> Self {
+        self.map.insert(var, lifting);
+        self
+    }
+
+    /// The lifting for `var` (default [`Lifting::One`]).
+    pub fn get(&self, var: VarId) -> Lifting<R> {
+        self.map.get(&var).cloned().unwrap_or(Lifting::One)
+    }
+
+    /// True iff `var` has a non-trivial lifting.
+    pub fn is_nontrivial(&self, var: VarId) -> bool {
+        self.map.get(&var).is_some_and(|l| !l.is_one())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_lifts_to_one() {
+        let m: LiftingMap<i64> = LiftingMap::new();
+        assert_eq!(m.get(3).lift(&Value::Int(42)), 1);
+        assert!(!m.is_nontrivial(3));
+    }
+
+    #[test]
+    fn numeric_identity_widens() {
+        let l = numeric_identity();
+        assert_eq!(l.lift(&Value::Int(3)), 3.0);
+        assert_eq!(l.lift(&Value::Double(2.5)), 2.5);
+    }
+
+    #[test]
+    fn custom_lifting() {
+        let l: Lifting<i64> = Lifting::from_fn(|v| v.as_int().unwrap() * 10);
+        assert_eq!(l.lift(&Value::Int(4)), 40);
+        assert!(!l.is_one());
+    }
+
+    #[test]
+    fn map_set_and_get() {
+        let mut m: LiftingMap<i64> = LiftingMap::new();
+        m.set(1, int_identity());
+        assert_eq!(m.get(1).lift(&Value::Int(7)), 7);
+        assert!(m.is_nontrivial(1));
+        assert_eq!(m.get(0).lift(&Value::Int(7)), 1);
+    }
+}

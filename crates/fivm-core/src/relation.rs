@@ -1,0 +1,437 @@
+//! Relations over rings: keys → payloads with `⊎`, `⊗`, `⊕X` (paper §2).
+//!
+//! A [`Relation`] is a finitely-supported function from tuples over a
+//! [`Schema`] to values in a [`Semiring`]. Keys whose payload becomes the
+//! ring zero are erased, which is what makes inserts and deletes uniform:
+//! a delete is an insert with a negated payload.
+//!
+//! The operators here are the *reference semantics* used by tests,
+//! baselines and payload computation; the incremental engine
+//! (`fivm-engine`) evaluates the same algebra with materialized views and
+//! secondary indexes.
+
+use crate::hash::FxHashMap;
+use crate::lifting::Lifting;
+use crate::ring::{Ring, Semiring};
+use crate::schema::{Schema, VarId};
+use crate::tuple::Tuple;
+
+/// A relation over a ring: a map from keys (tuples over `schema`) to
+/// non-zero payloads.
+#[derive(Clone, Debug)]
+pub struct Relation<R> {
+    schema: Schema,
+    data: FxHashMap<Tuple, R>,
+}
+
+impl<R: Semiring> Relation<R> {
+    /// Empty relation over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        Relation {
+            schema,
+            data: FxHashMap::default(),
+        }
+    }
+
+    /// Relation holding `{() → 1}` — the join identity.
+    pub fn unit() -> Self {
+        let mut r = Relation::new(Schema::empty());
+        r.insert(Tuple::unit(), R::one());
+        r
+    }
+
+    /// Build from `(key, payload)` pairs (payloads for equal keys sum).
+    pub fn from_pairs(schema: Schema, pairs: impl IntoIterator<Item = (Tuple, R)>) -> Self {
+        let mut r = Relation::new(schema);
+        for (t, p) in pairs {
+            r.insert(t, p);
+        }
+        r
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of keys with non-zero payload (the paper’s `|R|`).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True iff the relation is the zero map.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The payload of `t`, if non-zero.
+    pub fn get(&self, t: &Tuple) -> Option<&R> {
+        self.data.get(t)
+    }
+
+    /// The payload of `t`, or the ring zero.
+    pub fn payload(&self, t: &Tuple) -> R {
+        self.data.get(t).cloned().unwrap_or_else(R::zero)
+    }
+
+    /// Membership test `t ∈ R` (non-zero payload).
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.data.contains_key(t)
+    }
+
+    /// Add `payload` to the key `t`, erasing it if the sum is zero.
+    pub fn insert(&mut self, t: Tuple, payload: R) {
+        debug_assert_eq!(t.len(), self.schema.len(), "tuple arity != schema arity");
+        if payload.is_zero() {
+            return;
+        }
+        match self.data.entry(t) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().add_assign(&payload);
+                if e.get().is_zero() {
+                    e.remove();
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(payload);
+            }
+        }
+    }
+
+    /// Iterate over `(key, payload)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, &R)> {
+        self.data.iter()
+    }
+
+    /// Deterministically ordered contents (tests, display).
+    pub fn sorted(&self) -> Vec<(Tuple, R)> {
+        let mut v: Vec<_> = self.data.iter().map(|(t, p)| (t.clone(), p.clone())).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Union `self ⊎ other`: payloads of equal keys sum (paper §2).
+    pub fn union(&self, other: &Relation<R>) -> Relation<R> {
+        assert_eq!(self.schema, other.schema, "union requires equal schemas");
+        let mut out = self.clone();
+        out.union_in_place(other);
+        out
+    }
+
+    /// In-place union (the view-update step `V := V ⊎ δV`).
+    pub fn union_in_place(&mut self, other: &Relation<R>) {
+        assert_eq!(self.schema, other.schema, "union requires equal schemas");
+        for (t, p) in &other.data {
+            self.insert(t.clone(), p.clone());
+        }
+    }
+
+    /// Natural join `self ⊗ other`: keys join on common variables,
+    /// payloads multiply (paper §2). Output schema is `self.schema`
+    /// followed by the remaining variables of `other`.
+    pub fn join(&self, other: &Relation<R>) -> Relation<R> {
+        let common = self.schema.intersect(&other.schema);
+        let left_common = self.schema.positions_of(common.vars()).unwrap();
+        let right_common = other.schema.positions_of(common.vars()).unwrap();
+        let right_rest_vars = other.schema.minus(&common);
+        let right_rest = other.schema.positions_of(right_rest_vars.vars()).unwrap();
+        let out_schema = self.schema.union(&other.schema);
+
+        // Probe the smaller side … but payload multiplication is ordered
+        // (non-commutative rings), so always produce left*right.
+        let mut index: FxHashMap<Tuple, Vec<(&Tuple, &R)>> = FxHashMap::default();
+        for (t, p) in &other.data {
+            index.entry(t.project(&right_common)).or_default().push((t, p));
+        }
+        let mut out = Relation::new(out_schema);
+        for (lt, lp) in &self.data {
+            if let Some(matches) = index.get(&lt.project(&left_common)) {
+                for (rt, rp) in matches {
+                    out.insert(lt.concat_projected(rt, &right_rest), lp.mul(rp));
+                }
+            }
+        }
+        out
+    }
+
+    /// Aggregation `⊕X`: marginalizes variable `x` out of the schema,
+    /// summing `payload * g_X(x-value)` per remaining key (paper §2).
+    pub fn marginalize(&self, x: VarId, lifting: &Lifting<R>) -> Relation<R> {
+        let pos = self
+            .schema
+            .position(x)
+            .expect("marginalized variable not in schema");
+        let rest_vars = self.schema.without(x);
+        let rest_pos = self.schema.positions_of(rest_vars.vars()).unwrap();
+        let mut out = Relation::new(rest_vars);
+        for (t, p) in &self.data {
+            let lifted = if lifting.is_one() {
+                p.clone()
+            } else {
+                p.mul(&lifting.lift(t.get(pos)))
+            };
+            out.insert(t.project(&rest_pos), lifted);
+        }
+        out
+    }
+
+    /// Marginalize several variables at once (the composed-chain views of
+    /// §3); liftings are applied in the order given.
+    pub fn marginalize_many(&self, vars: &[(VarId, Lifting<R>)]) -> Relation<R> {
+        let positions: Vec<usize> = vars
+            .iter()
+            .map(|(v, _)| self.schema.position(*v).expect("variable not in schema"))
+            .collect();
+        let mut rest_vars = self.schema.clone();
+        for (v, _) in vars {
+            rest_vars = rest_vars.without(*v);
+        }
+        let rest_pos = self.schema.positions_of(rest_vars.vars()).unwrap();
+        let mut out = Relation::new(rest_vars);
+        for (t, p) in &self.data {
+            let mut lifted = p.clone();
+            for ((_, l), &pos) in vars.iter().zip(&positions) {
+                if !l.is_one() {
+                    lifted = lifted.mul(&l.lift(t.get(pos)));
+                }
+            }
+            out.insert(t.project(&rest_pos), lifted);
+        }
+        out
+    }
+
+    /// Reorder columns to `target` (a permutation of this schema).
+    pub fn reorder(&self, target: &Schema) -> Relation<R> {
+        if *target == self.schema {
+            return self.clone();
+        }
+        let positions = self
+            .schema
+            .positions_of(target.vars())
+            .expect("target schema must be a permutation of the relation schema");
+        assert_eq!(target.len(), self.schema.len(), "reorder must not project");
+        let mut out = Relation::new(target.clone());
+        for (t, p) in &self.data {
+            out.insert(t.project(&positions), p.clone());
+        }
+        out
+    }
+
+    /// Map payloads through `f`, dropping zeros.
+    pub fn map_payloads<S: Semiring>(&self, f: impl Fn(&Tuple, &R) -> S) -> Relation<S> {
+        let mut out = Relation::new(self.schema.clone());
+        for (t, p) in &self.data {
+            out.insert(t.clone(), f(t, p));
+        }
+        out
+    }
+
+    /// Approximate resident bytes (keys + payloads + per-entry overhead).
+    pub fn approx_bytes(&self) -> usize {
+        self.data
+            .iter()
+            .map(|(t, p)| t.approx_bytes() + std::mem::size_of::<R>() + p.heap_bytes() + 16)
+            .sum::<usize>()
+            + std::mem::size_of::<Self>()
+    }
+}
+
+impl<R: Ring> Relation<R> {
+    /// The relation with all payloads negated (encodes deletion of the
+    /// whole relation).
+    pub fn neg(&self) -> Relation<R> {
+        Relation {
+            schema: self.schema.clone(),
+            data: self.data.iter().map(|(t, p)| (t.clone(), p.neg())).collect(),
+        }
+    }
+}
+
+impl<R: Semiring> PartialEq for Relation<R> {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.data == other.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifting::int_identity;
+    use crate::tuple;
+    use crate::value::Value;
+
+    fn sch(vars: &[u32]) -> Schema {
+        Schema::new(vars.to_vec())
+    }
+
+    // Variables from the paper’s Example 2.1: A=0, B=1, C=2.
+    fn example_2_1() -> (Relation<i64>, Relation<i64>, Relation<i64>) {
+        let r = Relation::from_pairs(
+            sch(&[0, 1]),
+            [(tuple![1, 1], 10i64), (tuple![2, 1], 20)], // r1=10, r2=20
+        );
+        let s = Relation::from_pairs(
+            sch(&[0, 1]),
+            [(tuple![2, 1], 3i64), (tuple![3, 2], 4)], // s1=3, s2=4
+        );
+        let t = Relation::from_pairs(
+            sch(&[1, 2]),
+            [(tuple![1, 1], 5i64), (tuple![2, 2], 7)], // t1=5, t2=7
+        );
+        (r, s, t)
+    }
+
+    #[test]
+    fn insert_sums_and_erases() {
+        let mut r: Relation<i64> = Relation::new(sch(&[0]));
+        r.insert(tuple![1], 2);
+        r.insert(tuple![1], 3);
+        assert_eq!(r.payload(&tuple![1]), 5);
+        r.insert(tuple![1], -5);
+        assert!(!r.contains(&tuple![1]));
+        assert!(r.is_empty());
+    }
+
+    /// Paper Example 2.1: `R ⊎ S`.
+    #[test]
+    fn union_example() {
+        let (r, s, _) = example_2_1();
+        let u = r.union(&s);
+        assert_eq!(u.payload(&tuple![1, 1]), 10);
+        assert_eq!(u.payload(&tuple![2, 1]), 23); // r2 + s1
+        assert_eq!(u.payload(&tuple![3, 2]), 4);
+        assert_eq!(u.len(), 3);
+    }
+
+    /// Paper Example 2.1: `(R ⊎ S) ⊗ T`.
+    #[test]
+    fn join_example() {
+        let (r, s, t) = example_2_1();
+        let j = r.union(&s).join(&t);
+        assert_eq!(*j.schema(), sch(&[0, 1, 2]));
+        assert_eq!(j.payload(&tuple![1, 1, 1]), 50); // r1*t1
+        assert_eq!(j.payload(&tuple![2, 1, 1]), 115); // (r2+s1)*t1
+        assert_eq!(j.payload(&tuple![3, 2, 2]), 28); // s2*t2
+        assert_eq!(j.len(), 3);
+    }
+
+    /// Paper Example 2.1: `⊕A (R ⊎ S) ⊗ T` with `g_A(a) = a`.
+    #[test]
+    fn marginalize_example() {
+        let (r, s, t) = example_2_1();
+        let j = r.union(&s).join(&t);
+        let m = j.marginalize(0, &int_identity());
+        assert_eq!(*m.schema(), sch(&[1, 2]));
+        // b1,c1 → r1*t1*g(1) + (r2+s1)*t1*g(2) = 50*1 + 115*2 = 280
+        assert_eq!(m.payload(&tuple![1, 1]), 280);
+        // b2,c2 → s2*t2*g(3) = 28*3 = 84
+        assert_eq!(m.payload(&tuple![2, 2]), 84);
+    }
+
+    #[test]
+    fn join_on_disjoint_schemas_is_cartesian() {
+        let a = Relation::from_pairs(sch(&[0]), [(tuple![1], 2i64), (tuple![2], 3)]);
+        let b = Relation::from_pairs(sch(&[1]), [(tuple![7], 5i64)]);
+        let ab = a.join(&b);
+        assert_eq!(ab.len(), 2);
+        assert_eq!(ab.payload(&tuple![1, 7]), 10);
+        assert_eq!(ab.payload(&tuple![2, 7]), 15);
+    }
+
+    #[test]
+    fn join_with_unit_is_identity() {
+        let (r, _, _) = example_2_1();
+        assert_eq!(r.join(&Relation::unit()), r);
+        // unit ⊗ r has r’s columns appended after unit’s none — same schema
+        assert_eq!(Relation::unit().join(&r), r);
+    }
+
+    #[test]
+    fn marginalize_many_equals_sequential() {
+        let (r, s, t) = example_2_1();
+        let j = r.union(&s).join(&t);
+        let seq = j
+            .marginalize(0, &int_identity())
+            .marginalize(2, &Lifting::One);
+        let many = j.marginalize_many(&[(0, int_identity()), (2, Lifting::One)]);
+        assert_eq!(seq, many);
+    }
+
+    #[test]
+    fn count_query_from_figure_2d() {
+        // COUNT over the natural join of Figure 2c with all payloads 1.
+        let mut c = crate::schema::Catalog::new();
+        let (a, b, cc, d, e) = (c.var("A"), c.var("B"), c.var("C"), c.var("D"), c.var("E"));
+        let r = Relation::from_pairs(
+            Schema::new(vec![a, b]),
+            (1..=4).map(|i| {
+                (
+                    tuple![if i <= 2 { 1 } else { i - 1 }, i],
+                    1i64,
+                )
+            }),
+        );
+        // R = {(a1,b1),(a1,b2),(a2,b3),(a3,b4)}
+        assert_eq!(r.len(), 4);
+        let s = Relation::from_pairs(
+            Schema::new(vec![a, cc, e]),
+            [
+                (tuple![1, 1, 1], 1i64),
+                (tuple![1, 1, 2], 1),
+                (tuple![1, 2, 3], 1),
+                (tuple![2, 2, 4], 1),
+            ],
+        );
+        let t = Relation::from_pairs(
+            Schema::new(vec![cc, d]),
+            [
+                (tuple![1, 1], 1i64),
+                (tuple![2, 2], 1),
+                (tuple![2, 3], 1),
+                (tuple![3, 4], 1),
+            ],
+        );
+        // V@D_T[C] = ⊕D T
+        let vt = t.marginalize(d, &Lifting::One);
+        assert_eq!(vt.payload(&tuple![1]), 1);
+        assert_eq!(vt.payload(&tuple![2]), 2);
+        assert_eq!(vt.payload(&tuple![3]), 1);
+        // V@E_S[A,C] = ⊕E S
+        let vs = s.marginalize(e, &Lifting::One);
+        assert_eq!(vs.payload(&tuple![1, 1]), 2);
+        // V@C_ST[A] = ⊕C (V@D_T ⊗ V@E_S)
+        let vst = vt.join(&vs).marginalize(cc, &Lifting::One);
+        assert_eq!(vst.payload(&tuple![1]), 4);
+        assert_eq!(vst.payload(&tuple![2]), 2);
+        // V@B_R[A] = ⊕B R
+        let vr = r.marginalize(b, &Lifting::One);
+        assert_eq!(vr.payload(&tuple![1]), 2);
+        // root = ⊕A (V@B_R ⊗ V@C_ST) = 10 (paper Figure 2d)
+        let root = vr.join(&vst).marginalize(a, &Lifting::One);
+        assert_eq!(root.payload(&Tuple::unit()), 10);
+    }
+
+    #[test]
+    fn neg_then_union_cancels() {
+        let (r, _, _) = example_2_1();
+        let mut u = r.clone();
+        u.union_in_place(&r.neg());
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    fn map_payloads_drops_zeros() {
+        let r = Relation::from_pairs(sch(&[0]), [(tuple![1], 2i64), (tuple![2], 3)]);
+        let m = r.map_payloads(|_, p| if *p == 2 { 0i64 } else { *p });
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.payload(&tuple![2]), 3);
+    }
+
+    #[test]
+    fn numeric_double_keys() {
+        let mut r: Relation<f64> = Relation::new(sch(&[0]));
+        r.insert(Tuple::single(Value::Double(1.5)), 2.0);
+        r.insert(Tuple::single(Value::Double(1.5)), 0.5);
+        assert_eq!(r.payload(&Tuple::single(Value::Double(1.5))), 2.5);
+    }
+}

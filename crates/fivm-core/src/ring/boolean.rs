@@ -1,0 +1,97 @@
+//! Boolean and max-product **semirings** (Appendix A, Example A.2).
+//!
+//! These have no additive inverse, so they support static factorized
+//! evaluation (`fivm-engine`’s evaluator is generic over [`Semiring`])
+//! but not incremental maintenance with deletions. The Boolean semiring
+//! answers existential (“is the join non-empty per group?”) queries; the
+//! max-product semiring computes maximum-probability derivations, the
+//! classic Viterbi-style aggregate.
+
+use super::Semiring;
+
+/// The Boolean semiring `({true, false}, ∨, ∧, false, true)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Bool(pub bool);
+
+impl Semiring for Bool {
+    fn zero() -> Self {
+        Bool(false)
+    }
+
+    fn one() -> Self {
+        Bool(true)
+    }
+
+    fn add_assign(&mut self, other: &Self) {
+        self.0 |= other.0;
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        Bool(self.0 && other.0)
+    }
+
+    fn is_zero(&self) -> bool {
+        !self.0
+    }
+}
+
+/// The max-product semiring `(R⁺, max, ×, 0, 1)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MaxProduct(pub f64);
+
+impl Semiring for MaxProduct {
+    fn zero() -> Self {
+        MaxProduct(0.0)
+    }
+
+    fn one() -> Self {
+        MaxProduct(1.0)
+    }
+
+    fn add_assign(&mut self, other: &Self) {
+        if other.0 > self.0 {
+            self.0 = other.0;
+        }
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        MaxProduct(self.0 * other.0)
+    }
+
+    fn is_zero(&self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_semiring_laws() {
+        let t = Bool(true);
+        let f = Bool(false);
+        assert_eq!(t.add(&f), t);
+        assert_eq!(f.add(&f), f);
+        assert_eq!(t.mul(&f), f);
+        assert_eq!(t.mul(&t), t);
+        assert!(Bool::zero().is_zero());
+        assert!(!Bool::one().is_zero());
+    }
+
+    #[test]
+    fn max_product_laws() {
+        let a = MaxProduct(0.5);
+        let b = MaxProduct(0.8);
+        assert_eq!(a.add(&b), b);
+        assert_eq!(a.mul(&b), MaxProduct(0.4));
+        assert_eq!(a.mul(&MaxProduct::one()), a);
+        assert!(a.mul(&MaxProduct::zero()).is_zero());
+    }
+
+    #[test]
+    fn max_product_is_idempotent_addition() {
+        let a = MaxProduct(0.7);
+        assert_eq!(a.add(&a), a);
+    }
+}

@@ -1,0 +1,545 @@
+//! The degree-*m* matrix ring for regression gradients (Definition 6.2).
+//!
+//! Elements are triples `(c, s, Q)` where `c ∈ Z` counts tuples, `s` is
+//! the vector of per-variable sums and `Q` the (symmetric) matrix of sums
+//! of products of variable pairs. The ring product shares computation
+//! across the quadratically many aggregates:
+//!
+//! ```text
+//! a + b = (ca + cb,  sa + sb,  Qa + Qb)
+//! a * b = (ca·cb,  cb·sa + ca·sb,  cb·Qa + ca·Qb + sa·sbᵀ + sb·saᵀ)
+//! ```
+//!
+//! Two representations are provided:
+//!
+//! * [`Cofactor`] — **sparse blocks**: only non-zero entries are stored,
+//!   exactly the “store blocks of matrices with non-zero values and
+//!   assemble larger matrices towards the root” optimization from §6.2.
+//!   Symmetry is exploited by keeping only the upper triangle.
+//! * [`DenseCofactor`] — fixed-dimension dense triangular storage; used
+//!   for final assembly and as an ablation point for the benefit of the
+//!   sparse encoding.
+//!
+//! Lifting (paper §6.2): for variable index `j` and value `x`,
+//! `g_j(x) = (1, s = x·e_j, Q = x²·e_j e_jᵀ)` — see [`Cofactor::lift`].
+
+use super::{Ring, Semiring};
+use crate::value::Value;
+
+/// Packs an upper-triangle coordinate `(i ≤ j)` into a single sort key.
+#[inline]
+fn pack(i: u32, j: u32) -> u64 {
+    debug_assert!(i <= j);
+    (u64::from(i) << 32) | u64::from(j)
+}
+
+/// Unpacks a coordinate packed by [`pack`].
+#[inline]
+pub fn unpack(k: u64) -> (u32, u32) {
+    ((k >> 32) as u32, k as u32)
+}
+
+/// Merges `b` into `a` (both sorted by key), scaling: `a := a*ca + b*cb`.
+fn merge_scaled<K: Ord + Copy>(a: &[(K, f64)], ca: f64, b: &[(K, f64)], cb: f64) -> Vec<(K, f64)> {
+    if ca == 1.0 && b.is_empty() {
+        return a.to_vec();
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => {
+                push_nz(&mut out, a[i].0, a[i].1 * ca);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                push_nz(&mut out, b[j].0, b[j].1 * cb);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                push_nz(&mut out, a[i].0, a[i].1 * ca + b[j].1 * cb);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    for &(k, v) in &a[i..] {
+        push_nz(&mut out, k, v * ca);
+    }
+    for &(k, v) in &b[j..] {
+        push_nz(&mut out, k, v * cb);
+    }
+    out
+}
+
+#[inline]
+fn push_nz<K>(out: &mut Vec<(K, f64)>, k: K, v: f64) {
+    if v != 0.0 {
+        out.push((k, v));
+    }
+}
+
+/// Sparse-block element of the degree-*m* matrix ring.
+///
+/// `sums` and `prods` are sorted by index; `prods` holds the upper
+/// triangle only (`i ≤ j`). Entries that become exactly `0.0` are pruned,
+/// so equal aggregates have equal representations and exact deletions
+/// cancel back to [`Semiring::zero`].
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Cofactor {
+    /// Tuple count `c` (the `SUM(1)` aggregate).
+    pub count: i64,
+    /// Sparse linear aggregates: `(variable index, SUM(x_i))`, sorted.
+    pub sums: Vec<(u32, f64)>,
+    /// Sparse quadratic aggregates: `(packed (i,j) with i ≤ j,
+    /// SUM(x_i · x_j))`, sorted by packed key.
+    pub prods: Vec<(u64, f64)>,
+}
+
+impl Cofactor {
+    /// The lifting function `g_j(x)` of §6.2: count 1, `s_j = x`,
+    /// `Q_(j,j) = x²`.
+    pub fn lift(j: u32, x: f64) -> Self {
+        Cofactor {
+            count: 1,
+            sums: vec![(j, x)],
+            prods: vec![(pack(j, j), x * x)],
+        }
+    }
+
+    /// Lifting from a key [`Value`] (ints widen to doubles); panics on
+    /// non-numeric values.
+    pub fn lift_value(j: u32, v: &Value) -> Self {
+        Self::lift(j, v.as_f64().expect("cofactor lifting needs a numeric value"))
+    }
+
+    /// Linear aggregate for variable `i`, or 0.
+    pub fn sum(&self, i: u32) -> f64 {
+        self.sums
+            .binary_search_by_key(&i, |e| e.0)
+            .map(|p| self.sums[p].1)
+            .unwrap_or(0.0)
+    }
+
+    /// Quadratic aggregate for the unordered pair `{i, j}`, or 0.
+    pub fn prod(&self, i: u32, j: u32) -> f64 {
+        let key = pack(i.min(j), i.max(j));
+        self.prods
+            .binary_search_by_key(&key, |e| e.0)
+            .map(|p| self.prods[p].1)
+            .unwrap_or(0.0)
+    }
+
+    /// Assemble the dense `(c, s, Q)` triple of dimension `m`, with `Q`
+    /// returned as a full (mirrored) row-major `m × m` matrix — the shape
+    /// the regression trainer consumes.
+    pub fn to_dense(&self, m: usize) -> (i64, Vec<f64>, Vec<f64>) {
+        let mut s = vec![0.0; m];
+        for &(i, v) in &self.sums {
+            s[i as usize] = v;
+        }
+        let mut q = vec![0.0; m * m];
+        for &(k, v) in &self.prods {
+            let (i, j) = unpack(k);
+            q[i as usize * m + j as usize] = v;
+            q[j as usize * m + i as usize] = v;
+        }
+        (self.count, s, q)
+    }
+}
+
+impl Semiring for Cofactor {
+    fn zero() -> Self {
+        Cofactor::default()
+    }
+
+    fn one() -> Self {
+        Cofactor {
+            count: 1,
+            sums: Vec::new(),
+            prods: Vec::new(),
+        }
+    }
+
+    fn add_assign(&mut self, other: &Self) {
+        self.count += other.count;
+        self.sums = merge_scaled(&self.sums, 1.0, &other.sums, 1.0);
+        self.prods = merge_scaled(&self.prods, 1.0, &other.prods, 1.0);
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        let ca = self.count as f64;
+        let cb = other.count as f64;
+        // Outer-product contribution sa·sbᵀ + sb·saᵀ, upper triangle:
+        // entry (i,j), i<j gets sa_i·sb_j + sb_i·sa_j; (i,i) gets 2·sa_i·sb_i.
+        let mut outer: Vec<(u64, f64)> = Vec::with_capacity(self.sums.len() * other.sums.len());
+        for &(i, x) in &self.sums {
+            for &(j, y) in &other.sums {
+                let (lo, hi) = (i.min(j), i.max(j));
+                // Diagonal entries receive both sa_i·sb_i and sb_i·sa_i;
+                // off-diagonal (i,j)/(j,i) contributions arrive as two
+                // distinct ordered pairs and coalesce below.
+                let v = if i == j { 2.0 * x * y } else { x * y };
+                outer.push((pack(lo, hi), v));
+            }
+        }
+        outer.sort_unstable_by_key(|e| e.0);
+        // Coalesce duplicates (the (i,j) and (j,i) cross terms, and (i,i)
+        // doubling, land on the same packed key).
+        let mut coalesced: Vec<(u64, f64)> = Vec::with_capacity(outer.len());
+        for (k, v) in outer {
+            match coalesced.last_mut() {
+                Some(last) if last.0 == k => last.1 += v,
+                _ => coalesced.push((k, v)),
+            }
+        }
+        let scaled = merge_scaled(&self.prods, cb, &other.prods, ca);
+        Cofactor {
+            count: self.count * other.count,
+            sums: merge_scaled(&self.sums, cb, &other.sums, ca),
+            prods: merge_scaled(&scaled, 1.0, &coalesced, 1.0),
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.count == 0 && self.sums.is_empty() && self.prods.is_empty()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.sums.capacity() * std::mem::size_of::<(u32, f64)>()
+            + self.prods.capacity() * std::mem::size_of::<(u64, f64)>()
+    }
+}
+
+impl Ring for Cofactor {
+    fn neg(&self) -> Self {
+        Cofactor {
+            count: -self.count,
+            sums: self.sums.iter().map(|&(k, v)| (k, -v)).collect(),
+            prods: self.prods.iter().map(|&(k, v)| (k, -v)).collect(),
+        }
+    }
+}
+
+/// Dense fixed-dimension element of the degree-*m* matrix ring.
+///
+/// `m == 0` encodes a “scalar-like” element (the images of
+/// [`Semiring::zero`]/[`Semiring::one`] must be dimensionless); elements
+/// promote to the partner’s dimension on first combination.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct DenseCofactor {
+    /// Dimension (number of query variables), 0 for scalar-like.
+    pub m: u32,
+    /// Tuple count.
+    pub count: i64,
+    /// Dense linear aggregates, length `m`.
+    pub sums: Box<[f64]>,
+    /// Upper-triangular quadratic aggregates, row-major, length
+    /// `m(m+1)/2`.
+    pub prods: Box<[f64]>,
+}
+
+impl DenseCofactor {
+    /// Index of `(i, j)` with `i ≤ j` in the triangular layout.
+    #[inline]
+    pub fn tri_index(m: u32, i: u32, j: u32) -> usize {
+        debug_assert!(i <= j && j < m);
+        let (m, i, j) = (m as usize, i as usize, j as usize);
+        i * m - i * (i + 1) / 2 + j
+    }
+
+    /// Lifting `g_j(x)` at dimension `m`.
+    pub fn lift(m: u32, j: u32, x: f64) -> Self {
+        let mut sums = vec![0.0; m as usize].into_boxed_slice();
+        let mut prods = vec![0.0; (m as usize * (m as usize + 1)) / 2].into_boxed_slice();
+        sums[j as usize] = x;
+        prods[Self::tri_index(m, j, j)] = x * x;
+        DenseCofactor {
+            m,
+            count: 1,
+            sums,
+            prods,
+        }
+    }
+
+    fn promote(&mut self, m: u32) {
+        if self.m == 0 && m > 0 {
+            self.m = m;
+            self.sums = vec![0.0; m as usize].into_boxed_slice();
+            self.prods = vec![0.0; (m as usize * (m as usize + 1)) / 2].into_boxed_slice();
+        }
+    }
+
+    /// Quadratic aggregate for the unordered pair `{i, j}`.
+    pub fn prod(&self, i: u32, j: u32) -> f64 {
+        if self.m == 0 {
+            return 0.0;
+        }
+        self.prods[Self::tri_index(self.m, i.min(j), i.max(j))]
+    }
+
+    /// Assemble the dense `(c, s, Q)` triple (full mirrored `Q`).
+    pub fn to_dense(&self, m: usize) -> (i64, Vec<f64>, Vec<f64>) {
+        let mut s = vec![0.0; m];
+        let mut q = vec![0.0; m * m];
+        if self.m != 0 {
+            assert_eq!(self.m as usize, m, "dimension mismatch");
+            s.copy_from_slice(&self.sums);
+            for i in 0..m {
+                for j in i..m {
+                    let v = self.prods[Self::tri_index(self.m, i as u32, j as u32)];
+                    q[i * m + j] = v;
+                    q[j * m + i] = v;
+                }
+            }
+        }
+        (self.count, s, q)
+    }
+}
+
+impl Semiring for DenseCofactor {
+    fn zero() -> Self {
+        DenseCofactor::default()
+    }
+
+    fn one() -> Self {
+        DenseCofactor {
+            count: 1,
+            ..DenseCofactor::default()
+        }
+    }
+
+    fn add_assign(&mut self, other: &Self) {
+        self.count += other.count;
+        if other.m == 0 {
+            return;
+        }
+        self.promote(other.m);
+        assert_eq!(self.m, other.m, "cofactor dimension mismatch");
+        for (a, b) in self.sums.iter_mut().zip(other.sums.iter()) {
+            *a += *b;
+        }
+        for (a, b) in self.prods.iter_mut().zip(other.prods.iter()) {
+            *a += *b;
+        }
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        let ca = self.count as f64;
+        let cb = other.count as f64;
+        // Scalar-like operands just scale the partner.
+        if self.m == 0 || other.m == 0 {
+            let (scale, full) = if self.m == 0 { (ca, other) } else { (cb, self) };
+            return DenseCofactor {
+                m: full.m,
+                count: self.count * other.count,
+                sums: full.sums.iter().map(|v| v * scale).collect(),
+                prods: full.prods.iter().map(|v| v * scale).collect(),
+            };
+        }
+        assert_eq!(self.m, other.m, "cofactor dimension mismatch");
+        let m = self.m;
+        let mut sums = vec![0.0; m as usize].into_boxed_slice();
+        for i in 0..m as usize {
+            sums[i] = cb * self.sums[i] + ca * other.sums[i];
+        }
+        let mut prods = vec![0.0; (m as usize * (m as usize + 1)) / 2].into_boxed_slice();
+        let mut idx = 0;
+        for i in 0..m as usize {
+            for j in i..m as usize {
+                prods[idx] = cb * self.prods[idx]
+                    + ca * other.prods[idx]
+                    + self.sums[i] * other.sums[j]
+                    + other.sums[i] * self.sums[j];
+                idx += 1;
+            }
+        }
+        DenseCofactor {
+            m,
+            count: self.count * other.count,
+            sums,
+            prods,
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.count == 0
+            && self.sums.iter().all(|&v| v == 0.0)
+            && self.prods.iter().all(|&v| v == 0.0)
+    }
+
+    fn heap_bytes(&self) -> usize {
+        (self.sums.len() + self.prods.len()) * std::mem::size_of::<f64>()
+    }
+}
+
+impl Ring for DenseCofactor {
+    fn neg(&self) -> Self {
+        DenseCofactor {
+            m: self.m,
+            count: -self.count,
+            sums: self.sums.iter().map(|v| -v).collect(),
+            prods: self.prods.iter().map(|v| -v).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{check_ring_axioms_approx, Ring, Semiring};
+    use super::*;
+
+    fn approx(a: &Cofactor, b: &Cofactor) -> bool {
+        if a.count != b.count {
+            return false;
+        }
+        let close = |x: f64, y: f64| (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs()));
+        let keys: std::collections::BTreeSet<u32> =
+            a.sums.iter().chain(&b.sums).map(|e| e.0).collect();
+        if !keys.iter().all(|&k| close(a.sum(k), b.sum(k))) {
+            return false;
+        }
+        let pkeys: std::collections::BTreeSet<u64> =
+            a.prods.iter().chain(&b.prods).map(|e| e.0).collect();
+        pkeys.iter().all(|&k| {
+            let (i, j) = unpack(k);
+            close(a.prod(i, j), b.prod(i, j))
+        })
+    }
+
+    #[test]
+    fn identities() {
+        let x = Cofactor::lift(2, 3.5);
+        assert_eq!(x.mul(&Cofactor::one()), x);
+        assert_eq!(Cofactor::one().mul(&x), x);
+        assert!(x.mul(&Cofactor::zero()).is_zero());
+        assert_eq!(x.add(&Cofactor::zero()), x);
+    }
+
+    #[test]
+    fn deletion_cancels_exactly() {
+        let x = Cofactor::lift(1, 2.25);
+        let mut acc = x.clone();
+        acc.add_assign(&x.neg());
+        assert!(acc.is_zero());
+    }
+
+    #[test]
+    fn ring_axioms_on_samples() {
+        let a = Cofactor::lift(0, 2.0);
+        let b = Cofactor::lift(1, -3.0).add(&Cofactor::lift(2, 1.0));
+        let c = Cofactor::lift(2, 0.5);
+        check_ring_axioms_approx(&a, &b, &c, approx);
+    }
+
+    /// Reproduces the paper’s worked product from Example 6.3:
+    /// `V@C_ST[a2] = V@D_T[c2] * V@E_S[a2,c2] * g_C(c2)`.
+    ///
+    /// With 0-based variable order (A,B,C,D,E) = (0..4), c2=10, d2=1,
+    /// d3=2, e4=5, the expected payload is
+    /// `(2, [.,.,2c2, d2+d3, 2e4], Q33=2c2², Q34=c2(d2+d3), Q35=2c2e4,
+    ///  Q44=d2²+d3², Q45=(d2+d3)e4, Q55=2e4²)` (paper’s 1-based indices).
+    #[test]
+    fn example_6_3_product() {
+        let (c2, d2, d3, e4) = (10.0, 1.0, 2.0, 5.0);
+        let vt = Cofactor::lift(3, d2).add(&Cofactor::lift(3, d3));
+        let vs = Cofactor::lift(4, e4);
+        let gc = Cofactor::lift(2, c2);
+        let out = vt.mul(&vs).mul(&gc);
+
+        assert_eq!(out.count, 2);
+        assert_eq!(out.sum(2), 2.0 * c2);
+        assert_eq!(out.sum(3), d2 + d3);
+        assert_eq!(out.sum(4), 2.0 * e4);
+        assert_eq!(out.prod(2, 2), 2.0 * c2 * c2);
+        assert_eq!(out.prod(2, 3), c2 * (d2 + d3));
+        assert_eq!(out.prod(2, 4), 2.0 * c2 * e4);
+        assert_eq!(out.prod(3, 3), d2 * d2 + d3 * d3);
+        assert_eq!(out.prod(3, 4), (d2 + d3) * e4);
+        assert_eq!(out.prod(4, 4), 2.0 * e4 * e4);
+        // untouched coordinates stay zero
+        assert_eq!(out.sum(0), 0.0);
+        assert_eq!(out.prod(0, 1), 0.0);
+    }
+
+    #[test]
+    fn sparse_and_dense_agree() {
+        let m = 5;
+        let sparse = Cofactor::lift(1, 2.0)
+            .add(&Cofactor::lift(3, -1.0))
+            .mul(&Cofactor::lift(2, 4.0));
+        let dense = DenseCofactor::lift(m, 1, 2.0)
+            .add(&DenseCofactor::lift(m, 3, -1.0))
+            .mul(&DenseCofactor::lift(m, 2, 4.0));
+        assert_eq!(sparse.to_dense(m as usize), dense.to_dense(m as usize));
+    }
+
+    #[test]
+    fn dense_scalar_promotion() {
+        let m = 3;
+        let x = DenseCofactor::lift(m, 0, 2.0);
+        // one * x == x, zero + x == x even though identities are m=0.
+        assert_eq!(DenseCofactor::one().mul(&x), x);
+        assert_eq!(x.mul(&DenseCofactor::one()), x);
+        let mut z = DenseCofactor::zero();
+        z.add_assign(&x);
+        assert_eq!(z, x);
+        assert!(x.mul(&DenseCofactor::zero()).is_zero());
+    }
+
+    #[test]
+    fn tri_index_layout() {
+        let m = 4;
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..m {
+            for j in i..m {
+                seen.insert(DenseCofactor::tri_index(m, i, j));
+            }
+        }
+        assert_eq!(seen.len(), (m as usize * (m as usize + 1)) / 2);
+        assert_eq!(*seen.iter().next().unwrap(), 0);
+        assert_eq!(
+            *seen.iter().last().unwrap(),
+            (m as usize * (m as usize + 1)) / 2 - 1
+        );
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn axioms_prop(
+            xs in proptest::collection::vec((0u32..4, -4i64..5), 1..4),
+            ys in proptest::collection::vec((0u32..4, -4i64..5), 1..4),
+            zs in proptest::collection::vec((0u32..4, -4i64..5), 1..4),
+        ) {
+            let build = |v: &Vec<(u32, i64)>| {
+                let mut acc = Cofactor::zero();
+                for &(j, x) in v {
+                    acc.add_assign(&Cofactor::lift(j, x as f64));
+                }
+                acc
+            };
+            // integer-valued data keeps float arithmetic exact
+            check_ring_axioms_approx(&build(&xs), &build(&ys), &build(&zs), approx);
+        }
+
+        #[test]
+        fn sparse_dense_agree_prop(
+            xs in proptest::collection::vec((0u32..4, -4i64..5), 1..5),
+            ys in proptest::collection::vec((0u32..4, -4i64..5), 1..5),
+        ) {
+            let m = 4u32;
+            let (mut s1, mut d1) = (Cofactor::zero(), DenseCofactor::zero());
+            for &(j, x) in &xs {
+                s1.add_assign(&Cofactor::lift(j, x as f64));
+                d1.add_assign(&DenseCofactor::lift(m, j, x as f64));
+            }
+            let (mut s2, mut d2) = (Cofactor::zero(), DenseCofactor::zero());
+            for &(j, x) in &ys {
+                s2.add_assign(&Cofactor::lift(j, x as f64));
+                d2.add_assign(&DenseCofactor::lift(m, j, x as f64));
+            }
+            proptest::prop_assert_eq!(s1.mul(&s2).to_dense(4), d1.mul(&d2).to_dense(4));
+            proptest::prop_assert_eq!(s1.add(&s2).to_dense(4), d1.add(&d2).to_dense(4));
+        }
+    }
+}

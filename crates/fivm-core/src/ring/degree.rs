@@ -1,0 +1,238 @@
+//! The SQL-OPT aggregate encoding: one aggregate column indexed by
+//! variable degrees (paper §7, “SQL-OPT”).
+//!
+//! Where the cofactor ring packs the regression aggregates into dense
+//! vector/matrix blocks, SQL-OPT represents each aggregate *explicitly*,
+//! keyed by the degrees of the query variables: the count has all degrees
+//! zero, `SUM(x_i)` has degree 1 on `i`, and `SUM(x_i·x_j)` degree 1 on
+//! each of `i, j` (2 on `i = j`). Multiplication convolves degree
+//! vectors, truncated at total degree 2 (higher degrees can never
+//! contribute to the degree-≤2 aggregates the cofactor matrix needs,
+//! because every query variable is lifted exactly once).
+//!
+//! The hash-map-per-payload representation is exactly what makes SQL-OPT
+//! slower than F-IVM’s ring in Figure 7 — the paper’s point that implicit
+//! vector/matrix encodings beat explicit degree indexing.
+
+use super::{Ring, Semiring};
+use crate::hash::FxHashMap;
+
+/// Sentinel for “no variable” in a degree pair.
+pub const NONE: u32 = u32::MAX;
+
+/// Degree descriptor for an aggregate of total degree ≤ 2 over variables:
+/// `(NONE, NONE)` = count, `(i, NONE)` = `SUM(x_i)`, `(i, j)` with
+/// `i ≤ j` = `SUM(x_i · x_j)`.
+pub type DegreePair = (u32, u32);
+
+/// An element of the degree-indexed aggregate “ring” (truncated at total
+/// degree 2).
+#[derive(Clone, Debug, Default)]
+pub struct DegreeRing {
+    /// Aggregate column: degree descriptor → value.
+    pub aggs: FxHashMap<DegreePair, f64>,
+}
+
+impl DegreeRing {
+    /// Lifting `g_i(x)`: count 1, `SUM(x_i) = x`, `SUM(x_i²) = x²`.
+    pub fn lift(i: u32, x: f64) -> Self {
+        let mut aggs = FxHashMap::default();
+        aggs.insert((NONE, NONE), 1.0);
+        aggs.insert((i, NONE), x);
+        aggs.insert((i, i), x * x);
+        DegreeRing { aggs }
+    }
+
+    /// The value of an aggregate (0 if absent).
+    pub fn get(&self, key: DegreePair) -> f64 {
+        self.aggs.get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// Count aggregate.
+    pub fn count(&self) -> f64 {
+        self.get((NONE, NONE))
+    }
+
+    /// `SUM(x_i)`.
+    pub fn sum(&self, i: u32) -> f64 {
+        self.get((i, NONE))
+    }
+
+    /// `SUM(x_i · x_j)` (unordered pair).
+    pub fn prod(&self, i: u32, j: u32) -> f64 {
+        self.get((i.min(j), i.max(j)))
+    }
+
+    /// Total degree of a descriptor.
+    fn degree(k: DegreePair) -> u32 {
+        u32::from(k.0 != NONE) + u32::from(k.1 != NONE)
+    }
+
+    /// Combine two degree descriptors, or `None` if the product exceeds
+    /// total degree 2. Returns the descriptor and a multiplier: products
+    /// of two linear aggregates on the *same* variable count twice,
+    /// matching Definition 6.2’s symmetric outer product
+    /// `sa·sbᵀ + sb·saᵀ` (whose diagonal doubles) so that this encoding
+    /// and the cofactor ring are the same ring under two representations.
+    fn combine(a: DegreePair, b: DegreePair) -> Option<(DegreePair, f64)> {
+        if Self::degree(a) + Self::degree(b) > 2 {
+            return None;
+        }
+        let mut vars = [a.0, a.1, b.0, b.1];
+        vars.sort_unstable(); // NONE == u32::MAX sorts last
+        let mult = if Self::degree(a) == 1 && Self::degree(b) == 1 && a.0 == b.0 {
+            2.0
+        } else {
+            1.0
+        };
+        Some(((vars[0], vars[1]), mult))
+    }
+}
+
+impl PartialEq for DegreeRing {
+    fn eq(&self, other: &Self) -> bool {
+        // Compare supports modulo explicit zeros.
+        self.aggs
+            .iter()
+            .all(|(k, v)| (*v == 0.0) == (other.get(*k) == 0.0) && *v == other.get(*k))
+            && other
+                .aggs
+                .iter()
+                .all(|(k, v)| *v == self.get(*k))
+    }
+}
+
+impl Semiring for DegreeRing {
+    fn zero() -> Self {
+        DegreeRing::default()
+    }
+
+    fn one() -> Self {
+        let mut aggs = FxHashMap::default();
+        aggs.insert((NONE, NONE), 1.0);
+        DegreeRing { aggs }
+    }
+
+    fn add_assign(&mut self, other: &Self) {
+        for (&k, &v) in &other.aggs {
+            let e = self.aggs.entry(k).or_insert(0.0);
+            *e += v;
+            if *e == 0.0 {
+                self.aggs.remove(&k);
+            }
+        }
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        let mut out = FxHashMap::default();
+        for (&ka, &va) in &self.aggs {
+            for (&kb, &vb) in &other.aggs {
+                if let Some((k, mult)) = Self::combine(ka, kb) {
+                    let e = out.entry(k).or_insert(0.0);
+                    *e += mult * va * vb;
+                }
+            }
+        }
+        out.retain(|_, v| *v != 0.0);
+        DegreeRing { aggs: out }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.aggs.is_empty()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.aggs.len() * (std::mem::size_of::<(DegreePair, f64)>() + 8)
+    }
+}
+
+impl Ring for DegreeRing {
+    fn neg(&self) -> Self {
+        DegreeRing {
+            aggs: self.aggs.iter().map(|(&k, &v)| (k, -v)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Ring, Semiring};
+    use super::*;
+    use crate::ring::cofactor::Cofactor;
+
+    #[test]
+    fn identities() {
+        let x = DegreeRing::lift(0, 3.0);
+        assert_eq!(x.mul(&DegreeRing::one()), x);
+        assert_eq!(DegreeRing::one().mul(&x), x);
+        assert!(x.mul(&DegreeRing::zero()).is_zero());
+        assert_eq!(x.add(&DegreeRing::zero()), x);
+    }
+
+    #[test]
+    fn deletion_cancels() {
+        let x = DegreeRing::lift(2, 1.5);
+        let mut acc = x.clone();
+        acc.add_assign(&x.neg());
+        assert!(acc.is_zero());
+    }
+
+    #[test]
+    fn product_builds_pair_aggregate() {
+        // g_0(2) * g_1(3): count 1, sums 2 and 3, prods 4, 6, 9.
+        let p = DegreeRing::lift(0, 2.0).mul(&DegreeRing::lift(1, 3.0));
+        assert_eq!(p.count(), 1.0);
+        assert_eq!(p.sum(0), 2.0);
+        assert_eq!(p.sum(1), 3.0);
+        assert_eq!(p.prod(0, 0), 4.0);
+        assert_eq!(p.prod(0, 1), 6.0);
+        assert_eq!(p.prod(1, 1), 9.0);
+    }
+
+    #[test]
+    fn truncation_drops_degree_three() {
+        let p = DegreeRing::lift(0, 2.0)
+            .mul(&DegreeRing::lift(1, 3.0))
+            .mul(&DegreeRing::lift(2, 5.0));
+        // degree-3 term SUM(x0 x1 x2) must not appear anywhere;
+        // all retained aggregates have degree ≤ 2.
+        for k in p.aggs.keys() {
+            assert!(u32::from(k.0 != NONE) + u32::from(k.1 != NONE) <= 2);
+        }
+        // and the degree-2 aggregates are still exact
+        assert_eq!(p.prod(0, 1), 6.0);
+        assert_eq!(p.prod(0, 2), 10.0);
+        assert_eq!(p.prod(1, 2), 15.0);
+    }
+
+    /// SQL-OPT and the cofactor ring must compute identical aggregates —
+    /// they are two encodings of the same mathematical object.
+    #[test]
+    fn agrees_with_cofactor_ring() {
+        let combos: Vec<Vec<(u32, f64)>> =
+            vec![vec![(0, 2.0), (1, -1.0)], vec![(2, 3.0)], vec![(1, 0.5), (3, 4.0)]];
+        let build_deg = |v: &[(u32, f64)]| {
+            let mut acc = DegreeRing::zero();
+            for &(j, x) in v {
+                acc.add_assign(&DegreeRing::lift(j, x));
+            }
+            acc
+        };
+        let build_cof = |v: &[(u32, f64)]| {
+            let mut acc = Cofactor::zero();
+            for &(j, x) in v {
+                acc.add_assign(&Cofactor::lift(j, x));
+            }
+            acc
+        };
+        let d = build_deg(&combos[0]).mul(&build_deg(&combos[1])).mul(&build_deg(&combos[2]));
+        let c = build_cof(&combos[0]).mul(&build_cof(&combos[1])).mul(&build_cof(&combos[2]));
+        assert_eq!(d.count() as i64, c.count);
+        for i in 0..4u32 {
+            assert!((d.sum(i) - c.sum(i)).abs() < 1e-9);
+            for j in i..4u32 {
+                assert!((d.prod(i, j) - c.prod(i, j)).abs() < 1e-9, "prod({i},{j})");
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Scalar rings: `Z` (as `i64`) and `R` (as `f64`).
+//!
+//! `i64` is the ring used for `COUNT` queries and tuple multiplicities
+//! (paper Example 2.2); `f64` serves `SUM` aggregates over numeric
+//! columns. Strictly speaking IEEE-754 doubles only approximate a ring
+//! (addition is not associative under rounding); all float-ring tests use
+//! approximate comparisons.
+
+use super::{Ring, Semiring};
+
+impl Semiring for i64 {
+    #[inline]
+    fn zero() -> Self {
+        0
+    }
+
+    #[inline]
+    fn one() -> Self {
+        1
+    }
+
+    #[inline]
+    fn add_assign(&mut self, other: &Self) {
+        *self = self.wrapping_add(*other);
+    }
+
+    #[inline]
+    fn mul(&self, other: &Self) -> Self {
+        self.wrapping_mul(*other)
+    }
+
+    #[inline]
+    fn is_zero(&self) -> bool {
+        *self == 0
+    }
+}
+
+impl Ring for i64 {
+    #[inline]
+    fn neg(&self) -> Self {
+        self.wrapping_neg()
+    }
+}
+
+impl Semiring for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+
+    #[inline]
+    fn add_assign(&mut self, other: &Self) {
+        *self += *other;
+    }
+
+    #[inline]
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+
+    #[inline]
+    fn is_zero(&self) -> bool {
+        *self == 0.0
+    }
+}
+
+impl Ring for f64 {
+    #[inline]
+    fn neg(&self) -> Self {
+        -self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{check_ring_axioms, Ring, Semiring};
+
+    #[test]
+    fn i64_axioms() {
+        check_ring_axioms(&3i64, &-7i64, &11i64);
+        check_ring_axioms(&0i64, &1i64, &-1i64);
+    }
+
+    #[test]
+    fn f64_basic() {
+        assert_eq!(<f64 as Semiring>::zero(), 0.0);
+        assert_eq!(2.0f64.mul(&3.0), 6.0);
+        assert_eq!(Ring::neg(&2.0f64), -2.0);
+        assert!(Semiring::is_zero(&0.0f64));
+        assert!(!Semiring::is_zero(&1e-300f64));
+    }
+
+    #[test]
+    fn i64_deletion_cancels() {
+        // insert then delete returns to zero — the uniform-update property.
+        let mut p = 5i64;
+        p.add_assign(&Ring::neg(&5i64));
+        assert!(Semiring::is_zero(&p));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn i64_axioms_prop(a in -1000i64..1000, b in -1000i64..1000, c in -1000i64..1000) {
+            check_ring_axioms(&a, &b, &c);
+        }
+    }
+}

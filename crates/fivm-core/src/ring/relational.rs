@@ -1,0 +1,314 @@
+//! The relational data ring `F[Z]` (Definition 6.4).
+//!
+//! Payloads are themselves relations over the `Z` ring: addition is
+//! relational union (summing multiplicities) and multiplication is
+//! natural join (multiplying multiplicities). With this ring, the same
+//! view tree that computes `COUNT` computes conjunctive-query results in
+//! its payloads — the paper’s §6.3 and Figure 2e.
+//!
+//! As the paper’s footnote 2 notes, a fully general ring would need
+//! tuples with their own schemas; for the practical uses here each
+//! payload carries one schema, unions require equal schemas (the zero —
+//! an empty relation — unifies with anything), and products join
+//! naturally. Lifting for a free variable `X` maps `x` to the singleton
+//! `{(x) → 1}` over schema `{X}`; bound variables lift to the
+//! multiplicative identity `{() → 1}`.
+
+use super::{Ring, Semiring};
+use crate::hash::FxHashMap;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A relation-over-`Z` payload.
+#[derive(Clone, Debug, Default)]
+pub struct RelPayload {
+    /// Variables of the payload relation, in tuple order.
+    pub schema: Schema,
+    /// Tuples with non-zero multiplicity.
+    pub data: FxHashMap<Tuple, i64>,
+}
+
+impl RelPayload {
+    /// The singleton `{t → 1}` over `schema`.
+    pub fn singleton(schema: Schema, t: Tuple) -> Self {
+        assert_eq!(schema.len(), t.len(), "tuple arity must match schema");
+        let mut data = FxHashMap::default();
+        data.insert(t, 1);
+        RelPayload { schema, data }
+    }
+
+    /// Lifting for a free variable: `g_X(x) = {(x) → 1}`.
+    pub fn lift_free(var_schema: Schema, v: &Value) -> Self {
+        Self::singleton(var_schema, Tuple::single(v.clone()))
+    }
+
+    /// Number of tuples with non-zero multiplicity.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True iff no tuple has non-zero multiplicity (the ring zero).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Multiplicity of `t` (0 if absent).
+    pub fn multiplicity(&self, t: &Tuple) -> i64 {
+        self.data.get(t).copied().unwrap_or(0)
+    }
+
+    /// Project onto `vars`, summing multiplicities — used to turn listing
+    /// payloads into factorized ones (paper §6.3: “we compute
+    /// `⊕_{Y∈T−{X}} P[T]`”).
+    pub fn project_onto(&self, vars: &Schema) -> RelPayload {
+        if self.data.is_empty() {
+            // the zero payload has a canonical empty schema; projecting
+            // it anywhere is still zero
+            return RelPayload::zero();
+        }
+        let positions = self
+            .schema
+            .positions_of(vars.vars())
+            .expect("projection variables must be in payload schema");
+        let mut data: FxHashMap<Tuple, i64> = FxHashMap::default();
+        for (t, &mult) in &self.data {
+            let key = t.project(&positions);
+            let e = data.entry(key).or_insert(0);
+            *e += mult;
+        }
+        data.retain(|_, m| *m != 0);
+        let mut out = RelPayload {
+            schema: vars.clone(),
+            data,
+        };
+        out.canonicalize();
+        out
+    }
+
+    /// Restore the canonical zero form (empty data ⇒ empty schema) so
+    /// that all zero payloads compare equal.
+    fn canonicalize(&mut self) {
+        if self.data.is_empty() {
+            self.schema = Schema::empty();
+        }
+    }
+
+    /// Sorted tuples (for deterministic test output).
+    pub fn sorted(&self) -> Vec<(Tuple, i64)> {
+        let mut v: Vec<_> = self.data.iter().map(|(t, &m)| (t.clone(), m)).collect();
+        v.sort();
+        v
+    }
+}
+
+impl PartialEq for RelPayload {
+    fn eq(&self, other: &Self) -> bool {
+        if self.data.is_empty() && other.data.is_empty() {
+            return true;
+        }
+        self.schema == other.schema && self.data == other.data
+    }
+}
+
+impl Semiring for RelPayload {
+    fn zero() -> Self {
+        RelPayload::default()
+    }
+
+    fn one() -> Self {
+        let mut data = FxHashMap::default();
+        data.insert(Tuple::unit(), 1);
+        RelPayload {
+            schema: Schema::empty(),
+            data,
+        }
+    }
+
+    fn add_assign(&mut self, other: &Self) {
+        if other.data.is_empty() {
+            return;
+        }
+        if self.data.is_empty() {
+            *self = other.clone();
+            return;
+        }
+        assert_eq!(
+            self.schema, other.schema,
+            "relational-ring union requires equal schemas"
+        );
+        for (t, &m) in &other.data {
+            let e = self.data.entry(t.clone()).or_insert(0);
+            *e += m;
+            if *e == 0 {
+                self.data.remove(t);
+            }
+        }
+        self.canonicalize();
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        if self.data.is_empty() || other.data.is_empty() {
+            return RelPayload::zero();
+        }
+        let common = self.schema.intersect(&other.schema);
+        // Canonical output order (sorted by VarId) makes ⊗ commutative up
+        // to representation, so incremental and recomputed payloads
+        // compare equal regardless of the join order that produced them.
+        let out_schema = {
+            let mut vars = self.schema.union(&other.schema).vars().to_vec();
+            vars.sort_unstable();
+            Schema::new(vars)
+        };
+        let join_schema = self.schema.union(&other.schema);
+        let canon_pos = join_schema.positions_of(out_schema.vars()).unwrap();
+        let left_common = self.schema.positions_of(common.vars()).unwrap();
+        let right_common = other.schema.positions_of(common.vars()).unwrap();
+        let right_rest_vars = other.schema.minus(&common);
+        let right_rest = other.schema.positions_of(right_rest_vars.vars()).unwrap();
+
+        // Index the right side on the common variables.
+        let mut index: FxHashMap<Tuple, Vec<(&Tuple, i64)>> = FxHashMap::default();
+        for (t, &m) in &other.data {
+            index.entry(t.project(&right_common)).or_default().push((t, m));
+        }
+
+        let mut data: FxHashMap<Tuple, i64> = FxHashMap::default();
+        for (lt, &lm) in &self.data {
+            if let Some(matches) = index.get(&lt.project(&left_common)) {
+                for &(rt, rm) in matches {
+                    let key = lt.concat_projected(rt, &right_rest).project(&canon_pos);
+                    let e = data.entry(key).or_insert(0);
+                    *e += lm * rm;
+                    // (deferred zero-pruning below)
+                }
+            }
+        }
+        data.retain(|_, m| *m != 0);
+        let mut out = RelPayload {
+            schema: out_schema,
+            data,
+        };
+        out.canonicalize();
+        out
+    }
+
+    fn is_zero(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.data
+            .iter()
+            .map(|(t, _)| t.approx_bytes() + std::mem::size_of::<i64>() + 8)
+            .sum()
+    }
+}
+
+impl Ring for RelPayload {
+    fn neg(&self) -> Self {
+        RelPayload {
+            schema: self.schema.clone(),
+            data: self.data.iter().map(|(t, &m)| (t.clone(), -m)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn sch(vars: &[u32]) -> Schema {
+        Schema::new(vars.to_vec())
+    }
+
+    #[test]
+    fn zero_one_identities() {
+        let p = RelPayload::singleton(sch(&[0]), tuple![7]);
+        assert_eq!(p.mul(&RelPayload::one()), p);
+        assert_eq!(RelPayload::one().mul(&p), p);
+        assert!(p.mul(&RelPayload::zero()).is_zero());
+        assert_eq!(p.add(&RelPayload::zero()), p);
+        assert_eq!(RelPayload::zero().add(&p), p);
+    }
+
+    #[test]
+    fn union_sums_multiplicities() {
+        let mut a = RelPayload::singleton(sch(&[0]), tuple![1]);
+        a.add_assign(&RelPayload::singleton(sch(&[0]), tuple![1]));
+        a.add_assign(&RelPayload::singleton(sch(&[0]), tuple![2]));
+        assert_eq!(a.multiplicity(&tuple![1]), 2);
+        assert_eq!(a.multiplicity(&tuple![2]), 1);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn deletion_erases_tuples() {
+        let mut a = RelPayload::singleton(sch(&[0]), tuple![1]);
+        a.add_assign(&RelPayload::singleton(sch(&[0]), tuple![1]).neg());
+        assert!(a.is_zero());
+        // zero after cancellation compares equal to the canonical zero
+        assert_eq!(a, RelPayload::zero());
+    }
+
+    #[test]
+    fn product_is_cartesian_on_disjoint_schemas() {
+        let a = RelPayload::singleton(sch(&[0]), tuple![1])
+            .add(&RelPayload::singleton(sch(&[0]), tuple![2]));
+        let b = RelPayload::singleton(sch(&[1]), tuple![10]);
+        let ab = a.mul(&b);
+        assert_eq!(ab.schema, sch(&[0, 1]));
+        assert_eq!(ab.len(), 2);
+        assert_eq!(ab.multiplicity(&tuple![1, 10]), 1);
+        assert_eq!(ab.multiplicity(&tuple![2, 10]), 1);
+    }
+
+    #[test]
+    fn product_joins_on_common_vars() {
+        // R(A,B) = {(1,5), (2,5)}, S(B,C) = {(5,9)} → R⋈S has 2 tuples.
+        let r = RelPayload::singleton(sch(&[0, 1]), tuple![1, 5])
+            .add(&RelPayload::singleton(sch(&[0, 1]), tuple![2, 5]));
+        let s = RelPayload::singleton(sch(&[1, 2]), tuple![5, 9]);
+        let rs = r.mul(&s);
+        assert_eq!(rs.schema, sch(&[0, 1, 2]));
+        assert_eq!(rs.multiplicity(&tuple![1, 5, 9]), 1);
+        assert_eq!(rs.multiplicity(&tuple![2, 5, 9]), 1);
+        // non-matching B values drop out
+        let t = RelPayload::singleton(sch(&[1, 2]), tuple![6, 9]);
+        assert!(r.mul(&t).is_zero());
+    }
+
+    #[test]
+    fn multiplicities_multiply() {
+        let mut r = RelPayload::singleton(sch(&[0]), tuple![1]);
+        r.add_assign(&RelPayload::singleton(sch(&[0]), tuple![1])); // mult 2
+        let s = {
+            let mut s = RelPayload::singleton(sch(&[0]), tuple![1]);
+            s.add_assign(&RelPayload::singleton(sch(&[0]), tuple![1]));
+            s.add_assign(&RelPayload::singleton(sch(&[0]), tuple![1])); // mult 3
+            s
+        };
+        assert_eq!(r.mul(&s).multiplicity(&tuple![1]), 6);
+    }
+
+    #[test]
+    fn project_onto_sums() {
+        let p = RelPayload::singleton(sch(&[0, 1]), tuple![1, 10])
+            .add(&RelPayload::singleton(sch(&[0, 1]), tuple![1, 20]))
+            .add(&RelPayload::singleton(sch(&[0, 1]), tuple![2, 10]));
+        let q = p.project_onto(&sch(&[0]));
+        assert_eq!(q.multiplicity(&tuple![1]), 2);
+        assert_eq!(q.multiplicity(&tuple![2]), 1);
+    }
+
+    /// Example 6.5 micro-check: distributivity of join over union with
+    /// multiplicities, `(R ⊎ S) ⊗ T` vs `R⊗T ⊎ S⊗T`.
+    #[test]
+    fn distributivity() {
+        let r = RelPayload::singleton(sch(&[0, 1]), tuple![1, 5]);
+        let s = RelPayload::singleton(sch(&[0, 1]), tuple![2, 5]);
+        let t = RelPayload::singleton(sch(&[1, 2]), tuple![5, 7]);
+        assert_eq!(r.add(&s).mul(&t), r.mul(&t).add(&s.mul(&t)));
+    }
+}

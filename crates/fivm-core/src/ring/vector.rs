@@ -1,0 +1,160 @@
+//! Product rings: element-wise pairs, triples and fixed-size arrays.
+//!
+//! The paper (§2) lists `R²` and `R³` among example rings: products of
+//! rings are rings with element-wise operations. These are handy for
+//! maintaining several independent aggregates in one pass — e.g.
+//! `(f64, f64)` maintains `SUM(x)` and `SUM(x²)` together — without the
+//! sharing across aggregates that the cofactor ring adds.
+
+use super::{Ring, Semiring};
+
+impl<A: Semiring, B: Semiring> Semiring for (A, B) {
+    fn zero() -> Self {
+        (A::zero(), B::zero())
+    }
+
+    fn one() -> Self {
+        (A::one(), B::one())
+    }
+
+    fn add_assign(&mut self, other: &Self) {
+        self.0.add_assign(&other.0);
+        self.1.add_assign(&other.1);
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        (self.0.mul(&other.0), self.1.mul(&other.1))
+    }
+
+    fn is_zero(&self) -> bool {
+        self.0.is_zero() && self.1.is_zero()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.0.heap_bytes() + self.1.heap_bytes()
+    }
+}
+
+impl<A: Ring, B: Ring> Ring for (A, B) {
+    fn neg(&self) -> Self {
+        (self.0.neg(), self.1.neg())
+    }
+}
+
+impl<A: Semiring, B: Semiring, C: Semiring> Semiring for (A, B, C) {
+    fn zero() -> Self {
+        (A::zero(), B::zero(), C::zero())
+    }
+
+    fn one() -> Self {
+        (A::one(), B::one(), C::one())
+    }
+
+    fn add_assign(&mut self, other: &Self) {
+        self.0.add_assign(&other.0);
+        self.1.add_assign(&other.1);
+        self.2.add_assign(&other.2);
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        (
+            self.0.mul(&other.0),
+            self.1.mul(&other.1),
+            self.2.mul(&other.2),
+        )
+    }
+
+    fn is_zero(&self) -> bool {
+        self.0.is_zero() && self.1.is_zero() && self.2.is_zero()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.0.heap_bytes() + self.1.heap_bytes() + self.2.heap_bytes()
+    }
+}
+
+impl<A: Ring, B: Ring, C: Ring> Ring for (A, B, C) {
+    fn neg(&self) -> Self {
+        (self.0.neg(), self.1.neg(), self.2.neg())
+    }
+}
+
+/// Fixed-size element-wise product ring `Rⁿ` over `Copy` scalars.
+impl<R: Semiring + Copy, const N: usize> Semiring for [R; N] {
+    fn zero() -> Self {
+        [R::zero(); N]
+    }
+
+    fn one() -> Self {
+        [R::one(); N]
+    }
+
+    fn add_assign(&mut self, other: &Self) {
+        for (a, b) in self.iter_mut().zip(other.iter()) {
+            a.add_assign(b);
+        }
+    }
+
+    fn mul(&self, other: &Self) -> Self {
+        let mut out = *self;
+        for (a, b) in out.iter_mut().zip(other.iter()) {
+            *a = a.mul(b);
+        }
+        out
+    }
+
+    fn is_zero(&self) -> bool {
+        self.iter().all(Semiring::is_zero)
+    }
+}
+
+impl<R: Ring + Copy, const N: usize> Ring for [R; N] {
+    fn neg(&self) -> Self {
+        let mut out = *self;
+        for a in out.iter_mut() {
+            *a = a.neg();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{check_ring_axioms, Ring, Semiring};
+
+    #[test]
+    fn pair_ring_axioms() {
+        check_ring_axioms(&(2i64, -3i64), &(5i64, 7i64), &(-1i64, 4i64));
+    }
+
+    #[test]
+    fn triple_ring_axioms() {
+        check_ring_axioms(&(1i64, 2i64, 3i64), &(-4i64, 5i64, 0i64), &(7i64, -8i64, 9i64));
+    }
+
+    #[test]
+    fn array_ring_axioms() {
+        check_ring_axioms(&[1i64, -2, 3], &[0i64, 5, -6], &[7i64, 8, 9]);
+    }
+
+    #[test]
+    fn pair_tracks_two_aggregates() {
+        // (SUM(x), SUM(x^2)) via pair payloads: lift x -> (x, x*x), combine by +.
+        let xs = [2.0f64, 3.0, 4.0];
+        let mut acc = <(f64, f64)>::zero();
+        for x in xs {
+            acc.add_assign(&(x, x * x));
+        }
+        assert_eq!(acc, (9.0, 29.0));
+        // delete 3.0
+        acc.add_assign(&Ring::neg(&(3.0, 9.0)));
+        assert_eq!(acc, (6.0, 20.0));
+    }
+
+    #[test]
+    fn array_zero_one() {
+        assert_eq!(<[i64; 4]>::zero(), [0, 0, 0, 0]);
+        assert_eq!(<[i64; 4]>::one(), [1, 1, 1, 1]);
+        assert!(<[i64; 2]>::zero().is_zero());
+    }
+}

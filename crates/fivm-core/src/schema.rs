@@ -1,0 +1,250 @@
+//! Variables, schemas and the name-interning catalog.
+//!
+//! A schema is an ordered list of distinct variables (paper §2 defines
+//! schemas as sets; we keep an order so tuples have a deterministic
+//! layout). Variables are interned to dense [`VarId`]s by a [`Catalog`]
+//! owned by the query.
+
+use crate::hash::FxHashMap;
+use std::fmt;
+
+/// A dense identifier for an interned variable (attribute) name.
+pub type VarId = u32;
+
+/// Interns variable names to [`VarId`]s.
+///
+/// One catalog per query/database; all schemas, variable orders and view
+/// trees for that query share it.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    names: Vec<String>,
+    index: FxHashMap<String, VarId>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its id (existing or fresh).
+    pub fn var(&mut self, name: &str) -> VarId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = self.names.len() as VarId;
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Intern several names at once.
+    pub fn vars<'a>(&mut self, names: impl IntoIterator<Item = &'a str>) -> Vec<VarId> {
+        names.into_iter().map(|n| self.var(n)).collect()
+    }
+
+    /// Look up an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.index.get(name).copied()
+    }
+
+    /// The name of a variable id.
+    pub fn name(&self, id: VarId) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Number of interned variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True iff no variable has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Render a schema with variable names, e.g. `[A, C]`.
+    pub fn render(&self, schema: &Schema) -> String {
+        let names: Vec<&str> = schema.iter().map(|&v| self.name(v)).collect();
+        format!("[{}]", names.join(", "))
+    }
+}
+
+/// An ordered list of distinct variables.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Schema(Vec<VarId>);
+
+impl Schema {
+    /// The empty schema (keys are the empty tuple).
+    pub fn empty() -> Self {
+        Schema(Vec::new())
+    }
+
+    /// Build from a list of variables; panics on duplicates.
+    pub fn new(vars: Vec<VarId>) -> Self {
+        let mut seen = vars.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), vars.len(), "schema has duplicate variables");
+        Schema(vars)
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The variables in order.
+    pub fn vars(&self) -> &[VarId] {
+        &self.0
+    }
+
+    /// Iterate over the variables.
+    pub fn iter(&self) -> std::slice::Iter<'_, VarId> {
+        self.0.iter()
+    }
+
+    /// Position of `v` in this schema.
+    pub fn position(&self, v: VarId) -> Option<usize> {
+        self.0.iter().position(|&x| x == v)
+    }
+
+    /// True iff `v` occurs in this schema.
+    pub fn contains(&self, v: VarId) -> bool {
+        self.0.contains(&v)
+    }
+
+    /// Positions of each variable of `other` within `self`.
+    ///
+    /// Returns `None` if some variable of `other` is missing.
+    pub fn positions_of(&self, other: &[VarId]) -> Option<Vec<usize>> {
+        other.iter().map(|&v| self.position(v)).collect()
+    }
+
+    /// Variables common to `self` and `other`, in `self` order.
+    pub fn intersect(&self, other: &Schema) -> Schema {
+        Schema(
+            self.0
+                .iter()
+                .copied()
+                .filter(|v| other.contains(*v))
+                .collect(),
+        )
+    }
+
+    /// Order-preserving union: `self` followed by the variables of
+    /// `other` not already present.
+    pub fn union(&self, other: &Schema) -> Schema {
+        let mut out = self.0.clone();
+        for &v in &other.0 {
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+        Schema(out)
+    }
+
+    /// Variables of `self` not in `other`, in `self` order.
+    pub fn minus(&self, other: &Schema) -> Schema {
+        Schema(
+            self.0
+                .iter()
+                .copied()
+                .filter(|v| !other.contains(*v))
+                .collect(),
+        )
+    }
+
+    /// Remove a single variable.
+    pub fn without(&self, v: VarId) -> Schema {
+        Schema(self.0.iter().copied().filter(|&x| x != v).collect())
+    }
+
+    /// True iff every variable of `self` occurs in `other`.
+    pub fn subset_of(&self, other: &Schema) -> bool {
+        self.0.iter().all(|&v| other.contains(v))
+    }
+
+    /// True iff the two schemas share no variable.
+    pub fn disjoint(&self, other: &Schema) -> bool {
+        self.0.iter().all(|&v| !other.contains(v))
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<Vec<VarId>> for Schema {
+    fn from(v: Vec<VarId>) -> Self {
+        Schema::new(v)
+    }
+}
+
+impl FromIterator<VarId> for Schema {
+    fn from_iter<I: IntoIterator<Item = VarId>>(iter: I) -> Self {
+        Schema::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_interning() {
+        let mut c = Catalog::new();
+        let a = c.var("A");
+        let b = c.var("B");
+        assert_ne!(a, b);
+        assert_eq!(c.var("A"), a);
+        assert_eq!(c.name(a), "A");
+        assert_eq!(c.lookup("B"), Some(b));
+        assert_eq!(c.lookup("Z"), None);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn schema_rejects_duplicates() {
+        let _ = Schema::new(vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn set_operations() {
+        let s1 = Schema::new(vec![0, 1, 2]);
+        let s2 = Schema::new(vec![2, 3]);
+        assert_eq!(s1.intersect(&s2), Schema::new(vec![2]));
+        assert_eq!(s1.union(&s2), Schema::new(vec![0, 1, 2, 3]));
+        assert_eq!(s1.minus(&s2), Schema::new(vec![0, 1]));
+        assert_eq!(s1.without(1), Schema::new(vec![0, 2]));
+        assert!(Schema::new(vec![1, 2]).subset_of(&s1));
+        assert!(!s1.subset_of(&s2));
+        assert!(Schema::new(vec![0, 1]).disjoint(&s2));
+        assert!(!s1.disjoint(&s2));
+    }
+
+    #[test]
+    fn positions() {
+        let s = Schema::new(vec![10, 20, 30]);
+        assert_eq!(s.position(20), Some(1));
+        assert_eq!(s.position(40), None);
+        assert_eq!(s.positions_of(&[30, 10]), Some(vec![2, 0]));
+        assert_eq!(s.positions_of(&[30, 99]), None);
+    }
+
+    #[test]
+    fn render() {
+        let mut c = Catalog::new();
+        let a = c.var("A");
+        let b = c.var("B");
+        assert_eq!(c.render(&Schema::new(vec![a, b])), "[A, B]");
+    }
+}

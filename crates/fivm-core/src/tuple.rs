@@ -1,0 +1,185 @@
+//! Tuples — the keys of F-IVM relations.
+
+use crate::value::Value;
+use std::fmt;
+
+/// An immutable tuple of [`Value`]s over some schema.
+///
+/// The schema itself (which variable each position belongs to) is carried
+/// by the enclosing [`crate::Relation`] or view; a `Tuple` is just the
+/// ordered values. The empty tuple `()` is the key of scalar (no group-by)
+/// query results (paper §2).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// The empty tuple `()`.
+    pub fn unit() -> Self {
+        Tuple(Box::from([]))
+    }
+
+    /// Build a tuple from values.
+    pub fn new(vals: Vec<Value>) -> Self {
+        Tuple(vals.into_boxed_slice())
+    }
+
+    /// Single-value tuple.
+    pub fn single(v: impl Into<Value>) -> Self {
+        Tuple(Box::from([v.into()]))
+    }
+
+    /// Two-value tuple.
+    pub fn pair(a: impl Into<Value>, b: impl Into<Value>) -> Self {
+        Tuple(Box::from([a.into(), b.into()]))
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff this is the empty tuple.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Value at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Iterate over the values.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.0.iter()
+    }
+
+    /// Project onto the given positions (π in the paper §2); positions may
+    /// repeat or reorder.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple(positions.iter().map(|&p| self.0[p].clone()).collect())
+    }
+
+    /// Concatenate two tuples.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.len() + other.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple(v.into_boxed_slice())
+    }
+
+    /// Concatenate, taking only `positions` from `other`.
+    pub fn concat_projected(&self, other: &Tuple, positions: &[usize]) -> Tuple {
+        let mut v = Vec::with_capacity(self.len() + positions.len());
+        v.extend_from_slice(&self.0);
+        for &p in positions {
+            v.push(other.0[p].clone());
+        }
+        Tuple(v.into_boxed_slice())
+    }
+
+    /// Approximate in-memory footprint in bytes (for memory accounting).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Tuple>() + self.0.iter().map(Value::approx_bytes).sum::<usize>()
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple::new(v)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+/// Convenience macro for building tuples in tests and examples:
+/// `tuple![1, 2.5, "x"]`.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_tuple() {
+        let t = Tuple::unit();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.to_string(), "()");
+    }
+
+    #[test]
+    fn macro_and_access() {
+        let t = tuple![1, 2.5, "x"];
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(0), &Value::Int(1));
+        assert_eq!(t.get(1), &Value::Double(2.5));
+        assert_eq!(t.get(2), &Value::str("x"));
+    }
+
+    #[test]
+    fn project_reorders_and_repeats() {
+        let t = tuple![10, 20, 30];
+        assert_eq!(t.project(&[2, 0]), tuple![30, 10]);
+        assert_eq!(t.project(&[1, 1]), tuple![20, 20]);
+        assert_eq!(t.project(&[]), Tuple::unit());
+    }
+
+    #[test]
+    fn concat() {
+        let a = tuple![1, 2];
+        let b = tuple![3];
+        assert_eq!(a.concat(&b), tuple![1, 2, 3]);
+        assert_eq!(b.concat(&a), tuple![3, 1, 2]);
+        assert_eq!(a.concat(&Tuple::unit()), a);
+    }
+
+    #[test]
+    fn concat_projected() {
+        let a = tuple![1];
+        let b = tuple![7, 8, 9];
+        assert_eq!(a.concat_projected(&b, &[2, 0]), tuple![1, 9, 7]);
+    }
+
+    #[test]
+    fn equality_and_hash_in_map() {
+        use crate::hash::FxHashMap;
+        let mut m: FxHashMap<Tuple, i64> = FxHashMap::default();
+        m.insert(tuple![1, 2], 5);
+        assert_eq!(m.get(&tuple![1, 2]), Some(&5));
+        assert_eq!(m.get(&tuple![2, 1]), None);
+    }
+}

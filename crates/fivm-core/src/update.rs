@@ -1,0 +1,175 @@
+//! Update representations: flat and factorizable deltas (paper §4–§5).
+//!
+//! An update to relation `R` is a delta relation `δR`; inserts map to
+//! positive payloads, deletes to negative ones, and the updated relation
+//! is `R ⊎ δR`. A *factorizable* update (§5) is a product of factor
+//! relations with pairwise-disjoint schemas — e.g. a rank-1 matrix change
+//! `δA = u ⊗ vᵀ` — whose flat form may be quadratically larger. The
+//! engine propagates factored deltas without ever multiplying them out
+//! (`Optimize` in Figure 4), which is the second of the paper’s three
+//! factorization locks.
+
+use crate::relation::Relation;
+use crate::ring::{Ring, Semiring};
+use crate::schema::Schema;
+
+/// An update to one relation.
+#[derive(Clone, Debug)]
+pub enum Delta<R> {
+    /// A plain delta relation (collection of keyed payload changes).
+    Flat(Relation<R>),
+    /// A product `f₁ ⊗ f₂ ⊗ … ⊗ f_k` of factors with pairwise-disjoint
+    /// schemas. Semantically equal to [`Delta::flatten`] of itself but
+    /// exponentially more compact.
+    Factored(Vec<Relation<R>>),
+}
+
+impl<R: Semiring> Delta<R> {
+    /// A factored delta; validates pairwise schema disjointness.
+    pub fn factored(factors: Vec<Relation<R>>) -> Self {
+        assert!(!factors.is_empty(), "factored delta needs at least one factor");
+        for i in 0..factors.len() {
+            for j in (i + 1)..factors.len() {
+                assert!(
+                    factors[i].schema().disjoint(factors[j].schema()),
+                    "factored-delta factors must have disjoint schemas"
+                );
+            }
+        }
+        Delta::Factored(factors)
+    }
+
+    /// The combined schema of the update.
+    pub fn schema(&self) -> Schema {
+        match self {
+            Delta::Flat(r) => r.schema().clone(),
+            Delta::Factored(fs) => fs
+                .iter()
+                .fold(Schema::empty(), |acc, f| acc.union(f.schema())),
+        }
+    }
+
+    /// Multiply a factored delta out into its flat (listing) form.
+    pub fn flatten(&self) -> Relation<R> {
+        match self {
+            Delta::Flat(r) => r.clone(),
+            Delta::Factored(fs) => {
+                let mut acc = fs[0].clone();
+                for f in &fs[1..] {
+                    acc = acc.join(f);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Number of stored entries — the cumulative factor size for factored
+    /// deltas, which is what makes them cheap (paper Example 5.1).
+    pub fn stored_len(&self) -> usize {
+        match self {
+            Delta::Flat(r) => r.len(),
+            Delta::Factored(fs) => fs.iter().map(Relation::len).sum(),
+        }
+    }
+
+    /// True iff the delta is a no-op.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Delta::Flat(r) => r.is_empty(),
+            Delta::Factored(fs) => fs.iter().any(Relation::is_empty),
+        }
+    }
+}
+
+impl<R: Ring> Delta<R> {
+    /// The inverse update (negate one factor / the flat relation).
+    pub fn neg(&self) -> Delta<R> {
+        match self {
+            Delta::Flat(r) => Delta::Flat(r.neg()),
+            Delta::Factored(fs) => {
+                let mut fs = fs.clone();
+                fs[0] = fs[0].neg();
+                Delta::Factored(fs)
+            }
+        }
+    }
+}
+
+impl<R: Semiring> From<Relation<R>> for Delta<R> {
+    fn from(r: Relation<R>) -> Self {
+        Delta::Flat(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn sch(vars: &[u32]) -> Schema {
+        Schema::new(vars.to_vec())
+    }
+
+    /// Paper Example 5.1: R[A,B] = {(aᵢ,bⱼ) → 1} decomposes into
+    /// R1[A] ⊗ R2[B], reducing n·m stored values to n + m.
+    #[test]
+    fn rank1_decomposition_sizes() {
+        let n = 4;
+        let m = 3;
+        let r1 = Relation::from_pairs(sch(&[0]), (0..n).map(|i| (tuple![i], 1i64)));
+        let r2 = Relation::from_pairs(sch(&[1]), (0..m).map(|j| (tuple![j], 1i64)));
+        let d = Delta::factored(vec![r1, r2]);
+        assert_eq!(d.stored_len(), (n + m) as usize);
+        let flat = d.flatten();
+        assert_eq!(flat.len(), (n * m) as usize);
+        for i in 0..n {
+            for j in 0..m {
+                assert_eq!(flat.payload(&tuple![i, j]), 1);
+            }
+        }
+    }
+
+    /// Paper Example 5.1 continued: over-approximation compensated by a
+    /// negative-payload product — `{aᵢ}ᵢ≤n+1 ⊗ {bⱼ}ⱼ≤m  ⊎  {a_{n+1}} ⊗ {b_m → −1}`
+    /// equals `R ⊎ {(a_{n+1}, bⱼ) | j < m}`.
+    #[test]
+    fn compensated_decomposition() {
+        let (n, m) = (3i64, 3i64);
+        let full_a = Relation::from_pairs(sch(&[0]), (0..=n).map(|i| (tuple![i], 1i64)));
+        let full_b = Relation::from_pairs(sch(&[1]), (0..m).map(|j| (tuple![j], 1i64)));
+        let over = Delta::factored(vec![full_a, full_b]).flatten();
+        let comp = Delta::factored(vec![
+            Relation::from_pairs(sch(&[0]), [(tuple![n], 1i64)]),
+            Relation::from_pairs(sch(&[1]), [(tuple![m - 1], -1i64)]),
+        ])
+        .flatten();
+        let result = over.union(&comp);
+        // expected: all (i,j) for i<n, plus (n, j) for j < m-1
+        assert_eq!(result.len(), (n * m + m - 1) as usize);
+        assert!(!result.contains(&tuple![n, m - 1]));
+        assert_eq!(result.payload(&tuple![n, 0]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_factors_rejected() {
+        let a = Relation::from_pairs(sch(&[0, 1]), [(tuple![1, 2], 1i64)]);
+        let b = Relation::from_pairs(sch(&[1]), [(tuple![2], 1i64)]);
+        let _ = Delta::factored(vec![a, b]);
+    }
+
+    #[test]
+    fn neg_flattens_to_negated() {
+        let u = Relation::from_pairs(sch(&[0]), [(tuple![1], 2i64)]);
+        let v = Relation::from_pairs(sch(&[1]), [(tuple![5], 3i64)]);
+        let d = Delta::factored(vec![u, v]);
+        assert_eq!(d.neg().flatten(), d.flatten().neg());
+    }
+
+    #[test]
+    fn empty_detection() {
+        let u: Relation<i64> = Relation::new(sch(&[0]));
+        let v = Relation::from_pairs(sch(&[1]), [(tuple![5], 3i64)]);
+        assert!(Delta::factored(vec![u, v]).is_empty());
+    }
+}

@@ -1,0 +1,251 @@
+//! Dynamically-typed key values.
+//!
+//! Keys in F-IVM relations are tuples of data values (paper §2). The
+//! engine is schema-generic, so values are a small tagged union. Doubles
+//! are compared and hashed by their bit pattern (with `-0.0` normalised to
+//! `0.0`), which gives `Value` full `Eq + Hash + Ord` as required for hash
+//! keys and deterministic test output.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A single data value in the key space.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// 64-bit integer (ids, dates, categorical codes, …).
+    Int(i64),
+    /// 64-bit float (measurements, prices, …).
+    Double(f64),
+    /// Interned string (shared, cheap to clone).
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: &str) -> Self {
+        Value::Str(Arc::from(s))
+    }
+
+    /// The integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Numeric interpretation: integers widen to doubles.
+    ///
+    /// This is what numeric lifting functions use — e.g. `g_B(x) = x`
+    /// in the paper’s Example 2.3 lifts both int and double columns into
+    /// an arithmetic ring.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Double(d) => Some(*d),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// The string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Normalised bit pattern for hashing/equality of doubles.
+    #[inline]
+    fn double_bits(d: f64) -> u64 {
+        // Normalise -0.0 to 0.0 so the two compare/hash equal.
+        if d == 0.0 {
+            0f64.to_bits()
+        } else {
+            d.to_bits()
+        }
+    }
+
+    /// Discriminant rank used for cross-variant ordering.
+    #[inline]
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Int(_) => 0,
+            Value::Double(_) => 1,
+            Value::Str(_) => 2,
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes (for memory accounting).
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            Value::Str(s) => std::mem::size_of::<Value>() + s.len(),
+            _ => std::mem::size_of::<Value>(),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Double(a), Value::Double(b)) => {
+                Self::double_bits(*a) == Self::double_bits(*b)
+            }
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Int(i) => {
+                state.write_u8(0);
+                state.write_u64(*i as u64);
+            }
+            Value::Double(d) => {
+                state.write_u8(1);
+                state.write_u64(Self::double_bits(*d));
+            }
+            Value::Str(s) => {
+                state.write_u8(2);
+                state.write(s.as_bytes());
+                state.write_u8(0xff);
+            }
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Double(a), Value::Double(b)) => a.total_cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+        .then(Ordering::Equal)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(d: f64) -> Self {
+        Value::Double(d)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Double(d) => write!(f, "{d}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::FxHashMap;
+
+    #[test]
+    fn int_equality_and_hash() {
+        let mut m: FxHashMap<Value, i32> = FxHashMap::default();
+        m.insert(Value::Int(7), 1);
+        assert_eq!(m.get(&Value::Int(7)), Some(&1));
+        assert_eq!(m.get(&Value::Int(8)), None);
+    }
+
+    #[test]
+    fn double_negative_zero_normalised() {
+        assert_eq!(Value::Double(0.0), Value::Double(-0.0));
+        let mut m: FxHashMap<Value, i32> = FxHashMap::default();
+        m.insert(Value::Double(-0.0), 1);
+        assert_eq!(m.get(&Value::Double(0.0)), Some(&1));
+    }
+
+    #[test]
+    fn cross_type_inequality() {
+        assert_ne!(Value::Int(1), Value::Double(1.0));
+        assert_ne!(Value::Int(1), Value::str("1"));
+    }
+
+    #[test]
+    fn as_f64_widens_ints() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Double(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::str("x").as_f64(), None);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vals = vec![
+            Value::str("b"),
+            Value::Int(2),
+            Value::Double(1.5),
+            Value::Int(1),
+            Value::str("a"),
+        ];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![
+                Value::Int(1),
+                Value::Int(2),
+                Value::Double(1.5),
+                Value::str("a"),
+                Value::str("b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::str("hi").to_string(), "hi");
+    }
+}

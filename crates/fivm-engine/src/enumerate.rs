@@ -1,0 +1,367 @@
+//! Factorized payloads and enumeration (paper §6.3, Example 6.6).
+//!
+//! In factorized-payload mode, each view stores — per key — only the
+//! values of its **own** (marginalized) variables: instead of the full
+//! payload relation `P[T]`, the view keeps `⊕_{Y ∈ T−{X}} P[T]`. The
+//! hierarchy of these projected payloads, linked through view keys, *is*
+//! the factorized representation of the query result, distributed over
+//! the tree; it can be arbitrarily smaller than the listing form while
+//! remaining lossless. Multiplicities count derivations and are exactly
+//! what incremental maintenance needs.
+//!
+//! [`FactorizedResult`] enumerates the listing form back out. The stored
+//! multiplicity of a value at a node is the product of its inner
+//! children’s totals with the node’s local (leaf-derived) factor —
+//! children are conditionally independent given the keys — so the local
+//! factor is recovered by exact division while recursing.
+
+use crate::executor::{IvmEngine, PayloadTransform};
+use fivm_core::ring::relational::RelPayload;
+use fivm_core::{FxHashMap, Schema, Tuple, Value, VarId};
+use fivm_query::{NodeId, NodeKind, ViewTree};
+use std::sync::Arc;
+
+/// Child-payload pre-projection for factorized mode: a child’s payload
+/// variables never survive the parent’s projection, so the child
+/// collapses to its total multiplicity before entering the parent’s
+/// payload product. Install with
+/// [`IvmEngine::with_payload_preprojection`]; this is what keeps parent
+/// payload products linear instead of materializing the cross product
+/// the projection would discard.
+pub fn factorized_preprojection() -> Arc<dyn Fn(&RelPayload) -> RelPayload + Send + Sync> {
+    Arc::new(|p: &RelPayload| p.project_onto(&Schema::empty()))
+}
+
+/// Payload transform implementing the factorized representation: each
+/// node’s relational payloads are projected onto the node’s own
+/// marginalized variables.
+pub fn factorized_transform(tree: &ViewTree) -> PayloadTransform<RelPayload> {
+    let margins: Vec<Vec<VarId>> = tree
+        .nodes
+        .iter()
+        .map(|n| match &n.kind {
+            NodeKind::Inner { margin, .. } => margin.clone(),
+            _ => Vec::new(),
+        })
+        .collect();
+    Arc::new(move |node: NodeId, _key: &Tuple, p: &RelPayload| {
+        let keep: Vec<VarId> = p
+            .schema
+            .iter()
+            .copied()
+            .filter(|v| margins[node].contains(v))
+            .collect();
+        p.project_onto(&Schema::new(keep))
+    })
+}
+
+/// Enumerator over an engine running in factorized-payload mode.
+pub struct FactorizedResult<'a> {
+    engine: &'a IvmEngine<RelPayload>,
+}
+
+impl<'a> FactorizedResult<'a> {
+    /// Wrap an engine. Every inner view must be materialized (build the
+    /// engine with all relations updatable).
+    pub fn new(engine: &'a IvmEngine<RelPayload>) -> Self {
+        FactorizedResult { engine }
+    }
+
+    /// Enumerate the listing representation over `out_vars`: tuples with
+    /// their multiplicities (unordered).
+    pub fn enumerate(&self, out_vars: &Schema) -> Vec<(Tuple, i64)> {
+        let mut out = Vec::new();
+        let mut ctx: FxHashMap<VarId, Value> = FxHashMap::default();
+        let root = self.engine.tree().root;
+        self.enum_rec(&[root], &mut ctx, 1, out_vars, &mut out);
+        out
+    }
+
+    /// Total number of derivations (the COUNT of the join), from the
+    /// root alone — a cross-check that needs no enumeration.
+    pub fn total_multiplicity(&self) -> i64 {
+        self.node_total(self.engine.tree().root, &FxHashMap::default())
+    }
+
+    fn payload_at(&self, node: NodeId, ctx: &FxHashMap<VarId, Value>) -> Option<RelPayload> {
+        let keys = &self.engine.tree().nodes[node].keys;
+        let key: Tuple = keys
+            .iter()
+            .map(|v| ctx.get(v).expect("key var bound by ancestors").clone())
+            .collect();
+        let rel = self
+            .engine
+            .view_relation(node)
+            .expect("factorized enumeration requires all views materialized");
+        rel.get(&key).cloned()
+    }
+
+    /// Total derivations of a subtree given the context.
+    fn node_total(&self, node: NodeId, ctx: &FxHashMap<VarId, Value>) -> i64 {
+        self.payload_at(node, ctx)
+            .map(|p| p.data.values().sum())
+            .unwrap_or(0)
+    }
+
+    fn inner_children(&self, node: NodeId) -> Vec<NodeId> {
+        self.engine.tree().nodes[node]
+            .children
+            .iter()
+            .copied()
+            .filter(|&c| matches!(self.engine.tree().nodes[c].kind, NodeKind::Inner { .. }))
+            .collect()
+    }
+
+    /// DFS over a worklist of views: bind this node’s own values, push
+    /// its inner children, recurse; emit when the worklist drains.
+    fn enum_rec(
+        &self,
+        worklist: &[NodeId],
+        ctx: &mut FxHashMap<VarId, Value>,
+        mult: i64,
+        out_vars: &Schema,
+        out: &mut Vec<(Tuple, i64)>,
+    ) {
+        let Some((&node, rest)) = worklist.split_first() else {
+            let tuple: Option<Vec<Value>> =
+                out_vars.iter().map(|v| ctx.get(v).cloned()).collect();
+            if let Some(vals) = tuple {
+                out.push((Tuple::new(vals), mult));
+            }
+            return;
+        };
+        let Some(payload) = self.payload_at(node, ctx) else {
+            return;
+        };
+        let children = self.inner_children(node);
+        let mut next: Vec<NodeId> = Vec::with_capacity(children.len() + rest.len());
+        next.extend(&children);
+        next.extend(rest);
+        let pschema = payload.schema.clone();
+        for (vals, m) in payload.sorted() {
+            for (i, v) in pschema.iter().enumerate() {
+                ctx.insert(*v, vals.get(i).clone());
+            }
+            // stored multiplicity = local factor × ∏ children totals;
+            // divide the totals out and let recursion redistribute them
+            // per assignment.
+            let mut denom = 1i64;
+            for &c in &children {
+                denom *= self.node_total(c, ctx);
+            }
+            if denom != 0 {
+                debug_assert_eq!(m % denom, 0, "multiplicities must factor");
+                self.enum_rec(&next, ctx, mult * (m / denom), out_vars, out);
+            }
+            for v in pschema.iter() {
+                ctx.remove(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_tree, Database};
+    use fivm_core::ring::relational::RelPayload;
+    use fivm_core::{tuple, Delta, Lifting, LiftingMap, Relation, Ring, Semiring};
+    use fivm_query::{QueryDef, VariableOrder};
+
+    /// Lifting map for a conjunctive query: free variables lift to
+    /// singleton relations, bound ones to {() → 1} (paper §6.3).
+    fn cq_liftings(q: &QueryDef, cq_free: &[&str]) -> LiftingMap<RelPayload> {
+        let mut lifts = LiftingMap::new();
+        for name in cq_free {
+            let v = q.catalog.lookup(name).unwrap();
+            lifts.set(
+                v,
+                Lifting::from_fn(move |val| {
+                    RelPayload::lift_free(Schema::new(vec![v]), val)
+                }),
+            );
+        }
+        lifts
+    }
+
+    fn fig2_updates() -> Vec<(usize, Tuple)> {
+        let mut u = Vec::new();
+        for (a, b) in [(1, 1), (1, 2), (2, 3), (3, 4)] {
+            u.push((0, tuple![a, b]));
+        }
+        for (a, c, e) in [(1, 1, 1), (1, 1, 2), (1, 2, 3), (2, 2, 4)] {
+            u.push((1, tuple![a, c, e]));
+        }
+        for (c, d) in [(1, 1), (2, 2), (2, 3), (3, 4)] {
+            u.push((2, tuple![c, d]));
+        }
+        u
+    }
+
+    /// Example 6.5: Q(A,B,C,D) over Figure 2c — the listing result at the
+    /// root has the 8 tuples of Figure 2e with their multiplicities.
+    #[test]
+    fn listing_payload_mode_matches_figure_2e() {
+        let q = QueryDef::example_rst(&[]);
+        let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
+        let tree = fivm_query::ViewTree::build(&q, &vo);
+        let lifts = cq_liftings(&q, &["A", "B", "C", "D"]);
+        let mut engine: IvmEngine<RelPayload> =
+            IvmEngine::new(q.clone(), tree, &[0, 1, 2], lifts);
+        for (ri, t) in fig2_updates() {
+            let d = Relation::from_pairs(
+                q.relations[ri].schema.clone(),
+                [(t, RelPayload::one())],
+            );
+            engine.apply(ri, &Delta::Flat(d));
+        }
+        let root = engine.result();
+        let payload = root.payload(&Tuple::unit());
+        // Figure 2e (right): 8 result tuples; (a1,b1,c1,d1) has mult 2.
+        assert_eq!(payload.len(), 8);
+        assert_eq!(payload.multiplicity(&tuple![1, 1, 1, 1]), 2);
+        assert_eq!(payload.multiplicity(&tuple![1, 1, 2, 2]), 1);
+        assert_eq!(payload.multiplicity(&tuple![2, 3, 2, 3]), 1);
+    }
+
+    /// Example 6.6: the factorized payloads enumerate to exactly the
+    /// listing representation, and stay in sync under deletes.
+    #[test]
+    fn factorized_enumeration_matches_listing() {
+        let q = QueryDef::example_rst(&[]);
+        let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
+        let tree = fivm_query::ViewTree::build(&q, &vo);
+        let lifts = cq_liftings(&q, &["A", "B", "C", "D"]);
+        let transform = factorized_transform(&tree);
+        let mut fact: IvmEngine<RelPayload> =
+            IvmEngine::new(q.clone(), tree.clone(), &[0, 1, 2], lifts.clone())
+                .with_payload_transform(transform)
+                .with_payload_preprojection(factorized_preprojection());
+        let mut list: IvmEngine<RelPayload> =
+            IvmEngine::new(q.clone(), tree, &[0, 1, 2], lifts);
+        for (ri, t) in fig2_updates() {
+            let d = Relation::from_pairs(
+                q.relations[ri].schema.clone(),
+                [(t, RelPayload::one())],
+            );
+            fact.apply(ri, &Delta::Flat(d.clone()));
+            list.apply(ri, &Delta::Flat(d));
+        }
+        let a = q.catalog.lookup("A").unwrap();
+        let b = q.catalog.lookup("B").unwrap();
+        let c = q.catalog.lookup("C").unwrap();
+        let d = q.catalog.lookup("D").unwrap();
+        let out_schema = {
+            let mut v = vec![a, b, c, d];
+            v.sort_unstable();
+            Schema::new(v)
+        };
+        let mut enumerated = FactorizedResult::new(&fact).enumerate(&out_schema);
+        enumerated.sort();
+        let listing_payload = list.result().payload(&Tuple::unit());
+        let mut expected = listing_payload.project_onto(&out_schema).sorted();
+        expected.sort();
+        assert_eq!(enumerated, expected);
+        assert_eq!(
+            FactorizedResult::new(&fact).total_multiplicity(),
+            listing_payload.data.values().sum::<i64>()
+        );
+
+        // delete a tuple from S and re-check
+        let del = Relation::from_pairs(
+            q.relations[1].schema.clone(),
+            [(tuple![1, 1, 1], RelPayload::one().neg())],
+        );
+        fact.apply(1, &Delta::Flat(del.clone()));
+        list.apply(1, &Delta::Flat(del));
+        let mut enumerated = FactorizedResult::new(&fact).enumerate(&out_schema);
+        enumerated.sort();
+        let mut expected = list
+            .result()
+            .payload(&Tuple::unit())
+            .project_onto(&out_schema)
+            .sorted();
+        expected.sort();
+        assert_eq!(enumerated, expected);
+    }
+
+    /// Factorized payloads store strictly fewer values than the listing
+    /// form on data with shared subtrees (the succinctness Fig. 8
+    /// measures): n R-tuples × m T-tuples per key give n+m factored vs
+    /// n·m listed.
+    #[test]
+    fn factorized_is_smaller_on_blowup_data() {
+        let q = QueryDef::new(&[("R", &["A", "B"]), ("T", &["A", "C"])], &[]);
+        let vo = VariableOrder::parse("A - { B, C }", &q.catalog);
+        let tree = fivm_query::ViewTree::build(&q, &vo);
+        let lifts = cq_liftings(&q, &["A", "B", "C"]);
+        let transform = factorized_transform(&tree);
+        let mut fact: IvmEngine<RelPayload> =
+            IvmEngine::new(q.clone(), tree.clone(), &[0, 1], lifts.clone())
+                .with_payload_transform(transform)
+                .with_payload_preprojection(factorized_preprojection());
+        let mut list: IvmEngine<RelPayload> = IvmEngine::new(q.clone(), tree, &[0, 1], lifts);
+        let n = 20;
+        for i in 0..n {
+            let dr = Relation::from_pairs(
+                q.relations[0].schema.clone(),
+                [(tuple![1, i], RelPayload::one())],
+            );
+            let dt = Relation::from_pairs(
+                q.relations[1].schema.clone(),
+                [(tuple![1, 100 + i], RelPayload::one())],
+            );
+            fact.apply(0, &Delta::Flat(dr.clone()));
+            fact.apply(1, &Delta::Flat(dt.clone()));
+            list.apply(0, &Delta::Flat(dr));
+            list.apply(1, &Delta::Flat(dt));
+        }
+        assert!(
+            fact.approx_bytes() * 2 < list.approx_bytes(),
+            "factorized {} vs listing {}",
+            fact.approx_bytes(),
+            list.approx_bytes()
+        );
+        // correctness preserved
+        let a = q.catalog.lookup("A").unwrap();
+        let b = q.catalog.lookup("B").unwrap();
+        let c = q.catalog.lookup("C").unwrap();
+        let out_schema = {
+            let mut v = vec![a, b, c];
+            v.sort_unstable();
+            Schema::new(v)
+        };
+        let mut enumerated = FactorizedResult::new(&fact).enumerate(&out_schema);
+        enumerated.sort();
+        assert_eq!(enumerated.len(), (n * n) as usize);
+        let mut expected = list
+            .result()
+            .payload(&Tuple::unit())
+            .project_onto(&out_schema)
+            .sorted();
+        expected.sort();
+        assert_eq!(enumerated, expected);
+    }
+
+    /// The evaluation oracle agrees with incremental maintenance for
+    /// relational payloads too.
+    #[test]
+    fn relational_ring_ivm_equals_recompute() {
+        let q = QueryDef::example_rst(&[]);
+        let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
+        let tree = fivm_query::ViewTree::build(&q, &vo);
+        let lifts = cq_liftings(&q, &["A", "C"]);
+        let mut engine: IvmEngine<RelPayload> =
+            IvmEngine::new(q.clone(), tree.clone(), &[0, 1, 2], lifts.clone());
+        let mut db = Database::empty(&q);
+        for (ri, t) in fig2_updates() {
+            let d = Relation::from_pairs(
+                q.relations[ri].schema.clone(),
+                [(t, RelPayload::one())],
+            );
+            engine.apply(ri, &Delta::Flat(d.clone()));
+            db.relations[ri].union_in_place(&d);
+        }
+        assert_eq!(engine.result(), eval_tree(&tree, &db, &lifts));
+    }
+}

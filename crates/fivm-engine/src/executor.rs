@@ -1,0 +1,738 @@
+//! The F-IVM executor: factorized higher-order IVM (paper §4–§5).
+//!
+//! An [`IvmEngine`] instantiates a view tree over a concrete ring:
+//! it materializes the views chosen by µ (Figure 5), registers a trigger
+//! per updatable relation, and propagates deltas along leaf-to-root
+//! paths (Figure 4). Deltas are carried as a **product of factors** with
+//! pairwise-disjoint schemas; flat deltas are the single-factor case, and
+//! factorizable updates (§5) keep their factors separate for as long as
+//! possible — sibling views join into the factor they share variables
+//! with, and marginalization happens inside a single factor — which is
+//! the paper’s `Optimize` rewrite (pushing `⊕X` past `⊗`). Factors are
+//! multiplied out only when a materialized view must absorb the delta.
+//!
+//! Indicator projections (Appendix B) are maintained with support
+//! counts per Example B.2; an update to `R` is followed by updates to
+//! its indicator projections, each propagated along its own path.
+
+use crate::view::ViewStore;
+use fivm_core::{
+    Delta, FxHashMap, Lifting, LiftingMap, Relation, Ring, Schema, Tuple,
+};
+use fivm_query::delta::{delta_steps, path_from, DeltaStep};
+use fivm_query::{
+    materialization, delta_path, MaterializationPlan, NodeId, NodeKind, QueryDef, RelIndex,
+    ViewTree,
+};
+use std::sync::Arc;
+
+/// Hook rewriting a node’s delta payloads before they are stored and
+/// propagated — used by the factorized-payload mode (§6.3) to project
+/// relational payloads onto each node’s own variables.
+pub type PayloadTransform<R> = Arc<dyn Fn(NodeId, &Tuple, &R) -> R + Send + Sync>;
+
+/// The factorized higher-order IVM executor.
+pub struct IvmEngine<R: Ring> {
+    query: QueryDef,
+    tree: ViewTree,
+    plan: MaterializationPlan,
+    liftings: LiftingMap<R>,
+    views: Vec<Option<ViewStore<R>>>,
+    /// Precomputed maintenance steps per updatable relation.
+    rel_steps: Vec<Option<Vec<DeltaStep>>>,
+    /// Maintenance steps per indicator node.
+    ind_steps: FxHashMap<NodeId, Vec<DeltaStep>>,
+    /// Support counts per indicator node (Example B.2).
+    ind_counts: FxHashMap<NodeId, FxHashMap<Tuple, i64>>,
+    payload_transform: Option<PayloadTransform<R>>,
+    /// Applied to child payloads *before* they enter a parent’s payload
+    /// product. In factorized-payload mode no child payload variable
+    /// survives the parent’s projection, so children collapse to their
+    /// totals first — this is what keeps the parent product linear
+    /// instead of forming the cross product that the projection would
+    /// immediately discard (§6.3).
+    payload_preproject: Option<Arc<dyn Fn(&R) -> R + Send + Sync>>,
+    updates_applied: u64,
+}
+
+impl<R: Ring> IvmEngine<R> {
+    /// Build an engine for `query` over `tree`, materializing per µ for
+    /// the given updatable relations.
+    pub fn new(
+        query: QueryDef,
+        tree: ViewTree,
+        updatable: &[RelIndex],
+        liftings: LiftingMap<R>,
+    ) -> Self {
+        let mask = updatable.iter().fold(0u64, |m, &r| m | (1u64 << r));
+        let mut plan = materialization(&tree, mask);
+        // Indicator maintenance derives support transitions from the
+        // relation store, so force-store leaves of indicated relations.
+        for &r in updatable {
+            if !tree.indicators_of(r).is_empty() {
+                if let Some(leaf) = tree.leaf_of(r) {
+                    plan.store[leaf] = true;
+                }
+            }
+        }
+        let rel_steps: Vec<Option<Vec<DeltaStep>>> = (0..query.relations.len())
+            .map(|r| {
+                (mask & (1 << r) != 0)
+                    .then(|| delta_path(&tree, r).map(|p| delta_steps(&tree, &p)))
+                    .flatten()
+            })
+            .collect();
+        let mut ind_steps = FxHashMap::default();
+        let mut ind_counts = FxHashMap::default();
+        for (id, n) in tree.nodes.iter().enumerate() {
+            if matches!(n.kind, NodeKind::Indicator { .. }) {
+                ind_steps.insert(id, delta_steps(&tree, &path_from(&tree, id)));
+                ind_counts.insert(id, FxHashMap::default());
+            }
+        }
+        // Every sibling along a registered maintenance path must be
+        // materialized. µ (Figure 5) already guarantees this for the
+        // relation paths; indicator paths (Appendix B) route updates
+        // through views whose own relations may be static, so their
+        // siblings are forced here.
+        let all_steps = rel_steps
+            .iter()
+            .flatten()
+            .chain(ind_steps.values())
+            .flat_map(|steps: &Vec<DeltaStep>| steps.iter());
+        let mut forced: Vec<NodeId> = Vec::new();
+        for step in all_steps {
+            forced.extend(&step.siblings);
+        }
+        for s in forced {
+            plan.store[s] = true;
+        }
+        let views = tree
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(id, n)| plan.store[id].then(|| ViewStore::new(n.keys.clone())))
+            .collect();
+        IvmEngine {
+            query,
+            tree,
+            plan,
+            liftings,
+            views,
+            rel_steps,
+            ind_steps,
+            ind_counts,
+            payload_transform: None,
+            payload_preproject: None,
+            updates_applied: 0,
+        }
+    }
+
+    /// Install a payload transform (factorized-payload mode, §6.3).
+    /// Must be set before any data is loaded; incompatible with factored
+    /// (multi-factor) updates.
+    pub fn with_payload_transform(mut self, t: PayloadTransform<R>) -> Self {
+        assert_eq!(self.updates_applied, 0, "set the transform before updating");
+        self.payload_transform = Some(t);
+        self
+    }
+
+    /// Install a child-payload pre-projection (see the field docs); only
+    /// sound together with a payload transform that discards all child
+    /// payload variables, as the factorized mode does.
+    pub fn with_payload_preprojection(
+        mut self,
+        f: Arc<dyn Fn(&R) -> R + Send + Sync>,
+    ) -> Self {
+        assert_eq!(self.updates_applied, 0, "set the projection before updating");
+        self.payload_preproject = Some(f);
+        self
+    }
+
+    /// The view tree this engine executes.
+    pub fn tree(&self) -> &ViewTree {
+        &self.tree
+    }
+
+    /// The query.
+    pub fn query(&self) -> &QueryDef {
+        &self.query
+    }
+
+    /// The materialization plan in effect.
+    pub fn plan(&self) -> &MaterializationPlan {
+        &self.plan
+    }
+
+    /// Bulk-load an initial database: evaluates all views bottom-up
+    /// (applying the payload transform) and fills the materialized ones;
+    /// initializes indicator support counts.
+    pub fn load(&mut self, db: &crate::eval::Database<R>) {
+        let mut rels: Vec<Option<Relation<R>>> = vec![None; self.tree.nodes.len()];
+        // leaves and indicators first
+        for (id, n) in self.tree.nodes.iter().enumerate() {
+            match &n.kind {
+                NodeKind::Relation(ri) => rels[id] = Some(db.relations[*ri].clone()),
+                NodeKind::Indicator { rel, proj } => {
+                    rels[id] = Some(crate::eval::indicator_relation(&db.relations[*rel], proj));
+                    // initialize support counts
+                    let positions = db.relations[*rel]
+                        .schema()
+                        .positions_of(proj.vars())
+                        .expect("indicator proj in relation schema");
+                    let counts = self.ind_counts.get_mut(&id).expect("registered");
+                    for (t, _) in db.relations[*rel].iter() {
+                        *counts.entry(t.project(&positions)).or_insert(0) += 1;
+                    }
+                }
+                NodeKind::Inner { .. } => {}
+            }
+        }
+        for (id, n) in self.tree.nodes.iter().enumerate() {
+            if let NodeKind::Inner { margin, .. } = &n.kind {
+                let pre = |r: &Relation<R>| -> Relation<R> {
+                    match &self.payload_preproject {
+                        Some(pp) => r.map_payloads(|_, p| pp(p)),
+                        None => r.clone(),
+                    }
+                };
+                let mut acc = match n.children.first() {
+                    None => Relation::unit(),
+                    Some(&c) => pre(rels[c].as_ref().expect("children before parents")),
+                };
+                for &c in &n.children[1..] {
+                    acc = acc.join(&pre(rels[c].as_ref().expect("children before parents")));
+                }
+                let margins: Vec<(u32, Lifting<R>)> =
+                    margin.iter().map(|&v| (v, self.liftings.get(v))).collect();
+                let mut out = acc.marginalize_many(&margins).reorder(&n.keys);
+                if let Some(hook) = &self.payload_transform {
+                    out = out.map_payloads(|t, p| hook(id, t, p));
+                }
+                rels[id] = Some(out);
+            }
+        }
+        for (id, rel) in rels.into_iter().enumerate() {
+            if let (Some(store), Some(rel)) = (&mut self.views[id], rel) {
+                *store = ViewStore::new(rel.schema().clone());
+                store.merge(&rel);
+            }
+        }
+    }
+
+    /// Apply an update to `rel` (paper §4’s IVM trigger): maintains the
+    /// leaf store, propagates the delta leaf-to-root, then maintains and
+    /// propagates any indicator projections of `rel`.
+    pub fn apply(&mut self, rel: RelIndex, delta: &Delta<R>) {
+        self.updates_applied += 1;
+        let steps = self.rel_steps[rel]
+            .clone()
+            .unwrap_or_else(|| panic!("relation {rel} is not updatable in this engine"));
+        let indicators = self.tree.indicators_of(rel);
+        let needs_flat = self.plan.store[self.tree.leaf_of(rel).expect("leaf")]
+            || !indicators.is_empty();
+
+        // merge the relation store (and collect support transitions)
+        let mut transitions = Vec::new();
+        if needs_flat {
+            let flat = delta.flatten().reorder(
+                &self.tree.nodes[self.tree.leaf_of(rel).expect("leaf")]
+                    .keys
+                    .clone(),
+            );
+            let leaf = self.tree.leaf_of(rel).expect("leaf");
+            if let Some(store) = &mut self.views[leaf] {
+                transitions = store.merge(&flat);
+            }
+        }
+
+        // propagate the relation delta
+        let factors: Vec<Relation<R>> = match delta {
+            Delta::Flat(r) => vec![r.clone()],
+            Delta::Factored(fs) => {
+                assert!(
+                    self.payload_transform.is_none() || fs.len() == 1,
+                    "factored updates are not supported in factorized-payload mode"
+                );
+                fs.clone()
+            }
+        };
+        self.propagate(&steps, factors);
+
+        // then maintain indicator projections (sequenced after, App. B)
+        for ind in indicators {
+            let delta_ind = self.indicator_delta(ind, &transitions, rel);
+            if delta_ind.is_empty() {
+                continue;
+            }
+            if let Some(store) = &mut self.views[ind] {
+                store.merge(&delta_ind);
+            }
+            let steps = self.ind_steps[&ind].clone();
+            self.propagate(&steps, vec![delta_ind]);
+        }
+    }
+
+    /// Apply a batch of per-relation updates in sequence.
+    pub fn apply_batch(&mut self, updates: &[(RelIndex, Delta<R>)]) {
+        for (rel, d) in updates {
+            self.apply(*rel, d);
+        }
+    }
+
+    fn propagate(&mut self, steps: &[DeltaStep], mut factors: Vec<Relation<R>>) {
+        for step in steps {
+            if factors.is_empty() || factors.iter().any(Relation::is_empty) {
+                return; // delta vanished
+            }
+            factors = self.propagate_step(step, factors);
+            if self.plan.store[step.node] {
+                let keys = self.tree.nodes[step.node].keys.clone();
+                let flat = flatten_to(&factors, &keys);
+                if let Some(store) = &mut self.views[step.node] {
+                    store.merge(&flat);
+                }
+                // once multiplied out for the store, continue with the
+                // flat form (it is never larger than re-multiplying).
+                if factors.len() > 1 {
+                    factors = vec![flat];
+                }
+            }
+        }
+    }
+
+    /// One maintenance step: join the current delta factors with the
+    /// sibling views and marginalize this node’s bound variables
+    /// (Figure 4 with the §5 `Optimize` rewrite).
+    fn propagate_step(
+        &mut self,
+        step: &DeltaStep,
+        mut factors: Vec<Relation<R>>,
+    ) -> Vec<Relation<R>> {
+        if let Some(pp) = &self.payload_preproject {
+            factors = factors
+                .iter()
+                .map(|f| f.map_payloads(|_, p| pp(p)))
+                .collect();
+        }
+        for &s in &step.siblings {
+            let sib_schema = self.tree.nodes[s].keys.clone();
+            let sharing: Vec<usize> = factors
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| !f.schema().disjoint(&sib_schema))
+                .map(|(i, _)| i)
+                .collect();
+            if sharing.is_empty() {
+                // Cartesian contribution: keep the sibling as its own
+                // factor (never multiplied out unless a store needs it).
+                let rel = self.views[s]
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("sibling view {s} not materialized"))
+                    .to_relation();
+                factors.push(rel);
+                continue;
+            }
+            // merge the sharing factors (pairwise disjoint ⇒ products)
+            let mut acc = factors.swap_remove(sharing[sharing.len() - 1]);
+            for &i in sharing[..sharing.len() - 1].iter().rev() {
+                let f = factors.swap_remove(i);
+                acc = acc.join(&f);
+            }
+            let joined = self.join_with_view(&acc, s);
+            factors.push(joined);
+        }
+        // marginalize inside the single factor holding each variable
+        for &mv in &step.margin {
+            let idx = factors
+                .iter()
+                .position(|f| f.schema().contains(mv))
+                .expect("marginalized variable must appear in the delta");
+            let lifting = self.liftings.get(mv);
+            factors[idx] = factors[idx].marginalize(mv, &lifting);
+        }
+        if let Some(hook) = &self.payload_transform {
+            let keys = self.tree.nodes[step.node].keys.clone();
+            let flat = flatten_to(&factors, &keys);
+            let id = step.node;
+            return vec![flat.map_payloads(|t, p| hook(id, t, p))];
+        }
+        factors
+    }
+
+    /// Join `acc ⊗ view(s)` by probing the sibling’s store.
+    fn join_with_view(&mut self, acc: &Relation<R>, s: NodeId) -> Relation<R> {
+        let sib_schema = self.tree.nodes[s].keys.clone();
+        let common = acc.schema().intersect(&sib_schema);
+        let acc_probe = acc.schema().positions_of(common.vars()).expect("subset");
+        let rest_vars = sib_schema.minus(&common);
+        let out_schema = acc.schema().union(&sib_schema);
+
+        if common.len() == sib_schema.len() {
+            // full-key probe: primary lookup
+            let store = self.views[s]
+                .as_ref()
+                .unwrap_or_else(|| panic!("sibling view {s} not materialized"));
+            // probe key must be in the sibling’s column order
+            let reorder = common.positions_of(store.schema().vars()).expect("perm");
+            let pp = self.payload_preproject.clone();
+            let mut out = Relation::new(out_schema);
+            for (t, p) in acc.iter() {
+                let probe = t.project(&acc_probe).project(&reorder);
+                if let Some(sp) = store.get(&probe) {
+                    let sp = match &pp {
+                        Some(pp) => pp(sp),
+                        None => sp.clone(),
+                    };
+                    out.insert(t.clone(), p.mul(&sp));
+                }
+            }
+            return out;
+        }
+
+        // partial-key probe: secondary index (created on demand, then
+        // maintained incrementally)
+        let ix = self.views[s]
+            .as_mut()
+            .unwrap_or_else(|| panic!("sibling view {s} not materialized"))
+            .ensure_index(&common);
+        let store = self.views[s].as_ref().expect("just accessed");
+        let rest_pos = store
+            .schema()
+            .positions_of(rest_vars.vars())
+            .expect("subset");
+        let pp = self.payload_preproject.clone();
+        let mut out = Relation::new(out_schema);
+        for (t, p) in acc.iter() {
+            let probe = t.project(&acc_probe);
+            for full in store.probe(ix, &probe) {
+                let sp = store.get(full).expect("indexed keys are live");
+                let sp = match &pp {
+                    Some(pp) => pp(sp),
+                    None => sp.clone(),
+                };
+                out.insert(t.concat_projected(full, &rest_pos), p.mul(&sp));
+            }
+        }
+        out
+    }
+
+    /// Compute the indicator delta for `ind` from leaf support
+    /// transitions (Example B.2).
+    fn indicator_delta(
+        &mut self,
+        ind: NodeId,
+        transitions: &[(Tuple, i8)],
+        rel: RelIndex,
+    ) -> Relation<R> {
+        let proj = match &self.tree.nodes[ind].kind {
+            NodeKind::Indicator { proj, .. } => proj.clone(),
+            _ => unreachable!("not an indicator"),
+        };
+        let positions = self.query.relations[rel]
+            .schema
+            .positions_of(proj.vars())
+            .expect("indicator proj in relation schema");
+        let counts = self.ind_counts.get_mut(&ind).expect("registered");
+        let mut delta = Relation::new(proj);
+        for (t, sign) in transitions {
+            let key = t.project(&positions);
+            let c = counts.entry(key.clone()).or_insert(0);
+            let before = *c;
+            *c += i64::from(*sign);
+            let now = *c;
+            if now == 0 {
+                counts.remove(&key);
+            }
+            if before == 0 && now == 1 {
+                delta.insert(key, R::one());
+            } else if before == 1 && now == 0 {
+                delta.insert(key, R::one().neg());
+            }
+        }
+        delta
+    }
+
+    /// The maintained query result (the root view).
+    pub fn result(&self) -> Relation<R> {
+        self.views[self.tree.root]
+            .as_ref()
+            .expect("root is always materialized")
+            .to_relation()
+    }
+
+    /// Snapshot of a node’s view, if materialized.
+    pub fn view_relation(&self, node: NodeId) -> Option<Relation<R>> {
+        self.views[node].as_ref().map(ViewStore::to_relation)
+    }
+
+    /// Number of materialized views (the §7 view-count metric).
+    pub fn stored_view_count(&self) -> usize {
+        self.views.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Total keys across materialized views.
+    pub fn total_entries(&self) -> usize {
+        self.views.iter().flatten().map(ViewStore::len).sum()
+    }
+
+    /// Approximate resident bytes across materialized views and
+    /// indicator counters.
+    pub fn approx_bytes(&self) -> usize {
+        let views: usize = self.views.iter().flatten().map(ViewStore::approx_bytes).sum();
+        let counts: usize = self
+            .ind_counts
+            .values()
+            .map(|m| m.iter().map(|(t, _)| t.approx_bytes() + 16).sum::<usize>())
+            .sum();
+        views + counts
+    }
+
+    /// Number of updates applied so far.
+    pub fn updates_applied(&self) -> u64 {
+        self.updates_applied
+    }
+}
+
+/// Multiply factors out and reorder to `keys`.
+fn flatten_to<R: Ring>(factors: &[Relation<R>], keys: &Schema) -> Relation<R> {
+    if factors.is_empty() {
+        return Relation::new(keys.clone());
+    }
+    let mut acc = factors[0].clone();
+    for f in &factors[1..] {
+        acc = acc.join(f);
+    }
+    acc.reorder(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_tree, Database};
+    use fivm_core::lifting::int_identity;
+    use fivm_core::tuple;
+    use fivm_query::VariableOrder;
+
+    fn fig2_setup(
+        free: &[&str],
+    ) -> (QueryDef, ViewTree, Database<i64>, LiftingMap<i64>) {
+        let q = QueryDef::example_rst(free);
+        let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
+        let tree = ViewTree::build(&q, &vo);
+        let db = Database::empty(&q);
+        (q, tree, db, LiftingMap::new())
+    }
+
+    fn insert_fig2(engine: &mut IvmEngine<i64>) {
+        let rs = [
+            (0usize, vec![tuple![1, 1], tuple![1, 2], tuple![2, 3], tuple![3, 4]]),
+            (
+                1,
+                vec![tuple![1, 1, 1], tuple![1, 1, 2], tuple![1, 2, 3], tuple![2, 2, 4]],
+            ),
+            (2, vec![tuple![1, 1], tuple![2, 2], tuple![2, 3], tuple![3, 4]]),
+        ];
+        for (ri, tuples) in rs {
+            for t in tuples {
+                let schema = engine.query.relations[ri].schema.clone();
+                let d = Relation::from_pairs(schema, [(t, 1i64)]);
+                engine.apply(ri, &Delta::Flat(d));
+            }
+        }
+    }
+
+    /// Incremental single-tuple inserts reach the Figure 2d COUNT of 10.
+    #[test]
+    fn incremental_count_matches_figure_2d() {
+        let (q, tree, _, lifts) = fig2_setup(&[]);
+        let mut engine = IvmEngine::new(q, tree, &[0, 1, 2], lifts);
+        insert_fig2(&mut engine);
+        assert_eq!(engine.result().payload(&Tuple::unit()), 10);
+    }
+
+    /// Example 4.1: after loading Figure 2c, the update
+    /// δT = {(c1,d1)→−1, (c2,d2)→3} changes the count by 5.
+    #[test]
+    fn example_4_1_delta_propagation() {
+        let (q, tree, mut db, lifts) = fig2_setup(&[]);
+        for (a, b) in [(1, 1), (1, 2), (2, 3), (3, 4)] {
+            db.relations[0].insert(tuple![a, b], 1);
+        }
+        for (a, c, e) in [(1, 1, 1), (1, 1, 2), (1, 2, 3), (2, 2, 4)] {
+            db.relations[1].insert(tuple![a, c, e], 1);
+        }
+        for (c, d) in [(1, 1), (2, 2), (2, 3), (3, 4)] {
+            db.relations[2].insert(tuple![c, d], 1);
+        }
+        let mut engine = IvmEngine::new(q.clone(), tree, &[0, 1, 2], lifts);
+        engine.load(&db);
+        assert_eq!(engine.result().payload(&Tuple::unit()), 10);
+        let dt = Relation::from_pairs(
+            q.relations[2].schema.clone(),
+            [(tuple![1, 1], -1i64), (tuple![2, 2], 3)],
+        );
+        engine.apply(2, &Delta::Flat(dt));
+        // paper: δV@A_RST[()] = 5, so the count becomes 15
+        assert_eq!(engine.result().payload(&Tuple::unit()), 15);
+    }
+
+    /// IVM result equals recomputation after mixed inserts and deletes,
+    /// with group-by variables and non-trivial liftings.
+    #[test]
+    fn ivm_equals_recompute_with_deletes() {
+        let (q, tree, _, mut lifts) = fig2_setup(&["A", "C"]);
+        for v in ["B", "D", "E"] {
+            lifts.set(q.catalog.lookup(v).unwrap(), int_identity());
+        }
+        let mut engine = IvmEngine::new(q.clone(), tree.clone(), &[0, 1, 2], lifts.clone());
+        let mut db = Database::empty(&q);
+        let updates: Vec<(usize, Tuple, i64)> = vec![
+            (0, tuple![1, 5], 1),
+            (1, tuple![1, 2, 7], 1),
+            (2, tuple![2, 3], 1),
+            (0, tuple![1, 6], 1),
+            (2, tuple![2, 4], 2),
+            (0, tuple![1, 5], -1), // delete
+            (1, tuple![1, 2, 9], 1),
+            (2, tuple![2, 4], -2), // delete both copies
+            (1, tuple![2, 2, 3], 1),
+            (0, tuple![2, 8], 1),
+        ];
+        for (ri, t, m) in updates {
+            let d = Relation::from_pairs(q.relations[ri].schema.clone(), [(t.clone(), m)]);
+            engine.apply(ri, &Delta::Flat(d.clone()));
+            db.relations[ri].union_in_place(&d);
+            let expected = eval_tree(&tree, &db, &lifts);
+            assert_eq!(engine.result(), expected, "diverged after {ri}:{t}");
+        }
+    }
+
+    /// Deleting everything returns all views to empty.
+    #[test]
+    fn full_deletion_returns_to_empty() {
+        let (q, tree, _, lifts) = fig2_setup(&[]);
+        let mut engine = IvmEngine::new(q.clone(), tree, &[0, 1, 2], lifts);
+        insert_fig2(&mut engine);
+        // delete in a different order
+        let rs = [
+            (2usize, vec![tuple![1, 1], tuple![2, 2], tuple![2, 3], tuple![3, 4]]),
+            (0, vec![tuple![1, 1], tuple![1, 2], tuple![2, 3], tuple![3, 4]]),
+            (
+                1,
+                vec![tuple![1, 1, 1], tuple![1, 1, 2], tuple![1, 2, 3], tuple![2, 2, 4]],
+            ),
+        ];
+        for (ri, tuples) in rs {
+            for t in tuples {
+                let schema = engine.query.relations[ri].schema.clone();
+                let d = Relation::from_pairs(schema, [(t, -1i64)]);
+                engine.apply(ri, &Delta::Flat(d));
+            }
+        }
+        assert!(engine.result().is_empty());
+        assert_eq!(engine.total_entries(), 0);
+    }
+
+    /// Factored (rank-1) updates produce the same result as their flat
+    /// form — Example 5.2’s scenario over the running query.
+    #[test]
+    fn factored_update_equals_flat() {
+        let (q, tree, _, lifts) = fig2_setup(&["A"]);
+        let mut flat_engine = IvmEngine::new(q.clone(), tree.clone(), &[0, 1, 2], lifts.clone());
+        let mut fact_engine = IvmEngine::new(q.clone(), tree, &[0, 1, 2], lifts);
+        insert_fig2(&mut flat_engine);
+        insert_fig2(&mut fact_engine);
+        // δS = δS_A[A] ⊗ δS_CE[C,E]  (a product update)
+        let (a, c, e) = (
+            q.catalog.lookup("A").unwrap(),
+            q.catalog.lookup("C").unwrap(),
+            q.catalog.lookup("E").unwrap(),
+        );
+        let sa = Relation::from_pairs(
+            Schema::new(vec![a]),
+            [(tuple![1], 1i64), (tuple![2], 1)],
+        );
+        let sce = Relation::from_pairs(
+            Schema::new(vec![c, e]),
+            [(tuple![2, 9], 1i64), (tuple![1, 9], 2)],
+        );
+        let factored = Delta::factored(vec![sa, sce]);
+        fact_engine.apply(1, &factored);
+        flat_engine.apply(1, &Delta::Flat(factored.flatten().reorder(&q.relations[1].schema)));
+        assert_eq!(fact_engine.result(), flat_engine.result());
+    }
+
+    /// Streaming scenario (µ with one updatable relation): updates to R
+    /// only; the R leaf is not stored, yet the result stays correct.
+    #[test]
+    fn one_relation_stream() {
+        let (q, tree, mut db, lifts) = fig2_setup(&[]);
+        // static S and T
+        for (a, c, e) in [(1, 1, 1), (2, 2, 4)] {
+            db.relations[1].insert(tuple![a, c, e], 1);
+        }
+        for (c, d) in [(1, 1), (2, 2)] {
+            db.relations[2].insert(tuple![c, d], 1);
+        }
+        let mut engine = IvmEngine::new(q.clone(), tree.clone(), &[0], lifts.clone());
+        engine.load(&db);
+        let leaf_r = engine.tree().leaf_of(0).unwrap();
+        assert!(engine.view_relation(leaf_r).is_none(), "stream not stored");
+        for (a, b) in [(1, 1), (2, 5), (1, 2)] {
+            let d = Relation::from_pairs(q.relations[0].schema.clone(), [(tuple![a, b], 1i64)]);
+            engine.apply(0, &Delta::Flat(d));
+            db.relations[0].insert(tuple![a, b], 1);
+        }
+        assert_eq!(engine.result(), eval_tree(&tree, &db, &lifts));
+    }
+
+    /// Triangle query with indicator projections stays correct under
+    /// updates to all three relations (Example B.3), including deletes
+    /// that shrink the indicator.
+    #[test]
+    fn triangle_indicator_maintenance() {
+        let q = QueryDef::triangle();
+        let vo = VariableOrder::parse("A - B - C", &q.catalog);
+        let mut tree = ViewTree::build(&q, &vo);
+        let added = fivm_query::add_indicators(&mut tree, &q);
+        assert_eq!(added.len(), 1);
+        let lifts = LiftingMap::<i64>::new();
+        let mut engine = IvmEngine::new(q.clone(), tree.clone(), &[0, 1, 2], lifts.clone());
+        let mut db = Database::empty(&q);
+        let updates: Vec<(usize, Tuple, i64)> = vec![
+            (0, tuple![1, 1], 1),
+            (1, tuple![1, 1], 1),
+            (2, tuple![1, 1], 1), // closes triangle (1,1,1)
+            (0, tuple![1, 2], 1),
+            (1, tuple![2, 1], 1), // closes (1,2,1)
+            (0, tuple![1, 1], 1), // multiplicity 2
+            (0, tuple![1, 1], -2), // delete both copies → support shrinks
+            (2, tuple![1, 2], 1),
+            (1, tuple![1, 1], 1),
+            (0, tuple![2, 1], 1),
+        ];
+        for (ri, t, m) in updates {
+            let d = Relation::from_pairs(q.relations[ri].schema.clone(), [(t.clone(), m)]);
+            engine.apply(ri, &Delta::Flat(d.clone()));
+            db.relations[ri].union_in_place(&d);
+            let expected = eval_tree(&tree, &db, &lifts);
+            assert_eq!(
+                engine.result().payload(&Tuple::unit()),
+                expected.payload(&Tuple::unit()),
+                "diverged after {ri}:{t}:{m}"
+            );
+        }
+    }
+
+    /// Memory accounting is monotone in content.
+    #[test]
+    fn memory_accounting() {
+        let (q, tree, _, lifts) = fig2_setup(&[]);
+        let mut engine = IvmEngine::new(q, tree, &[0, 1, 2], lifts);
+        let empty = engine.approx_bytes();
+        insert_fig2(&mut engine);
+        assert!(engine.approx_bytes() > empty);
+        assert!(engine.stored_view_count() >= 5);
+    }
+}

@@ -1,0 +1,265 @@
+//! Materialized view storage.
+//!
+//! A [`ViewStore`] is the runtime form of a view tree node: a hash map
+//! from key tuples to ring payloads (the paper materializes views as
+//! “multi-indexed maps”), plus secondary indexes keyed by the probe
+//! patterns that delta propagation needs. Indexes are created on demand
+//! and maintained incrementally with the primary data.
+
+use fivm_core::{FxHashMap, Ring, Relation, Schema, Tuple};
+
+/// A secondary index: probe-key positions within the view schema, and a
+/// map from probe keys to the full keys sharing them.
+#[derive(Clone, Debug)]
+struct SecondaryIndex {
+    positions: Vec<usize>,
+    map: FxHashMap<Tuple, Vec<Tuple>>,
+}
+
+/// A materialized view: primary map plus secondary indexes.
+#[derive(Clone, Debug)]
+pub struct ViewStore<R> {
+    schema: Schema,
+    data: FxHashMap<Tuple, R>,
+    indexes: Vec<SecondaryIndex>,
+}
+
+impl<R: Ring> ViewStore<R> {
+    /// Empty view over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        ViewStore {
+            schema,
+            data: FxHashMap::default(),
+            indexes: Vec::new(),
+        }
+    }
+
+    /// The view’s key schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of keys with non-zero payload.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Payload of `t`, if non-zero.
+    pub fn get(&self, t: &Tuple) -> Option<&R> {
+        self.data.get(t)
+    }
+
+    /// Iterate over contents.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, &R)> {
+        self.data.iter()
+    }
+
+    /// Snapshot as a [`Relation`] (tests, re-evaluation).
+    pub fn to_relation(&self) -> Relation<R> {
+        Relation::from_pairs(
+            self.schema.clone(),
+            self.data.iter().map(|(t, p)| (t.clone(), p.clone())),
+        )
+    }
+
+    /// Ensure a secondary index on the given variables exists; returns
+    /// its id. `vars` must be a subset of the schema; an index on the
+    /// full schema is never needed (probe the primary instead).
+    pub fn ensure_index(&mut self, vars: &Schema) -> usize {
+        let positions = self
+            .schema
+            .positions_of(vars.vars())
+            .expect("index variables must be part of the view schema");
+        if let Some(id) = self.indexes.iter().position(|ix| ix.positions == positions) {
+            return id;
+        }
+        let mut map: FxHashMap<Tuple, Vec<Tuple>> = FxHashMap::default();
+        for t in self.data.keys() {
+            map.entry(t.project(&positions)).or_default().push(t.clone());
+        }
+        self.indexes.push(SecondaryIndex { positions, map });
+        self.indexes.len() - 1
+    }
+
+    /// Keys matching `probe` under index `ix`.
+    pub fn probe(&self, ix: usize, probe: &Tuple) -> &[Tuple] {
+        self.indexes[ix]
+            .map
+            .get(probe)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Add `payload` to key `t`, maintaining indexes; keys that sum to
+    /// zero are erased.
+    pub fn insert(&mut self, t: Tuple, payload: R) {
+        if payload.is_zero() {
+            return;
+        }
+        let (appeared, disappeared) = match self.data.entry(t.clone()) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().add_assign(&payload);
+                if e.get().is_zero() {
+                    e.remove();
+                    (false, true)
+                } else {
+                    (false, false)
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(payload);
+                (true, false)
+            }
+        };
+        if appeared {
+            for ix in &mut self.indexes {
+                ix.map
+                    .entry(t.project(&ix.positions))
+                    .or_default()
+                    .push(t.clone());
+            }
+        } else if disappeared {
+            for ix in &mut self.indexes {
+                let probe = t.project(&ix.positions);
+                if let Some(v) = ix.map.get_mut(&probe) {
+                    if let Some(pos) = v.iter().position(|x| x == &t) {
+                        v.swap_remove(pos);
+                    }
+                    if v.is_empty() {
+                        ix.map.remove(&probe);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merge a delta relation; returns per-key support transitions
+    /// (`+1` appeared, `-1` disappeared) for indicator maintenance
+    /// (Example B.2).
+    pub fn merge(&mut self, delta: &Relation<R>) -> Vec<(Tuple, i8)> {
+        debug_assert_eq!(delta.schema(), &self.schema, "delta schema mismatch");
+        let mut transitions = Vec::new();
+        for (t, p) in delta.iter() {
+            let before = self.data.contains_key(t);
+            self.insert(t.clone(), p.clone());
+            let after = self.data.contains_key(t);
+            match (before, after) {
+                (false, true) => transitions.push((t.clone(), 1)),
+                (true, false) => transitions.push((t.clone(), -1)),
+                _ => {}
+            }
+        }
+        transitions
+    }
+
+    /// Approximate resident bytes (primary + indexes).
+    pub fn approx_bytes(&self) -> usize {
+        let primary: usize = self
+            .data
+            .iter()
+            .map(|(t, p)| t.approx_bytes() + std::mem::size_of::<R>() + p.heap_bytes() + 16)
+            .sum();
+        let secondary: usize = self
+            .indexes
+            .iter()
+            .map(|ix| {
+                ix.map
+                    .iter()
+                    .map(|(k, v)| k.approx_bytes() + v.iter().map(Tuple::approx_bytes).sum::<usize>() + 16)
+                    .sum::<usize>()
+            })
+            .sum();
+        primary + secondary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fivm_core::tuple;
+
+    fn sch(vars: &[u32]) -> Schema {
+        Schema::new(vars.to_vec())
+    }
+
+    #[test]
+    fn insert_erase_roundtrip() {
+        let mut v: ViewStore<i64> = ViewStore::new(sch(&[0, 1]));
+        v.insert(tuple![1, 2], 5);
+        v.insert(tuple![1, 2], -5);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn index_probe() {
+        let mut v: ViewStore<i64> = ViewStore::new(sch(&[0, 1]));
+        let ix = v.ensure_index(&sch(&[1]));
+        v.insert(tuple![1, 9], 1);
+        v.insert(tuple![2, 9], 1);
+        v.insert(tuple![3, 8], 1);
+        let hits = v.probe(ix, &tuple![9]);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.contains(&tuple![1, 9]));
+        // dedup: asking again returns the same index
+        assert_eq!(v.ensure_index(&sch(&[1])), ix);
+    }
+
+    #[test]
+    fn index_built_over_existing_data() {
+        let mut v: ViewStore<i64> = ViewStore::new(sch(&[0, 1]));
+        v.insert(tuple![1, 9], 1);
+        v.insert(tuple![2, 9], 1);
+        let ix = v.ensure_index(&sch(&[1]));
+        assert_eq!(v.probe(ix, &tuple![9]).len(), 2);
+    }
+
+    #[test]
+    fn index_maintains_deletions() {
+        let mut v: ViewStore<i64> = ViewStore::new(sch(&[0, 1]));
+        let ix = v.ensure_index(&sch(&[0]));
+        v.insert(tuple![1, 9], 2);
+        v.insert(tuple![1, 8], 3);
+        v.insert(tuple![1, 9], -2); // erases (1,9)
+        let hits = v.probe(ix, &tuple![1]);
+        assert_eq!(hits, &[tuple![1, 8]]);
+        v.insert(tuple![1, 8], -3);
+        assert!(v.probe(ix, &tuple![1]).is_empty());
+    }
+
+    #[test]
+    fn merge_reports_transitions() {
+        let mut v: ViewStore<i64> = ViewStore::new(sch(&[0]));
+        v.insert(tuple![1], 1);
+        let delta = Relation::from_pairs(
+            sch(&[0]),
+            [(tuple![1], -1i64), (tuple![2], 4), (tuple![3], 0)],
+        );
+        let mut tr = v.merge(&delta);
+        tr.sort();
+        assert_eq!(tr, vec![(tuple![1], -1), (tuple![2], 1)]);
+    }
+
+    #[test]
+    fn partial_payload_change_is_not_a_transition() {
+        let mut v: ViewStore<i64> = ViewStore::new(sch(&[0]));
+        v.insert(tuple![1], 5);
+        let delta = Relation::from_pairs(sch(&[0]), [(tuple![1], -2i64)]);
+        assert!(v.merge(&delta).is_empty());
+        assert_eq!(v.get(&tuple![1]), Some(&3));
+    }
+
+    #[test]
+    fn to_relation_roundtrip() {
+        let mut v: ViewStore<i64> = ViewStore::new(sch(&[0]));
+        v.insert(tuple![1], 5);
+        v.insert(tuple![2], 7);
+        let r = v.to_relation();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.payload(&tuple![2]), 7);
+    }
+}

@@ -1,0 +1,113 @@
+//! Matrix chain multiplication (paper §6.1).
+//!
+//! The optimal variable order for the chain query corresponds to the
+//! optimal parenthesization of the product — the textbook dynamic
+//! program ([CLRS], cited as [13] in the paper). [`multiply_chain`]
+//! evaluates a chain using the DP order.
+
+use crate::matrix::Matrix;
+
+/// The minimal scalar-multiplication cost of multiplying a chain with
+/// dimensions `dims` (matrix `i` is `dims[i] × dims[i+1]`), and the
+/// split table `s[i][j]` = optimal split point of the subchain `i..=j`.
+pub fn optimal_parenthesization(dims: &[usize]) -> (u64, Vec<Vec<usize>>) {
+    let n = dims.len() - 1; // number of matrices
+    let mut m = vec![vec![0u64; n]; n];
+    let mut s = vec![vec![0usize; n]; n];
+    for len in 2..=n {
+        for i in 0..=(n - len) {
+            let j = i + len - 1;
+            m[i][j] = u64::MAX;
+            for k in i..j {
+                let cost = m[i][k]
+                    + m[k + 1][j]
+                    + (dims[i] * dims[k + 1] * dims[j + 1]) as u64;
+                if cost < m[i][j] {
+                    m[i][j] = cost;
+                    s[i][j] = k;
+                }
+            }
+        }
+    }
+    (if n == 0 { 0 } else { m[0][n - 1] }, s)
+}
+
+/// The optimal multiplication cost alone.
+pub fn chain_cost(dims: &[usize]) -> u64 {
+    optimal_parenthesization(dims).0
+}
+
+/// Multiply a chain of matrices in the DP-optimal order.
+pub fn multiply_chain(mats: &[Matrix]) -> Matrix {
+    assert!(!mats.is_empty(), "empty chain");
+    let mut dims = Vec::with_capacity(mats.len() + 1);
+    dims.push(mats[0].rows());
+    for m in mats {
+        assert_eq!(
+            *dims.last().unwrap(),
+            m.rows(),
+            "chain dimensions must agree"
+        );
+        dims.push(m.cols());
+    }
+    let (_, s) = optimal_parenthesization(&dims);
+    multiply_range(mats, &s, 0, mats.len() - 1)
+}
+
+fn multiply_range(mats: &[Matrix], s: &[Vec<usize>], i: usize, j: usize) -> Matrix {
+    if i == j {
+        return mats[i].clone();
+    }
+    let k = s[i][j];
+    let left = multiply_range(mats, s, i, k);
+    let right = multiply_range(mats, s, k + 1, j);
+    left.matmul(&right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The CLRS textbook instance: dims ⟨30,35,15,5,10,20,25⟩ has
+    /// optimal cost 15125.
+    #[test]
+    fn clrs_example() {
+        let dims = [30, 35, 15, 5, 10, 20, 25];
+        assert_eq!(chain_cost(&dims), 15125);
+    }
+
+    #[test]
+    fn square_chain_cost() {
+        // k equal n×n matrices: (k−1)·n³ regardless of order
+        assert_eq!(chain_cost(&[4, 4, 4, 4]), 2 * 64);
+    }
+
+    #[test]
+    fn chain_product_matches_left_to_right() {
+        let mats: Vec<Matrix> = vec![
+            Matrix::from_fn(3, 4, |i, j| (i + 2 * j) as f64),
+            Matrix::from_fn(4, 2, |i, j| (i as f64 - j as f64) * 0.5),
+            Matrix::from_fn(2, 5, |i, j| ((i + 1) * (j + 1)) as f64 * 0.1),
+            Matrix::from_fn(5, 3, |i, j| (i * j) as f64 - 1.0),
+        ];
+        let opt = multiply_chain(&mats);
+        let mut naive = mats[0].clone();
+        for m in &mats[1..] {
+            naive = naive.matmul(m);
+        }
+        assert!(opt.approx_eq(&naive, 1e-9));
+    }
+
+    #[test]
+    fn single_matrix_chain() {
+        let m = Matrix::identity(3);
+        assert!(multiply_chain(std::slice::from_ref(&m)).approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn skewed_dims_prefer_cheap_split() {
+        // (10×1)(1×10)(10×1): left-first costs 10·1·10 + 10·10·1 = 200,
+        // right-first costs 1·10·1 + 10·1·1 = 20.
+        assert_eq!(chain_cost(&[10, 1, 10, 1]), 20);
+    }
+}

@@ -1,0 +1,29 @@
+//! # fivm-linalg — dense linear algebra substrate
+//!
+//! The paper’s Figure 6 compares maintenance strategies for matrix chain
+//! multiplication under two runtimes: DBToaster hash maps and Octave
+//! (dense arrays + BLAS). This crate is the stand-in for the latter
+//! (DESIGN.md §3 documents the substitution): a from-scratch dense
+//! [`Matrix`] with cache-aware multiplication, the textbook
+//! matrix-chain-order DP ([`chain`]), and the LINVIEW-style incremental
+//! maintenance strategies of §6.1 ([`linview`]):
+//!
+//! * [`linview::ReEvalChain`] — recompute the product on every update,
+//! * [`linview::FirstOrderChain`] — 1-IVM: `δA = A₁ δA₂ A₃` with full
+//!   matrix-matrix multiplications,
+//! * [`linview::DenseChainIvm`] — F-IVM: factorized rank-1/rank-r
+//!   updates propagated through a balanced product tree in
+//!   `O(p² log k)` per rank-1 update.
+//!
+//! [`decomp`] provides low-rank decompositions of update matrices
+//! (paper §5: arbitrary updates decompose into sums of rank-1 tensors).
+
+pub mod chain;
+pub mod decomp;
+pub mod linview;
+pub mod matrix;
+
+pub use chain::{chain_cost, multiply_chain, optimal_parenthesization};
+pub use decomp::{low_rank_decompose, row_update_factors};
+pub use linview::{DenseChainIvm, FirstOrderChain, ReEvalChain};
+pub use matrix::Matrix;

@@ -1,0 +1,311 @@
+//! Incremental matrix-chain maintenance (paper §6.1, Figure 6).
+//!
+//! Maintains `A = A₁ · A₂ · … · A_k` under updates to any `A_i`, with
+//! the three strategies benchmarked in Figure 6:
+//!
+//! * [`ReEvalChain`] — recompute the whole product per update: `O(k·p³)`.
+//! * [`FirstOrderChain`] — 1-IVM: `δA = A₁ ⋯ δA_i ⋯ A_k` with full
+//!   matrix-matrix multiplications: `O(p³)` (same as DBT here).
+//! * [`DenseChainIvm`] — F-IVM with factorizable updates: a rank-1
+//!   change `δA_i = u·vᵀ` propagates through a balanced binary product
+//!   tree as matrix-*vector* products, maintaining every internal
+//!   product view in `O(p² log k)`; rank-r updates are sequences of
+//!   rank-1 updates (`O(r·p² log k)`), recovering LINVIEW [33].
+
+use crate::matrix::Matrix;
+
+/// Re-evaluation: recompute the product on every update.
+pub struct ReEvalChain {
+    mats: Vec<Matrix>,
+    product: Matrix,
+}
+
+impl ReEvalChain {
+    /// Build from the initial chain.
+    pub fn new(mats: Vec<Matrix>) -> Self {
+        let product = crate::chain::multiply_chain(&mats);
+        ReEvalChain { mats, product }
+    }
+
+    /// Apply a dense update to matrix `i` and recompute.
+    pub fn apply(&mut self, i: usize, delta: &Matrix) {
+        self.mats[i].add_assign(delta);
+        self.product = crate::chain::multiply_chain(&self.mats);
+    }
+
+    /// The maintained product.
+    pub fn product(&self) -> &Matrix {
+        &self.product
+    }
+}
+
+/// First-order IVM: `δA = prefix · δA_i · suffix`, all dense products.
+pub struct FirstOrderChain {
+    mats: Vec<Matrix>,
+    product: Matrix,
+}
+
+impl FirstOrderChain {
+    /// Build from the initial chain.
+    pub fn new(mats: Vec<Matrix>) -> Self {
+        let product = crate::chain::multiply_chain(&mats);
+        FirstOrderChain { mats, product }
+    }
+
+    /// Apply a dense update to matrix `i`: one pass of matrix-matrix
+    /// multiplications for the delta (the `O(p³)` 1-IVM cost of Fig. 6).
+    pub fn apply(&mut self, i: usize, delta: &Matrix) {
+        let mut acc = delta.clone();
+        // prefix · δ (fold left)
+        for k in (0..i).rev() {
+            acc = self.mats[k].matmul(&acc);
+        }
+        // (prefix · δ) · suffix
+        for k in (i + 1)..self.mats.len() {
+            acc = acc.matmul(&self.mats[k]);
+        }
+        self.product.add_assign(&acc);
+        self.mats[i].add_assign(delta);
+    }
+
+    /// The maintained product.
+    pub fn product(&self) -> &Matrix {
+        &self.product
+    }
+}
+
+/// One node of the balanced product tree.
+struct ChainNode {
+    /// Range of leaf matrices `[lo, hi)` covered.
+    lo: usize,
+    hi: usize,
+    left: Option<usize>,
+    right: Option<usize>,
+    /// The product `A_lo ⋯ A_{hi−1}`.
+    prod: Matrix,
+}
+
+/// F-IVM over the matrix chain: a balanced binary tree of product views
+/// (the “binary view tree of the lowest depth” of Example 6.1), each
+/// maintained under factorized rank-1 updates.
+pub struct DenseChainIvm {
+    mats: Vec<Matrix>,
+    nodes: Vec<ChainNode>,
+    root: usize,
+    /// Leaf index → tree node covering exactly that leaf.
+    leaf_nodes: Vec<usize>,
+}
+
+impl DenseChainIvm {
+    /// Build the balanced product tree over the initial chain.
+    pub fn new(mats: Vec<Matrix>) -> Self {
+        assert!(!mats.is_empty());
+        let mut s = DenseChainIvm {
+            leaf_nodes: vec![usize::MAX; mats.len()],
+            mats,
+            nodes: Vec::new(),
+            root: 0,
+        };
+        s.root = s.build(0, s.mats.len());
+        s
+    }
+
+    fn build(&mut self, lo: usize, hi: usize) -> usize {
+        if hi - lo == 1 {
+            let id = self.nodes.len();
+            self.nodes.push(ChainNode {
+                lo,
+                hi,
+                left: None,
+                right: None,
+                prod: self.mats[lo].clone(),
+            });
+            self.leaf_nodes[lo] = id;
+            return id;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let l = self.build(lo, mid);
+        let r = self.build(mid, hi);
+        let prod = self.nodes[l].prod.matmul(&self.nodes[r].prod);
+        let id = self.nodes.len();
+        self.nodes.push(ChainNode {
+            lo,
+            hi,
+            left: Some(l),
+            right: Some(r),
+            prod,
+        });
+        id
+    }
+
+    /// Apply a factorized rank-1 update `δA_i = u·vᵀ`, maintaining every
+    /// product view on the leaf-to-root path with matrix-vector products
+    /// only (`O(p² log k)`).
+    pub fn apply_rank1(&mut self, i: usize, u: &[f64], v: &[f64]) {
+        self.mats[i].add_outer(u, v);
+        // walk from the leaf to the root, keeping the delta factored as
+        // (u', v') and updating each product view with an outer product.
+        let mut u = u.to_vec();
+        let mut v = v.to_vec();
+        let mut cur = self.leaf_nodes[i];
+        self.nodes[cur].prod.add_outer(&u, &v);
+        loop {
+            let parent = match self.find_parent(cur) {
+                Some(p) => p,
+                None => break,
+            };
+            let (l, r) = (
+                self.nodes[parent].left.expect("inner"),
+                self.nodes[parent].right.expect("inner"),
+            );
+            if cur == r {
+                // δ(L·R) = L · u · vᵀ  →  u ← L·u
+                u = self.nodes[l].prod.matvec(&u);
+            } else {
+                // δ(L·R) = u · (vᵀ · R)  →  v ← Rᵀ·v
+                v = self.nodes[r].prod.tvecmat(&v);
+            }
+            self.nodes[parent].prod.add_outer(&u, &v);
+            cur = parent;
+        }
+    }
+
+    /// Apply a rank-r update as a sequence of rank-1 updates (paper:
+    /// “F-IVM processes δA₂ as a sequence of r rank-1 updates”).
+    pub fn apply_rank_r(&mut self, i: usize, factors: &[(Vec<f64>, Vec<f64>)]) {
+        for (u, v) in factors {
+            self.apply_rank1(i, u, v);
+        }
+    }
+
+    fn find_parent(&self, node: usize) -> Option<usize> {
+        // tree is small (≤ 2k−1 nodes); linear scan is fine
+        self.nodes
+            .iter()
+            .position(|n| n.left == Some(node) || n.right == Some(node))
+    }
+
+    /// The maintained product `A₁ ⋯ A_k`.
+    pub fn product(&self) -> &Matrix {
+        &self.nodes[self.root].prod
+    }
+
+    /// Current contents of leaf matrix `i`.
+    pub fn matrix(&self, i: usize) -> &Matrix {
+        &self.mats[i]
+    }
+
+    /// Number of materialized product views (internal tree nodes).
+    pub fn view_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The leaf range `[lo, hi)` covered by tree node `id` (diagnostics).
+    pub fn node_range(&self, id: usize) -> (usize, usize) {
+        (self.nodes[id].lo, self.nodes[id].hi)
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mats(k: usize, n: usize) -> Vec<Matrix> {
+        (0..k)
+            .map(|m| Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17 + m * 7) % 10) as f64 * 0.1 - 0.45))
+            .collect()
+    }
+
+    #[test]
+    fn all_strategies_agree_on_row_update() {
+        let base = mats(3, 8);
+        let mut re = ReEvalChain::new(base.clone());
+        let mut fo = FirstOrderChain::new(base.clone());
+        let mut fi = DenseChainIvm::new(base);
+        // one-row update to A₂ = rank-1: u = e_row, v = row delta
+        let row = 3;
+        let v: Vec<f64> = (0..8).map(|j| (j as f64) * 0.2 - 0.5).collect();
+        let mut u = vec![0.0; 8];
+        u[row] = 1.0;
+        let mut delta = Matrix::zeros(8, 8);
+        delta.add_outer(&u, &v);
+        re.apply(1, &delta);
+        fo.apply(1, &delta);
+        fi.apply_rank1(1, &u, &v);
+        assert!(re.product().approx_eq(fo.product(), 1e-9));
+        assert!(re.product().approx_eq(fi.product(), 1e-9));
+    }
+
+    #[test]
+    fn rank_r_update_agrees() {
+        let base = mats(3, 6);
+        let mut re = ReEvalChain::new(base.clone());
+        let mut fi = DenseChainIvm::new(base);
+        let factors: Vec<(Vec<f64>, Vec<f64>)> = (0..3)
+            .map(|r| {
+                (
+                    (0..6).map(|i| ((i + r) % 4) as f64 * 0.3).collect(),
+                    (0..6).map(|i| ((i * r + 1) % 5) as f64 * 0.2 - 0.3).collect(),
+                )
+            })
+            .collect();
+        let mut delta = Matrix::zeros(6, 6);
+        for (u, v) in &factors {
+            delta.add_outer(u, v);
+        }
+        re.apply(1, &delta);
+        fi.apply_rank_r(1, &factors);
+        assert!(re.product().approx_eq(fi.product(), 1e-9));
+    }
+
+    #[test]
+    fn updates_to_every_position_in_long_chain() {
+        let k = 6;
+        let base = mats(k, 5);
+        let mut re = ReEvalChain::new(base.clone());
+        let mut fi = DenseChainIvm::new(base);
+        for pos in 0..k {
+            let u: Vec<f64> = (0..5).map(|i| if i == pos % 5 { 1.0 } else { 0.0 }).collect();
+            let v: Vec<f64> = (0..5).map(|i| (i as f64 - pos as f64) * 0.1).collect();
+            let mut delta = Matrix::zeros(5, 5);
+            delta.add_outer(&u, &v);
+            re.apply(pos, &delta);
+            fi.apply_rank1(pos, &u, &v);
+            assert!(
+                re.product().approx_eq(fi.product(), 1e-8),
+                "diverged after update to A{pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn view_tree_structure() {
+        let fi = DenseChainIvm::new(mats(4, 3));
+        // 4 leaves + 3 internal = 7 nodes; root covers [0,4)
+        assert_eq!(fi.view_count(), 7);
+        assert_eq!(fi.nodes[fi.root].lo, 0);
+        assert_eq!(fi.nodes[fi.root].hi, 4);
+    }
+
+    #[test]
+    fn non_square_chain() {
+        // 4×6 · 6×3 · 3×5
+        let a = Matrix::from_fn(4, 6, |i, j| (i + j) as f64 * 0.1);
+        let b = Matrix::from_fn(6, 3, |i, j| (i as f64 - j as f64) * 0.2);
+        let c = Matrix::from_fn(3, 5, |i, j| ((i * j) % 3) as f64);
+        let mut re = ReEvalChain::new(vec![a.clone(), b.clone(), c.clone()]);
+        let mut fi = DenseChainIvm::new(vec![a, b, c]);
+        let u: Vec<f64> = vec![0.0, 1.0, 0.0, 0.0, 0.0, 0.0]; // row 1 of B (6 rows)
+        let v: Vec<f64> = vec![0.5, -0.5, 1.0]; // B has 3 cols
+        let mut delta = Matrix::zeros(6, 3);
+        delta.add_outer(&u, &v);
+        re.apply(1, &delta);
+        fi.apply_rank1(1, &u, &v);
+        assert!(re.product().approx_eq(fi.product(), 1e-9));
+    }
+}

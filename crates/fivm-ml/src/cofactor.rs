@@ -1,0 +1,291 @@
+//! Cofactor-matrix queries over joins (paper §6.2).
+//!
+//! The cofactor matrix over **all** query variables suffices to learn a
+//! linear model for any label/feature subset ([36], §7), so the spec
+//! assigns every variable an index `0..m` and lifts variable `j`’s
+//! values with `g_j(x) = (1, x·e_j, x²·e_j e_jᵀ)`. The same spec
+//! produces the lifting maps for:
+//!
+//! * the F-IVM / DBT-RING engines (sparse [`Cofactor`] ring),
+//! * SQL-OPT (degree-indexed [`DegreeRing`] encoding),
+//! * the scalar per-aggregate maps used by the DBT and 1-IVM baselines,
+//!   which maintain each of the `1 + m + m(m+1)/2` aggregates as its own
+//!   query (no sharing — the cause of their large view counts in §7).
+
+use fivm_core::ring::cofactor::Cofactor;
+use fivm_core::ring::degree::DegreeRing;
+use fivm_core::{Lifting, LiftingMap, Relation, Semiring, Tuple, VarId};
+use fivm_query::QueryDef;
+
+/// Variable-to-index assignment for a cofactor computation.
+#[derive(Clone, Debug)]
+pub struct CofactorSpec {
+    /// The query variables in index order (index `j` ↔ `vars[j]`).
+    pub vars: Vec<VarId>,
+}
+
+impl CofactorSpec {
+    /// Cofactor over all query variables, in catalog (first-appearance)
+    /// order.
+    pub fn over_all_vars(query: &QueryDef) -> Self {
+        CofactorSpec {
+            vars: query.all_vars().vars().to_vec(),
+        }
+    }
+
+    /// Number of indexed variables (`m`).
+    pub fn m(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The index of a variable.
+    pub fn index_of(&self, v: VarId) -> Option<u32> {
+        self.vars.iter().position(|&x| x == v).map(|i| i as u32)
+    }
+
+    /// Lifting map for the sparse cofactor ring (F-IVM, DBT-RING).
+    pub fn liftings(&self) -> LiftingMap<Cofactor> {
+        let mut lifts = LiftingMap::new();
+        for (j, &v) in self.vars.iter().enumerate() {
+            let j = j as u32;
+            lifts.set(v, Lifting::from_fn(move |val| Cofactor::lift_value(j, val)));
+        }
+        lifts
+    }
+
+    /// Lifting map for the SQL-OPT degree-indexed encoding.
+    pub fn degree_liftings(&self) -> LiftingMap<DegreeRing> {
+        let mut lifts = LiftingMap::new();
+        for (j, &v) in self.vars.iter().enumerate() {
+            let j = j as u32;
+            lifts.set(
+                v,
+                Lifting::from_fn(move |val| {
+                    DegreeRing::lift(j, val.as_f64().expect("numeric"))
+                }),
+            );
+        }
+        lifts
+    }
+
+    /// The scalar aggregates of the cofactor computation, one lifting
+    /// map each: the count, `m` linear sums and `m(m+1)/2` quadratic
+    /// sums. This is what DBT / 1-IVM maintain without sharing.
+    pub fn scalar_aggregates(&self) -> Vec<(String, LiftingMap<f64>)> {
+        let mut out = Vec::new();
+        out.push(("count".to_string(), LiftingMap::new()));
+        for (j, &v) in self.vars.iter().enumerate() {
+            let mut lifts = LiftingMap::new();
+            lifts.set(v, Lifting::from_fn(|val| val.as_f64().expect("numeric")));
+            out.push((format!("sum[{j}]"), lifts));
+        }
+        for (i, &vi) in self.vars.iter().enumerate() {
+            for (j, &vj) in self.vars.iter().enumerate().skip(i) {
+                let mut lifts = LiftingMap::new();
+                if i == j {
+                    lifts.set(
+                        vi,
+                        Lifting::from_fn(|val| {
+                            let x = val.as_f64().expect("numeric");
+                            x * x
+                        }),
+                    );
+                } else {
+                    lifts.set(vi, Lifting::from_fn(|val| val.as_f64().expect("numeric")));
+                    lifts.set(vj, Lifting::from_fn(|val| val.as_f64().expect("numeric")));
+                }
+                out.push((format!("prod[{i},{j}]"), lifts));
+            }
+        }
+        out
+    }
+
+    /// Total number of scalar aggregates (`1 + m + m(m+1)/2` — e.g. 990
+    /// for the 43-variable Retailer schema of §7).
+    pub fn aggregate_count(&self) -> usize {
+        let m = self.m();
+        1 + m + m * (m + 1) / 2
+    }
+
+    /// Extract the dense `(c, s, Q)` triple from a cofactor-ring result
+    /// relation (keyed on the empty tuple for global models).
+    pub fn extract(&self, result: &Relation<Cofactor>) -> (i64, Vec<f64>, Vec<f64>) {
+        result
+            .get(&Tuple::unit())
+            .cloned()
+            .unwrap_or_else(Cofactor::zero)
+            .to_dense(self.m())
+    }
+
+    /// Extract the dense triple from a SQL-OPT (degree-ring) result.
+    pub fn extract_degree(&self, result: &Relation<DegreeRing>) -> (i64, Vec<f64>, Vec<f64>) {
+        let m = self.m();
+        let p = result.get(&Tuple::unit()).cloned().unwrap_or_else(DegreeRing::zero);
+        let mut s = vec![0.0; m];
+        let mut q = vec![0.0; m * m];
+        for j in 0..m {
+            s[j] = p.sum(j as u32);
+            for i in 0..=j {
+                let v = p.prod(i as u32, j as u32);
+                q[i * m + j] = v;
+                q[j * m + i] = v;
+            }
+        }
+        (p.count() as i64, s, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fivm_core::{tuple, Delta};
+    use fivm_engine::{eval_tree, Database, IvmEngine};
+    use fivm_query::{VariableOrder, ViewTree};
+
+    fn tiny_query() -> QueryDef {
+        QueryDef::new(&[("R", &["A", "B"]), ("S", &["A", "C"])], &[])
+    }
+
+    fn tiny_db(q: &QueryDef) -> Database<Cofactor> {
+        let mut db = Database::empty(q);
+        for (a, b) in [(1, 2), (1, 3), (2, 5)] {
+            db.relations[0].insert(tuple![a, b], Cofactor::one());
+        }
+        for (a, c) in [(1, 7), (2, 4), (2, 6)] {
+            db.relations[1].insert(tuple![a, c], Cofactor::one());
+        }
+        db
+    }
+
+    /// Expected statistics computed from the explicit design matrix.
+    fn naive_stats(rows: &[(f64, f64, f64)]) -> (i64, Vec<f64>, Vec<f64>) {
+        let m = 3;
+        let mut c = 0i64;
+        let mut s = vec![0.0; m];
+        let mut q = vec![0.0; m * m];
+        for &(a, b, cc) in rows {
+            let z = [a, b, cc];
+            c += 1;
+            for i in 0..m {
+                s[i] += z[i];
+                for j in 0..m {
+                    q[i * m + j] += z[i] * z[j];
+                }
+            }
+        }
+        (c, s, q)
+    }
+
+    fn join_rows() -> Vec<(f64, f64, f64)> {
+        // R ⋈ S on A: (A,B,C) rows
+        vec![
+            (1.0, 2.0, 7.0),
+            (1.0, 3.0, 7.0),
+            (2.0, 5.0, 4.0),
+            (2.0, 5.0, 6.0),
+        ]
+    }
+
+    #[test]
+    fn cofactor_matches_design_matrix() {
+        let q = tiny_query();
+        let spec = CofactorSpec::over_all_vars(&q);
+        assert_eq!(spec.m(), 3);
+        let vo = VariableOrder::auto(&q);
+        let tree = ViewTree::build(&q, &vo);
+        let db = tiny_db(&q);
+        let result = eval_tree(&tree, &db, &spec.liftings());
+        let (c, s, qm) = spec.extract(&result);
+        let (ec, es, eq) = naive_stats(&join_rows());
+        assert_eq!(c, ec);
+        for (a, b) in s.iter().zip(&es) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        for (a, b) in qm.iter().zip(&eq) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn incremental_cofactor_matches_static() {
+        let q = tiny_query();
+        let spec = CofactorSpec::over_all_vars(&q);
+        let vo = VariableOrder::auto(&q);
+        let tree = ViewTree::build(&q, &vo);
+        let mut engine = IvmEngine::new(q.clone(), tree.clone(), &[0, 1], spec.liftings());
+        let db = tiny_db(&q);
+        for ri in 0..2 {
+            for (t, p) in db.relations[ri].iter() {
+                let d = Relation::from_pairs(
+                    q.relations[ri].schema.clone(),
+                    [(t.clone(), p.clone())],
+                );
+                engine.apply(ri, &Delta::Flat(d));
+            }
+        }
+        let (c, s, qm) = spec.extract(&engine.result());
+        let (ec, es, eq) = naive_stats(&join_rows());
+        assert_eq!(c, ec);
+        assert!(s.iter().zip(&es).all(|(a, b)| (a - b).abs() < 1e-9));
+        assert!(qm.iter().zip(&eq).all(|(a, b)| (a - b).abs() < 1e-9));
+    }
+
+    /// SQL-OPT’s degree encoding computes the same statistics.
+    #[test]
+    fn sqlopt_matches_cofactor() {
+        let q = tiny_query();
+        let spec = CofactorSpec::over_all_vars(&q);
+        let vo = VariableOrder::auto(&q);
+        let tree = ViewTree::build(&q, &vo);
+        let mut db: Database<DegreeRing> = Database::empty(&q);
+        for (a, b) in [(1, 2), (1, 3), (2, 5)] {
+            db.relations[0].insert(tuple![a, b], DegreeRing::one());
+        }
+        for (a, c) in [(1, 7), (2, 4), (2, 6)] {
+            db.relations[1].insert(tuple![a, c], DegreeRing::one());
+        }
+        let result = eval_tree(&tree, &db, &spec.degree_liftings());
+        let (c, s, qm) = spec.extract_degree(&result);
+        let (ec, es, eq) = naive_stats(&join_rows());
+        assert_eq!(c, ec);
+        assert!(s.iter().zip(&es).all(|(a, b)| (a - b).abs() < 1e-9));
+        assert!(qm.iter().zip(&eq).all(|(a, b)| (a - b).abs() < 1e-9));
+    }
+
+    /// Each scalar aggregate (the DBT / 1-IVM encoding) equals the
+    /// corresponding entry of the shared cofactor matrix.
+    #[test]
+    fn scalar_aggregates_match_shared_ring() {
+        let q = tiny_query();
+        let spec = CofactorSpec::over_all_vars(&q);
+        assert_eq!(spec.aggregate_count(), 1 + 3 + 6);
+        let vo = VariableOrder::auto(&q);
+        let tree = ViewTree::build(&q, &vo);
+        let mut dbf: Database<f64> = Database::empty(&q);
+        for (a, b) in [(1, 2), (1, 3), (2, 5)] {
+            dbf.relations[0].insert(tuple![a, b], 1.0);
+        }
+        for (a, c) in [(1, 7), (2, 4), (2, 6)] {
+            dbf.relations[1].insert(tuple![a, c], 1.0);
+        }
+        let (ec, es, eq) = naive_stats(&join_rows());
+        let aggs = spec.scalar_aggregates();
+        for (name, lifts) in aggs {
+            let val = eval_tree(&tree, &dbf, &lifts).payload(&Tuple::unit());
+            let expected = if name == "count" {
+                ec as f64
+            } else if let Some(rest) = name.strip_prefix("sum[") {
+                let j: usize = rest.trim_end_matches(']').parse().unwrap();
+                es[j]
+            } else {
+                let inner = name
+                    .strip_prefix("prod[")
+                    .unwrap()
+                    .trim_end_matches(']');
+                let (i, j) = inner.split_once(',').unwrap();
+                eq[i.parse::<usize>().unwrap() * 3 + j.parse::<usize>().unwrap()]
+            };
+            assert!((val - expected).abs() < 1e-9, "{name}: {val} vs {expected}");
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # fivm-ml — learning over joins with F-IVM
+//!
+//! The paper’s §6.2 application: maintain the **cofactor matrix**
+//! (sufficient statistics `(c, s, Q)`) of the join result under updates,
+//! then train linear regression models with batch gradient descent whose
+//! per-iteration cost is independent of the data size.
+//!
+//! * [`cofactor`] — builds the degree-*m* ring lifting maps for any join
+//!   query, wires them into the engines of `fivm-engine` (F-IVM,
+//!   DBT-RING, SQL-OPT, and the scalar per-aggregate encodings used by
+//!   the DBT / 1-IVM baselines), and extracts dense `(c, s, Q)` triples.
+//! * [`regression`] — batch gradient descent over the cofactor matrix
+//!   (the convergence step of §6.2), supporting any choice of label and
+//!   feature set from the maintained statistics (as in [36]).
+
+pub mod cofactor;
+pub mod regression;
+
+pub use cofactor::CofactorSpec;
+pub use regression::{train, TrainConfig, TrainedModel};

@@ -1,0 +1,267 @@
+//! Batch-gradient-descent linear regression over the cofactor matrix
+//! (paper §6.2).
+//!
+//! With the sufficient statistics `(c, s, Q)` maintained by F-IVM, each
+//! convergence step `θ := θ − α·MᵀMθ` costs `O(m²)` — independent of
+//! the number of training tuples `k` — which is why maintaining the
+//! cofactor matrix incrementally gives real-time model refresh. The
+//! restriction trick of [36] applies: any label/feature subset of the
+//! indexed variables trains from the same statistics.
+
+/// Training configuration.
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Initial step size (adapted by backtracking).
+    pub alpha: f64,
+    /// Maximum gradient-descent iterations.
+    pub max_iters: usize,
+    /// Stop when the gradient’s ∞-norm falls below this.
+    pub tolerance: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            alpha: 0.1,
+            max_iters: 50_000,
+            tolerance: 1e-9,
+        }
+    }
+}
+
+/// A trained linear model `y ≈ θ₀ + Σ θ_f · x_f`.
+#[derive(Clone, Debug)]
+pub struct TrainedModel {
+    /// Bias term `θ₀`.
+    pub bias: f64,
+    /// One weight per feature, aligned with the `features` passed to
+    /// [`train`].
+    pub weights: Vec<f64>,
+    /// Mean squared error on the training data (from the statistics).
+    pub mse: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+impl TrainedModel {
+    /// Predict a label from feature values.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.bias
+            + self
+                .weights
+                .iter()
+                .zip(x)
+                .map(|(w, v)| w * v)
+                .sum::<f64>()
+    }
+}
+
+/// Train by batch gradient descent on the square loss, from the dense
+/// cofactor statistics `(c, s, q)` over `m` variables (`q` is row-major
+/// `m × m`). `label` and `features` index into those variables.
+///
+/// Internally works on the extended parameter vector `θ~ = (θ₀, θ, −1)`
+/// over `(1, features…, label)`, whose Gram matrix is assembled from
+/// `(c, s, q)`; the gradient is `Σ·θ~` restricted to the non-label rows
+/// (§6.2). Features are standardized by their second moment for
+/// conditioning and the weights un-scaled afterwards.
+pub fn train(
+    c: i64,
+    s: &[f64],
+    q: &[f64],
+    label: usize,
+    features: &[usize],
+    config: &TrainConfig,
+) -> TrainedModel {
+    let m = s.len();
+    assert_eq!(q.len(), m * m, "q must be m×m");
+    assert!(label < m, "label out of range");
+    let k = features.len();
+    let n = k + 2; // 1 (bias), features…, label
+    let count = c as f64;
+    assert!(count > 0.0, "cannot train on an empty join");
+
+    // Gram matrix over z = (1, x_f1 … x_fk, y), normalized by count.
+    let idx = |zi: usize| -> Option<usize> {
+        match zi {
+            0 => None,
+            i if i <= k => Some(features[i - 1]),
+            _ => Some(label),
+        }
+    };
+    let moment = |a: Option<usize>, b: Option<usize>| -> f64 {
+        match (a, b) {
+            (None, None) => count,
+            (None, Some(j)) | (Some(j), None) => s[j],
+            (Some(i), Some(j)) => q[i * m + j],
+        }
+    };
+    // scale features (and label) by sqrt of second moment
+    let scale: Vec<f64> = (0..n)
+        .map(|zi| match idx(zi) {
+            None => 1.0,
+            Some(j) => {
+                let sm = q[j * m + j] / count;
+                if sm > 0.0 {
+                    sm.sqrt()
+                } else {
+                    1.0
+                }
+            }
+        })
+        .collect();
+    let mut gram = vec![0.0; n * n];
+    for a in 0..n {
+        for b in 0..n {
+            gram[a * n + b] = moment(idx(a), idx(b)) / count / (scale[a] * scale[b]);
+        }
+    }
+
+    // θ~ = (θ0, θ1..θk, −1); optimize the first k+1 components.
+    let mut theta = vec![0.0; n];
+    theta[n - 1] = -1.0;
+    let mut alpha = config.alpha;
+    let mut iterations = 0;
+    let loss = |theta: &[f64]| -> f64 {
+        // 0.5 θ~ᵀ Σ θ~ (proportional to the squared error)
+        let mut acc = 0.0;
+        for a in 0..n {
+            for b in 0..n {
+                acc += theta[a] * gram[a * n + b] * theta[b];
+            }
+        }
+        0.5 * acc
+    };
+    let mut cur_loss = loss(&theta);
+    for it in 0..config.max_iters {
+        iterations = it + 1;
+        // gradient = Σ θ~ restricted to the non-label rows
+        let mut grad = vec![0.0; n - 1];
+        let mut gmax = 0.0f64;
+        for a in 0..n - 1 {
+            let mut acc = 0.0;
+            for b in 0..n {
+                acc += gram[a * n + b] * theta[b];
+            }
+            grad[a] = acc;
+            gmax = gmax.max(acc.abs());
+        }
+        if gmax < config.tolerance {
+            break;
+        }
+        // backtracking step
+        loop {
+            let mut cand = theta.clone();
+            for a in 0..n - 1 {
+                cand[a] -= alpha * grad[a];
+            }
+            let cand_loss = loss(&cand);
+            if cand_loss <= cur_loss || alpha < 1e-12 {
+                theta = cand;
+                cur_loss = cand_loss;
+                // gentle growth keeps steps large when the surface allows
+                alpha *= 1.05;
+                break;
+            }
+            alpha *= 0.5;
+        }
+    }
+
+    // un-scale: prediction used θ_a · (x/scale) … and y/scale_y ≈ …
+    let sy = scale[n - 1];
+    let bias = theta[0] * sy / scale[0];
+    let weights: Vec<f64> = (1..=k).map(|a| theta[a] * sy / scale[a]).collect();
+    let mse = 2.0 * cur_loss * sy * sy;
+    TrainedModel {
+        bias,
+        weights,
+        mse,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build dense stats from explicit rows over m variables.
+    fn stats(rows: &[Vec<f64>]) -> (i64, Vec<f64>, Vec<f64>) {
+        let m = rows[0].len();
+        let mut c = 0i64;
+        let mut s = vec![0.0; m];
+        let mut q = vec![0.0; m * m];
+        for r in rows {
+            c += 1;
+            for i in 0..m {
+                s[i] += r[i];
+                for j in 0..m {
+                    q[i * m + j] += r[i] * r[j];
+                }
+            }
+        }
+        (c, s, q)
+    }
+
+    #[test]
+    fn recovers_exact_linear_function() {
+        // y = 2 + 3·x0 − x1, noise-free
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let x0 = (i % 7) as f64;
+                let x1 = ((i * 3) % 5) as f64 - 2.0;
+                vec![x0, x1, 2.0 + 3.0 * x0 - x1]
+            })
+            .collect();
+        let (c, s, q) = stats(&rows);
+        let model = train(c, &s, &q, 2, &[0, 1], &TrainConfig::default());
+        assert!((model.bias - 2.0).abs() < 1e-3, "bias {}", model.bias);
+        assert!((model.weights[0] - 3.0).abs() < 1e-3);
+        assert!((model.weights[1] + 1.0).abs() < 1e-3);
+        assert!(model.mse < 1e-5);
+        assert!((model.predict(&[2.0, 1.0]) - 7.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn feature_subset_from_same_statistics() {
+        // three variables; train once on x0 only, once on both —
+        // the [36] restriction trick: same (c,s,Q), different models.
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| {
+                let x0 = (i % 11) as f64 * 0.5;
+                let x1 = ((i * 7) % 13) as f64 * 0.25;
+                vec![x0, x1, 1.0 + 2.0 * x0]
+            })
+            .collect();
+        let (c, s, q) = stats(&rows);
+        let full = train(c, &s, &q, 2, &[0, 1], &TrainConfig::default());
+        let restricted = train(c, &s, &q, 2, &[0], &TrainConfig::default());
+        assert!((restricted.weights[0] - 2.0).abs() < 1e-3);
+        assert!((restricted.bias - 1.0).abs() < 1e-3);
+        // the full model also finds x1 irrelevant
+        assert!(full.weights[1].abs() < 1e-2);
+    }
+
+    #[test]
+    fn noisy_data_converges_to_least_squares() {
+        // y = 1 + x + deterministic “noise” with zero mean
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| {
+                let x = i as f64 * 0.1;
+                let noise = if i % 2 == 0 { 0.1 } else { -0.1 };
+                vec![x, 1.0 + x + noise]
+            })
+            .collect();
+        let (c, s, q) = stats(&rows);
+        let model = train(c, &s, &q, 1, &[0], &TrainConfig::default());
+        assert!((model.weights[0] - 1.0).abs() < 1e-2);
+        assert!((model.bias - 1.0).abs() < 5e-2);
+        // MSE ≈ noise variance = 0.01
+        assert!((model.mse - 0.01).abs() < 2e-3, "mse {}", model.mse);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty join")]
+    fn empty_join_rejected() {
+        let _ = train(0, &[0.0], &[0.0], 0, &[], &TrainConfig::default());
+    }
+}

@@ -1,0 +1,145 @@
+//! Delta trees: the maintenance path for an update (paper Figure 4, §4).
+//!
+//! Under an update `δR`, the views on the path from `R`’s leaf to the
+//! root become delta views; every view off that path keeps its old
+//! contents and participates as a join sibling. The symbolic delta rules
+//!
+//! ```text
+//! δ(V1 ⊎ V2) = δV1 ⊎ δV2
+//! δ(V1 ⊗ V2) = (δV1 ⊗ V2) ⊎ (V1 ⊗ δV2) ⊎ (δV1 ⊗ δV2)
+//! δ(⊕X V)   = ⊕X δV
+//! ```
+//!
+//! simplify — because only one leaf changes per propagated update — to
+//! “replace the path child by its delta, keep the siblings”: at a path
+//! node with children `c₁ … c_k` and path child `c_j`,
+//! `δV = ⊕_margin (δc_j ⊗ ⊗_{i≠j} c_i)`. The engine executes this with
+//! hash joins; the `Optimize` rewrite (pushing `⊕` into factored deltas,
+//! §5) is applied there at execution time because it depends on the
+//! runtime shape of the delta.
+
+use crate::viewtree::{NodeId, ViewTree};
+use fivm_core::VarId;
+
+/// The leaf-to-root maintenance path for updates to `rel` (leaf first,
+/// root last). Returns `None` if the relation has no leaf in the tree.
+pub fn delta_path(tree: &ViewTree, rel: usize) -> Option<Vec<NodeId>> {
+    let mut path = vec![tree.leaf_of(rel)?];
+    while let Some(p) = tree.nodes[*path.last().unwrap()].parent {
+        path.push(p);
+    }
+    Some(path)
+}
+
+/// The maintenance path rooted at an arbitrary node (used for indicator
+/// projections, whose deltas enter the tree mid-way).
+pub fn path_from(tree: &ViewTree, node: NodeId) -> Vec<NodeId> {
+    let mut path = vec![node];
+    while let Some(p) = tree.nodes[*path.last().unwrap()].parent {
+        path.push(p);
+    }
+    path
+}
+
+/// The join work at one step of a delta propagation: the node whose
+/// delta is produced, the child whose delta feeds in, and the sibling
+/// views joined with it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeltaStep {
+    /// The (inner) node whose delta this step computes.
+    pub node: NodeId,
+    /// The child on the maintenance path (its delta is the input).
+    pub via_child: NodeId,
+    /// The remaining children, joined as materialized siblings.
+    pub siblings: Vec<NodeId>,
+    /// Variables marginalized at this node.
+    pub margin: Vec<VarId>,
+}
+
+/// Expand a maintenance path into per-node [`DeltaStep`]s (the path’s
+/// leaf itself needs no step — its delta *is* the update).
+pub fn delta_steps(tree: &ViewTree, path: &[NodeId]) -> Vec<DeltaStep> {
+    path.windows(2)
+        .map(|w| {
+            let (child, node) = (w[0], w[1]);
+            let n = &tree.nodes[node];
+            let siblings = n.children.iter().copied().filter(|&c| c != child).collect();
+            let margin = match &n.kind {
+                crate::viewtree::NodeKind::Inner { margin, .. } => margin.clone(),
+                _ => Vec::new(),
+            };
+            DeltaStep {
+                node,
+                via_child: child,
+                siblings,
+                margin,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryDef;
+    use crate::varorder::VariableOrder;
+    use crate::viewtree::ViewTree;
+
+    fn fig2_tree() -> (QueryDef, ViewTree) {
+        let q = QueryDef::example_rst(&[]);
+        let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
+        let t = ViewTree::build(&q, &vo);
+        (q, t)
+    }
+
+    /// Example 4.1: an update to T walks T → V@D → V@C → V@A.
+    #[test]
+    fn update_to_t_walks_to_root() {
+        let (q, t) = fig2_tree();
+        let ti = q.relation_index("T").unwrap();
+        let path = delta_path(&t, ti).unwrap();
+        assert_eq!(path.len(), 4); // leaf T, V@D, V@C, V@A
+        assert_eq!(*path.last().unwrap(), t.root);
+        let steps = delta_steps(&t, &path);
+        assert_eq!(steps.len(), 3);
+        // the middle step (δV@C) joins with sibling V@E over S
+        let mid = &steps[1];
+        assert_eq!(mid.siblings.len(), 1);
+        assert_eq!(t.nodes[mid.siblings[0]].rels, 0b010); // S’s view
+    }
+
+    #[test]
+    fn update_to_r_has_short_sibling_free_prefix() {
+        let (q, t) = fig2_tree();
+        let ri = q.relation_index("R").unwrap();
+        let path = delta_path(&t, ri).unwrap();
+        let steps = delta_steps(&t, &path);
+        // δV@B has no siblings (V@B is defined over R alone)
+        assert!(steps[0].siblings.is_empty());
+        // δV@A joins with the ST view
+        assert_eq!(steps.last().unwrap().siblings.len(), 1);
+        assert_eq!(t.nodes[steps.last().unwrap().siblings[0]].rels, 0b110);
+    }
+
+    #[test]
+    fn missing_relation_has_no_path() {
+        let (_, t) = fig2_tree();
+        assert!(delta_path(&t, 99).is_none());
+    }
+
+    #[test]
+    fn margins_match_nodes() {
+        let (q, t) = fig2_tree();
+        let si = q.relation_index("S").unwrap();
+        let steps = delta_steps(&t, &delta_path(&t, si).unwrap());
+        // each step marginalizes exactly the bound vars of its node
+        for s in &steps {
+            match &t.nodes[s.node].kind {
+                crate::viewtree::NodeKind::Inner { margin, .. } => {
+                    assert_eq!(&s.margin, margin)
+                }
+                _ => panic!("delta step at non-inner node"),
+            }
+        }
+    }
+}

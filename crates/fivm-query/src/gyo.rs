@@ -1,0 +1,157 @@
+//! GYO reduction (Graham–Yu–Özsoyoğlu, Fagin et al. variant) for
+//! hypergraph acyclicity, used to place indicator projections
+//! (paper Appendix B, Figure 10).
+//!
+//! The reduction repeatedly (a) removes vertices that occur in exactly
+//! one hyperedge and (b) removes hyperedges contained in another edge.
+//! The hypergraph is α-acyclic iff everything vanishes; otherwise the
+//! surviving edges form the cyclic core.
+
+use fivm_core::{Schema, VarId};
+
+/// Run the GYO reduction; returns the indices of the edges that survive
+/// (empty ⇔ the hypergraph is α-acyclic).
+pub fn gyo_reduce(edges: &[Schema]) -> Vec<usize> {
+    // working copy: (original index, vertex set)
+    let mut work: Vec<(usize, Vec<VarId>)> = edges
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (i, e.vars().to_vec()))
+        .collect();
+    loop {
+        let mut changed = false;
+
+        // (a) remove vertices occurring in exactly one edge
+        let mut counts: std::collections::BTreeMap<VarId, usize> = Default::default();
+        for (_, e) in &work {
+            for &v in e {
+                *counts.entry(v).or_default() += 1;
+            }
+        }
+        for (_, e) in work.iter_mut() {
+            let before = e.len();
+            e.retain(|v| counts[v] > 1);
+            if e.len() != before {
+                changed = true;
+            }
+        }
+
+        // drop empty edges
+        let before = work.len();
+        work.retain(|(_, e)| !e.is_empty());
+        if work.len() != before {
+            changed = true;
+        }
+
+        // (b) remove edges contained in another (remaining) edge
+        let mut remove: Vec<usize> = Vec::new();
+        for i in 0..work.len() {
+            for j in 0..work.len() {
+                if i == j || remove.contains(&i) || remove.contains(&j) {
+                    continue;
+                }
+                let (ei, ej) = (&work[i].1, &work[j].1);
+                if ei.iter().all(|v| ej.contains(v)) {
+                    // ei ⊆ ej: ei is an ear
+                    remove.push(i);
+                    break;
+                }
+            }
+        }
+        if !remove.is_empty() {
+            changed = true;
+            remove.sort_unstable();
+            for &i in remove.iter().rev() {
+                work.remove(i);
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+    work.into_iter().map(|(i, _)| i).collect()
+}
+
+/// True iff the hypergraph is α-acyclic.
+pub fn is_acyclic(edges: &[Schema]) -> bool {
+    gyo_reduce(edges).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sch(vars: &[u32]) -> Schema {
+        Schema::new(vars.to_vec())
+    }
+
+    #[test]
+    fn single_edge_is_acyclic() {
+        assert!(is_acyclic(&[sch(&[0, 1, 2])]));
+    }
+
+    #[test]
+    fn chain_is_acyclic() {
+        // R(A,B), S(B,C), T(C,D)
+        assert!(is_acyclic(&[sch(&[0, 1]), sch(&[1, 2]), sch(&[2, 3])]));
+    }
+
+    #[test]
+    fn star_is_acyclic() {
+        assert!(is_acyclic(&[
+            sch(&[0, 1]),
+            sch(&[0, 2]),
+            sch(&[0, 3]),
+            sch(&[0, 4])
+        ]));
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        let survivors = gyo_reduce(&[sch(&[0, 1]), sch(&[1, 2]), sch(&[2, 0])]);
+        assert_eq!(survivors.len(), 3);
+    }
+
+    #[test]
+    fn triangle_with_guard_is_acyclic() {
+        // adding the full edge {A,B,C} absorbs the triangle (α-acyclicity
+        // is not closed under subhypergraphs — the classic example).
+        assert!(is_acyclic(&[
+            sch(&[0, 1]),
+            sch(&[1, 2]),
+            sch(&[2, 0]),
+            sch(&[0, 1, 2]),
+        ]));
+    }
+
+    #[test]
+    fn loop_four_is_cyclic() {
+        let survivors = gyo_reduce(&[
+            sch(&[0, 1]),
+            sch(&[1, 2]),
+            sch(&[2, 3]),
+            sch(&[3, 0]),
+        ]);
+        assert_eq!(survivors.len(), 4);
+    }
+
+    #[test]
+    fn cyclic_core_is_isolated() {
+        // acyclic appendage hanging off a triangle: only the triangle
+        // survives.
+        let survivors = gyo_reduce(&[
+            sch(&[0, 1]),
+            sch(&[1, 2]),
+            sch(&[2, 0]),
+            sch(&[2, 3]), // ear
+            sch(&[3, 4]), // ear
+        ]);
+        assert_eq!(survivors, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicate_edges_reduce() {
+        assert!(is_acyclic(&[sch(&[0, 1]), sch(&[0, 1])]));
+    }
+}

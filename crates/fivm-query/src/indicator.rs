@@ -1,0 +1,188 @@
+//! Indicator projections for cyclic queries (paper Appendix B,
+//! Figure 10).
+//!
+//! An indicator projection `∃_pk R` marks the active domain of `R` on
+//! the variables `pk`: keys are the distinct `pk`-projections of `R`’s
+//! support, all with payload `1`. Joining an indicator into a view does
+//! not change the query result but can *constrain* the view — e.g. it
+//! bounds the `S ⋈ T` view of the triangle query from `O(N²)` to `O(N)`
+//! (Example B.3) — trading a little maintenance work for asymptotic
+//! space/time savings.
+//!
+//! The placement algorithm `I(τ)` walks the view tree bottom-up; at each
+//! inner view it considers, as candidates, projections of relations the
+//! view is *not* defined over onto the view’s key variables, and keeps
+//! exactly those candidates that close a cycle with the children’s key
+//! schemas (detected with the GYO reduction).
+//!
+//! Deviation from the paper’s presentation: indicator nodes contribute
+//! no bits to ancestors’ `rels` masks (they approximate a subtree rooted
+//! elsewhere), so the µ rule of Figure 5 continues to see the tree’s
+//! original relation structure; the engine maintains indicators with
+//! support counts as in Example B.2.
+
+use crate::gyo::gyo_reduce;
+use crate::query::QueryDef;
+use crate::viewtree::{NodeId, NodeKind, ViewNode, ViewTree};
+use fivm_core::Schema;
+
+/// Extend `tree` with indicator projections per Figure 10. Returns the
+/// ids of the indicator nodes added.
+pub fn add_indicators(tree: &mut ViewTree, query: &QueryDef) -> Vec<NodeId> {
+    let mut added = Vec::new();
+    // bottom-up: nodes vector is already topologically ordered
+    for id in 0..tree.nodes.len() {
+        if !matches!(tree.nodes[id].kind, NodeKind::Inner { .. }) {
+            continue;
+        }
+        let keys = tree.nodes[id].keys.clone();
+        let rels = tree.nodes[id].rels;
+        let children = tree.nodes[id].children.clone();
+
+        // candidate indicators: relations not under this view whose
+        // schema meets the view’s keys
+        let mut cand: Vec<(usize, Schema)> = Vec::new();
+        for (ri, r) in query.relations.iter().enumerate() {
+            if rels & (1u64 << ri) != 0 {
+                continue;
+            }
+            let pk = r.schema.intersect(&keys);
+            if !pk.is_empty() {
+                cand.push((ri, pk));
+            }
+        }
+        if cand.is_empty() {
+            continue;
+        }
+
+        // hyperedges: children’s keys then candidates’ pk sets
+        let mut edges: Vec<Schema> = children
+            .iter()
+            .map(|&c| tree.nodes[c].keys.clone())
+            .collect();
+        let n_children = edges.len();
+        edges.extend(cand.iter().map(|(_, pk)| pk.clone()));
+
+        let incycle = gyo_reduce(&edges);
+        for &e in &incycle {
+            if e < n_children {
+                continue; // child view, already present
+            }
+            let (ri, pk) = cand[e - n_children].clone();
+            let ind = ViewNode {
+                kind: NodeKind::Indicator {
+                    rel: ri,
+                    proj: pk.clone(),
+                },
+                keys: pk,
+                children: Vec::new(),
+                parent: Some(id),
+                rels: 0,
+            };
+            tree.nodes.push(ind);
+            let ind_id = tree.nodes.len() - 1;
+            tree.nodes[id].children.push(ind_id);
+            added.push(ind_id);
+        }
+    }
+    // NOTE: indicator nodes are appended after their parents, so the
+    // global bottom-up ordering only holds for non-indicator nodes;
+    // consumers iterate children explicitly.
+    tree.fix_parents();
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::varorder::VariableOrder;
+
+    /// Example B.3: the triangle query over the order A − B − C gets an
+    /// indicator projection ∃_{A,B} R below the view at C.
+    #[test]
+    fn triangle_gets_indicator() {
+        let q = QueryDef::triangle();
+        let vo = VariableOrder::parse("A - B - C", &q.catalog);
+        let mut t = ViewTree::build(&q, &vo);
+        let added = add_indicators(&mut t, &q);
+        assert_eq!(added.len(), 1);
+        let ind = &t.nodes[added[0]];
+        match &ind.kind {
+            NodeKind::Indicator { rel, proj } => {
+                assert_eq!(q.relations[*rel].name, "R");
+                let names: Vec<&str> =
+                    proj.iter().map(|&v| q.catalog.name(v)).collect();
+                assert_eq!(names, vec!["A", "B"]);
+            }
+            k => panic!("not an indicator: {k:?}"),
+        }
+        // attached under the view at C (the node joining S and T)
+        let parent = ind.parent.unwrap();
+        match &t.nodes[parent].kind {
+            NodeKind::Inner { at, .. } => assert_eq!(q.catalog.name(*at), "C"),
+            k => panic!("unexpected parent {k:?}"),
+        }
+        // the view at C now has three children: S, T and the indicator
+        assert_eq!(t.nodes[parent].children.len(), 3);
+    }
+
+    /// Acyclic queries get no indicators.
+    #[test]
+    fn acyclic_query_unchanged() {
+        let q = QueryDef::example_rst(&[]);
+        let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
+        let mut t = ViewTree::build(&q, &vo);
+        let before = t.nodes.len();
+        let added = add_indicators(&mut t, &q);
+        assert!(added.is_empty());
+        assert_eq!(t.nodes.len(), before);
+    }
+
+    /// The indicator keeps µ’s view of the relation structure: V@C is
+    /// still “over S,T”, so it is stored for updates to R (needed as a
+    /// sibling) exactly as in Example B.1’s analysis.
+    #[test]
+    fn materialization_with_indicator() {
+        let q = QueryDef::triangle();
+        let vo = VariableOrder::parse("A - B - C", &q.catalog);
+        let mut t = ViewTree::build(&q, &vo);
+        add_indicators(&mut t, &q);
+        let r = q.relation_index("R").unwrap();
+        let plan = crate::materialize::materialization(&t, 1u64 << r);
+        // the ST view (over S,T) is stored to answer δR joins
+        let st_view = t
+            .nodes
+            .iter()
+            .position(|n| n.rels == 0b110 && matches!(n.kind, NodeKind::Inner { .. }))
+            .unwrap();
+        assert!(plan.store[st_view]);
+    }
+
+    /// Loop-4 query with a chord: the chord relation participates in two
+    /// triangles; indicators may be added but each relation keeps exactly
+    /// one leaf (no duplication — the correctness constraint of App. B).
+    #[test]
+    fn chorded_cycle_no_leaf_duplication() {
+        let q = QueryDef::new(
+            &[
+                ("R", &["A", "B"]),
+                ("S", &["B", "C"]),
+                ("T", &["C", "D"]),
+                ("U", &["D", "A"]),
+                ("Chord", &["A", "C"]),
+            ],
+            &[],
+        );
+        let vo = VariableOrder::parse("A - B - C - D", &q.catalog);
+        let mut t = ViewTree::build(&q, &vo);
+        add_indicators(&mut t, &q);
+        for ri in 0..q.relations.len() {
+            let leaves = t
+                .nodes
+                .iter()
+                .filter(|n| matches!(n.kind, NodeKind::Relation(r) if r == ri))
+                .count();
+            assert_eq!(leaves, 1, "relation {ri} duplicated");
+        }
+    }
+}

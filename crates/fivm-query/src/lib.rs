@@ -1,0 +1,39 @@
+//! # fivm-query — F-IVM query planning
+//!
+//! Ring-agnostic planning for factorized higher-order IVM (paper §3–§4,
+//! Appendix B):
+//!
+//! * [`QueryDef`] — a join query with group-by (free) variables over
+//!   named relations.
+//! * [`VariableOrder`] — the paper’s alternative to query plans
+//!   (Definition 3.1): a forest of variables with a dependency function,
+//!   validated so that each relation’s variables lie on one root-to-leaf
+//!   path.
+//! * [`ViewTree`] — the hierarchy of views over a variable order
+//!   (Figure 3), with long single-child chains composed into one view.
+//! * [`delta_path`] — the leaf-to-root maintenance path for an update
+//!   (Figure 4); the `Optimize` rewrite for factorizable updates is
+//!   applied by the engine at execution time.
+//! * [`materialization`] — which views to materialize for a given
+//!   updatable-relation workload (Figure 5).
+//! * [`gyo`] / [`indicator`] — GYO reduction and indicator projections
+//!   that bound view sizes for cyclic queries (Appendix B, Figure 10).
+//!
+//! Execution of these plans over a concrete ring lives in `fivm-engine`.
+
+pub mod cost;
+pub mod delta;
+pub mod gyo;
+pub mod indicator;
+pub mod materialize;
+pub mod query;
+pub mod varorder;
+pub mod viewtree;
+
+pub use cost::{best_order, enumerate_orders, CostModel};
+pub use delta::delta_path;
+pub use indicator::add_indicators;
+pub use materialize::{materialization, MaterializationPlan};
+pub use query::{QueryDef, RelDef, RelIndex};
+pub use varorder::VariableOrder;
+pub use viewtree::{NodeId, NodeKind, ViewNode, ViewTree};

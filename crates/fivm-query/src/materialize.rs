@@ -1,0 +1,149 @@
+//! Which views to materialize (paper Figure 5, §4).
+//!
+//! Given the updatable relations `U`, a view is stored iff it is the
+//! root (the query result) or it is needed to compute its parent’s delta
+//! for updates to a relation it is *not* defined over:
+//!
+//! ```text
+//! store(V) ⇔ parent(V) = null  ∨  (rels(parent(V)) \ rels(V)) ∩ U ≠ ∅
+//! ```
+//!
+//! Leaves (input relations) follow the same rule, which is how the
+//! streaming “ONE” scenarios of §7 avoid storing the streamed relation
+//! entirely.
+
+use crate::viewtree::{NodeKind, ViewTree};
+
+/// Materialization decision per node.
+#[derive(Clone, Debug)]
+pub struct MaterializationPlan {
+    /// `store[n]` — whether node `n` must be materialized.
+    pub store: Vec<bool>,
+    /// Bitmask of the updatable relations the plan was computed for.
+    pub updatable: u64,
+}
+
+impl MaterializationPlan {
+    /// Number of stored views/relations (the paper’s view-count metric).
+    pub fn stored_count(&self) -> usize {
+        self.store.iter().filter(|&&b| b).count()
+    }
+}
+
+/// Compute the materialization plan `µ(τ, U)` of Figure 5. `updatable`
+/// is a bitmask over relation indices.
+pub fn materialization(tree: &ViewTree, updatable: u64) -> MaterializationPlan {
+    let store = tree
+        .nodes
+        .iter()
+        .map(|n| match n.parent {
+            None => true, // the root is always stored
+            Some(p) => {
+                let parent_rels = tree.nodes[p].rels;
+                let own = effective_rels(tree, n);
+                (parent_rels & !own) & updatable != 0
+            }
+        })
+        .collect();
+    MaterializationPlan {
+        store,
+        updatable,
+    }
+}
+
+/// The relations a node is “defined over” for the purposes of µ.
+/// Indicator nodes are defined over their projected relation (their
+/// contents change only with it), even though they contribute no bits to
+/// ancestors’ masks.
+fn effective_rels(tree: &ViewTree, n: &crate::viewtree::ViewNode) -> u64 {
+    match &n.kind {
+        NodeKind::Indicator { rel, .. } => 1u64 << rel,
+        _ => {
+            let _ = tree;
+            n.rels
+        }
+    }
+}
+
+/// Convenience: bitmask from relation indices.
+pub fn rel_mask(rels: &[usize]) -> u64 {
+    rels.iter().fold(0u64, |m, &r| m | (1u64 << r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryDef;
+    use crate::varorder::VariableOrder;
+    use crate::viewtree::ViewTree;
+
+    fn fig2() -> (QueryDef, ViewTree) {
+        let q = QueryDef::example_rst(&[]);
+        let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
+        let t = ViewTree::build(&q, &vo);
+        (q, t)
+    }
+
+    fn stored_names(q: &QueryDef, t: &ViewTree, plan: &MaterializationPlan) -> Vec<String> {
+        t.nodes
+            .iter()
+            .enumerate()
+            .filter(|(id, _)| plan.store[*id])
+            .map(|(_, n)| match &n.kind {
+                NodeKind::Relation(r) => q.relations[*r].name.clone(),
+                NodeKind::Indicator { rel, .. } => format!("ind({})", q.relations[*rel].name),
+                NodeKind::Inner { at, .. } => format!("V@{}", q.catalog.name(*at)),
+            })
+            .collect()
+    }
+
+    /// Example 4.2: for U = {T}, store the root, V@E_S and V@B_R
+    /// (plus nothing else — in particular not V@C or V@D).
+    #[test]
+    fn example_4_2_updates_to_t_only() {
+        let (q, t) = fig2();
+        let ti = q.relation_index("T").unwrap();
+        let plan = materialization(&t, rel_mask(&[ti]));
+        let mut names = stored_names(&q, &t, &plan);
+        names.sort();
+        assert_eq!(names, vec!["V@A", "V@B", "V@E"]);
+    }
+
+    /// Example 4.2 continued: adding updates to R and S also stores
+    /// V@C and V@D (and the input relations as siblings’ sources).
+    #[test]
+    fn updates_to_all() {
+        let (q, t) = fig2();
+        let plan = materialization(&t, rel_mask(&[0, 1, 2]));
+        let names = stored_names(&q, &t, &plan);
+        for required in ["V@A", "V@B", "V@C", "V@D", "V@E"] {
+            assert!(names.contains(&required.to_string()), "missing {required}");
+        }
+        // Under updates to all relations every view is materialized (§4).
+        assert!(plan.stored_count() >= 5);
+    }
+
+    /// “If no updates are supported, then only the root view is stored.”
+    #[test]
+    fn no_updates_stores_only_root() {
+        let (_, t) = fig2();
+        let plan = materialization(&t, 0);
+        assert_eq!(plan.stored_count(), 1);
+        assert!(plan.store[t.root]);
+    }
+
+    /// Streaming scenario: with U = {R} the R leaf itself is not stored
+    /// (δR flows through without being retained) — the “do not store the
+    /// stream” property of §7’s ONE experiments.
+    #[test]
+    fn stream_relation_not_stored() {
+        let (q, t) = fig2();
+        let ri = q.relation_index("R").unwrap();
+        let plan = materialization(&t, rel_mask(&[ri]));
+        let leaf = t.leaf_of(ri).unwrap();
+        assert!(!plan.store[leaf]);
+        // …but its sibling data (the ST side) is stored.
+        let names = stored_names(&q, &t, &plan);
+        assert!(names.contains(&"V@C".to_string()));
+    }
+}

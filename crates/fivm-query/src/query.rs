@@ -1,0 +1,171 @@
+//! Query definitions: natural joins with group-by aggregates (paper §2).
+//!
+//! A [`QueryDef`] captures the key-space structure of
+//!
+//! ```sql
+//! SELECT X1, …, Xf, SUM(g(X_{f+1}) * … * g(X_m))
+//! FROM R1 NATURAL JOIN … NATURAL JOIN Rn
+//! GROUP BY X1, …, Xf
+//! ```
+//!
+//! — the relations with their schemas and the set of free (group-by)
+//! variables. Lifting functions and the payload ring are *not* part of
+//! the query definition; they are chosen per application when the plan is
+//! instantiated by the engine, which is what makes one view tree serve
+//! `COUNT`, regression aggregates and factorized results alike.
+
+use fivm_core::{Catalog, Schema, VarId};
+
+/// Index of a relation within a query (position in [`QueryDef::relations`]).
+pub type RelIndex = usize;
+
+/// One input relation: a name and its schema.
+#[derive(Clone, Debug)]
+pub struct RelDef {
+    /// Relation name (for display and trigger registration).
+    pub name: String,
+    /// Variables of the relation.
+    pub schema: Schema,
+}
+
+/// A natural-join query with free variables.
+#[derive(Clone, Debug)]
+pub struct QueryDef {
+    /// Interned variable names.
+    pub catalog: Catalog,
+    /// The joined relations.
+    pub relations: Vec<RelDef>,
+    /// Free (group-by) variables; all others are bound and will be
+    /// marginalized.
+    pub free: Schema,
+}
+
+impl QueryDef {
+    /// Build a query from `(relation name, attribute names)` pairs and a
+    /// list of free attribute names.
+    pub fn new(rels: &[(&str, &[&str])], free: &[&str]) -> Self {
+        let mut catalog = Catalog::new();
+        let relations = rels
+            .iter()
+            .map(|(name, attrs)| RelDef {
+                name: name.to_string(),
+                schema: Schema::new(catalog.vars(attrs.iter().copied())),
+            })
+            .collect();
+        let free = Schema::new(catalog.vars(free.iter().copied()));
+        QueryDef {
+            catalog,
+            relations,
+            free,
+        }
+    }
+
+    /// All variables appearing in some relation, in first-appearance
+    /// order.
+    pub fn all_vars(&self) -> Schema {
+        let mut out = Schema::empty();
+        for r in &self.relations {
+            out = out.union(&r.schema);
+        }
+        out
+    }
+
+    /// The relations whose schema contains `v`.
+    pub fn relations_with(&self, v: VarId) -> Vec<RelIndex> {
+        self.relations
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.schema.contains(v))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Index of the relation named `name`.
+    pub fn relation_index(&self, name: &str) -> Option<RelIndex> {
+        self.relations.iter().position(|r| r.name == name)
+    }
+
+    /// True iff variables `x` and `y` co-occur in some relation — the
+    /// paper’s “X depends on Y” (§3).
+    pub fn vars_cooccur(&self, x: VarId, y: VarId) -> bool {
+        self.relations
+            .iter()
+            .any(|r| r.schema.contains(x) && r.schema.contains(y))
+    }
+
+    /// The query hypergraph: one hyperedge (schema) per relation.
+    pub fn hyperedges(&self) -> Vec<Schema> {
+        self.relations.iter().map(|r| r.schema.clone()).collect()
+    }
+
+    /// The running example of the paper (Examples 1.1 / 2.3): relations
+    /// `R(A,B)`, `S(A,C,E)`, `T(C,D)` with free variables `free`.
+    pub fn example_rst(free: &[&str]) -> Self {
+        QueryDef::new(
+            &[
+                ("R", &["A", "B"]),
+                ("S", &["A", "C", "E"]),
+                ("T", &["C", "D"]),
+            ],
+            free,
+        )
+    }
+
+    /// The triangle query `Q△` of Appendix B: `R(A,B), S(B,C), T(C,A)`.
+    pub fn triangle() -> Self {
+        QueryDef::new(
+            &[
+                ("R", &["A", "B"]),
+                ("S", &["B", "C"]),
+                ("T", &["C", "A"]),
+            ],
+            &[],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_running_example() {
+        let q = QueryDef::example_rst(&["A", "C"]);
+        assert_eq!(q.relations.len(), 3);
+        assert_eq!(q.all_vars().len(), 5);
+        assert_eq!(q.free.len(), 2);
+        let a = q.catalog.lookup("A").unwrap();
+        assert_eq!(q.relations_with(a), vec![0, 1]); // R and S
+    }
+
+    #[test]
+    fn cooccurrence() {
+        let q = QueryDef::example_rst(&[]);
+        let (a, b, c, d) = (
+            q.catalog.lookup("A").unwrap(),
+            q.catalog.lookup("B").unwrap(),
+            q.catalog.lookup("C").unwrap(),
+            q.catalog.lookup("D").unwrap(),
+        );
+        assert!(q.vars_cooccur(a, b)); // R(A,B)
+        assert!(q.vars_cooccur(c, d)); // T(C,D)
+        assert!(!q.vars_cooccur(a, d)); // never together
+        assert!(!q.vars_cooccur(b, d));
+    }
+
+    #[test]
+    fn relation_lookup() {
+        let q = QueryDef::example_rst(&[]);
+        assert_eq!(q.relation_index("S"), Some(1));
+        assert_eq!(q.relation_index("Z"), None);
+    }
+
+    #[test]
+    fn triangle_shape() {
+        let q = QueryDef::triangle();
+        assert_eq!(q.all_vars().len(), 3);
+        let edges = q.hyperedges();
+        assert_eq!(edges.len(), 3);
+        assert!(edges.iter().all(|e| e.len() == 2));
+    }
+}

@@ -1,0 +1,441 @@
+//! Variable orders (paper Definition 3.1).
+//!
+//! A variable order for a join query is a rooted forest with one node per
+//! query variable plus a dependency function `dep`. It must satisfy:
+//!
+//! 1. for each relation, its variables lie along one root-to-leaf path;
+//! 2. `dep(X)` is the subset of `X`’s ancestors on which the variables in
+//!    the subtree rooted at `X` depend (co-occur in some relation).
+//!
+//! Variable orders generalize join orders: they may require joining
+//! several relations at once on a shared variable, which is what enables
+//! worst-case-optimal evaluation (§3). `dep` is *derived* from the query
+//! here, not user-supplied.
+
+use crate::query::QueryDef;
+use fivm_core::{FxHashMap, Schema, VarId};
+
+/// A rooted forest over the query variables.
+#[derive(Clone, Debug)]
+pub struct VariableOrder {
+    /// The variables, in a fixed node order (indices are node ids).
+    pub vars: Vec<VarId>,
+    /// Parent node of each node (`None` for roots).
+    pub parent: Vec<Option<usize>>,
+    /// Children of each node.
+    pub children: Vec<Vec<usize>>,
+    /// Root nodes.
+    pub roots: Vec<usize>,
+}
+
+impl VariableOrder {
+    /// A single chain `vars[0] − vars[1] − …` (always a valid variable
+    /// order: every relation’s variables trivially lie on the one path).
+    pub fn chain(vars: &[VarId]) -> Self {
+        let n = vars.len();
+        let parent = (0..n).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let mut children = vec![Vec::new(); n];
+        for i in 1..n {
+            children[i - 1].push(i);
+        }
+        VariableOrder {
+            vars: vars.to_vec(),
+            parent,
+            children,
+            roots: if n == 0 { vec![] } else { vec![0] },
+        }
+    }
+
+    /// Build from `(var, parent var)` pairs; `None` parent = root. Pairs
+    /// must be listed parents-first.
+    pub fn from_edges(edges: &[(VarId, Option<VarId>)]) -> Self {
+        let mut index: FxHashMap<VarId, usize> = FxHashMap::default();
+        let mut vo = VariableOrder {
+            vars: Vec::new(),
+            parent: Vec::new(),
+            children: Vec::new(),
+            roots: Vec::new(),
+        };
+        for &(v, p) in edges {
+            let id = vo.vars.len();
+            assert!(
+                index.insert(v, id).is_none(),
+                "variable appears twice in the order"
+            );
+            vo.vars.push(v);
+            vo.children.push(Vec::new());
+            match p {
+                None => {
+                    vo.parent.push(None);
+                    vo.roots.push(id);
+                }
+                Some(pv) => {
+                    let pid = *index.get(&pv).expect("parent listed after child");
+                    vo.parent.push(Some(pid));
+                    vo.children[pid].push(id);
+                }
+            }
+        }
+        vo
+    }
+
+    /// Parse a compact textual forest like `"A - { B, C - { D, E } }"`
+    /// using names from `catalog`. Children lists are brace-enclosed,
+    /// comma-separated; a lone child needs no braces: `"A - B - C"`.
+    pub fn parse(spec: &str, catalog: &fivm_core::Catalog) -> Self {
+        let tokens = tokenize(spec);
+        let mut pos = 0;
+        let mut edges: Vec<(VarId, Option<VarId>)> = Vec::new();
+        parse_node(&tokens, &mut pos, None, catalog, &mut edges);
+        assert_eq!(pos, tokens.len(), "trailing tokens in variable order spec");
+        Self::from_edges(&edges)
+    }
+
+    /// Node id of a variable.
+    pub fn node_of(&self, v: VarId) -> Option<usize> {
+        self.vars.iter().position(|&x| x == v)
+    }
+
+    /// Ancestor variables of node `n` (nearest first).
+    pub fn ancestors(&self, n: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut cur = self.parent[n];
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.parent[p];
+        }
+        out
+    }
+
+    /// Variables in the subtree rooted at `n` (including `n`).
+    pub fn subtree_vars(&self, n: usize) -> Vec<VarId> {
+        let mut out = Vec::new();
+        let mut stack = vec![n];
+        while let Some(x) = stack.pop() {
+            out.push(self.vars[x]);
+            stack.extend(&self.children[x]);
+        }
+        out
+    }
+
+    /// The dependency set `dep(X)` (Definition 3.1): ancestors of `X`
+    /// that co-occur in some relation with a variable in `X`’s subtree.
+    pub fn dep(&self, n: usize, query: &QueryDef) -> Schema {
+        let sub = self.subtree_vars(n);
+        let mut out = Vec::new();
+        // nearest-first ancestors, reversed for root-first order
+        let mut anc = self.ancestors(n);
+        anc.reverse();
+        for a in anc {
+            let av = self.vars[a];
+            let depends = query
+                .relations
+                .iter()
+                .any(|r| r.schema.contains(av) && sub.iter().any(|&s| r.schema.contains(s)));
+            if depends {
+                out.push(av);
+            }
+        }
+        Schema::new(out)
+    }
+
+    /// Check Definition 3.1 against `query`: every query variable occurs
+    /// exactly once, and each relation’s variables lie on one
+    /// root-to-leaf path. Returns a description of the first violation.
+    pub fn validate(&self, query: &QueryDef) -> Result<(), String> {
+        let qvars = query.all_vars();
+        for &v in qvars.iter() {
+            let count = self.vars.iter().filter(|&&x| x == v).count();
+            if count != 1 {
+                return Err(format!(
+                    "variable {} occurs {count} times in the order",
+                    query.catalog.name(v)
+                ));
+            }
+        }
+        for v in &self.vars {
+            if !qvars.contains(*v) {
+                return Err(format!(
+                    "order contains non-query variable {}",
+                    query.catalog.name(*v)
+                ));
+            }
+        }
+        for r in &query.relations {
+            // All of r’s vars must be pairwise in ancestor-descendant
+            // relation ⇔ they lie on one root-to-leaf path ⇔ the deepest
+            // one has all others among its ancestors.
+            let nodes: Vec<usize> = r
+                .schema
+                .iter()
+                .map(|&v| self.node_of(v).expect("validated above"))
+                .collect();
+            let deepest = *nodes
+                .iter()
+                .max_by_key(|&&n| self.ancestors(n).len())
+                .expect("relation with empty schema");
+            let anc: Vec<usize> = self.ancestors(deepest);
+            for &n in &nodes {
+                if n != deepest && !anc.contains(&n) {
+                    return Err(format!(
+                        "variables of relation {} do not lie on one root-to-leaf path",
+                        r.name
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Heuristic construction: free variables first (as a chain from the
+    /// top, satisfying the paper’s “free variables on top” preference),
+    /// then each relation’s remaining variables appended as a chain under
+    /// the deepest already-placed variable of that relation. Falls back
+    /// to a single chain over all variables when the greedy placement
+    /// violates Definition 3.1 (which a chain never does).
+    pub fn auto(query: &QueryDef) -> Self {
+        let mut edges: Vec<(VarId, Option<VarId>)> = Vec::new();
+        let mut placed: FxHashMap<VarId, usize> = FxHashMap::default(); // var -> depth
+        let mut last: Option<VarId> = None;
+        for &f in query.free.iter() {
+            edges.push((f, last));
+            placed.insert(f, placed.len());
+            last = Some(f);
+        }
+        // Order relations by descending connectivity to already-placed vars.
+        let mut remaining: Vec<usize> = (0..query.relations.len()).collect();
+        while !remaining.is_empty() {
+            let (pos, _) = remaining
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &ri)| {
+                    query.relations[ri]
+                        .schema
+                        .iter()
+                        .filter(|v| placed.contains_key(v))
+                        .count()
+                })
+                .expect("non-empty");
+            let ri = remaining.remove(pos);
+            let schema = &query.relations[ri].schema;
+            // deepest placed variable of this relation = attachment point
+            let mut attach: Option<VarId> = schema
+                .iter()
+                .filter(|v| placed.contains_key(v))
+                .max_by_key(|v| placed[v])
+                .copied();
+            let base_depth = attach.map(|v| placed[&v] + 1).unwrap_or(0);
+            let mut depth = base_depth;
+            for &v in schema.iter() {
+                if !placed.contains_key(&v) {
+                    edges.push((v, attach));
+                    placed.insert(v, depth);
+                    attach = Some(v);
+                    depth += 1;
+                }
+            }
+        }
+        let vo = Self::from_edges(&edges);
+        if vo.validate(query).is_ok() {
+            vo
+        } else {
+            let all = query.all_vars();
+            let chain = Self::chain(all.vars());
+            debug_assert!(chain.validate(query).is_ok());
+            chain
+        }
+    }
+
+    /// Render with variable names for debugging.
+    pub fn render(&self, catalog: &fivm_core::Catalog) -> String {
+        fn go(
+            vo: &VariableOrder,
+            n: usize,
+            catalog: &fivm_core::Catalog,
+            indent: usize,
+            out: &mut String,
+        ) {
+            out.push_str(&" ".repeat(indent));
+            out.push_str(catalog.name(vo.vars[n]));
+            out.push('\n');
+            for &c in &vo.children[n] {
+                go(vo, c, catalog, indent + 2, out);
+            }
+        }
+        let mut out = String::new();
+        for &r in &self.roots {
+            go(self, r, catalog, 0, &mut out);
+        }
+        out
+    }
+}
+
+fn tokenize(spec: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for ch in spec.chars() {
+        match ch {
+            '{' | '}' | ',' | '-' => {
+                if !cur.trim().is_empty() {
+                    tokens.push(cur.trim().to_string());
+                }
+                cur.clear();
+                tokens.push(ch.to_string());
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        tokens.push(cur.trim().to_string());
+    }
+    tokens
+}
+
+fn parse_node(
+    tokens: &[String],
+    pos: &mut usize,
+    parent: Option<VarId>,
+    catalog: &fivm_core::Catalog,
+    edges: &mut Vec<(VarId, Option<VarId>)>,
+) {
+    let name = &tokens[*pos];
+    let v = catalog
+        .lookup(name)
+        .unwrap_or_else(|| panic!("unknown variable {name:?} in order spec"));
+    *pos += 1;
+    edges.push((v, parent));
+    if *pos < tokens.len() && tokens[*pos] == "-" {
+        *pos += 1;
+        if tokens[*pos] == "{" {
+            *pos += 1; // consume {
+            loop {
+                parse_node(tokens, pos, Some(v), catalog, edges);
+                if tokens[*pos] == "," {
+                    *pos += 1;
+                } else {
+                    break;
+                }
+            }
+            assert_eq!(tokens[*pos], "}", "expected closing brace");
+            *pos += 1;
+        } else {
+            parse_node(tokens, pos, Some(v), catalog, edges);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper’s Figure 2a order: A − {B, C − {D, E}}.
+    fn figure_2a(q: &QueryDef) -> VariableOrder {
+        VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog)
+    }
+
+    #[test]
+    fn figure_2a_dep_sets() {
+        let q = QueryDef::example_rst(&[]);
+        let vo = figure_2a(&q);
+        assert!(vo.validate(&q).is_ok());
+        let node = |name: &str| vo.node_of(q.catalog.lookup(name).unwrap()).unwrap();
+        let dep = |name: &str| {
+            let d = vo.dep(node(name), &q);
+            d.iter().map(|&v| q.catalog.name(v).to_string()).collect::<Vec<_>>()
+        };
+        assert_eq!(dep("A"), Vec::<String>::new());
+        assert_eq!(dep("B"), vec!["A"]);
+        assert_eq!(dep("C"), vec!["A"]);
+        assert_eq!(dep("D"), vec!["C"]); // D is independent of A given C
+        assert_eq!(dep("E"), vec!["A", "C"]);
+    }
+
+    #[test]
+    fn chain_is_always_valid() {
+        let q = QueryDef::example_rst(&["A"]);
+        let all = q.all_vars();
+        let vo = VariableOrder::chain(all.vars());
+        assert!(vo.validate(&q).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_split_relation() {
+        let q = QueryDef::example_rst(&[]);
+        // B and A in different branches — R(A,B) not on one path.
+        let (a, b, c, d, e) = (
+            q.catalog.lookup("A").unwrap(),
+            q.catalog.lookup("B").unwrap(),
+            q.catalog.lookup("C").unwrap(),
+            q.catalog.lookup("D").unwrap(),
+            q.catalog.lookup("E").unwrap(),
+        );
+        let vo = VariableOrder::from_edges(&[
+            (c, None),
+            (a, Some(c)),
+            (b, Some(c)), // sibling of A: R(A,B) split
+            (d, Some(c)),
+            (e, Some(a)),
+        ]);
+        let err = vo.validate(&q).unwrap_err();
+        assert!(err.contains("R"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn validate_rejects_missing_and_duplicate_vars() {
+        let q = QueryDef::example_rst(&[]);
+        let a = q.catalog.lookup("A").unwrap();
+        let vo = VariableOrder::chain(&[a]);
+        assert!(vo.validate(&q).is_err());
+    }
+
+    #[test]
+    fn auto_produces_valid_order() {
+        for free in [&[][..], &["A"][..], &["A", "C"][..]] {
+            let q = QueryDef::example_rst(free);
+            let vo = VariableOrder::auto(&q);
+            assert!(vo.validate(&q).is_ok(), "free={free:?}");
+        }
+        let tri = QueryDef::triangle();
+        let vo = VariableOrder::auto(&tri);
+        assert!(vo.validate(&tri).is_ok());
+    }
+
+    #[test]
+    fn auto_puts_free_vars_on_top() {
+        let q = QueryDef::example_rst(&["A", "C"]);
+        let vo = VariableOrder::auto(&q);
+        let a = vo.node_of(q.catalog.lookup("A").unwrap()).unwrap();
+        let c = vo.node_of(q.catalog.lookup("C").unwrap()).unwrap();
+        assert!(vo.parent[a].is_none());
+        assert_eq!(vo.parent[c], Some(a));
+    }
+
+    #[test]
+    fn subtree_and_ancestors() {
+        let q = QueryDef::example_rst(&[]);
+        let vo = figure_2a(&q);
+        let c = vo.node_of(q.catalog.lookup("C").unwrap()).unwrap();
+        let mut sub: Vec<String> = vo
+            .subtree_vars(c)
+            .iter()
+            .map(|&v| q.catalog.name(v).to_string())
+            .collect();
+        sub.sort();
+        assert_eq!(sub, vec!["C", "D", "E"]);
+        let e = vo.node_of(q.catalog.lookup("E").unwrap()).unwrap();
+        let anc: Vec<String> = vo
+            .ancestors(e)
+            .iter()
+            .map(|&n| q.catalog.name(vo.vars[n]).to_string())
+            .collect();
+        assert_eq!(anc, vec!["C", "A"]);
+    }
+
+    #[test]
+    fn parse_single_chain() {
+        let q = QueryDef::example_rst(&[]);
+        let vo = VariableOrder::parse("A - C - E", &q.catalog);
+        assert_eq!(vo.vars.len(), 3);
+        assert_eq!(vo.roots.len(), 1);
+    }
+}

@@ -1,0 +1,465 @@
+//! View trees over variable orders (paper Figure 3, §3).
+//!
+//! At each variable `X` of a variable order, a view joins the views of
+//! `X`’s children (and any relations whose lowest variable is `X`) and,
+//! if `X` is bound, marginalizes `X` away with its lifting function. The
+//! root view is the query result. View keys follow the paper’s formula
+//! `keys = dep(X) ∪ (F ∩ ⋃ keysᵢ)`.
+//!
+//! After construction, single-child chains of inner nodes are composed
+//! into one view marginalizing several variables at a time — the
+//! practical optimization §3 describes for wide relations — which also
+//! merges the “identical views” that arise when all key variables are
+//! free.
+
+use crate::query::{QueryDef, RelIndex};
+use crate::varorder::VariableOrder;
+use fivm_core::{Schema, VarId};
+
+/// Index of a node in a [`ViewTree`].
+pub type NodeId = usize;
+
+/// What a view-tree node computes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NodeKind {
+    /// A leaf holding an input relation.
+    Relation(RelIndex),
+    /// An indicator projection `∃_proj R` (Appendix B), added by
+    /// [`crate::indicator::add_indicators`]. `keys == proj`.
+    Indicator {
+        /// The relation being projected.
+        rel: RelIndex,
+        /// The projection variables (`pk` in Figure 10).
+        proj: Schema,
+    },
+    /// An inner view: joins its children and marginalizes `margin`
+    /// (empty for free variables). `margin` is ordered innermost-first
+    /// (the order liftings are applied when chains were composed).
+    Inner {
+        /// Bound variables marginalized at this node.
+        margin: Vec<VarId>,
+        /// The (topmost) variable of the order this view sits at — used
+        /// for naming, e.g. `V@C`.
+        at: VarId,
+    },
+}
+
+/// One node of a view tree.
+#[derive(Clone, Debug)]
+pub struct ViewNode {
+    /// What this node computes.
+    pub kind: NodeKind,
+    /// The view’s key schema (its free variables).
+    pub keys: Schema,
+    /// Child nodes joined by this view.
+    pub children: Vec<NodeId>,
+    /// Parent node (`None` for the root).
+    pub parent: Option<NodeId>,
+    /// Bitmask of the relations this view is defined over (bit `i` =
+    /// relation `i`). Indicator nodes contribute no bits — for
+    /// materialization purposes they approximate another subtree’s
+    /// relation (see `indicator` module docs).
+    pub rels: u64,
+}
+
+/// A tree of views: the F-IVM “query plan”.
+#[derive(Clone, Debug)]
+pub struct ViewTree {
+    /// The nodes; children precede parents (topological bottom-up
+    /// order), with [`ViewTree::root`] last.
+    pub nodes: Vec<ViewNode>,
+    /// The root node (the query result).
+    pub root: NodeId,
+    /// The free variables of the query the tree was built for.
+    pub free: Schema,
+}
+
+impl ViewTree {
+    /// Build the view tree `τ(ω, F)` of Figure 3 (with chain
+    /// composition). Panics if `vo` is not a valid variable order for
+    /// `query` (use [`VariableOrder::validate`] for graceful checking).
+    pub fn build(query: &QueryDef, vo: &VariableOrder) -> ViewTree {
+        vo.validate(query)
+            .unwrap_or_else(|e| panic!("invalid variable order: {e}"));
+        assert!(
+            query.relations.len() <= 64,
+            "at most 64 relations supported (rels bitmask)"
+        );
+        // Attach each relation at its deepest variable node.
+        let mut attached: Vec<Vec<RelIndex>> = vec![Vec::new(); vo.vars.len()];
+        for (ri, r) in query.relations.iter().enumerate() {
+            let deepest = r
+                .schema
+                .iter()
+                .map(|&v| vo.node_of(v).expect("validated"))
+                .max_by_key(|&n| vo.ancestors(n).len())
+                .expect("relation with empty schema");
+            attached[deepest].push(ri);
+        }
+
+        let mut tree = ViewTree {
+            nodes: Vec::new(),
+            root: 0,
+            free: query.free.clone(),
+        };
+        let mut root_views = Vec::new();
+        for &r in &vo.roots {
+            root_views.push(build_node(query, vo, &attached, r, &mut tree));
+        }
+        tree.root = if root_views.len() == 1 {
+            root_views[0]
+        } else {
+            // Disconnected query: a synthetic top view joins the
+            // component roots (a Cartesian product in the key space).
+            let keys = root_views
+                .iter()
+                .fold(Schema::empty(), |acc, &c| acc.union(&tree.nodes[c].keys));
+            let rels = root_views.iter().fold(0u64, |m, &c| m | tree.nodes[c].rels);
+            let at = query.free.vars().first().copied().unwrap_or(0);
+            tree.push(ViewNode {
+                kind: NodeKind::Inner {
+                    margin: Vec::new(),
+                    at,
+                },
+                keys,
+                children: root_views,
+                parent: None,
+                rels,
+            })
+        };
+        tree.compose_chains();
+        tree.fix_parents();
+        tree
+    }
+
+    fn push(&mut self, node: ViewNode) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Compose single-child chains of inner nodes into one view
+    /// marginalizing several variables (paper §3, last paragraph).
+    fn compose_chains(&mut self) {
+        loop {
+            let mut target = None;
+            for (id, node) in self.nodes.iter().enumerate() {
+                if let NodeKind::Inner { .. } = node.kind {
+                    if node.children.len() == 1 {
+                        let c = node.children[0];
+                        if matches!(self.nodes[c].kind, NodeKind::Inner { .. }) {
+                            target = Some((id, c));
+                            break;
+                        }
+                    }
+                }
+            }
+            let Some((p, c)) = target else { break };
+            // merged node: child's marginalizations happen first
+            let (c_margin, _c_at) = match &self.nodes[c].kind {
+                NodeKind::Inner { margin, at } => (margin.clone(), *at),
+                _ => unreachable!(),
+            };
+            let (p_margin, p_at) = match &self.nodes[p].kind {
+                NodeKind::Inner { margin, at } => (margin.clone(), *at),
+                _ => unreachable!(),
+            };
+            let mut margin = c_margin;
+            margin.extend(p_margin);
+            self.nodes[p].kind = NodeKind::Inner { margin, at: p_at };
+            self.nodes[p].children = self.nodes[c].children.clone();
+            // c is now orphaned; compact ids at the end.
+            self.nodes[c].children.clear();
+            self.nodes[c].rels = 0;
+        }
+        self.compact_ids();
+    }
+
+    /// Drop orphaned nodes and renumber, keeping bottom-up order.
+    fn compact_ids(&mut self) {
+        let mut reachable = vec![false; self.nodes.len()];
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            reachable[n] = true;
+            stack.extend(&self.nodes[n].children);
+        }
+        let mut remap = vec![usize::MAX; self.nodes.len()];
+        let mut out: Vec<ViewNode> = Vec::new();
+        for (id, node) in self.nodes.iter().enumerate() {
+            if reachable[id] {
+                remap[id] = out.len();
+                out.push(node.clone());
+            }
+        }
+        for node in &mut out {
+            for c in &mut node.children {
+                *c = remap[*c];
+            }
+        }
+        self.root = remap[self.root];
+        self.nodes = out;
+    }
+
+    /// Recompute parent links from children lists.
+    pub(crate) fn fix_parents(&mut self) {
+        for n in &mut self.nodes {
+            n.parent = None;
+        }
+        let pairs: Vec<(NodeId, NodeId)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .flat_map(|(id, n)| n.children.iter().map(move |&c| (c, id)))
+            .collect();
+        for (c, p) in pairs {
+            self.nodes[c].parent = Some(p);
+        }
+    }
+
+    /// The leaf node holding relation `rel`.
+    pub fn leaf_of(&self, rel: RelIndex) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| matches!(n.kind, NodeKind::Relation(r) if r == rel))
+    }
+
+    /// Indicator nodes projecting relation `rel`.
+    pub fn indicators_of(&self, rel: RelIndex) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(&n.kind, NodeKind::Indicator { rel: r, .. } if *r == rel))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Inner (view) node count — the paper’s “number of views” metric
+    /// when comparing strategies (§7).
+    pub fn inner_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Inner { .. }))
+            .count()
+    }
+
+    /// Render the tree with names, e.g. for debugging / DESIGN docs.
+    pub fn render(&self, query: &QueryDef) -> String {
+        fn go(t: &ViewTree, q: &QueryDef, id: NodeId, indent: usize, out: &mut String) {
+            out.push_str(&" ".repeat(indent));
+            let n = &t.nodes[id];
+            match &n.kind {
+                NodeKind::Relation(r) => {
+                    out.push_str(&format!(
+                        "{}{}\n",
+                        q.relations[*r].name,
+                        q.catalog.render(&n.keys)
+                    ));
+                }
+                NodeKind::Indicator { rel, proj } => {
+                    out.push_str(&format!(
+                        "∃{} {}\n",
+                        q.catalog.render(proj),
+                        q.relations[*rel].name
+                    ));
+                }
+                NodeKind::Inner { margin, at } => {
+                    let margins: Vec<&str> =
+                        margin.iter().map(|&v| q.catalog.name(v)).collect();
+                    out.push_str(&format!(
+                        "V@{}{} ⊕[{}]\n",
+                        q.catalog.name(*at),
+                        q.catalog.render(&n.keys),
+                        margins.join(", ")
+                    ));
+                }
+            }
+            for &c in &n.children {
+                go(t, q, c, indent + 2, out);
+            }
+        }
+        let mut out = String::new();
+        go(self, query, self.root, 0, &mut out);
+        out
+    }
+}
+
+fn build_node(
+    query: &QueryDef,
+    vo: &VariableOrder,
+    attached: &[Vec<RelIndex>],
+    vnode: usize,
+    tree: &mut ViewTree,
+) -> NodeId {
+    let mut children = Vec::new();
+    for &c in &vo.children[vnode] {
+        children.push(build_node(query, vo, attached, c, tree));
+    }
+    for &ri in &attached[vnode] {
+        children.push(tree.push(ViewNode {
+            kind: NodeKind::Relation(ri),
+            keys: query.relations[ri].schema.clone(),
+            children: Vec::new(),
+            parent: None,
+            rels: 1u64 << ri,
+        }));
+    }
+    let x = vo.vars[vnode];
+    let free = query.free.contains(x);
+    // keys = dep(X) ∪ (F ∩ ⋃ keysᵢ)   (Figure 3)
+    let union_child_keys = children
+        .iter()
+        .fold(Schema::empty(), |acc, &c| acc.union(&tree.nodes[c].keys));
+    let keys = vo
+        .dep(vnode, query)
+        .union(&union_child_keys.intersect(&query.free));
+    let rels = children.iter().fold(0u64, |m, &c| m | tree.nodes[c].rels);
+    tree.push(ViewNode {
+        kind: NodeKind::Inner {
+            margin: if free { Vec::new() } else { vec![x] },
+            at: x,
+        },
+        keys,
+        children,
+        parent: None,
+        rels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rst_tree(free: &[&str], spec: &str) -> (QueryDef, ViewTree) {
+        let q = QueryDef::example_rst(free);
+        let vo = VariableOrder::parse(spec, &q.catalog);
+        let t = ViewTree::build(&q, &vo);
+        (q, t)
+    }
+
+    /// Figure 2b: the view tree for A − {B, C − {D, E}} with no free
+    /// variables has the five views V@A, V@B, V@C, V@D, V@E.
+    #[test]
+    fn figure_2b_structure() {
+        let (q, t) = rst_tree(&[], "A - { B, C - { D, E } }");
+        assert_eq!(t.inner_count(), 5);
+        let root = &t.nodes[t.root];
+        assert!(root.keys.is_empty());
+        assert_eq!(root.children.len(), 2);
+        // V@D has keys [C], V@E has keys [A, C]
+        let c = q.catalog.lookup("C").unwrap();
+        let a = q.catalog.lookup("A").unwrap();
+        let vd = t
+            .nodes
+            .iter()
+            .find(|n| matches!(&n.kind, NodeKind::Inner{at, ..} if q.catalog.name(*at) == "D"))
+            .unwrap();
+        assert_eq!(vd.keys, Schema::new(vec![c]));
+        let ve = t
+            .nodes
+            .iter()
+            .find(|n| matches!(&n.kind, NodeKind::Inner{at, ..} if q.catalog.name(*at) == "E"))
+            .unwrap();
+        assert_eq!(ve.keys, Schema::new(vec![a, c]));
+    }
+
+    /// With free variables A, C the root view is keyed on [A, C] — the
+    /// group-by result of Example 1.1/2.3.
+    #[test]
+    fn free_variables_stay_in_root_keys() {
+        let (q, t) = rst_tree(&["A", "C"], "A - { B, C - { D, E } }");
+        let a = q.catalog.lookup("A").unwrap();
+        let c = q.catalog.lookup("C").unwrap();
+        let root = &t.nodes[t.root];
+        assert_eq!(root.keys, Schema::new(vec![a, c]));
+        // A and C are free: their nodes marginalize nothing.
+        for n in &t.nodes {
+            if let NodeKind::Inner { margin, .. } = &n.kind {
+                assert!(!margin.contains(&a));
+                assert!(!margin.contains(&c));
+            }
+        }
+    }
+
+    /// Composing chains: with all of A’s subtree a single path
+    /// (chain order), the bound variables collapse into few views.
+    #[test]
+    fn chain_composition_collapses_single_child_views() {
+        let q = QueryDef::example_rst(&[]);
+        let all = q.all_vars();
+        let vo = VariableOrder::chain(all.vars());
+        let t = ViewTree::build(&q, &vo);
+        // every inner node now joins ≥2 children or is the root
+        for (id, n) in t.nodes.iter().enumerate() {
+            if let NodeKind::Inner { .. } = n.kind {
+                assert!(
+                    n.children.len() != 1
+                        || !matches!(t.nodes[n.children[0]].kind, NodeKind::Inner { .. }),
+                    "node {id} is an uncomposed single-child chain"
+                );
+            }
+        }
+        // relations all present exactly once
+        for ri in 0..3 {
+            assert!(t.leaf_of(ri).is_some());
+        }
+    }
+
+    #[test]
+    fn rels_masks() {
+        let (_, t) = rst_tree(&[], "A - { B, C - { D, E } }");
+        assert_eq!(t.nodes[t.root].rels, 0b111);
+        let vb = t.leaf_of(0).unwrap(); // R
+        assert_eq!(t.nodes[vb].rels, 0b001);
+    }
+
+    #[test]
+    fn parents_are_consistent() {
+        let (_, t) = rst_tree(&["A"], "A - { B, C - { D, E } }");
+        for (id, n) in t.nodes.iter().enumerate() {
+            for &c in &n.children {
+                assert_eq!(t.nodes[c].parent, Some(id));
+            }
+        }
+        assert_eq!(t.nodes[t.root].parent, None);
+    }
+
+    /// Matrix-chain query (Example 6.1): A1(X1,X2) ⋈ A2(X2,X3) ⋈
+    /// A3(X3,X4) with free X1, X4 and order X1 − X4 − {X2’s chain}…
+    /// checked with the bushy order from the paper.
+    #[test]
+    fn matrix_chain_views() {
+        let q = QueryDef::new(
+            &[
+                ("A1", &["X1", "X2"]),
+                ("A2", &["X2", "X3"]),
+                ("A3", &["X3", "X4"]),
+            ],
+            &["X1", "X4"],
+        );
+        let vo = VariableOrder::parse("X1 - X4 - X3 - X2", &q.catalog);
+        let t = ViewTree::build(&q, &vo);
+        let x1 = q.catalog.lookup("X1").unwrap();
+        let x4 = q.catalog.lookup("X4").unwrap();
+        assert_eq!(t.nodes[t.root].keys, Schema::new(vec![x1, x4]));
+        assert!(t.nodes[t.root].keys.len() == 2);
+    }
+
+    #[test]
+    fn bottom_up_node_order() {
+        let (_, t) = rst_tree(&[], "A - { B, C - { D, E } }");
+        for (id, n) in t.nodes.iter().enumerate() {
+            for &c in &n.children {
+                assert!(c < id, "children must precede parents");
+            }
+        }
+        assert_eq!(t.root, t.nodes.len() - 1);
+    }
+
+    #[test]
+    fn render_mentions_views() {
+        let (q, t) = rst_tree(&[], "A - { B, C - { D, E } }");
+        let s = t.render(&q);
+        assert!(s.contains("V@A"));
+        assert!(s.contains("V@C"));
+        assert!(s.contains('R'));
+    }
+}

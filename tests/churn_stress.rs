@@ -1,0 +1,162 @@
+//! Stress tests: long mixed insert/delete streams with heavy key churn
+//! (the same keys repeatedly inserted and deleted), batch updates that
+//! mix signs within one delta relation, and interleaved factored
+//! updates — exercising index maintenance, zero-payload erasure and the
+//! return-to-empty invariant at a scale the unit tests do not reach.
+
+use fivm::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn setup() -> (QueryDef, ViewTree, LiftingMap<i64>) {
+    let q = QueryDef::example_rst(&["A"]);
+    let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
+    let tree = ViewTree::build(&q, &vo);
+    (q, tree, LiftingMap::new())
+}
+
+#[test]
+fn thousand_update_churn_stays_consistent() {
+    let (q, tree, lifts) = setup();
+    let mut engine: IvmEngine<i64> =
+        IvmEngine::new(q.clone(), tree.clone(), &[0, 1, 2], lifts.clone());
+    let mut db = Database::empty(&q);
+    let mut rng = SmallRng::seed_from_u64(2024);
+    // small key space → constant churn on the same keys
+    for step in 0..1000 {
+        let rel = rng.gen_range(0..3usize);
+        let arity = q.relations[rel].schema.len();
+        let vals: Vec<Value> = (0..arity).map(|_| Value::Int(rng.gen_range(0..3))).collect();
+        let t = Tuple::new(vals);
+        // deletes only of existing tuples, otherwise insert
+        let existing = db.relations[rel].payload(&t);
+        let mult = if existing > 0 && rng.gen_bool(0.45) { -1 } else { 1 };
+        let d = Relation::from_pairs(q.relations[rel].schema.clone(), [(t, mult)]);
+        engine.apply(rel, &Delta::Flat(d.clone()));
+        db.relations[rel].union_in_place(&d);
+        if step % 100 == 99 {
+            assert_eq!(
+                engine.result(),
+                eval_tree(&tree, &db, &lifts),
+                "diverged at step {step}"
+            );
+        }
+    }
+    // tear everything down
+    for ri in 0..3 {
+        let neg = db.relations[ri].neg();
+        if !neg.is_empty() {
+            engine.apply(ri, &Delta::Flat(neg));
+        }
+    }
+    assert!(engine.result().is_empty());
+    assert_eq!(engine.total_entries(), 0, "all views empty after teardown");
+}
+
+#[test]
+fn mixed_sign_batches() {
+    let (q, tree, lifts) = setup();
+    let mut engine: IvmEngine<i64> =
+        IvmEngine::new(q.clone(), tree.clone(), &[0, 1, 2], lifts.clone());
+    let mut db = Database::empty(&q);
+    let mut rng = SmallRng::seed_from_u64(7);
+    for round in 0..50 {
+        let rel = round % 3;
+        let schema = q.relations[rel].schema.clone();
+        // one batch mixing inserts, deletes and net-zero keys
+        let mut batch = Relation::new(schema.clone());
+        for _ in 0..20 {
+            let arity = schema.len();
+            let vals: Vec<Value> =
+                (0..arity).map(|_| Value::Int(rng.gen_range(0..4))).collect();
+            let m: i64 = *[1, 1, 2, -1].get(rng.gen_range(0..4)).unwrap();
+            batch.insert(Tuple::new(vals), m);
+        }
+        // clamp so the base stays non-negative
+        let clamped = Relation::from_pairs(
+            schema,
+            batch.iter().map(|(t, &m)| {
+                let cur: i64 = db.relations[rel].payload(t);
+                (t.clone(), m.max(-cur))
+            }),
+        );
+        engine.apply(rel, &Delta::Flat(clamped.clone()));
+        db.relations[rel].union_in_place(&clamped);
+        assert_eq!(engine.result(), eval_tree(&tree, &db, &lifts), "round {round}");
+    }
+}
+
+#[test]
+fn factored_updates_interleaved_with_flat() {
+    let (q, tree, lifts) = setup();
+    let mut engine: IvmEngine<i64> =
+        IvmEngine::new(q.clone(), tree.clone(), &[0, 1, 2], lifts.clone());
+    let mut db = Database::empty(&q);
+    let mut rng = SmallRng::seed_from_u64(99);
+    let a = q.catalog.lookup("A").unwrap();
+    let c = q.catalog.lookup("C").unwrap();
+    let e = q.catalog.lookup("E").unwrap();
+    for round in 0..40 {
+        if round % 4 == 3 {
+            // factored rank-1 update to S: fa[A] ⊗ fce[C,E]
+            let fa = Relation::from_pairs(
+                Schema::new(vec![a]),
+                (0..2).map(|_| (Tuple::single(Value::Int(rng.gen_range(0..3))), 1i64)),
+            );
+            let fce = Relation::from_pairs(
+                Schema::new(vec![c, e]),
+                (0..2).map(|_| {
+                    (
+                        Tuple::pair(rng.gen_range(0..3i64), rng.gen_range(0..3i64)),
+                        1i64,
+                    )
+                }),
+            );
+            if fa.is_empty() || fce.is_empty() {
+                continue;
+            }
+            let factored = Delta::factored(vec![fa, fce]);
+            db.relations[1].union_in_place(&factored.flatten().reorder(&q.relations[1].schema));
+            engine.apply(1, &factored);
+        } else {
+            let rel = round % 3;
+            let arity = q.relations[rel].schema.len();
+            let vals: Vec<Value> =
+                (0..arity).map(|_| Value::Int(rng.gen_range(0..3))).collect();
+            let d = Relation::from_pairs(
+                q.relations[rel].schema.clone(),
+                [(Tuple::new(vals), 1i64)],
+            );
+            engine.apply(rel, &Delta::Flat(d.clone()));
+            db.relations[rel].union_in_place(&d);
+        }
+        assert_eq!(engine.result(), eval_tree(&tree, &db, &lifts), "round {round}");
+    }
+}
+
+/// Memory accounting tracks churn: bytes after full deletion return to
+/// (near) the empty baseline — no leaked index entries.
+#[test]
+fn memory_returns_after_teardown() {
+    let (q, tree, lifts) = setup();
+    let mut engine: IvmEngine<i64> = IvmEngine::new(q.clone(), tree, &[0, 1, 2], lifts);
+    let baseline = engine.approx_bytes();
+    let mut inserted: Vec<(usize, Tuple)> = Vec::new();
+    let mut rng = SmallRng::seed_from_u64(5);
+    for _ in 0..200 {
+        let rel = rng.gen_range(0..3usize);
+        let arity = q.relations[rel].schema.len();
+        let vals: Vec<Value> = (0..arity).map(|_| Value::Int(rng.gen_range(0..10))).collect();
+        let t = Tuple::new(vals);
+        let d = Relation::from_pairs(q.relations[rel].schema.clone(), [(t.clone(), 1i64)]);
+        engine.apply(rel, &Delta::Flat(d));
+        inserted.push((rel, t));
+    }
+    assert!(engine.approx_bytes() > baseline);
+    for (rel, t) in inserted {
+        let d = Relation::from_pairs(q.relations[rel].schema.clone(), [(t, -1i64)]);
+        engine.apply(rel, &Delta::Flat(d));
+    }
+    assert_eq!(engine.total_entries(), 0);
+    assert_eq!(engine.approx_bytes(), baseline);
+}

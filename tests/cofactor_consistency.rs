@@ -1,0 +1,113 @@
+//! Cross-encoding consistency of the regression aggregates (paper §6.2,
+//! §7): the shared cofactor ring (F-IVM / DBT-RING), the SQL-OPT
+//! degree-indexed encoding, and the per-aggregate scalar encoding
+//! (DBT / 1-IVM) must all compute the same statistics — and all must
+//! match the explicit design matrix — under random update streams.
+
+use fivm::prelude::*;
+use proptest::prelude::*;
+
+fn upd() -> impl Strategy<Value = (usize, Vec<i64>, bool)> {
+    (0usize..2).prop_flat_map(|rel| {
+        let arity = if rel == 0 { 2 } else { 2 };
+        (
+            Just(rel),
+            proptest::collection::vec(-3i64..4, arity),
+            prop_oneof![4 => Just(true), 1 => Just(false)],
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn all_encodings_agree(updates in proptest::collection::vec(upd(), 1..20)) {
+        let q = QueryDef::new(&[("R", &["A", "B"]), ("S", &["A", "C"])], &[]);
+        let vo = VariableOrder::auto(&q);
+        let tree = ViewTree::build(&q, &vo);
+        let spec = CofactorSpec::over_all_vars(&q);
+        let m = spec.m();
+        let all = [0usize, 1];
+
+        let mut ring_engine: IvmEngine<Cofactor> =
+            IvmEngine::new(q.clone(), tree.clone(), &all, spec.liftings());
+        let mut degree_engine: IvmEngine<DegreeRing> =
+            IvmEngine::new(q.clone(), tree.clone(), &all, spec.degree_liftings());
+        let scalar_aggs = spec.scalar_aggregates();
+        let mut scalar_engines: Vec<(String, IvmEngine<f64>)> = scalar_aggs
+            .into_iter()
+            .map(|(name, lifts)| {
+                (name, IvmEngine::new(q.clone(), tree.clone(), &all, lifts))
+            })
+            .collect();
+        let mut dbt_ring: RecursiveIvm<Cofactor> =
+            RecursiveIvm::new(q.clone(), &all, spec.liftings());
+        let mut db: Database<i64> = Database::empty(&q); // mirror for the oracle
+
+        for (rel, vals, insert) in &updates {
+            let t = Tuple::new(vals.iter().map(|&v| Value::Int(v)).collect());
+            let mult = if *insert { 1i64 } else { -1 };
+            // skip deletes that would go negative (keep a set-like db)
+            if mult < 0 && !db.relations[*rel].contains(&t) {
+                continue;
+            }
+            db.relations[*rel].insert(t.clone(), mult);
+            let schema = q.relations[*rel].schema.clone();
+            let c_one = if *insert { Cofactor::one() } else { Cofactor::one().neg() };
+            ring_engine.apply(*rel, &Delta::Flat(Relation::from_pairs(schema.clone(), [(t.clone(), c_one.clone())])));
+            let d_one = if *insert { DegreeRing::one() } else { DegreeRing::one().neg() };
+            degree_engine.apply(*rel, &Delta::Flat(Relation::from_pairs(schema.clone(), [(t.clone(), d_one)])));
+            for (_, e) in scalar_engines.iter_mut() {
+                e.apply(*rel, &Delta::Flat(Relation::from_pairs(schema.clone(), [(t.clone(), mult as f64)])));
+            }
+            dbt_ring.apply(*rel, &Delta::Flat(Relation::from_pairs(schema, [(t.clone(), c_one)])));
+        }
+
+        // oracle: explicit design matrix from the joined rows
+        let joined = db.relations[0].join(&db.relations[1]);
+        let mut ec = 0i64;
+        let mut es = vec![0.0; m];
+        let mut eq = vec![0.0; m * m];
+        for (t, &mult) in joined.iter() {
+            let row: Vec<f64> = (0..m).map(|i| t.get(i).as_f64().unwrap()).collect();
+            ec += mult;
+            for i in 0..m {
+                es[i] += mult as f64 * row[i];
+                for j in 0..m {
+                    eq[i * m + j] += mult as f64 * row[i] * row[j];
+                }
+            }
+        }
+
+        let close = |a: f64, b: f64| (a - b).abs() < 1e-9 * (1.0 + a.abs().max(b.abs()));
+        let (c1, s1, q1) = spec.extract(&ring_engine.result());
+        prop_assert_eq!(c1, ec, "cofactor count");
+        prop_assert!(s1.iter().zip(&es).all(|(a, b)| close(*a, *b)));
+        prop_assert!(q1.iter().zip(&eq).all(|(a, b)| close(*a, *b)));
+
+        let (c2, s2, q2) = spec.extract_degree(&degree_engine.result());
+        prop_assert_eq!(c2, ec, "SQL-OPT count");
+        prop_assert!(s2.iter().zip(&es).all(|(a, b)| close(*a, *b)));
+        prop_assert!(q2.iter().zip(&eq).all(|(a, b)| close(*a, *b)));
+
+        let (c3, s3, q3) = spec.extract(&dbt_ring.result());
+        prop_assert_eq!(c3, ec, "DBT-RING count");
+        prop_assert!(s3.iter().zip(&es).all(|(a, b)| close(*a, *b)));
+        prop_assert!(q3.iter().zip(&eq).all(|(a, b)| close(*a, *b)));
+
+        for (name, e) in &scalar_engines {
+            let val = e.result().payload(&Tuple::unit());
+            let expected = if name == "count" {
+                ec as f64
+            } else if let Some(rest) = name.strip_prefix("sum[") {
+                es[rest.trim_end_matches(']').parse::<usize>().unwrap()]
+            } else {
+                let inner = name.strip_prefix("prod[").unwrap().trim_end_matches(']');
+                let (i, j) = inner.split_once(',').unwrap();
+                eq[i.parse::<usize>().unwrap() * m + j.parse::<usize>().unwrap()]
+            };
+            prop_assert!(close(val, expected), "{}: {} vs {}", name, val, expected);
+        }
+    }
+}

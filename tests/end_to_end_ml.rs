@@ -1,0 +1,166 @@
+//! End-to-end machine learning over joins (paper §6.2): plant a linear
+//! model in a generated star-join dataset, maintain the cofactor matrix
+//! incrementally with F-IVM, train by gradient descent, and check that
+//! the planted coefficients are recovered — then keep streaming updates
+//! and verify the refreshed statistics stay exact.
+
+use fivm::prelude::*;
+use fivm::tuple;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Two relations joined on K: F(K, X1, X2) and L(K, Y) where
+/// Y = 3 + 2·X1 − X2 + planted deterministic noise on the join.
+fn planted_query() -> QueryDef {
+    QueryDef::new(&[("F", &["K", "X1", "X2"]), ("L", &["K", "Y"])], &[])
+}
+
+#[test]
+fn planted_model_recovered_from_maintained_cofactor() {
+    let q = planted_query();
+    let vo = VariableOrder::auto(&q);
+    let tree = ViewTree::build(&q, &vo);
+    let spec = CofactorSpec::over_all_vars(&q);
+    let mut engine: IvmEngine<Cofactor> =
+        IvmEngine::new(q.clone(), tree.clone(), &[0, 1], spec.liftings());
+
+    let mut rng = SmallRng::seed_from_u64(99);
+    let n = 400;
+    // one L row per key (so the join does not duplicate labels)
+    let mut pending_y: Vec<(i64, f64)> = Vec::new();
+    for k in 0..n {
+        let x1 = rng.gen_range(-5.0..5.0f64);
+        let x2 = rng.gen_range(-5.0..5.0f64);
+        let y = 3.0 + 2.0 * x1 - x2;
+        let df = Relation::from_pairs(
+            q.relations[0].schema.clone(),
+            [(tuple![k as i64, x1, x2], Cofactor::one())],
+        );
+        engine.apply(0, &Delta::Flat(df));
+        pending_y.push((k as i64, y));
+    }
+    for (k, y) in pending_y {
+        let dl = Relation::from_pairs(
+            q.relations[1].schema.clone(),
+            [(tuple![k, y], Cofactor::one())],
+        );
+        engine.apply(1, &Delta::Flat(dl));
+    }
+
+    let (c, s, qm) = spec.extract(&engine.result());
+    assert_eq!(c, n as i64);
+    let var = |name: &str| spec.index_of(q.catalog.lookup(name).unwrap()).unwrap() as usize;
+    let model = train(
+        c,
+        &s,
+        &qm,
+        var("Y"),
+        &[var("X1"), var("X2")],
+        &TrainConfig::default(),
+    );
+    assert!((model.bias - 3.0).abs() < 1e-2, "bias {}", model.bias);
+    assert!((model.weights[0] - 2.0).abs() < 1e-2);
+    assert!((model.weights[1] + 1.0).abs() < 1e-2);
+    assert!(model.mse < 1e-4, "noise-free fit, mse {}", model.mse);
+}
+
+/// The cofactor matrix stays exact under deletions: removing all rows of
+/// one key leaves the statistics of the remaining data.
+#[test]
+fn cofactor_exact_under_deletions() {
+    let q = planted_query();
+    let vo = VariableOrder::auto(&q);
+    let tree = ViewTree::build(&q, &vo);
+    let spec = CofactorSpec::over_all_vars(&q);
+    let lifts = spec.liftings();
+    let mut engine: IvmEngine<Cofactor> =
+        IvmEngine::new(q.clone(), tree.clone(), &[0, 1], lifts.clone());
+    let mut db = Database::empty(&q);
+
+    let rows = [
+        (0i64, 1.0, 2.0, 10.0),
+        (1, -1.0, 0.5, 0.0),
+        (2, 3.0, -2.0, 7.5),
+    ];
+    for &(k, x1, x2, y) in &rows {
+        let df = Relation::from_pairs(
+            q.relations[0].schema.clone(),
+            [(tuple![k, x1, x2], Cofactor::one())],
+        );
+        let dl = Relation::from_pairs(
+            q.relations[1].schema.clone(),
+            [(tuple![k, y], Cofactor::one())],
+        );
+        engine.apply(0, &Delta::Flat(df.clone()));
+        engine.apply(1, &Delta::Flat(dl.clone()));
+        db.relations[0].union_in_place(&df);
+        db.relations[1].union_in_place(&dl);
+    }
+    // delete key 1 from F
+    let del = Relation::from_pairs(
+        q.relations[0].schema.clone(),
+        [(tuple![1i64, -1.0, 0.5], Cofactor::one().neg())],
+    );
+    engine.apply(0, &Delta::Flat(del.clone()));
+    db.relations[0].union_in_place(&del);
+
+    let oracle = eval_tree(&tree, &db, &lifts);
+    let (c, s, qm) = spec.extract(&engine.result());
+    let (oc, os, oq) = spec.extract(&oracle);
+    assert_eq!(c, oc);
+    assert_eq!(c, 2);
+    assert!(s.iter().zip(&os).all(|(a, b)| (a - b).abs() < 1e-12));
+    assert!(qm.iter().zip(&oq).all(|(a, b)| (a - b).abs() < 1e-12));
+}
+
+/// Per-group models (the Example 1.1 discussion: “one model for each
+/// pair of values (A, C)”): free variables keep the cofactor keyed per
+/// group.
+#[test]
+fn per_group_cofactor_models() {
+    // Measurements F(G, X, Y) joined with a per-group dimension D(G):
+    // (X, Y) stay paired within F, so per-group correlations survive.
+    let q = QueryDef::new(&[("F", &["G", "X", "Y"]), ("D", &["G"])], &["G"]);
+    let vo = VariableOrder::parse("G - X - Y", &q.catalog);
+    let tree = ViewTree::build(&q, &vo);
+    // index only X and Y (G is a group key, not a feature)
+    let x = q.catalog.lookup("X").unwrap();
+    let y = q.catalog.lookup("Y").unwrap();
+    let spec = CofactorSpec { vars: vec![x, y] };
+    let mut engine: IvmEngine<Cofactor> =
+        IvmEngine::new(q.clone(), tree, &[0, 1], spec.liftings());
+    for g in [0i64, 1] {
+        let dd = Relation::from_pairs(
+            q.relations[1].schema.clone(),
+            [(tuple![g], Cofactor::one())],
+        );
+        engine.apply(1, &Delta::Flat(dd));
+    }
+    // group 0: y = 2x; group 1: y = −x
+    for (g, x_, y_) in [
+        (0i64, 1.0, 2.0),
+        (0, 2.0, 4.0),
+        (0, 3.0, 6.0),
+        (1, 1.0, -1.0),
+        (1, 2.0, -2.0),
+        (1, 4.0, -4.0),
+    ] {
+        let df = Relation::from_pairs(
+            q.relations[0].schema.clone(),
+            [(tuple![g, x_, y_], Cofactor::one())],
+        );
+        engine.apply(0, &Delta::Flat(df));
+    }
+    let result = engine.result();
+    for (g, slope) in [(0i64, 2.0), (1, -1.0)] {
+        let payload = result.get(&tuple![g]).expect("group present").clone();
+        let (c, s, qm) = payload.to_dense(2);
+        let model = train(c, &s, &qm, 1, &[0], &TrainConfig::default());
+        assert!(
+            (model.weights[0] - slope).abs() < 1e-2,
+            "group {g}: slope {} vs {slope}",
+            model.weights[0]
+        );
+        assert!(model.bias.abs() < 1e-2);
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based cross-strategy equivalence: for random databases and
+//! random insert/delete sequences, every maintenance strategy — F-IVM
+//! (with and without factored updates), 1-IVM, the DBToaster-style
+//! recursive scheme, and both re-evaluation baselines — must produce
+//! the result of recomputation from scratch after every update.
+
+use fivm::prelude::*;
+use fivm::tuple;
+use proptest::prelude::*;
+
+/// A randomly generated single-tuple update.
+#[derive(Clone, Debug)]
+struct Upd {
+    rel: usize,
+    vals: Vec<i64>,
+    mult: i64,
+}
+
+fn upd_strategy(n_rels: usize, arities: Vec<usize>) -> impl Strategy<Value = Upd> {
+    (0..n_rels).prop_flat_map(move |rel| {
+        let arity = arities[rel];
+        (
+            proptest::collection::vec(0i64..4, arity),
+            prop_oneof![Just(1i64), Just(1), Just(1), Just(-1), Just(2)],
+        )
+            .prop_map(move |(vals, mult)| Upd { rel, vals, mult })
+    })
+}
+
+fn run_equivalence(
+    q: &QueryDef,
+    vo: &VariableOrder,
+    lifts: &LiftingMap<i64>,
+    updates: &[Upd],
+) -> Result<(), TestCaseError> {
+    let tree = ViewTree::build(q, vo);
+    let all: Vec<usize> = (0..q.relations.len()).collect();
+    let mut fivm_engine: IvmEngine<i64> =
+        IvmEngine::new(q.clone(), tree.clone(), &all, lifts.clone());
+    let mut first_order = FirstOrderIvm::new(q.clone(), tree.clone(), lifts.clone());
+    let mut recursive = RecursiveIvm::new(q.clone(), &all, lifts.clone());
+    let mut db = Database::empty(q);
+
+    for u in updates {
+        let t = Tuple::new(u.vals.iter().map(|&v| Value::Int(v)).collect());
+        let d = Relation::from_pairs(q.relations[u.rel].schema.clone(), [(t, u.mult)]);
+        let delta = Delta::Flat(d.clone());
+        fivm_engine.apply(u.rel, &delta);
+        first_order.apply(u.rel, &delta);
+        recursive.apply(u.rel, &delta);
+        db.relations[u.rel].union_in_place(&d);
+        let oracle = eval_tree(&tree, &db, lifts);
+        prop_assert_eq!(&fivm_engine.result(), &oracle, "F-IVM diverged");
+        prop_assert_eq!(first_order.result(), &oracle, "1-IVM diverged");
+        prop_assert_eq!(&recursive.result(), &oracle, "DBT diverged");
+    }
+    // after deleting everything, all strategies return to empty
+    let mut cleanup: Vec<(usize, Relation<i64>)> = Vec::new();
+    for (ri, rel) in db.relations.iter().enumerate() {
+        if !rel.is_empty() {
+            cleanup.push((ri, rel.neg()));
+        }
+    }
+    for (ri, d) in cleanup {
+        let delta = Delta::Flat(d);
+        fivm_engine.apply(ri, &delta);
+        first_order.apply(ri, &delta);
+        recursive.apply(ri, &delta);
+    }
+    prop_assert!(fivm_engine.result().is_empty());
+    prop_assert!(first_order.result().is_empty());
+    prop_assert!(recursive.result().is_empty());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The running RST query, COUNT, no free variables.
+    #[test]
+    fn rst_count(updates in proptest::collection::vec(upd_strategy(3, vec![2, 3, 2]), 1..25)) {
+        let q = QueryDef::example_rst(&[]);
+        let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
+        run_equivalence(&q, &vo, &LiftingMap::new(), &updates)?;
+    }
+
+    /// Group-by variables and identity liftings (SUM(B·D)).
+    #[test]
+    fn rst_group_by_sum(updates in proptest::collection::vec(upd_strategy(3, vec![2, 3, 2]), 1..20)) {
+        let q = QueryDef::example_rst(&["A", "C"]);
+        let vo = VariableOrder::parse("A - { C - { B, D, E } }", &q.catalog);
+        let mut lifts = LiftingMap::new();
+        for v in ["B", "D"] {
+            lifts.set(
+                q.catalog.lookup(v).unwrap(),
+                Lifting::from_fn(|x: &Value| x.as_int().unwrap()),
+            );
+        }
+        run_equivalence(&q, &vo, &lifts, &updates)?;
+    }
+
+    /// A star join (the Housing shape, q-hierarchical).
+    #[test]
+    fn star_join(updates in proptest::collection::vec(upd_strategy(4, vec![2, 2, 2, 2]), 1..20)) {
+        let q = QueryDef::new(
+            &[("H", &["P", "W"]), ("S", &["P", "X"]), ("I", &["P", "Y"]), ("T", &["P", "Z"])],
+            &[],
+        );
+        let vo = VariableOrder::parse("P - { W, X, Y, Z }", &q.catalog);
+        run_equivalence(&q, &vo, &LiftingMap::new(), &updates)?;
+    }
+
+    /// A chain join with a different (auto-generated) variable order.
+    #[test]
+    fn chain_join_auto_order(updates in proptest::collection::vec(upd_strategy(3, vec![2, 2, 2]), 1..20)) {
+        let q = QueryDef::new(
+            &[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["C", "D"])],
+            &["B"],
+        );
+        let vo = VariableOrder::auto(&q);
+        run_equivalence(&q, &vo, &LiftingMap::new(), &updates)?;
+    }
+
+    /// Factored updates agree with their flattened form on the engine.
+    #[test]
+    fn factored_updates_equal_flat(
+        us in proptest::collection::vec((0i64..4, 1i64..3), 1..4),
+        vs in proptest::collection::vec((0i64..4, 0i64..4, 1i64..3), 1..4),
+        pre in proptest::collection::vec(upd_strategy(3, vec![2, 3, 2]), 1..12),
+    ) {
+        let q = QueryDef::example_rst(&["A"]);
+        let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
+        let tree = ViewTree::build(&q, &vo);
+        let all = [0usize, 1, 2];
+        let mut flat_engine: IvmEngine<i64> =
+            IvmEngine::new(q.clone(), tree.clone(), &all, LiftingMap::new());
+        let mut fact_engine: IvmEngine<i64> =
+            IvmEngine::new(q.clone(), tree, &all, LiftingMap::new());
+        for u in &pre {
+            let t = Tuple::new(u.vals.iter().map(|&v| Value::Int(v)).collect());
+            let d = Delta::Flat(Relation::from_pairs(q.relations[u.rel].schema.clone(), [(t, u.mult)]));
+            flat_engine.apply(u.rel, &d);
+            fact_engine.apply(u.rel, &d);
+        }
+        // δS = f_A[A] ⊗ f_CE[C,E]
+        let a = q.catalog.lookup("A").unwrap();
+        let c = q.catalog.lookup("C").unwrap();
+        let e = q.catalog.lookup("E").unwrap();
+        let fa = Relation::from_pairs(
+            Schema::new(vec![a]),
+            us.iter().map(|&(x, m)| (tuple![x], m)),
+        );
+        let fce = Relation::from_pairs(
+            Schema::new(vec![c, e]),
+            vs.iter().map(|&(x, y, m)| (tuple![x, y], m)),
+        );
+        prop_assume!(!fa.is_empty() && !fce.is_empty());
+        let factored = Delta::factored(vec![fa, fce]);
+        fact_engine.apply(1, &factored);
+        flat_engine.apply(
+            1,
+            &Delta::Flat(factored.flatten().reorder(&q.relations[1].schema)),
+        );
+        prop_assert_eq!(fact_engine.result(), flat_engine.result());
+    }
+}
+
+/// Deterministic regression case distilled from the property: repeated
+/// keys across relations with multiplicity 2 and interleaved deletes.
+#[test]
+fn regression_repeated_keys_and_deletes() {
+    let q = QueryDef::example_rst(&[]);
+    let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
+    let updates = vec![
+        Upd { rel: 0, vals: vec![0, 0], mult: 2 },
+        Upd { rel: 1, vals: vec![0, 1, 2], mult: 1 },
+        Upd { rel: 2, vals: vec![1, 0], mult: 1 },
+        Upd { rel: 0, vals: vec![0, 0], mult: -1 },
+        Upd { rel: 2, vals: vec![1, 0], mult: -1 },
+        Upd { rel: 2, vals: vec![1, 3], mult: 2 },
+        Upd { rel: 1, vals: vec![0, 1, 2], mult: -1 },
+    ];
+    run_equivalence(&q, &vo, &LiftingMap::new(), &updates).unwrap();
+}

@@ -1,0 +1,146 @@
+//! Schema-level property test: for *randomly generated queries*
+//! (random relation schemas over a small variable pool, random free
+//! variables) under random update streams, the full F-IVM pipeline —
+//! auto-generated variable order → view tree → µ → incremental engine —
+//! agrees with a naive oracle computed directly from the relational
+//! algebra (join everything, then marginalize), independently of any
+//! view-tree machinery.
+
+use fivm::prelude::*;
+use proptest::prelude::*;
+
+/// A randomly shaped query: 2–4 relations, each over 2–3 of 5
+/// variables, connected by construction (relation i shares a variable
+/// with relation i−1).
+fn query_strategy() -> impl Strategy<Value = QueryDef> {
+    let names = ["A", "B", "C", "D", "E"];
+    proptest::collection::vec(proptest::sample::subsequence(vec![0usize, 1, 2, 3, 4], 2..=3), 2..=4)
+        .prop_filter_map("connected query", move |schemas| {
+            // force connectivity: each relation must share a var with
+            // the union of the previous ones
+            let mut seen: Vec<usize> = schemas[0].clone();
+            for s in &schemas[1..] {
+                if !s.iter().any(|v| seen.contains(v)) {
+                    return None;
+                }
+                seen.extend(s.iter().copied());
+            }
+            let rels: Vec<(String, Vec<&str>)> = schemas
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    (
+                        format!("R{i}"),
+                        s.iter().map(|&v| names[v]).collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            let rel_refs: Vec<(&str, &[&str])> = rels
+                .iter()
+                .map(|(n, a)| (n.as_str(), a.as_slice()))
+                .collect();
+            // free vars: the first variable of the first relation
+            let free = vec![rels[0].1[0]];
+            Some(QueryDef::new(&rel_refs, &free))
+        })
+}
+
+/// Naive oracle: join all relations, marginalize every bound variable.
+fn naive_oracle(q: &QueryDef, db: &Database<i64>, lifts: &LiftingMap<i64>) -> Relation<i64> {
+    let mut acc = db.relations[0].clone();
+    for r in &db.relations[1..] {
+        acc = acc.join(r);
+    }
+    let margins: Vec<(u32, Lifting<i64>)> = acc
+        .schema()
+        .iter()
+        .filter(|v| !q.free.contains(**v))
+        .map(|&v| (v, lifts.get(v)))
+        .collect();
+    let out = acc.marginalize_many(&margins);
+    if out.schema().len() == q.free.len() && *out.schema() != q.free {
+        out.reorder(&q.free)
+    } else {
+        out
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_queries_all_strategies_agree(
+        q in query_strategy(),
+        raw_updates in proptest::collection::vec(
+            (0usize..4, proptest::collection::vec(0i64..3, 3), prop_oneof![3 => Just(1i64), 1 => Just(-1)]),
+            1..20,
+        ),
+    ) {
+        let vo = VariableOrder::auto(&q);
+        prop_assert!(vo.validate(&q).is_ok());
+        let tree = ViewTree::build(&q, &vo);
+        let all: Vec<usize> = (0..q.relations.len()).collect();
+        let lifts = LiftingMap::<i64>::new();
+        let mut engine: IvmEngine<i64> =
+            IvmEngine::new(q.clone(), tree.clone(), &all, lifts.clone());
+        let mut recursive = RecursiveIvm::new(q.clone(), &all, lifts.clone());
+        let mut first_order = FirstOrderIvm::new(q.clone(), tree, lifts.clone());
+        let mut db = Database::empty(&q);
+
+        for (rel_raw, vals, mult) in &raw_updates {
+            let rel = rel_raw % q.relations.len();
+            let arity = q.relations[rel].schema.len();
+            let t = Tuple::new(vals.iter().take(arity).map(|&v| Value::Int(v)).collect());
+            let d = Relation::from_pairs(q.relations[rel].schema.clone(), [(t, *mult)]);
+            engine.apply(rel, &Delta::Flat(d.clone()));
+            recursive.apply(rel, &Delta::Flat(d.clone()));
+            first_order.apply(rel, &Delta::Flat(d.clone()));
+            db.relations[rel].union_in_place(&d);
+
+            let oracle = naive_oracle(&q, &db, &lifts);
+            let canon = |r: &Relation<i64>| {
+                let mut v = r.sorted();
+                v.sort();
+                v
+            };
+            prop_assert_eq!(canon(&engine.result()), canon(&oracle), "F-IVM vs naive");
+            prop_assert_eq!(canon(&recursive.result()), canon(&oracle), "DBT vs naive");
+            prop_assert_eq!(canon(first_order.result()), canon(&oracle), "1-IVM vs naive");
+        }
+    }
+
+    /// The cost-based order search produces valid plans whose engines
+    /// stay correct too (planner quality does not affect soundness).
+    #[test]
+    fn best_order_engines_agree(
+        q in query_strategy(),
+        raw_updates in proptest::collection::vec(
+            (0usize..4, proptest::collection::vec(0i64..3, 3)),
+            1..10,
+        ),
+    ) {
+        prop_assume!(q.all_vars().len() <= 5);
+        let (vo, _cost) = fivm::query::best_order(&q, &fivm::query::CostModel::new());
+        prop_assert!(vo.validate(&q).is_ok());
+        let tree = ViewTree::build(&q, &vo);
+        let all: Vec<usize> = (0..q.relations.len()).collect();
+        let lifts = LiftingMap::<i64>::new();
+        let mut engine: IvmEngine<i64> = IvmEngine::new(q.clone(), tree, &all, lifts.clone());
+        let mut db = Database::empty(&q);
+        for (rel_raw, vals) in &raw_updates {
+            let rel = rel_raw % q.relations.len();
+            let arity = q.relations[rel].schema.len();
+            let t = Tuple::new(vals.iter().take(arity).map(|&v| Value::Int(v)).collect());
+            let d = Relation::from_pairs(q.relations[rel].schema.clone(), [(t, 1i64)]);
+            engine.apply(rel, &Delta::Flat(d.clone()));
+            db.relations[rel].union_in_place(&d);
+        }
+        let oracle = naive_oracle(&q, &db, &lifts);
+        let canon = |r: &Relation<i64>| {
+            let mut v = r.sorted();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(canon(&engine.result()), canon(&oracle));
+    }
+}
