@@ -83,6 +83,10 @@ fn scale() -> Scale {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
     let s = scale();
     println!("F-IVM experiment harness (scale: {})\n", std::env::var("FIVM_SCALE").unwrap_or_else(|_| "small".into()));
@@ -108,6 +112,92 @@ fn main() {
     if want("views") {
         view_counts();
     }
+}
+
+/// `--smoke`: the single-tuple update-propagation hot paths of
+/// Figure 11 (SUM over the Housing star join) and Figure 13 (count
+/// over the Twitter triangle with indicators), applied one tuple per
+/// `IvmEngine::apply`, reported as a machine-readable JSON line so PRs
+/// can track a throughput trajectory (`BENCH_*.json`).
+fn smoke() {
+    // Deltas are pre-built outside the timed loops so the report tracks
+    // `IvmEngine::apply` itself — the propagation hot path — rather
+    // than per-tuple delta-construction harness overhead.
+    fn single_tuple_deltas<R: fivm_core::Ring>(
+        q: &QueryDef,
+        batches: &[fivm_data::Batch],
+    ) -> Vec<(usize, fivm_core::Delta<R>)> {
+        batches
+            .iter()
+            .flat_map(|b| {
+                b.tuples.iter().map(|t| {
+                    (
+                        b.relation,
+                        ones_delta::<R>(q.relations[b.relation].schema.clone(), &[t.clone()]),
+                    )
+                })
+            })
+            .collect()
+    }
+
+    fn best_throughput<R: fivm_core::Ring>(
+        mut mk_engine: impl FnMut() -> fivm_engine::IvmEngine<R>,
+        updates: &[(usize, fivm_core::Delta<R>)],
+    ) -> f64 {
+        (0..3)
+            .map(|_| {
+                let mut engine = mk_engine();
+                let start = Instant::now();
+                for (rel, d) in updates {
+                    engine.apply(*rel, d);
+                }
+                updates.len() as f64 / start.elapsed().as_secs_f64().max(1e-9)
+            })
+            .fold(0.0f64, f64::max)
+    }
+
+    // fig11 path: SUM(postcode) over the Housing star join.
+    let h = housing::generate(&HousingConfig {
+        postcodes: 20_000,
+        scale: 1,
+        ..Default::default()
+    });
+    let hq = h.query.clone();
+    let htree = ViewTree::build(&hq, &h.order);
+    let hall: Vec<usize> = (0..hq.relations.len()).collect();
+    let mut hlifts = LiftingMap::<f64>::new();
+    hlifts.set(
+        hq.catalog.lookup("postcode").unwrap(),
+        Lifting::from_fn(|v: &Value| v.as_f64().unwrap()),
+    );
+    let hupdates = single_tuple_deltas::<f64>(&hq, &h.stream(1));
+    let htput = best_throughput(
+        || fivm_engine::IvmEngine::new(hq.clone(), htree.clone(), &hall, hlifts.clone()),
+        &hupdates,
+    );
+
+    // fig13 path: COUNT over the Twitter triangle, with indicators.
+    let t = twitter::generate(&TwitterConfig {
+        edges: 60_000,
+        nodes: 6_000,
+        ..Default::default()
+    });
+    let tq = t.query.clone();
+    let mut ttree = ViewTree::build(&tq, &t.order);
+    fivm_query::add_indicators(&mut ttree, &tq);
+    let tupdates = single_tuple_deltas::<i64>(&tq, &t.stream(1));
+    let ttput = best_throughput(
+        || fivm_engine::IvmEngine::new(tq.clone(), ttree.clone(), &[0, 1, 2], LiftingMap::new()),
+        &tupdates,
+    );
+
+    println!(
+        "{{\"bench\":\"smoke\",\"unit\":\"single_tuple_updates_per_sec\",\
+         \"fig11_sum_star\":{htput:.0},\"fig11_tuples\":{},\
+         \"fig13_triangle\":{ttput:.0},\"fig13_tuples\":{}}}",
+        hupdates.len(),
+        tupdates.len(),
+    );
 }
 
 /// Figure 6 (left): one-row updates to A₂ in A₁A₂A₃ across matrix

@@ -1,0 +1,318 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored shim
+//! implements the subset of the criterion API the workspace's benches
+//! use: `criterion_group!` / `criterion_main!`, benchmark groups with
+//! `sample_size` / `throughput` / `bench_function` / `bench_with_input`,
+//! [`BenchmarkId`], and `Bencher::iter`.
+//!
+//! Measurement is simple wall-clock sampling (median of N samples, no
+//! outlier analysis or HTML reports). `--test` runs every benchmark
+//! body exactly once — that is what CI uses to keep the harness from
+//! rotting — and a positional filter argument selects benchmarks by
+//! substring, like real criterion.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How a group scales measured time into throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier for `function_name` at `parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepted by `bench_function`: a string or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Render to the display name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher<'a> {
+    samples: usize,
+    test_mode: bool,
+    recorded: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, once per sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let n = if self.test_mode { 1 } else { self.samples };
+        for _ in 0..n {
+            let start = Instant::now();
+            let out = routine();
+            self.recorded.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group_name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timing samples per benchmark (min 1 here; real
+    /// criterion enforces min 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration throughput for reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.group_name, id.into_name());
+        if !self.criterion.matches(&name) {
+            return self;
+        }
+        let mut recorded = Vec::new();
+        {
+            let mut b = Bencher {
+                samples: self.sample_size,
+                test_mode: self.criterion.test_mode,
+                recorded: &mut recorded,
+            };
+            f(&mut b);
+        }
+        self.criterion.report(&name, &recorded, self.throughput);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id.into_name(), |b| f(b, input))
+    }
+
+    /// End the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        // `cargo bench -- --test [filter]`; libtest also passes
+        // `--bench` through, which we accept and ignore.
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" | "--nocapture" => {}
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            group_name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(name, f);
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    fn report(&self, name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+        if self.test_mode {
+            println!("test {name} ... ok (ran once)");
+            return;
+        }
+        if samples.is_empty() {
+            return;
+        }
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let best = sorted[0];
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let eps = n as f64 / median.as_secs_f64().max(1e-12);
+                println!(
+                    "{name}: median {} (best {}), {eps:.0} elem/s",
+                    fmt_duration(median),
+                    fmt_duration(best)
+                );
+            }
+            Some(Throughput::Bytes(n)) => {
+                let bps = n as f64 / median.as_secs_f64().max(1e-12);
+                println!(
+                    "{name}: median {} (best {}), {bps:.0} B/s",
+                    fmt_duration(median),
+                    fmt_duration(best)
+                );
+            }
+            None => println!(
+                "{name}: median {} (best {}, {} samples)",
+                fmt_duration(median),
+                fmt_duration(best),
+                sorted.len()
+            ),
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.3}µs", s * 1e6)
+    }
+}
+
+/// `black_box` re-export location used by some criterion versions.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Group benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("plain", |b| b.iter(|| std::hint::black_box(2 + 2)));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| {
+            b.iter(|| std::hint::black_box(x * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn runs_benches() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn filter_skips() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("nomatch".into()),
+        };
+        // bodies that would panic are skipped by the filter
+        let mut group = c.benchmark_group("g");
+        group.bench_function("boom", |_b| panic!("should not run"));
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 32).name, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").name, "x");
+    }
+}

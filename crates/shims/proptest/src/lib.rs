@@ -1,0 +1,676 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored shim
+//! implements the subset of the proptest API the workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_filter_map`, range and tuple strategies, [`collection::vec`],
+//! [`sample::subsequence`], [`Just`], weighted/unweighted [`prop_oneof!`],
+//! the `proptest!` test macro, and the `prop_assert*` family.
+//!
+//! Differences from real proptest: generation is plain random sampling
+//! (no size ramp-up) and failing cases are **not shrunk** — the failure
+//! message reports the case's seed so it can be replayed by fixing the
+//! seed in [`ProptestConfig`]. Runs are deterministic per test name and
+//! case index.
+
+use rand::rngs::SmallRng;
+use rand::{Rng as _, SeedableRng as _};
+
+pub mod strategy {
+    //! Strategy combinators.
+    pub use crate::{BoxedStrategy, Just, Strategy};
+}
+
+/// The RNG handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Deterministic RNG for `(seed, case)`.
+    pub fn for_case(seed: u64, case: u64) -> Self {
+        TestRng(SmallRng::seed_from_u64(
+            seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        rand::RngCore::next_u64(&mut self.0)
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.0.gen_range(0..n.max(1))
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was rejected (filter/assume failed); it is retried.
+    Reject(String),
+    /// The property failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// Result type of a single property-test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Base seed; the per-case RNG derives from it.
+    pub seed: u64,
+    /// Give up after this many consecutive rejections.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            seed: 0x5eed_cafe_f00d_0001,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// A generator of test values.
+///
+/// `gen` returns `None` when the underlying filter rejected the draw;
+/// the runner then rejects the whole case and redraws.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn gen(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy it maps to.
+    fn prop_flat_map<U: Strategy, F: Fn(Self::Value) -> U>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Map-and-filter; draws returning `None` are rejected.
+    fn prop_filter_map<U, F: Fn(Self::Value) -> Option<U>>(
+        self,
+        _reason: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred`.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, pred }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn gen(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        (**self).gen(rng)
+    }
+}
+
+/// A boxed, type-erased [`Strategy`].
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen(&self, rng: &mut TestRng) -> Option<T> {
+        self.0.gen(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn gen(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.gen(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Strategy, F: Fn(S::Value) -> U> Strategy for FlatMap<S, F> {
+    type Value = U::Value;
+    fn gen(&self, rng: &mut TestRng) -> Option<U::Value> {
+        let mid = self.inner.gen(rng)?;
+        (self.f)(mid).gen(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+    fn gen(&self, rng: &mut TestRng) -> Option<U> {
+        // A few local retries before rejecting the enclosing case.
+        for _ in 0..8 {
+            if let Some(v) = self.inner.gen(rng).and_then(&self.f) {
+                return Some(v);
+            }
+        }
+        None
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn gen(&self, rng: &mut TestRng) -> Option<S::Value> {
+        for _ in 0..8 {
+            if let Some(v) = self.inner.gen(rng) {
+                if (self.pred)(&v) {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.0.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.0.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn gen(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.gen(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Weighted union of same-typed strategies (`prop_oneof!`).
+pub struct Union<S> {
+    options: Vec<(u32, S)>,
+    total: u64,
+}
+
+impl<S: Strategy> Union<S> {
+    /// Build from `(weight, strategy)` pairs.
+    pub fn new_weighted(options: Vec<(u32, S)>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        let total = options.iter().map(|(w, _)| u64::from(*w)).sum::<u64>();
+        assert!(total > 0, "prop_oneof! weights sum to zero");
+        Union { options, total }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+    fn gen(&self, rng: &mut TestRng) -> Option<S::Value> {
+        let mut pick = rng.next_u64() % self.total;
+        for (w, s) in &self.options {
+            if pick < u64::from(*w) {
+                return s.gen(rng);
+            }
+            pick -= u64::from(*w);
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+/// Size specification for [`collection::vec`] and
+/// [`sample::subsequence`].
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_incl: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        if self.lo >= self.hi_incl {
+            self.lo
+        } else {
+            self.lo + rng.below(self.hi_incl - self.lo + 1)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi_incl: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_incl: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi_incl: *r.end(),
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Strategy for `Vec`s of `element` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let n = self.size.sample(rng);
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(self.element.gen(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling from existing collections.
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Strategy for order-preserving subsequences of `values` whose
+    /// length is drawn from `size`.
+    pub fn subsequence<T: Clone>(
+        values: Vec<T>,
+        size: impl Into<SizeRange>,
+    ) -> SubsequenceStrategy<T> {
+        SubsequenceStrategy {
+            values,
+            size: size.into(),
+        }
+    }
+
+    /// See [`subsequence`].
+    pub struct SubsequenceStrategy<T> {
+        values: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone> Strategy for SubsequenceStrategy<T> {
+        type Value = Vec<T>;
+        fn gen(&self, rng: &mut TestRng) -> Option<Vec<T>> {
+            let n = self.size.sample(rng).min(self.values.len());
+            // Floyd's algorithm for a uniform n-subset of indices, then
+            // emit in original order.
+            let mut picked = vec![false; self.values.len()];
+            for j in (self.values.len() - n)..self.values.len() {
+                let t = rng.below(j + 1);
+                if picked[t] {
+                    picked[j] = true;
+                } else {
+                    picked[t] = true;
+                }
+            }
+            Some(
+                self.values
+                    .iter()
+                    .zip(&picked)
+                    .filter(|(_, &p)| p)
+                    .map(|(v, _)| v.clone())
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// Drive a property: draw cases until `config.cases` pass, panicking on
+/// the first failure. Used by the `proptest!` macro.
+pub fn run_property(
+    name: &str,
+    config: ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> TestCaseResult,
+) {
+    // Per-test deterministic seed, independent of case order.
+    let mut seed = config.seed;
+    for b in name.bytes() {
+        seed = (seed ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut draw = 0u64;
+    while passed < config.cases {
+        let case_seed = draw;
+        draw += 1;
+        let mut rng = TestRng::for_case(seed, case_seed);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest '{name}': too many rejected cases \
+                         ({rejected} rejects for {passed} passes)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest '{name}' failed at case {case_seed} \
+                     (seed {seed:#x}): {msg}"
+                );
+            }
+        }
+    }
+}
+
+/// Defines property tests:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     #[test]
+///     fn my_prop(x in 0i64..10, v in proptest::collection::vec(0u32..4, 1..5)) {
+///         prop_assert!(x >= 0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let strategies = ($($strat,)+);
+                $crate::run_property(stringify!($name), config, |rng| {
+                    #[allow(non_snake_case)]
+                    let ($($arg,)+) = &strategies;
+                    $(
+                        let $arg = match $crate::Strategy::gen($arg, rng) {
+                            ::core::option::Option::Some(v) => v,
+                            ::core::option::Option::None => {
+                                return ::core::result::Result::Err(
+                                    $crate::TestCaseError::reject("strategy rejected draw"),
+                                )
+                            }
+                        };
+                    )+
+                    let mut run = || -> $crate::TestCaseResult {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    };
+                    run()
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Weighted or unweighted choice among same-typed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![$(($weight as u32, $strat)),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![$((1u32, $strat)),+])
+    };
+}
+
+/// Assert within a property; failure fails the case (no panic).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Reject the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+pub mod prelude {
+    //! The common imports, mirroring `proptest::prelude`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_vec() {
+        let s = crate::collection::vec(0i64..5, 2..=4);
+        crate::run_property("ranges_and_vec", ProptestConfig::with_cases(50), |rng| {
+            let v = s.gen(rng).unwrap();
+            prop_assert!((2..=4).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| (0..5).contains(&x)));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn subsequence_preserves_order() {
+        let s = crate::sample::subsequence(vec![1, 2, 3, 4, 5], 2..=3);
+        crate::run_property("subseq", ProptestConfig::with_cases(50), |rng| {
+            let v = s.gen(rng).unwrap();
+            prop_assert!(v.len() == 2 || v.len() == 3);
+            prop_assert!(v.windows(2).all(|w| w[0] < w[1]));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn oneof_weighted_hits_all() {
+        let s = prop_oneof![3 => Just(1i64), 1 => Just(-1)];
+        let mut seen = std::collections::HashSet::new();
+        crate::run_property("oneof", ProptestConfig::with_cases(100), |rng| {
+            seen.insert(s.gen(rng).unwrap());
+            Ok(())
+        });
+        assert_eq!(seen.len(), 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_basics(x in 0i64..10, ys in crate::collection::vec(0u32..3, 1..4)) {
+            prop_assert!((0..10).contains(&x));
+            prop_assert_eq!(ys.len(), ys.len());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config(b in prop_oneof![4 => Just(true), 1 => Just(false)]) {
+            prop_assume!(b || !b);
+            prop_assert!(b || !b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic() {
+        crate::run_property("always_fails", ProptestConfig::with_cases(1), |_rng| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+}
