@@ -133,7 +133,10 @@ fn smoke() {
                 b.tuples.iter().map(|t| {
                     (
                         b.relation,
-                        ones_delta::<R>(q.relations[b.relation].schema.clone(), &[t.clone()]),
+                        ones_delta::<R>(
+                            q.relations[b.relation].schema.clone(),
+                            std::slice::from_ref(t),
+                        ),
                     )
                 })
             })

@@ -24,6 +24,17 @@ pub struct FxHasher {
 }
 
 impl FxHasher {
+    /// Resume hashing from a previous [`Hasher::finish`] state.
+    ///
+    /// Fx hashing is a left fold over the input words, and `finish`
+    /// returns the fold state itself, so hashing `b` from the state of
+    /// `a` equals hashing `a ⧺ b` from scratch. [`crate::Tuple`] uses
+    /// this to extend cached hashes across concatenation.
+    #[inline]
+    pub fn from_state(state: u64) -> Self {
+        FxHasher { hash: state }
+    }
+
     #[inline]
     fn add_to_hash(&mut self, word: u64) {
         self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);

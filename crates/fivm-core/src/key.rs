@@ -1,0 +1,207 @@
+//! Borrowed probe keys: hash and compare against stored [`Tuple`] keys
+//! without materializing the probe tuple.
+//!
+//! Delta propagation probes view maps with keys that are *derived* from
+//! tuples it already holds — a projection of the delta tuple for a
+//! sibling-view lookup, or a concatenation for a join output. Building
+//! a fresh [`Tuple`] per probe would put key construction on the
+//! per-update critical path. A [`TupleKey`] instead describes the
+//! derived key by reference: it can produce the key's Fx hash (the same
+//! hash [`Tuple`] caches), compare itself against a stored tuple, and
+//! materialize a real [`Tuple`] only when an insert actually needs to
+//! own the key.
+//!
+//! [`crate::table::TupleMap`] accepts any `TupleKey` for lookups, which
+//! is what makes secondary-index lookups and sibling-join probes in the
+//! engine allocation-free.
+
+use crate::tuple::{hash_values, Tuple};
+use crate::value::Value;
+
+/// A (possibly borrowed) key into a map keyed by [`Tuple`]s.
+///
+/// Implementations must agree with [`Tuple`] on hashing: `key_hash`
+/// must equal `Tuple::cached_hash` of the materialized key, and
+/// `matches(t)` must hold exactly when the materialized key equals
+/// `t`.
+pub trait TupleKey {
+    /// The Fx hash of the key's value sequence.
+    fn key_hash(&self) -> u64;
+
+    /// Does this key equal the stored tuple `t`?
+    fn matches(&self, t: &Tuple) -> bool;
+
+    /// Build the owned key (called on insert of a new key only).
+    fn materialize(&self) -> Tuple;
+}
+
+impl TupleKey for Tuple {
+    #[inline]
+    fn key_hash(&self) -> u64 {
+        self.cached_hash()
+    }
+
+    #[inline]
+    fn matches(&self, t: &Tuple) -> bool {
+        self == t
+    }
+
+    #[inline]
+    fn materialize(&self) -> Tuple {
+        self.clone()
+    }
+}
+
+/// A projection `π_positions(base)` as a probe key; the paper's
+/// sibling-view probe pattern. Never allocates.
+pub struct ProjKey<'a> {
+    base: &'a Tuple,
+    positions: &'a [usize],
+    hash: u64,
+}
+
+impl<'a> ProjKey<'a> {
+    /// Key for `base.project(positions)` without building it.
+    #[inline]
+    pub fn new(base: &'a Tuple, positions: &'a [usize]) -> Self {
+        let vals = base.values();
+        let hash = hash_values(0, positions.iter().map(|&p| &vals[p]));
+        ProjKey {
+            base,
+            positions,
+            hash,
+        }
+    }
+
+    #[inline]
+    fn value_at(&self, i: usize) -> &Value {
+        self.base.get(self.positions[i])
+    }
+}
+
+impl TupleKey for ProjKey<'_> {
+    #[inline]
+    fn key_hash(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn matches(&self, t: &Tuple) -> bool {
+        self.hash == t.cached_hash()
+            && t.len() == self.positions.len()
+            && t.values()
+                .iter()
+                .enumerate()
+                .all(|(i, v)| v == self.value_at(i))
+    }
+
+    #[inline]
+    fn materialize(&self) -> Tuple {
+        self.base.project(self.positions)
+    }
+}
+
+/// The concatenation `left ⧺ π_positions(right)` as a probe key; the
+/// join-output pattern. Never allocates: the hash resumes from `left`'s
+/// cached hash.
+pub struct ConcatProjKey<'a> {
+    left: &'a Tuple,
+    right: &'a Tuple,
+    positions: &'a [usize],
+    hash: u64,
+}
+
+impl<'a> ConcatProjKey<'a> {
+    /// Key for `left.concat_projected(right, positions)` without
+    /// building it.
+    #[inline]
+    pub fn new(left: &'a Tuple, right: &'a Tuple, positions: &'a [usize]) -> Self {
+        let rv = right.values();
+        let hash = hash_values(left.cached_hash(), positions.iter().map(|&p| &rv[p]));
+        ConcatProjKey {
+            left,
+            right,
+            positions,
+            hash,
+        }
+    }
+
+    #[inline]
+    fn value_at(&self, i: usize) -> &Value {
+        if i < self.left.len() {
+            self.left.get(i)
+        } else {
+            self.right.get(self.positions[i - self.left.len()])
+        }
+    }
+}
+
+impl TupleKey for ConcatProjKey<'_> {
+    #[inline]
+    fn key_hash(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn matches(&self, t: &Tuple) -> bool {
+        self.hash == t.cached_hash()
+            && t.len() == self.left.len() + self.positions.len()
+            && t.values()
+                .iter()
+                .enumerate()
+                .all(|(i, v)| v == self.value_at(i))
+    }
+
+    #[inline]
+    fn materialize(&self) -> Tuple {
+        self.left.concat_projected(self.right, self.positions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn proj_key_agrees_with_eager_projection() {
+        let base = tuple![10, 20, 30];
+        for positions in [&[0usize, 2][..], &[2, 0], &[1], &[], &[1, 1, 0]] {
+            let eager = base.project(positions);
+            let key = ProjKey::new(&base, positions);
+            assert_eq!(key.key_hash(), eager.cached_hash(), "{positions:?}");
+            assert!(key.matches(&eager));
+            assert_eq!(key.materialize(), eager);
+        }
+    }
+
+    #[test]
+    fn proj_key_rejects_others() {
+        let base = tuple![10, 20, 30];
+        let key = ProjKey::new(&base, &[0, 2]);
+        assert!(!key.matches(&tuple![10, 20]));
+        assert!(!key.matches(&tuple![10]));
+        assert!(!key.matches(&tuple![10, 30, 10]));
+    }
+
+    #[test]
+    fn concat_proj_key_agrees_with_eager_concat() {
+        let left = tuple![1, 2];
+        let right = tuple![7, 8, 9];
+        for positions in [&[0usize][..], &[2, 1], &[]] {
+            let eager = left.concat_projected(&right, positions);
+            let key = ConcatProjKey::new(&left, &right, positions);
+            assert_eq!(key.key_hash(), eager.cached_hash(), "{positions:?}");
+            assert!(key.matches(&eager));
+            assert_eq!(key.materialize(), eager);
+        }
+    }
+
+    #[test]
+    fn tuple_is_its_own_key() {
+        let t = tuple![4, 5];
+        assert_eq!(TupleKey::key_hash(&t), t.cached_hash());
+        assert!(t.matches(&tuple![4, 5]));
+        assert!(!t.matches(&tuple![5, 4]));
+    }
+}

@@ -28,19 +28,23 @@
 //! (`fivm-query`) and execution (`fivm-engine`).
 
 pub mod hash;
+pub mod key;
 pub mod lifting;
 pub mod relation;
 pub mod ring;
 pub mod schema;
+pub mod table;
 pub mod tuple;
 pub mod update;
 pub mod value;
 
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use key::{ConcatProjKey, ProjKey, TupleKey};
 pub use lifting::{Lifting, LiftingMap};
 pub use relation::Relation;
 pub use ring::{Ring, Semiring};
 pub use schema::{Catalog, Schema, VarId};
+pub use table::TupleMap;
 pub use tuple::Tuple;
 pub use update::Delta;
 pub use value::Value;

@@ -11,9 +11,11 @@
 //! secondary indexes.
 
 use crate::hash::FxHashMap;
+use crate::key::TupleKey;
 use crate::lifting::Lifting;
 use crate::ring::{Ring, Semiring};
 use crate::schema::{Schema, VarId};
+use crate::table::TupleMap;
 use crate::tuple::Tuple;
 
 /// A relation over a ring: a map from keys (tuples over `schema`) to
@@ -21,7 +23,7 @@ use crate::tuple::Tuple;
 #[derive(Clone, Debug)]
 pub struct Relation<R> {
     schema: Schema,
-    data: FxHashMap<Tuple, R>,
+    data: TupleMap<R>,
 }
 
 impl<R: Semiring> Relation<R> {
@@ -29,7 +31,7 @@ impl<R: Semiring> Relation<R> {
     pub fn new(schema: Schema) -> Self {
         Relation {
             schema,
-            data: FxHashMap::default(),
+            data: TupleMap::new(),
         }
     }
 
@@ -69,6 +71,13 @@ impl<R: Semiring> Relation<R> {
         self.data.get(t)
     }
 
+    /// The payload under a (possibly borrowed) probe key — e.g. a
+    /// [`crate::ProjKey`] projecting a tuple the caller already holds —
+    /// without materializing the key.
+    pub fn get_by<K: TupleKey + ?Sized>(&self, key: &K) -> Option<&R> {
+        self.data.get(key)
+    }
+
     /// The payload of `t`, or the ring zero.
     pub fn payload(&self, t: &Tuple) -> R {
         self.data.get(t).cloned().unwrap_or_else(R::zero)
@@ -82,19 +91,19 @@ impl<R: Semiring> Relation<R> {
     /// Add `payload` to the key `t`, erasing it if the sum is zero.
     pub fn insert(&mut self, t: Tuple, payload: R) {
         debug_assert_eq!(t.len(), self.schema.len(), "tuple arity != schema arity");
+        self.insert_by(&t, payload);
+    }
+
+    /// [`Relation::insert`] under a borrowed probe key; the key is
+    /// materialized only if it is new to the relation.
+    pub fn insert_by<K: TupleKey + ?Sized>(&mut self, key: &K, payload: R) {
         if payload.is_zero() {
             return;
         }
-        match self.data.entry(t) {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
-                e.get_mut().add_assign(&payload);
-                if e.get().is_zero() {
-                    e.remove();
-                }
-            }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(payload);
-            }
+        let (inserted, slot) = self.data.upsert(key, R::zero);
+        slot.add_assign(&payload);
+        if !inserted && slot.is_zero() {
+            self.data.remove(key);
         }
     }
 
@@ -121,7 +130,7 @@ impl<R: Semiring> Relation<R> {
     /// In-place union (the view-update step `V := V ⊎ δV`).
     pub fn union_in_place(&mut self, other: &Relation<R>) {
         assert_eq!(self.schema, other.schema, "union requires equal schemas");
-        for (t, p) in &other.data {
+        for (t, p) in other.data.iter() {
             self.insert(t.clone(), p.clone());
         }
     }
@@ -140,11 +149,11 @@ impl<R: Semiring> Relation<R> {
         // Probe the smaller side … but payload multiplication is ordered
         // (non-commutative rings), so always produce left*right.
         let mut index: FxHashMap<Tuple, Vec<(&Tuple, &R)>> = FxHashMap::default();
-        for (t, p) in &other.data {
+        for (t, p) in other.data.iter() {
             index.entry(t.project(&right_common)).or_default().push((t, p));
         }
         let mut out = Relation::new(out_schema);
-        for (lt, lp) in &self.data {
+        for (lt, lp) in self.data.iter() {
             if let Some(matches) = index.get(&lt.project(&left_common)) {
                 for (rt, rp) in matches {
                     out.insert(lt.concat_projected(rt, &right_rest), lp.mul(rp));
@@ -164,7 +173,7 @@ impl<R: Semiring> Relation<R> {
         let rest_vars = self.schema.without(x);
         let rest_pos = self.schema.positions_of(rest_vars.vars()).unwrap();
         let mut out = Relation::new(rest_vars);
-        for (t, p) in &self.data {
+        for (t, p) in self.data.iter() {
             let lifted = if lifting.is_one() {
                 p.clone()
             } else {
@@ -188,7 +197,7 @@ impl<R: Semiring> Relation<R> {
         }
         let rest_pos = self.schema.positions_of(rest_vars.vars()).unwrap();
         let mut out = Relation::new(rest_vars);
-        for (t, p) in &self.data {
+        for (t, p) in self.data.iter() {
             let mut lifted = p.clone();
             for ((_, l), &pos) in vars.iter().zip(&positions) {
                 if !l.is_one() {
@@ -211,7 +220,7 @@ impl<R: Semiring> Relation<R> {
             .expect("target schema must be a permutation of the relation schema");
         assert_eq!(target.len(), self.schema.len(), "reorder must not project");
         let mut out = Relation::new(target.clone());
-        for (t, p) in &self.data {
+        for (t, p) in self.data.iter() {
             out.insert(t.project(&positions), p.clone());
         }
         out
@@ -220,7 +229,7 @@ impl<R: Semiring> Relation<R> {
     /// Map payloads through `f`, dropping zeros.
     pub fn map_payloads<S: Semiring>(&self, f: impl Fn(&Tuple, &R) -> S) -> Relation<S> {
         let mut out = Relation::new(self.schema.clone());
-        for (t, p) in &self.data {
+        for (t, p) in self.data.iter() {
             out.insert(t.clone(), f(t, p));
         }
         out
@@ -249,7 +258,12 @@ impl<R: Ring> Relation<R> {
 
 impl<R: Semiring> PartialEq for Relation<R> {
     fn eq(&self, other: &Self) -> bool {
-        self.schema == other.schema && self.data == other.data
+        self.schema == other.schema
+            && self.data.len() == other.data.len()
+            && self
+                .data
+                .iter()
+                .all(|(t, p)| other.data.get(t) == Some(p))
     }
 }
 

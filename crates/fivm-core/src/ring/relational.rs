@@ -198,9 +198,7 @@ impl Semiring for RelPayload {
     }
 
     fn heap_bytes(&self) -> usize {
-        self.data
-            .iter()
-            .map(|(t, _)| t.approx_bytes() + std::mem::size_of::<i64>() + 8)
+        self.data.keys().map(|t| t.approx_bytes() + std::mem::size_of::<i64>() + 8)
             .sum()
     }
 }

@@ -71,13 +71,18 @@ impl Catalog {
 }
 
 /// An ordered list of distinct variables.
+///
+/// Internally reference-counted: schemas are immutable after
+/// construction and cloned on every relation/delta construction in the
+/// propagation path, so `clone` must be a refcount bump, not a heap
+/// copy.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
-pub struct Schema(Vec<VarId>);
+pub struct Schema(std::sync::Arc<[VarId]>);
 
 impl Schema {
     /// The empty schema (keys are the empty tuple).
     pub fn empty() -> Self {
-        Schema(Vec::new())
+        Schema::default()
     }
 
     /// Build from a list of variables; panics on duplicates.
@@ -86,7 +91,7 @@ impl Schema {
         seen.sort_unstable();
         seen.dedup();
         assert_eq!(seen.len(), vars.len(), "schema has duplicate variables");
-        Schema(vars)
+        Schema(vars.into())
     }
 
     /// Number of variables.
@@ -140,13 +145,13 @@ impl Schema {
     /// Order-preserving union: `self` followed by the variables of
     /// `other` not already present.
     pub fn union(&self, other: &Schema) -> Schema {
-        let mut out = self.0.clone();
-        for &v in &other.0 {
+        let mut out: Vec<VarId> = self.0.to_vec();
+        for &v in other.0.iter() {
             if !out.contains(&v) {
                 out.push(v);
             }
         }
-        Schema(out)
+        Schema(out.into())
     }
 
     /// Variables of `self` not in `other`, in `self` order.

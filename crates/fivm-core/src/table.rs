@@ -1,0 +1,401 @@
+//! An open-addressing hash table keyed by [`Tuple`]s that supports
+//! borrowed-key probing.
+//!
+//! `std::collections::HashMap` cannot look a key up by anything but
+//! `Borrow<Q>` of the owned key type, which forces callers to
+//! materialize a fresh [`Tuple`] for every probe that is a projection
+//! or concatenation of tuples they already hold. [`TupleMap`] accepts
+//! any [`TupleKey`] for lookups and removals, and materializes an owned
+//! key only when an insert introduces a genuinely new key — which, for
+//! inline tuples (arity ≤ 3), still allocates nothing.
+//!
+//! Layout: power-of-two slot array, linear probing, tombstone deletion
+//! (rehahsed away on growth). Tuples cache their Fx hash, so growth and
+//! re-probing never re-hash key values. `clear` keeps the slot array,
+//! and removals leave capacity in place, so a steady-state workload
+//! (payload updates, or deletes matched by re-inserts) performs no heap
+//! allocation.
+
+use crate::key::TupleKey;
+use crate::tuple::Tuple;
+
+#[derive(Clone, Debug)]
+enum Slot<R> {
+    Empty,
+    Tombstone,
+    Full(Tuple, R),
+}
+
+/// Hash map from [`Tuple`] keys to `R` payloads with borrowed-key
+/// probing; see the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct TupleMap<R> {
+    slots: Vec<Slot<R>>,
+    /// Live entries.
+    items: usize,
+    /// Live entries plus tombstones (bounds probe-sequence length).
+    used: usize,
+}
+
+/// Spread the (Fx) hash across the table's index bits; Fx leaves the
+/// low bits weak for short keys, so fold the high bits down.
+#[inline]
+fn spread(hash: u64) -> usize {
+    (hash.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize
+}
+
+impl<R> Default for TupleMap<R> {
+    fn default() -> Self {
+        TupleMap::new()
+    }
+}
+
+impl<R> TupleMap<R> {
+    /// An empty map (no allocation until first insert).
+    pub fn new() -> Self {
+        TupleMap {
+            slots: Vec::new(),
+            items: 0,
+            used: 0,
+        }
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items
+    }
+
+    /// True iff no live entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// Drop all entries, keeping the slot array for reuse.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = Slot::Empty;
+        }
+        self.items = 0;
+        self.used = 0;
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.slots.len() - 1
+    }
+
+    /// Index of the slot holding `key`, if present.
+    #[inline]
+    fn find<K: TupleKey + ?Sized>(&self, key: &K) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let hash = key.key_hash();
+        let mask = self.mask();
+        let mut i = spread(hash) & mask;
+        loop {
+            match &self.slots[i] {
+                Slot::Empty => return None,
+                Slot::Tombstone => {}
+                Slot::Full(t, _) => {
+                    if t.cached_hash() == hash && key.matches(t) {
+                        return Some(i);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Payload of `key`, if present. Accepts borrowed probe keys.
+    #[inline]
+    pub fn get<K: TupleKey + ?Sized>(&self, key: &K) -> Option<&R> {
+        self.find(key).map(|i| match &self.slots[i] {
+            Slot::Full(_, r) => r,
+            _ => unreachable!("find returns full slots"),
+        })
+    }
+
+    /// Mutable payload of `key`, if present.
+    #[inline]
+    pub fn get_mut<K: TupleKey + ?Sized>(&mut self, key: &K) -> Option<&mut R> {
+        self.find(key).map(|i| match &mut self.slots[i] {
+            Slot::Full(_, r) => r,
+            _ => unreachable!("find returns full slots"),
+        })
+    }
+
+    /// True iff `key` has an entry.
+    #[inline]
+    pub fn contains_key<K: TupleKey + ?Sized>(&self, key: &K) -> bool {
+        self.find(key).is_some()
+    }
+
+    /// Look up `key`, inserting `default()` under the materialized key
+    /// if absent. Returns whether the entry was just inserted, and the
+    /// payload.
+    pub fn upsert<K: TupleKey + ?Sized>(
+        &mut self,
+        key: &K,
+        default: impl FnOnce() -> R,
+    ) -> (bool, &mut R) {
+        self.reserve_one();
+        let hash = key.key_hash();
+        let mask = self.mask();
+        let mut i = spread(hash) & mask;
+        // First tombstone on the probe path is reusable if the key is
+        // absent; remember it so re-inserts don't extend probe chains.
+        let mut reuse: Option<usize> = None;
+        let slot = loop {
+            match &self.slots[i] {
+                Slot::Empty => break reuse.unwrap_or(i),
+                Slot::Tombstone => {
+                    if reuse.is_none() {
+                        reuse = Some(i);
+                    }
+                }
+                Slot::Full(t, _) => {
+                    if t.cached_hash() == hash && key.matches(t) {
+                        match &mut self.slots[i] {
+                            Slot::Full(_, r) => return (false, r),
+                            _ => unreachable!(),
+                        }
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        };
+        if matches!(self.slots[slot], Slot::Empty) {
+            self.used += 1;
+        }
+        self.items += 1;
+        self.slots[slot] = Slot::Full(key.materialize(), default());
+        match &mut self.slots[slot] {
+            Slot::Full(_, r) => (true, r),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Remove `key`'s entry, returning its payload. Leaves a tombstone;
+    /// capacity is retained.
+    pub fn remove<K: TupleKey + ?Sized>(&mut self, key: &K) -> Option<(Tuple, R)> {
+        let i = self.find(key)?;
+        let old = std::mem::replace(&mut self.slots[i], Slot::Tombstone);
+        self.items -= 1;
+        match old {
+            Slot::Full(t, r) => Some((t, r)),
+            _ => unreachable!("find returns full slots"),
+        }
+    }
+
+    /// Move every entry into `out` (table order), leaving the map
+    /// empty but with its capacity retained — the scratch-buffer
+    /// pattern hot paths use to merge duplicates without allocating.
+    pub fn drain_into(&mut self, out: &mut Vec<(Tuple, R)>) {
+        for s in &mut self.slots {
+            if matches!(s, Slot::Full(..)) {
+                match std::mem::replace(s, Slot::Empty) {
+                    Slot::Full(t, r) => out.push((t, r)),
+                    _ => unreachable!("just matched"),
+                }
+            } else {
+                *s = Slot::Empty;
+            }
+        }
+        self.items = 0;
+        self.used = 0;
+    }
+
+    /// Iterate over `(key, payload)` pairs in table order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, &R)> {
+        self.slots.iter().filter_map(|s| match s {
+            Slot::Full(t, r) => Some((t, r)),
+            _ => None,
+        })
+    }
+
+    /// Iterate with mutable payloads.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&Tuple, &mut R)> {
+        self.slots.iter_mut().filter_map(|s| match s {
+            Slot::Full(t, r) => Some((&*t, r)),
+            _ => None,
+        })
+    }
+
+    /// Iterate over keys.
+    pub fn keys(&self) -> impl Iterator<Item = &Tuple> {
+        self.iter().map(|(t, _)| t)
+    }
+
+    /// Grow/rehash so at least one more insert fits the ≤ 7/8 load
+    /// bound (counting tombstones).
+    fn reserve_one(&mut self) {
+        if self.slots.is_empty() {
+            self.slots = (0..8).map(|_| Slot::Empty).collect();
+            return;
+        }
+        if (self.used + 1) * 8 <= self.slots.len() * 7 {
+            return;
+        }
+        // Double when genuinely full; rehash in place (same capacity)
+        // when tombstones are the bulk of the load.
+        let new_cap = if (self.items + 1) * 4 > self.slots.len() * 3 {
+            self.slots.len() * 2
+        } else {
+            self.slots.len()
+        };
+        let old = std::mem::replace(
+            &mut self.slots,
+            (0..new_cap).map(|_| Slot::Empty).collect(),
+        );
+        self.used = self.items;
+        let mask = self.mask();
+        for s in old {
+            if let Slot::Full(t, r) = s {
+                // Cached hash: growth never re-hashes key values.
+                let mut i = spread(t.cached_hash()) & mask;
+                while !matches!(self.slots[i], Slot::Empty) {
+                    i = (i + 1) & mask;
+                }
+                self.slots[i] = Slot::Full(t, r);
+            }
+        }
+    }
+
+    /// Approximate heap bytes owned by the slot array (excluding key
+    /// and payload heap data).
+    pub fn approx_slot_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<Slot<R>>()
+    }
+}
+
+impl<R> FromIterator<(Tuple, R)> for TupleMap<R> {
+    fn from_iter<I: IntoIterator<Item = (Tuple, R)>>(iter: I) -> Self {
+        let mut m = TupleMap::new();
+        for (t, r) in iter {
+            // Last write wins, like std::collections::HashMap::from_iter.
+            let mut pending = Some(r);
+            let (_, slot) = m.upsert(&t, || pending.take().expect("unconsumed"));
+            if let Some(r) = pending {
+                *slot = r;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::ProjKey;
+    use crate::tuple;
+
+    #[test]
+    fn upsert_get_remove_roundtrip() {
+        let mut m: TupleMap<i64> = TupleMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.get(&tuple![1, 2]), None);
+        let (inserted, v) = m.upsert(&tuple![1, 2], || 5);
+        assert!(inserted);
+        *v += 1;
+        assert_eq!(m.get(&tuple![1, 2]), Some(&6));
+        let (inserted, v) = m.upsert(&tuple![1, 2], || 0);
+        assert!(!inserted);
+        assert_eq!(*v, 6);
+        assert_eq!(m.len(), 1);
+        let (k, r) = m.remove(&tuple![1, 2]).unwrap();
+        assert_eq!((k, r), (tuple![1, 2], 6));
+        assert!(m.remove(&tuple![1, 2]).is_none());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn many_entries_grow_and_survive() {
+        let mut m: TupleMap<i64> = TupleMap::new();
+        for i in 0..1000i64 {
+            m.upsert(&tuple![i, i * 2], || i);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000i64 {
+            assert_eq!(m.get(&tuple![i, i * 2]), Some(&i), "key {i}");
+        }
+        assert_eq!(m.get(&tuple![1000, 2000]), None);
+    }
+
+    #[test]
+    fn borrowed_probe_finds_entries() {
+        let mut m: TupleMap<&'static str> = TupleMap::new();
+        m.upsert(&tuple![20, 10], || "hit");
+        let base = tuple![10, 20, 30];
+        let key = ProjKey::new(&base, &[1, 0]);
+        assert_eq!(m.get(&key), Some(&"hit"));
+        let miss = ProjKey::new(&base, &[0, 1]);
+        assert_eq!(m.get(&miss), None);
+    }
+
+    #[test]
+    fn borrowed_upsert_materializes_once() {
+        let mut m: TupleMap<i64> = TupleMap::new();
+        let base = tuple![7, 8];
+        let key = ProjKey::new(&base, &[1]);
+        let (inserted, v) = m.upsert(&key, || 1);
+        assert!(inserted);
+        *v += 1;
+        let (inserted, _) = m.upsert(&key, || 100);
+        assert!(!inserted);
+        assert_eq!(m.get(&tuple![8]), Some(&2));
+    }
+
+    #[test]
+    fn tombstones_are_reused() {
+        let mut m: TupleMap<i64> = TupleMap::new();
+        // Fill/erase churn on a fixed key set: capacity must stabilize.
+        for round in 0..50 {
+            for i in 0..16i64 {
+                m.upsert(&tuple![i], || round);
+            }
+            for i in 0..16i64 {
+                m.remove(&tuple![i]).unwrap();
+            }
+        }
+        assert!(m.is_empty());
+        assert!(
+            m.slots.len() <= 64,
+            "churn grew the table to {} slots",
+            m.slots.len()
+        );
+    }
+
+    #[test]
+    fn iteration_sees_all_live_entries() {
+        let mut m: TupleMap<i64> = TupleMap::new();
+        for i in 0..20i64 {
+            m.upsert(&tuple![i], || i);
+        }
+        for i in 0..10i64 {
+            m.remove(&tuple![i]);
+        }
+        let mut got: Vec<i64> = m.iter().map(|(_, &v)| v).collect();
+        got.sort_unstable();
+        assert_eq!(got, (10..20).collect::<Vec<_>>());
+        for (_, v) in m.iter_mut() {
+            *v += 1;
+        }
+        assert_eq!(m.get(&tuple![15]), Some(&16));
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut m: TupleMap<i64> = TupleMap::new();
+        for i in 0..100i64 {
+            m.upsert(&tuple![i], || i);
+        }
+        let cap = m.slots.len();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.slots.len(), cap);
+        assert_eq!(m.get(&tuple![5]), None);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests for the small-size-optimized tuple representation:
+//! inline and spilled tuples must be observably identical, borrowed
+//! probe keys must agree exactly with eager projection, and cached
+//! hashes must survive `concat`/`project`.
+
+use fivm_core::{ConcatProjKey, FxHashMap, ProjKey, Tuple, TupleKey, TupleMap, Value};
+use proptest::prelude::*;
+use std::cmp::Ordering as CmpOrdering;
+use std::hash::{Hash, Hasher};
+
+/// Random values spanning all three key types (ints collide across a
+/// small domain; doubles include the −0.0/0.0 normalization case).
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        4 => (-3i64..4).prop_map(Value::Int),
+        2 => prop_oneof![
+            Just(Value::Double(0.0)),
+            Just(Value::Double(-0.0)),
+            Just(Value::Double(1.5)),
+            Just(Value::Double(-2.25)),
+        ],
+        1 => prop_oneof![
+            Just(Value::str("a")),
+            Just(Value::str("bb")),
+            Just(Value::str("")),
+        ],
+    ]
+}
+
+/// Value vectors spanning the inline/spilled boundary (0..=6, inline
+/// capacity is 3).
+fn values() -> impl Strategy<Value = Vec<Value>> {
+    proptest::collection::vec(value(), 0..=6)
+}
+
+fn std_hash<T: Hash>(t: &T) -> u64 {
+    let mut h = fivm_core::FxHasher::default();
+    t.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A spilled tuple is indistinguishable from the inline tuple over
+    /// the same values: `Eq`, `Ord`, `Hash`, cached hash, accessors.
+    #[test]
+    fn inline_and_spilled_are_indistinguishable(vals in values()) {
+        let auto = Tuple::new(vals.clone());
+        let forced = Tuple::spilled(vals.clone());
+        prop_assert_eq!(auto.is_inline(), vals.len() <= fivm_core::tuple::INLINE_CAP);
+        prop_assert!(!forced.is_inline());
+        prop_assert_eq!(&auto, &forced);
+        prop_assert_eq!(auto.cached_hash(), forced.cached_hash());
+        prop_assert_eq!(std_hash(&auto), std_hash(&forced));
+        prop_assert_eq!(auto.cmp(&forced), CmpOrdering::Equal);
+        prop_assert_eq!(auto.values(), forced.values());
+        prop_assert_eq!(auto.len(), forced.len());
+        prop_assert_eq!(auto.to_string(), forced.to_string());
+    }
+
+    /// Representation never leaks into map behavior: a std hash map and
+    /// a `TupleMap` keyed by one representation are hit by the other.
+    #[test]
+    fn representations_interchange_as_map_keys(vals in values()) {
+        let auto = Tuple::new(vals.clone());
+        let forced = Tuple::spilled(vals);
+        let mut std_map: FxHashMap<Tuple, u32> = FxHashMap::default();
+        std_map.insert(forced.clone(), 7);
+        prop_assert_eq!(std_map.get(&auto), Some(&7));
+        let mut table: TupleMap<u32> = TupleMap::new();
+        table.upsert(&auto, || 9);
+        prop_assert_eq!(table.get(&forced), Some(&9));
+    }
+
+    /// Ordering matches the lexicographic order of the value slices for
+    /// every representation pairing.
+    #[test]
+    fn ordering_is_value_lexicographic(a in values(), b in values()) {
+        let expected = a.as_slice().cmp(b.as_slice());
+        prop_assert_eq!(Tuple::new(a.clone()).cmp(&Tuple::new(b.clone())), expected);
+        prop_assert_eq!(Tuple::spilled(a.clone()).cmp(&Tuple::new(b.clone())), expected);
+        prop_assert_eq!(Tuple::new(a).cmp(&Tuple::spilled(b)), expected);
+    }
+
+    /// Cached hashes survive `project` and `concat`: derived tuples
+    /// carry exactly the hash a from-scratch construction would.
+    #[test]
+    fn cached_hash_survives_project_and_concat(
+        a in values(),
+        b in values(),
+        picks in proptest::collection::vec(0usize..6, 0..=5),
+    ) {
+        let ta = Tuple::new(a.clone());
+        let tb = Tuple::new(b.clone());
+
+        let cat = ta.concat(&tb);
+        let mut flat = a.clone();
+        flat.extend(b.iter().cloned());
+        prop_assert_eq!(&cat, &Tuple::new(flat.clone()));
+        prop_assert_eq!(cat.cached_hash(), Tuple::new(flat).cached_hash());
+
+        if !a.is_empty() {
+            let positions: Vec<usize> = picks.iter().map(|&p| p % a.len()).collect();
+            let proj = ta.project(&positions);
+            let expect: Vec<Value> = positions.iter().map(|&p| a[p].clone()).collect();
+            prop_assert_eq!(&proj, &Tuple::new(expect.clone()));
+            prop_assert_eq!(proj.cached_hash(), Tuple::new(expect).cached_hash());
+            // spilled source, same projection
+            let sproj = Tuple::spilled(a.clone()).project(&positions);
+            prop_assert_eq!(&sproj, &proj);
+            prop_assert_eq!(sproj.cached_hash(), proj.cached_hash());
+        }
+    }
+
+    /// Borrowed probe keys agree with eager materialization: same hash,
+    /// `matches` holds exactly for the materialized key, and probing a
+    /// populated `TupleMap` finds exactly what eager projection finds.
+    #[test]
+    fn borrowed_probes_match_eager_projection(
+        base_vals in proptest::collection::vec(value(), 1..=6),
+        stored in proptest::collection::vec(values(), 0..8),
+        picks in proptest::collection::vec(0usize..6, 0..=3),
+    ) {
+        let base = Tuple::new(base_vals.clone());
+        let positions: Vec<usize> =
+            picks.iter().map(|&p| p % base_vals.len()).collect();
+        let eager = base.project(&positions);
+        let probe = ProjKey::new(&base, &positions);
+        prop_assert_eq!(probe.key_hash(), eager.cached_hash());
+        prop_assert!(probe.matches(&eager));
+        prop_assert_eq!(probe.materialize(), eager.clone());
+
+        let mut table: TupleMap<usize> = TupleMap::new();
+        for (i, vals) in stored.iter().enumerate() {
+            let mut pending = Some(i);
+            table.upsert(&Tuple::new(vals.clone()), || pending.take().unwrap());
+        }
+        prop_assert_eq!(table.get(&probe), table.get(&eager));
+        for vals in &stored {
+            let t = Tuple::new(vals.clone());
+            prop_assert_eq!(probe.matches(&t), eager == t);
+        }
+    }
+
+    /// Concat-projection probe keys agree with eager concatenation.
+    #[test]
+    fn concat_probes_match_eager_concat(
+        a in values(),
+        b in proptest::collection::vec(value(), 1..=6),
+        picks in proptest::collection::vec(0usize..6, 0..=3),
+    ) {
+        let left = Tuple::new(a);
+        let right = Tuple::new(b.clone());
+        let positions: Vec<usize> = picks.iter().map(|&p| p % b.len()).collect();
+        let eager = left.concat_projected(&right, &positions);
+        let probe = ConcatProjKey::new(&left, &right, &positions);
+        prop_assert_eq!(probe.key_hash(), eager.cached_hash());
+        prop_assert!(probe.matches(&eager));
+        prop_assert_eq!(probe.materialize(), eager);
+    }
+}

@@ -2,25 +2,47 @@
 //!
 //! A [`ViewStore`] is the runtime form of a view tree node: a hash map
 //! from key tuples to ring payloads (the paper materializes views as
-//! “multi-indexed maps”), plus secondary indexes keyed by the probe
+//! "multi-indexed maps"), plus secondary indexes keyed by the probe
 //! patterns that delta propagation needs. Indexes are created on demand
 //! and maintained incrementally with the primary data.
+//!
+//! Both the primary map and the secondary indexes are
+//! [`TupleMap`]s, so every lookup accepts a borrowed [`TupleKey`] — the
+//! engine probes with projections of tuples it already holds and never
+//! materializes probe keys. Deletions leave capacity in place (the
+//! primary via tombstones, the indexes by keeping emptied buckets), so
+//! steady-state single-tuple maintenance does not allocate.
 
-use fivm_core::{FxHashMap, Ring, Relation, Schema, Tuple};
+use fivm_core::{Relation, Ring, Schema, Tuple, TupleKey, TupleMap};
+
+/// How an insert changed a key's membership (support transitions drive
+/// indicator maintenance, Example B.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SupportChange {
+    /// The key was absent and now has a non-zero payload.
+    Appeared,
+    /// The key's payload summed to zero and was erased.
+    Disappeared,
+    /// Payload changed (or no-op) without a membership change.
+    Unchanged,
+}
 
 /// A secondary index: probe-key positions within the view schema, and a
 /// map from probe keys to the full keys sharing them.
+///
+/// Buckets whose last key is removed are kept (empty) so that churn on
+/// a stable key universe never reallocates.
 #[derive(Clone, Debug)]
 struct SecondaryIndex {
     positions: Vec<usize>,
-    map: FxHashMap<Tuple, Vec<Tuple>>,
+    map: TupleMap<Vec<Tuple>>,
 }
 
 /// A materialized view: primary map plus secondary indexes.
 #[derive(Clone, Debug)]
 pub struct ViewStore<R> {
     schema: Schema,
-    data: FxHashMap<Tuple, R>,
+    data: TupleMap<R>,
     indexes: Vec<SecondaryIndex>,
 }
 
@@ -29,12 +51,12 @@ impl<R: Ring> ViewStore<R> {
     pub fn new(schema: Schema) -> Self {
         ViewStore {
             schema,
-            data: FxHashMap::default(),
+            data: TupleMap::new(),
             indexes: Vec::new(),
         }
     }
 
-    /// The view’s key schema.
+    /// The view's key schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
     }
@@ -49,9 +71,11 @@ impl<R: Ring> ViewStore<R> {
         self.data.is_empty()
     }
 
-    /// Payload of `t`, if non-zero.
-    pub fn get(&self, t: &Tuple) -> Option<&R> {
-        self.data.get(t)
+    /// Payload of `key`, if non-zero. Accepts borrowed probe keys
+    /// ([`fivm_core::ProjKey`] etc.) as well as `&Tuple`.
+    #[inline]
+    pub fn get<K: TupleKey + ?Sized>(&self, key: &K) -> Option<&R> {
+        self.data.get(key)
     }
 
     /// Iterate over contents.
@@ -75,66 +99,76 @@ impl<R: Ring> ViewStore<R> {
             .schema
             .positions_of(vars.vars())
             .expect("index variables must be part of the view schema");
+        self.ensure_index_on_positions(positions)
+    }
+
+    /// [`ViewStore::ensure_index`] with precomputed in-schema positions
+    /// (the executor compiles these at plan-build time).
+    pub fn ensure_index_on_positions(&mut self, positions: Vec<usize>) -> usize {
         if let Some(id) = self.indexes.iter().position(|ix| ix.positions == positions) {
             return id;
         }
-        let mut map: FxHashMap<Tuple, Vec<Tuple>> = FxHashMap::default();
+        let mut map: TupleMap<Vec<Tuple>> = TupleMap::new();
         for t in self.data.keys() {
-            map.entry(t.project(&positions)).or_default().push(t.clone());
+            map.upsert(&fivm_core::ProjKey::new(t, &positions), Vec::new)
+                .1
+                .push(t.clone());
         }
         self.indexes.push(SecondaryIndex { positions, map });
         self.indexes.len() - 1
     }
 
-    /// Keys matching `probe` under index `ix`.
-    pub fn probe(&self, ix: usize, probe: &Tuple) -> &[Tuple] {
+    /// Keys matching `key` under index `ix`; borrowed probe keys
+    /// accepted.
+    #[inline]
+    pub fn probe<K: TupleKey + ?Sized>(&self, ix: usize, key: &K) -> &[Tuple] {
         self.indexes[ix]
             .map
-            .get(probe)
+            .get(key)
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
 
     /// Add `payload` to key `t`, maintaining indexes; keys that sum to
-    /// zero are erased.
-    pub fn insert(&mut self, t: Tuple, payload: R) {
+    /// zero are erased. Returns the membership transition.
+    pub fn insert(&mut self, t: Tuple, payload: R) -> SupportChange {
+        self.insert_ref(&t, payload)
+    }
+
+    /// [`ViewStore::insert`], borrowing the key; it is cloned only if
+    /// actually new (and tuple clones are allocation-free at arity ≤ 3).
+    pub fn insert_ref(&mut self, t: &Tuple, payload: R) -> SupportChange {
         if payload.is_zero() {
-            return;
+            return SupportChange::Unchanged;
         }
-        let (appeared, disappeared) = match self.data.entry(t.clone()) {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
-                e.get_mut().add_assign(&payload);
-                if e.get().is_zero() {
-                    e.remove();
-                    (false, true)
-                } else {
-                    (false, false)
-                }
-            }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(payload);
-                (true, false)
-            }
-        };
+        let (appeared, slot) = self.data.upsert(t, R::zero);
+        slot.add_assign(&payload);
+        let disappeared = !appeared && slot.is_zero();
+        if disappeared {
+            self.data.remove(t);
+        }
         if appeared {
             for ix in &mut self.indexes {
                 ix.map
-                    .entry(t.project(&ix.positions))
-                    .or_default()
+                    .upsert(&fivm_core::ProjKey::new(t, &ix.positions), Vec::new)
+                    .1
                     .push(t.clone());
             }
+            SupportChange::Appeared
         } else if disappeared {
             for ix in &mut self.indexes {
-                let probe = t.project(&ix.positions);
+                let probe = fivm_core::ProjKey::new(t, &ix.positions);
                 if let Some(v) = ix.map.get_mut(&probe) {
-                    if let Some(pos) = v.iter().position(|x| x == &t) {
+                    if let Some(pos) = v.iter().position(|x| x == t) {
                         v.swap_remove(pos);
                     }
-                    if v.is_empty() {
-                        ix.map.remove(&probe);
-                    }
+                    // The bucket is kept even when emptied: churn on a
+                    // stable key universe must not reallocate.
                 }
             }
+            SupportChange::Disappeared
+        } else {
+            SupportChange::Unchanged
         }
     }
 
@@ -142,19 +176,22 @@ impl<R: Ring> ViewStore<R> {
     /// (`+1` appeared, `-1` disappeared) for indicator maintenance
     /// (Example B.2).
     pub fn merge(&mut self, delta: &Relation<R>) -> Vec<(Tuple, i8)> {
-        debug_assert_eq!(delta.schema(), &self.schema, "delta schema mismatch");
         let mut transitions = Vec::new();
+        self.merge_into(delta, &mut transitions);
+        transitions
+    }
+
+    /// [`ViewStore::merge`] writing transitions into a caller-owned
+    /// buffer (the engine reuses one across updates).
+    pub fn merge_into(&mut self, delta: &Relation<R>, transitions: &mut Vec<(Tuple, i8)>) {
+        debug_assert_eq!(delta.schema(), &self.schema, "delta schema mismatch");
         for (t, p) in delta.iter() {
-            let before = self.data.contains_key(t);
-            self.insert(t.clone(), p.clone());
-            let after = self.data.contains_key(t);
-            match (before, after) {
-                (false, true) => transitions.push((t.clone(), 1)),
-                (true, false) => transitions.push((t.clone(), -1)),
-                _ => {}
+            match self.insert_ref(t, p.clone()) {
+                SupportChange::Appeared => transitions.push((t.clone(), 1)),
+                SupportChange::Disappeared => transitions.push((t.clone(), -1)),
+                SupportChange::Unchanged => {}
             }
         }
-        transitions
     }
 
     /// Approximate resident bytes (primary + indexes).
@@ -170,7 +207,12 @@ impl<R: Ring> ViewStore<R> {
             .map(|ix| {
                 ix.map
                     .iter()
-                    .map(|(k, v)| k.approx_bytes() + v.iter().map(Tuple::approx_bytes).sum::<usize>() + 16)
+                    // Emptied buckets are retained capacity, not content
+                    // (mirrors hash-map capacity, which is not counted).
+                    .filter(|(_, v)| !v.is_empty())
+                    .map(|(k, v)| {
+                        k.approx_bytes() + v.iter().map(Tuple::approx_bytes).sum::<usize>() + 16
+                    })
                     .sum::<usize>()
             })
             .sum();
@@ -181,7 +223,7 @@ impl<R: Ring> ViewStore<R> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fivm_core::tuple;
+    use fivm_core::{tuple, ProjKey};
 
     fn sch(vars: &[u32]) -> Schema {
         Schema::new(vars.to_vec())
@@ -190,8 +232,8 @@ mod tests {
     #[test]
     fn insert_erase_roundtrip() {
         let mut v: ViewStore<i64> = ViewStore::new(sch(&[0, 1]));
-        v.insert(tuple![1, 2], 5);
-        v.insert(tuple![1, 2], -5);
+        assert_eq!(v.insert(tuple![1, 2], 5), SupportChange::Appeared);
+        assert_eq!(v.insert(tuple![1, 2], -5), SupportChange::Disappeared);
         assert!(v.is_empty());
     }
 
@@ -229,6 +271,20 @@ mod tests {
         assert_eq!(hits, &[tuple![1, 8]]);
         v.insert(tuple![1, 8], -3);
         assert!(v.probe(ix, &tuple![1]).is_empty());
+    }
+
+    #[test]
+    fn borrowed_probes_match_eager_keys() {
+        let mut v: ViewStore<i64> = ViewStore::new(sch(&[0, 1]));
+        let ix = v.ensure_index(&sch(&[1]));
+        v.insert(tuple![1, 9], 7);
+        let held = tuple![9, 1, 5];
+        // primary probe: π[1,0](held) = (1, 9)
+        let pk = ProjKey::new(&held, &[1, 0]);
+        assert_eq!(v.get(&pk), Some(&7));
+        // secondary probe: π[0](held) = (9)
+        let sk = ProjKey::new(&held, &[0]);
+        assert_eq!(v.probe(ix, &sk), &[tuple![1, 9]]);
     }
 
     #[test]

@@ -149,11 +149,7 @@ impl DenseChainIvm {
         let mut v = v.to_vec();
         let mut cur = self.leaf_nodes[i];
         self.nodes[cur].prod.add_outer(&u, &v);
-        loop {
-            let parent = match self.find_parent(cur) {
-                Some(p) => p,
-                None => break,
-            };
+        while let Some(parent) = self.find_parent(cur) {
             let (l, r) = (
                 self.nodes[parent].left.expect("inner"),
                 self.nodes[parent].right.expect("inner"),

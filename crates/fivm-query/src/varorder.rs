@@ -227,9 +227,9 @@ impl VariableOrder {
             let base_depth = attach.map(|v| placed[&v] + 1).unwrap_or(0);
             let mut depth = base_depth;
             for &v in schema.iter() {
-                if !placed.contains_key(&v) {
+                if let std::collections::hash_map::Entry::Vacant(e) = placed.entry(v) {
                     edges.push((v, attach));
-                    placed.insert(v, depth);
+                    e.insert(depth);
                     attach = Some(v);
                     depth += 1;
                 }

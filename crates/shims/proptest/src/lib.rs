@@ -533,7 +533,7 @@ macro_rules! proptest {
                             }
                         };
                     )+
-                    let mut run = || -> $crate::TestCaseResult {
+                    let run = || -> $crate::TestCaseResult {
                         $body
                         #[allow(unreachable_code)]
                         ::core::result::Result::Ok(())
@@ -548,14 +548,17 @@ macro_rules! proptest {
     };
 }
 
-/// Weighted or unweighted choice among same-typed strategies.
+/// Weighted or unweighted choice among strategies generating the same
+/// value type (arms are boxed, so their strategy types may differ).
 #[macro_export]
 macro_rules! prop_oneof {
     ($($weight:expr => $strat:expr),+ $(,)?) => {
-        $crate::Union::new_weighted(vec![$(($weight as u32, $strat)),+])
+        $crate::Union::new_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
     };
     ($($strat:expr),+ $(,)?) => {
-        $crate::Union::new_weighted(vec![$((1u32, $strat)),+])
+        $crate::prop_oneof![$(1 => $strat),+]
     };
 }
 
@@ -661,8 +664,8 @@ mod tests {
     proptest! {
         #[test]
         fn macro_without_config(b in prop_oneof![4 => Just(true), 1 => Just(false)]) {
-            prop_assume!(b || !b);
-            prop_assert!(b || !b);
+            prop_assume!(b as u8 <= 1);
+            prop_assert!(b as u8 <= 1);
         }
     }
 

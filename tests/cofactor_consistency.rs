@@ -9,7 +9,7 @@ use proptest::prelude::*;
 
 fn upd() -> impl Strategy<Value = (usize, Vec<i64>, bool)> {
     (0usize..2).prop_flat_map(|rel| {
-        let arity = if rel == 0 { 2 } else { 2 };
+        let arity = 2; // R(A,B) and S(A,C) both have arity 2
         (
             Just(rel),
             proptest::collection::vec(-3i64..4, arity),
