@@ -114,11 +114,18 @@ fn main() {
     }
 }
 
-/// `--smoke`: the single-tuple update-propagation hot paths of
-/// Figure 11 (SUM over the Housing star join) and Figure 13 (count
-/// over the Twitter triangle with indicators), applied one tuple per
-/// `IvmEngine::apply`, reported as a machine-readable JSON line so PRs
-/// can track a throughput trajectory (`BENCH_*.json`).
+/// `--smoke`: the update-propagation hot paths, reported as one
+/// machine-readable JSON line so PRs can track a throughput trajectory
+/// (`BENCH_*.json`):
+///
+/// * single-tuple updates of Figure 11 (SUM over the Housing star
+///   join) and Figure 13 (count over the Twitter triangle with
+///   indicators), one tuple per `IvmEngine::apply`;
+/// * the Figure 12 batch-size sweep as **flat batches** (1k–100k
+///   tuples per `apply`) over Housing and Retailer SUM maintenance,
+///   once through the compiled flat-batch fast path and once with the
+///   fast path disabled (`set_fast_path(false)`), so the
+///   `…_fast`/`…_general` pairs record the batch path's speedup.
 fn smoke() {
     // Deltas are pre-built outside the timed loops so the report tracks
     // `IvmEngine::apply` itself — the propagation hot path — rather
@@ -194,10 +201,96 @@ fn smoke() {
         &tupdates,
     );
 
+    // fig12 path: the batch-size sweep as flat batches, fast path vs
+    // general path (tuples/s; see the doc comment). Deltas are
+    // pre-built outside the timed loop, like the single-tuple paths.
+    fn batch_throughput(
+        q: &QueryDef,
+        tree: &ViewTree,
+        all: &[usize],
+        lifts: &LiftingMap<f64>,
+        batches: &[fivm_data::Batch],
+        fast: bool,
+    ) -> f64 {
+        let deltas: Vec<(usize, fivm_core::Delta<f64>)> = batches
+            .iter()
+            .map(|b| {
+                (
+                    b.relation,
+                    ones_delta::<f64>(q.relations[b.relation].schema.clone(), &b.tuples),
+                )
+            })
+            .collect();
+        let total: usize = batches.iter().map(|b| b.tuples.len()).sum();
+        (0..2)
+            .map(|_| {
+                let mut engine =
+                    fivm_engine::IvmEngine::new(q.clone(), tree.clone(), all, lifts.clone());
+                engine.set_fast_path(fast);
+                let start = Instant::now();
+                for (rel, d) in &deltas {
+                    engine.apply(*rel, d);
+                }
+                total as f64 / start.elapsed().as_secs_f64().max(1e-9)
+            })
+            .fold(0.0f64, f64::max)
+    }
+    let mut fig12 = String::new();
+
+    // Housing: SUM(postcode), 375k-tuple stream (House/Shop/Restaurant
+    // reach 100k rows each so the largest batch size is exercised).
+    let hb = housing::generate(&HousingConfig {
+        postcodes: 25_000,
+        scale: 4,
+        ..Default::default()
+    });
+    let hbq = hb.query.clone();
+    let hbtree = ViewTree::build(&hbq, &hb.order);
+    let hball: Vec<usize> = (0..hbq.relations.len()).collect();
+    let mut hblifts = LiftingMap::<f64>::new();
+    hblifts.set(
+        hbq.catalog.lookup("postcode").unwrap(),
+        Lifting::from_fn(|v: &Value| v.as_f64().unwrap()),
+    );
+
+    // Retailer: SUM(inventoryunits), 120k-row fact table.
+    let rb = retailer::generate(&RetailerConfig {
+        inventory_rows: 120_000,
+        locations: 50,
+        dates: 200,
+        items: 1_000,
+        zips: 40,
+        ..Default::default()
+    });
+    let rbq = rb.query.clone();
+    let rbtree = ViewTree::build(&rbq, &rb.order);
+    let rball: Vec<usize> = (0..rbq.relations.len()).collect();
+    let mut rblifts = LiftingMap::<f64>::new();
+    rblifts.set(
+        rbq.catalog.lookup("inventoryunits").unwrap(),
+        Lifting::from_fn(|v: &Value| v.as_f64().unwrap()),
+    );
+
+    for &bs in &[1_000usize, 10_000, 100_000] {
+        for (name, q, tree, all, lifts, batches) in [
+            ("housing", &hbq, &hbtree, &hball, &hblifts, hb.stream(bs)),
+            ("retailer", &rbq, &rbtree, &rball, &rblifts, rb.stream(bs)),
+        ] {
+            for fast in [true, false] {
+                let tput = batch_throughput(q, tree, all, lifts, &batches, fast);
+                fig12.push_str(&format!(
+                    ",\"fig12_{name}_bs{bs}_{}\":{tput:.0}",
+                    if fast { "fast" } else { "general" },
+                ));
+            }
+        }
+    }
+
     println!(
         "{{\"bench\":\"smoke\",\"unit\":\"single_tuple_updates_per_sec\",\
          \"fig11_sum_star\":{htput:.0},\"fig11_tuples\":{},\
-         \"fig13_triangle\":{ttput:.0},\"fig13_tuples\":{}}}",
+         \"fig13_triangle\":{ttput:.0},\"fig13_tuples\":{}\
+         {fig12}}}",
         hupdates.len(),
         tupdates.len(),
     );

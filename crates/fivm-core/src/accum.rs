@@ -1,0 +1,261 @@
+//! A reusable delta-merging scratch: accumulate `(key, payload)` pairs,
+//! summing payloads of equal keys, then drain the merged result.
+//!
+//! Delta propagation repeatedly needs "group by key, sum payloads":
+//! projecting a joined delta onto a view's key schema merges every
+//! tuple that agrees on the kept columns, and batch updates make the
+//! number of pairs anything from one to hundreds of thousands. No
+//! single merge strategy is right across that range, so a
+//! [`DeltaAccumulator`] switches regime by size:
+//!
+//! * **linear** (≤ `linear_max` distinct keys buffered): each push
+//!   scans the buffer with the key's cached hash and merges in place —
+//!   cheapest for the single-tuple hot path, and allocation-free when
+//!   the key is already buffered;
+//! * **sort/merge** (mid-size): pushes append without deduplication;
+//!   [`DeltaAccumulator::drain_into`] sorts the buffer (hash first,
+//!   values only on collision — see [`crate::key::hash_then_cmp`]) and
+//!   folds adjacent equal keys. In-place `sort_unstable_by` keeps this
+//!   band allocation-free after warm-up;
+//! * **hash** (> `hash_min` buffered pairs): pairs migrate into a
+//!   [`TupleMap`] scratch and further pushes upsert — O(1) per pair no
+//!   matter how skewed the key distribution is.
+//!
+//! All three regimes share grow-only storage: the buffer, and the hash
+//! table's slot array, warm up to the workload's high-water mark and
+//! are retained across [`DeltaAccumulator::drain_into`] calls, which is
+//! what keeps steady-state propagation free of heap traffic.
+
+use crate::key::{hash_then_cmp, TupleKey};
+use crate::ring::Semiring;
+use crate::table::TupleMap;
+use crate::tuple::Tuple;
+
+/// Merge regime; see the [module docs](self).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Scan-and-merge on push; the buffer holds distinct keys.
+    Linear,
+    /// Append on push; duplicates resolved by sort/merge on drain.
+    Deferred,
+    /// Upsert into the hash scratch on push.
+    Hash,
+}
+
+/// Reusable scratch that sums payloads per key; see the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct DeltaAccumulator<R> {
+    buf: Vec<(Tuple, R)>,
+    map: TupleMap<R>,
+    mode: Mode,
+    linear_max: usize,
+    hash_min: usize,
+}
+
+impl<R: Semiring> DeltaAccumulator<R> {
+    /// An empty accumulator with the given regime thresholds: linear
+    /// scan up to `linear_max` buffered keys, sort/merge up to
+    /// `hash_min` buffered pairs, hash scratch above.
+    pub fn with_thresholds(linear_max: usize, hash_min: usize) -> Self {
+        DeltaAccumulator {
+            buf: Vec::new(),
+            map: TupleMap::new(),
+            mode: Mode::Linear,
+            linear_max: linear_max.min(hash_min),
+            hash_min,
+        }
+    }
+
+    /// True iff nothing has been pushed since the last drain. (Pairs
+    /// that cancelled to zero still count until drained.)
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty() && self.map.is_empty()
+    }
+
+    /// Add `payload` to `key`'s sum. Accepts borrowed probe keys; the
+    /// key is materialized only when it enters the buffer or table.
+    pub fn push<K: TupleKey + ?Sized>(&mut self, key: &K, payload: R) {
+        match self.mode {
+            Mode::Linear => {
+                let hash = key.key_hash();
+                if let Some((_, p)) = self
+                    .buf
+                    .iter_mut()
+                    .find(|(t, _)| t.cached_hash() == hash && key.matches(t))
+                {
+                    p.add_assign(&payload);
+                    return;
+                }
+                self.buf.push((key.materialize(), payload));
+                if self.buf.len() > self.linear_max {
+                    self.mode = Mode::Deferred;
+                }
+            }
+            Mode::Deferred => {
+                self.buf.push((key.materialize(), payload));
+                if self.buf.len() > self.hash_min {
+                    self.map.reserve(self.buf.len());
+                    for (t, p) in self.buf.drain(..) {
+                        self.map.upsert(&t, R::zero).1.add_assign(&p);
+                    }
+                    self.mode = Mode::Hash;
+                }
+            }
+            Mode::Hash => {
+                self.map.upsert(key, R::zero).1.add_assign(&payload);
+            }
+        }
+    }
+
+    /// Append every key's non-zero payload sum to `out`, leaving the
+    /// accumulator empty with its storage retained for reuse.
+    pub fn drain_into(&mut self, out: &mut Vec<(Tuple, R)>) {
+        match self.mode {
+            Mode::Linear => {
+                for (t, p) in self.buf.drain(..) {
+                    if !p.is_zero() {
+                        out.push((t, p));
+                    }
+                }
+            }
+            Mode::Deferred => {
+                // Adjacent-equal merge over a hash-first sort: equal
+                // tuples share a cached hash, so the comparator almost
+                // never touches tuple values.
+                self.buf.sort_unstable_by(|a, b| hash_then_cmp(&a.0, &b.0));
+                let mut cur: Option<(Tuple, R)> = None;
+                for (t, p) in self.buf.drain(..) {
+                    if let Some((ct, cp)) = cur.as_mut() {
+                        if *ct == t {
+                            cp.add_assign(&p);
+                            continue;
+                        }
+                    }
+                    if let Some((ct, cp)) = cur.take() {
+                        if !cp.is_zero() {
+                            out.push((ct, cp));
+                        }
+                    }
+                    cur = Some((t, p));
+                }
+                if let Some((ct, cp)) = cur {
+                    if !cp.is_zero() {
+                        out.push((ct, cp));
+                    }
+                }
+            }
+            Mode::Hash => {
+                let start = out.len();
+                self.map.drain_into(out);
+                // Compact away keys whose payloads cancelled to zero.
+                let mut w = start;
+                for i in start..out.len() {
+                    if !out[i].1.is_zero() {
+                        out.swap(i, w);
+                        w += 1;
+                    }
+                }
+                out.truncate(w);
+            }
+        }
+        self.mode = Mode::Linear;
+    }
+
+    /// Drop all pending pairs, retaining storage.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.map.clear();
+        self.mode = Mode::Linear;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::ProjKey;
+    use crate::tuple;
+
+    /// Thresholds shaped like the engine's (small linear band, larger
+    /// sort/merge band) so all three regimes are crossed by the tests;
+    /// the engine passes its own constants via `with_thresholds`.
+    fn acc() -> DeltaAccumulator<i64> {
+        DeltaAccumulator::with_thresholds(32, 1024)
+    }
+
+    fn drain<R: Semiring>(acc: &mut DeltaAccumulator<R>) -> Vec<(Tuple, R)> {
+        let mut v = Vec::new();
+        acc.drain_into(&mut v);
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Reference merge for arbitrary push sequences.
+    fn reference(pairs: &[(Tuple, i64)]) -> Vec<(Tuple, i64)> {
+        let mut m: std::collections::BTreeMap<Tuple, i64> = Default::default();
+        for (t, p) in pairs {
+            *m.entry(t.clone()).or_insert(0) += p;
+        }
+        m.into_iter().filter(|(_, p)| *p != 0).collect()
+    }
+
+    #[test]
+    fn all_regimes_agree_with_reference() {
+        for n in [1usize, 3, 33, 200, 1025, 5000] {
+            let pairs: Vec<(Tuple, i64)> = (0..n)
+                .map(|i| (tuple![(i % 97) as i64, (i % 7) as i64], 1 + (i % 5) as i64))
+                .collect();
+            let mut acc = acc();
+            for (t, p) in &pairs {
+                acc.push(t, *p);
+            }
+            assert_eq!(drain(&mut acc), reference(&pairs), "n = {n}");
+            assert!(acc.is_empty());
+        }
+    }
+
+    #[test]
+    fn cancelled_keys_are_dropped_in_every_regime() {
+        for n in [4usize, 40, 2000] {
+            let mut acc = acc();
+            for i in 0..n {
+                let t = tuple![(i % 13) as i64];
+                acc.push(&t, 5);
+                acc.push(&t, -5);
+            }
+            assert!(drain(&mut acc).is_empty(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn borrowed_keys_merge_with_owned() {
+        let mut acc = acc();
+        let base = tuple![7, 8, 9];
+        acc.push(&tuple![9, 7], 1);
+        acc.push(&ProjKey::new(&base, &[2, 0]), 10);
+        let v = drain(&mut acc);
+        assert_eq!(v, vec![(tuple![9, 7], 11)]);
+    }
+
+    #[test]
+    fn storage_is_reused_across_drains() {
+        let mut acc: DeltaAccumulator<i64> = DeltaAccumulator::with_thresholds(4, 16);
+        for round in 0..5 {
+            for i in 0..40i64 {
+                acc.push(&tuple![i % 10], 1);
+            }
+            let v = drain(&mut acc);
+            assert_eq!(v.len(), 10, "round {round}");
+            assert!(v.iter().all(|(_, p)| *p == 4));
+        }
+    }
+
+    #[test]
+    fn clear_resets_without_emitting() {
+        let mut acc = acc();
+        acc.push(&tuple![1], 1);
+        acc.clear();
+        assert!(acc.is_empty());
+        assert!(drain(&mut acc).is_empty());
+    }
+}

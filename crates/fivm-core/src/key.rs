@@ -17,6 +17,21 @@
 
 use crate::tuple::{hash_values, Tuple};
 use crate::value::Value;
+use std::cmp::Ordering;
+
+/// Total order over tuples that compares cached hashes before values.
+///
+/// Batch deduplication sorts working buffers only to bring *equal* keys
+/// adjacent — any total order will do — so comparing the cached 64-bit
+/// hash first settles almost every comparison with one integer compare,
+/// falling back to the value-by-value order only on hash collisions
+/// (where it keeps the order total and deterministic).
+#[inline]
+pub fn hash_then_cmp(a: &Tuple, b: &Tuple) -> Ordering {
+    a.cached_hash()
+        .cmp(&b.cached_hash())
+        .then_with(|| a.cmp(b))
+}
 
 /// A (possibly borrowed) key into a map keyed by [`Tuple`]s.
 ///

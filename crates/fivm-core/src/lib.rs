@@ -27,6 +27,7 @@
 //! Everything here is deliberately independent of query planning
 //! (`fivm-query`) and execution (`fivm-engine`).
 
+pub mod accum;
 pub mod hash;
 pub mod key;
 pub mod lifting;
@@ -38,8 +39,9 @@ pub mod tuple;
 pub mod update;
 pub mod value;
 
+pub use accum::DeltaAccumulator;
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
-pub use key::{ConcatProjKey, ProjKey, TupleKey};
+pub use key::{hash_then_cmp, ConcatProjKey, ProjKey, TupleKey};
 pub use lifting::{Lifting, LiftingMap};
 pub use relation::Relation;
 pub use ring::{Ring, Semiring};

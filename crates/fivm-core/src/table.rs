@@ -15,6 +15,13 @@
 //! and removals leave capacity in place, so a steady-state workload
 //! (payload updates, or deletes matched by re-inserts) performs no heap
 //! allocation.
+//!
+//! Probing walks a parallel **metadata array** — one word per slot
+//! holding empty/tombstone sentinels or the slot key's hash marker —
+//! and touches the fat slot array (a key tuple plus payload per slot)
+//! only on a marker match. At batch scale the slot array of a 100k-key
+//! view runs to many megabytes while its metadata stays L2-resident,
+//! so probe chains cost compact-word reads instead of DRAM misses.
 
 use crate::key::TupleKey;
 use crate::tuple::Tuple;
@@ -26,10 +33,26 @@ enum Slot<R> {
     Full(Tuple, R),
 }
 
+/// Metadata word: the slot is empty (probe chains stop here).
+const META_EMPTY: u64 = 0;
+/// Metadata word: deleted entry (probe chains continue through it).
+const META_TOMBSTONE: u64 = 1;
+
+/// Metadata word for an occupied slot: the key's hash with the top bit
+/// forced, so it can never collide with the two sentinels. Equality of
+/// markers is a filter only — the slot's exact cached hash and key
+/// comparison still decide.
+#[inline]
+fn marker(hash: u64) -> u64 {
+    hash | (1 << 63)
+}
+
 /// Hash map from [`Tuple`] keys to `R` payloads with borrowed-key
 /// probing; see the [module docs](self).
 #[derive(Clone, Debug)]
 pub struct TupleMap<R> {
+    /// Probe metadata, parallel to `slots` (see the module docs).
+    meta: Vec<u64>,
     slots: Vec<Slot<R>>,
     /// Live entries.
     items: usize,
@@ -37,11 +60,29 @@ pub struct TupleMap<R> {
     used: usize,
 }
 
-/// Spread the (Fx) hash across the table's index bits; Fx leaves the
-/// low bits weak for short keys, so fold the high bits down.
+/// Per-capacity-class odd multiplier for the multiply-shift home-slot
+/// function (see [`TupleMap::home`]).
+///
+/// Delta propagation constantly streams one `TupleMap` into another
+/// (`Relation::iter` → store merge, hash-scratch drain → view
+/// inserts). Iterating a table yields keys sorted by their home slots,
+/// and feeding a *key order correlated with home order* into a
+/// linear-probed destination of a different capacity degrades into
+/// long probe runs (measured ~7× slower at 100k keys with a shared
+/// spread function — and fully quadratic in the worst case, when a
+/// sorted key range concentrates into a narrow home region of a
+/// growing destination). Deriving the mixing multiplier from the
+/// capacity class makes the slot orders of different-sized tables
+/// statistically independent, so streamed inserts see ordinary
+/// random-order probe costs; same-sized tables share an order, which
+/// is the benign left-to-right fill.
 #[inline]
-fn spread(hash: u64) -> usize {
-    (hash.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize
+fn class_mult(log2cap: u32) -> u64 {
+    // splitmix64-style finalizer over the class index, forced odd so
+    // the multiply permutes the hash space.
+    let x = 0x9E37_79B9_7F4A_7C15u64 ^ u64::from(log2cap).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let x = (x ^ (x >> 30)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x | 1
 }
 
 impl<R> Default for TupleMap<R> {
@@ -54,6 +95,7 @@ impl<R> TupleMap<R> {
     /// An empty map (no allocation until first insert).
     pub fn new() -> Self {
         TupleMap {
+            meta: Vec::new(),
             slots: Vec::new(),
             items: 0,
             used: 0,
@@ -74,6 +116,7 @@ impl<R> TupleMap<R> {
 
     /// Drop all entries, keeping the slot array for reuse.
     pub fn clear(&mut self) {
+        self.meta.fill(META_EMPTY);
         for s in &mut self.slots {
             *s = Slot::Empty;
         }
@@ -86,6 +129,15 @@ impl<R> TupleMap<R> {
         self.slots.len() - 1
     }
 
+    /// Home slot of `hash`: multiply-shift with the capacity class's
+    /// own multiplier (see [`class_mult`]), taking the top
+    /// `log2(capacity)` bits — the best-mixed ones.
+    #[inline]
+    fn home(&self, hash: u64) -> usize {
+        let log2cap = self.slots.len().trailing_zeros();
+        (hash.wrapping_mul(class_mult(log2cap)) >> (64 - log2cap)) as usize
+    }
+
     /// Index of the slot holding `key`, if present.
     #[inline]
     fn find<K: TupleKey + ?Sized>(&self, key: &K) -> Option<usize> {
@@ -93,13 +145,16 @@ impl<R> TupleMap<R> {
             return None;
         }
         let hash = key.key_hash();
+        let mark = marker(hash);
         let mask = self.mask();
-        let mut i = spread(hash) & mask;
+        let mut i = self.home(hash);
         loop {
-            match &self.slots[i] {
-                Slot::Empty => return None,
-                Slot::Tombstone => {}
-                Slot::Full(t, _) => {
+            let m = self.meta[i];
+            if m == META_EMPTY {
+                return None;
+            }
+            if m == mark {
+                if let Slot::Full(t, _) = &self.slots[i] {
                     if t.cached_hash() == hash && key.matches(t) {
                         return Some(i);
                     }
@@ -143,34 +198,38 @@ impl<R> TupleMap<R> {
     ) -> (bool, &mut R) {
         self.reserve_one();
         let hash = key.key_hash();
+        let mark = marker(hash);
         let mask = self.mask();
-        let mut i = spread(hash) & mask;
+        let mut i = self.home(hash);
         // First tombstone on the probe path is reusable if the key is
         // absent; remember it so re-inserts don't extend probe chains.
         let mut reuse: Option<usize> = None;
         let slot = loop {
-            match &self.slots[i] {
-                Slot::Empty => break reuse.unwrap_or(i),
-                Slot::Tombstone => {
-                    if reuse.is_none() {
-                        reuse = Some(i);
-                    }
+            let m = self.meta[i];
+            if m == META_EMPTY {
+                break reuse.unwrap_or(i);
+            }
+            if m == META_TOMBSTONE {
+                if reuse.is_none() {
+                    reuse = Some(i);
                 }
-                Slot::Full(t, _) => {
+            } else if m == mark {
+                if let Slot::Full(t, _) = &self.slots[i] {
                     if t.cached_hash() == hash && key.matches(t) {
                         match &mut self.slots[i] {
                             Slot::Full(_, r) => return (false, r),
-                            _ => unreachable!(),
+                            _ => unreachable!("meta marker implies a full slot"),
                         }
                     }
                 }
             }
             i = (i + 1) & mask;
         };
-        if matches!(self.slots[slot], Slot::Empty) {
+        if self.meta[slot] == META_EMPTY {
             self.used += 1;
         }
         self.items += 1;
+        self.meta[slot] = mark;
         self.slots[slot] = Slot::Full(key.materialize(), default());
         match &mut self.slots[slot] {
             Slot::Full(_, r) => (true, r),
@@ -183,6 +242,7 @@ impl<R> TupleMap<R> {
     pub fn remove<K: TupleKey + ?Sized>(&mut self, key: &K) -> Option<(Tuple, R)> {
         let i = self.find(key)?;
         let old = std::mem::replace(&mut self.slots[i], Slot::Tombstone);
+        self.meta[i] = META_TOMBSTONE;
         self.items -= 1;
         match old {
             Slot::Full(t, r) => Some((t, r)),
@@ -204,6 +264,7 @@ impl<R> TupleMap<R> {
                 *s = Slot::Empty;
             }
         }
+        self.meta.fill(META_EMPTY);
         self.items = 0;
         self.used = 0;
     }
@@ -229,11 +290,52 @@ impl<R> TupleMap<R> {
         self.iter().map(|(t, _)| t)
     }
 
+    /// Keep entries for which `f` returns `true`; the rest become
+    /// tombstones (capacity retained, compacted away by the next
+    /// rehash). This is the high-water-mark sweep primitive: callers
+    /// retaining emptied buckets for allocation-freedom use it to shed
+    /// them once they outnumber the live ones.
+    pub fn retain(&mut self, mut f: impl FnMut(&Tuple, &mut R) -> bool) {
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            if let Slot::Full(t, r) = s {
+                if !f(t, r) {
+                    *s = Slot::Tombstone;
+                    self.meta[i] = META_TOMBSTONE;
+                    self.items -= 1;
+                }
+            }
+        }
+    }
+
+    /// Pre-size so `additional` inserts fit the load bound without
+    /// intermediate growth steps — batch merges size the scratch once
+    /// per batch instead of doubling through it.
+    pub fn reserve(&mut self, additional: usize) {
+        let needed = self.used + additional;
+        if self.slots.is_empty() {
+            let mut cap = 8usize;
+            while needed * 8 > cap * 7 {
+                cap *= 2;
+            }
+            self.init(cap);
+            return;
+        }
+        if needed * 8 <= self.slots.len() * 7 {
+            return;
+        }
+        // Rehashing drops tombstones, so size for live items only.
+        let mut cap = self.slots.len();
+        while (self.items + additional) * 8 > cap * 7 {
+            cap *= 2;
+        }
+        self.rehash(cap);
+    }
+
     /// Grow/rehash so at least one more insert fits the ≤ 7/8 load
     /// bound (counting tombstones).
     fn reserve_one(&mut self) {
         if self.slots.is_empty() {
-            self.slots = (0..8).map(|_| Slot::Empty).collect();
+            self.init(8);
             return;
         }
         if (self.used + 1) * 8 <= self.slots.len() * 7 {
@@ -246,28 +348,44 @@ impl<R> TupleMap<R> {
         } else {
             self.slots.len()
         };
+        self.rehash(new_cap);
+    }
+
+    /// Allocate empty slot and metadata arrays of `cap` slots.
+    fn init(&mut self, cap: usize) {
+        self.meta = vec![META_EMPTY; cap];
+        self.slots = (0..cap).map(|_| Slot::Empty).collect();
+    }
+
+    /// Re-insert every live entry into a fresh slot array of `new_cap`
+    /// slots, dropping tombstones.
+    fn rehash(&mut self, new_cap: usize) {
         let old = std::mem::replace(
             &mut self.slots,
             (0..new_cap).map(|_| Slot::Empty).collect(),
         );
+        self.meta.clear();
+        self.meta.resize(new_cap, META_EMPTY);
         self.used = self.items;
         let mask = self.mask();
         for s in old {
             if let Slot::Full(t, r) = s {
                 // Cached hash: growth never re-hashes key values.
-                let mut i = spread(t.cached_hash()) & mask;
-                while !matches!(self.slots[i], Slot::Empty) {
+                let hash = t.cached_hash();
+                let mut i = self.home(hash);
+                while self.meta[i] != META_EMPTY {
                     i = (i + 1) & mask;
                 }
+                self.meta[i] = marker(hash);
                 self.slots[i] = Slot::Full(t, r);
             }
         }
     }
 
-    /// Approximate heap bytes owned by the slot array (excluding key
-    /// and payload heap data).
+    /// Approximate heap bytes owned by the slot and metadata arrays
+    /// (excluding key and payload heap data).
     pub fn approx_slot_bytes(&self) -> usize {
-        self.slots.len() * std::mem::size_of::<Slot<R>>()
+        self.slots.len() * (std::mem::size_of::<Slot<R>>() + std::mem::size_of::<u64>())
     }
 }
 
@@ -384,6 +502,39 @@ mod tests {
             *v += 1;
         }
         assert_eq!(m.get(&tuple![15]), Some(&16));
+    }
+
+    #[test]
+    fn retain_drops_entries_and_survives_reuse() {
+        let mut m: TupleMap<i64> = TupleMap::new();
+        for i in 0..100i64 {
+            m.upsert(&tuple![i], || i);
+        }
+        m.retain(|_, v| *v % 2 == 0);
+        assert_eq!(m.len(), 50);
+        assert_eq!(m.get(&tuple![7]), None);
+        assert_eq!(m.get(&tuple![8]), Some(&8));
+        // Tombstoned slots are reusable and rehashed away on demand.
+        for i in 100..200i64 {
+            m.upsert(&tuple![i], || i);
+        }
+        assert_eq!(m.len(), 150);
+        assert_eq!(m.get(&tuple![150]), Some(&150));
+    }
+
+    #[test]
+    fn reserve_presizes_without_growth_during_inserts() {
+        let mut m: TupleMap<i64> = TupleMap::new();
+        m.reserve(1000);
+        let cap = m.slots.len();
+        for i in 0..1000i64 {
+            m.upsert(&tuple![i], || i);
+        }
+        assert_eq!(m.slots.len(), cap, "reserve sized for the batch");
+        assert_eq!(m.len(), 1000);
+        // A no-op when capacity already suffices.
+        m.reserve(10);
+        assert_eq!(m.slots.len(), cap);
     }
 
     #[test]

@@ -25,18 +25,45 @@
 //! path into a [`FastPlan`]: per step, the sibling probe positions,
 //! secondary-index ids, margin lifting positions, and the final
 //! projection onto the node's key order are all precomputed. Applying
-//! a small flat delta then walks the compiled plan with two reusable
-//! scratch buffers, probing sibling views through borrowed
-//! [`ProjKey`]s — in the steady state (existing keys changing payload,
-//! or deletes matched by later re-inserts) it performs **zero heap
-//! allocations**. Factored deltas, payload-transform modes, and large
-//! batches take the general factor-propagation path below, which
-//! shares the same stores.
+//! a flat delta then walks the compiled plan with two reusable scratch
+//! buffers, probing sibling views through borrowed [`ProjKey`]s — in
+//! the steady state (existing keys changing payload, or deletes
+//! matched by later re-inserts) it performs **zero heap allocations**.
+//! Factored deltas and payload-transform modes take the general
+//! factor-propagation path below, which shares the same stores.
+//!
+//! # The flat-batch path
+//!
+//! Flat deltas of **any size** — from one tuple to the 100k-tuple
+//! batches of the paper's Figure 12 sweep — take the same compiled
+//! plan; there is no batch-size gate. What changes with size is only
+//! the per-step duplicate merge that projection onto a node's keys
+//! requires, handled by a [`DeltaAccumulator`] that switches regime as
+//! the working buffer grows:
+//!
+//! * ≤ [`FAST_PATH_LINEAR_MERGE`] buffered keys: linear scan-and-merge
+//!   (cheapest for single-tuple updates, allocation-free for resident
+//!   keys);
+//! * up to [`FAST_PATH_HASH_MERGE`] buffered pairs: append now,
+//!   sort/merge-adjacent on drain (cache-friendly for mid-size
+//!   batches, in-place so still allocation-free after warm-up);
+//! * above: a hash scratch table, O(1) per pair regardless of how
+//!   skewed the join keys are.
+//!
+//! Each step applies its view and secondary-index mutations in one
+//! pass over the merged buffer (`insert_ref` maintains the indexes
+//! incrementally), so a batch never clones `Relation`s, step vectors,
+//! or schemas the way the general path does. All buffers — the
+//! ping-pong pair, the accumulator, and the support-transition list —
+//! are grow-only: after warm-up at a given batch size, repeated
+//! batches at that size perform zero heap allocations
+//! (tests/zero_alloc_propagation.rs proves both the single-tuple and
+//! the batch claim).
 
 use crate::view::ViewStore;
 use fivm_core::{
-    Delta, FxHashMap, Lifting, LiftingMap, ProjKey, Relation, Ring, Schema, Tuple, TupleKey,
-    TupleMap,
+    Delta, DeltaAccumulator, FxHashMap, Lifting, LiftingMap, ProjKey, Relation, Ring, Schema,
+    Tuple, TupleKey,
 };
 use fivm_query::delta::{delta_steps, path_from, DeltaStep};
 use fivm_query::{
@@ -54,16 +81,15 @@ pub type PayloadTransform<R> = Arc<dyn Fn(NodeId, &Tuple, &R) -> R + Send + Sync
 /// product (see [`IvmEngine::with_payload_preprojection`]).
 pub type PayloadPreprojection<R> = Arc<dyn Fn(&R) -> R + Send + Sync>;
 
-/// Deltas at most this large take the compiled fast path (its
-/// duplicate-merge is a linear scan per produced tuple, which beats
-/// hash-map rebuilds only for small deltas).
-const FAST_PATH_MAX_DELTA: usize = 32;
+/// Up to this many buffered keys the per-step duplicate merge is a
+/// linear scan (cheapest for single-tuple updates; quadratic beyond).
+const FAST_PATH_LINEAR_MERGE: usize = 32;
 
-/// Above this working-buffer length the per-step duplicate merge
-/// switches from a linear scan to the hash-based scratch table:
-/// skewed join keys can fan a single delta tuple out arbitrarily, and
-/// the linear scan is quadratic in the buffer length.
-const FAST_PATH_HASH_MERGE: usize = 64;
+/// Between the linear bound and this working-buffer length the merge
+/// defers deduplication to an in-place sort/merge on drain; above it
+/// the pairs migrate into a hash scratch table, which stays O(1) per
+/// pair even when skewed join keys fan a delta out arbitrarily.
+const FAST_PATH_HASH_MERGE: usize = 1024;
 
 /// One sibling join in a compiled maintenance step.
 #[derive(Debug)]
@@ -121,18 +147,22 @@ struct Scratch<R> {
     transitions: Vec<(Tuple, i8)>,
     /// Indicator delta under construction.
     ind: Vec<(Tuple, R)>,
-    /// Hash-based duplicate merge for oversized working buffers.
-    merge: TupleMap<R>,
+    /// Size-adaptive per-step duplicate merge (linear / sort-merge /
+    /// hash — see the module docs).
+    acc: DeltaAccumulator<R>,
 }
 
-impl<R> Default for Scratch<R> {
+impl<R: Ring> Default for Scratch<R> {
     fn default() -> Self {
         Scratch {
             a: Vec::new(),
             b: Vec::new(),
             transitions: Vec::new(),
             ind: Vec::new(),
-            merge: TupleMap::new(),
+            acc: DeltaAccumulator::with_thresholds(
+                FAST_PATH_LINEAR_MERGE,
+                FAST_PATH_HASH_MERGE,
+            ),
         }
     }
 }
@@ -178,6 +208,9 @@ pub struct IvmEngine<R: Ring> {
     /// immediately discard (§6.3).
     payload_preproject: Option<PayloadPreprojection<R>>,
     scratch: Scratch<R>,
+    /// Whether flat deltas may take the compiled fast path (disabled by
+    /// benchmarks and differential tests to expose the general path).
+    fast_path: bool,
     updates_applied: u64,
 }
 
@@ -256,6 +289,7 @@ impl<R: Ring> IvmEngine<R> {
             payload_transform: None,
             payload_preproject: None,
             scratch: Scratch::default(),
+            fast_path: true,
             updates_applied: 0,
         };
         engine.compile_fast_plans(&ind_steps);
@@ -485,9 +519,9 @@ impl<R: Ring> IvmEngine<R> {
             "relation {rel} is not updatable in this engine"
         );
         if let Delta::Flat(r) = delta {
-            if self.payload_transform.is_none()
+            if self.fast_path
+                && self.payload_transform.is_none()
                 && self.payload_preproject.is_none()
-                && r.len() <= FAST_PATH_MAX_DELTA
             {
                 if let Some(fast) = &self.rel_fast[rel] {
                     if *r.schema() == fast.entry_schema {
@@ -501,12 +535,21 @@ impl<R: Ring> IvmEngine<R> {
         self.apply_general(rel, delta);
     }
 
+    /// Enable or disable the compiled fast path. Disabling routes every
+    /// update through the general factor-propagation path — the
+    /// before/after baseline for benchmarks and the foil for
+    /// fast-vs-general differential tests. Both paths maintain the same
+    /// stores, so the switch can be flipped mid-stream.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.fast_path = enabled;
+    }
+
     // ------------------------------------------------------------------
     // Compiled fast path
     // ------------------------------------------------------------------
 
-    /// Apply a small flat delta through the compiled plan. Steady-state
-    /// allocation-free: see the module docs.
+    /// Apply a flat delta of any size through the compiled plan.
+    /// Steady-state allocation-free: see the module docs.
     fn apply_fast(&mut self, rel: RelIndex, delta: &Relation<R>, fast: &FastPlan<R>) {
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.transitions.clear();
@@ -597,12 +640,9 @@ impl<R: Ring> IvmEngine<R> {
                 }
             }
             // Margins (lift payloads), then project to the node's keys,
-            // merging duplicates: linear scan while the buffer is
-            // small, hash-based via the scratch table when join
-            // fan-out has grown it (the scan is quadratic).
-            scratch.b.clear();
-            let hash_merge = scratch.a.len() > FAST_PATH_HASH_MERGE;
-            debug_assert!(scratch.merge.is_empty());
+            // merging duplicates through the size-adaptive accumulator
+            // (linear scan / sort-merge / hash scratch — module docs).
+            debug_assert!(scratch.acc.is_empty());
             for (t, p) in scratch.a.drain(..) {
                 let mut p = p;
                 for (pos, lifting) in &step.lifts {
@@ -611,28 +651,22 @@ impl<R: Ring> IvmEngine<R> {
                 if p.is_zero() {
                     continue;
                 }
-                let key = ProjKey::new(&t, &step.out_pos);
-                if hash_merge {
-                    let (_, slot) = scratch.merge.upsert(&key, R::zero);
-                    slot.add_assign(&p);
-                } else {
-                    match scratch
-                        .b
-                        .iter_mut()
-                        .find(|(bt, _)| key.key_hash() == bt.cached_hash() && key.matches(bt))
-                    {
-                        Some((_, bp)) => bp.add_assign(&p),
-                        None => scratch.b.push((key.materialize(), p)),
-                    }
-                }
+                scratch.acc.push(&ProjKey::new(&t, &step.out_pos), p);
             }
-            if hash_merge {
-                scratch.merge.drain_into(&mut scratch.b);
-            }
-            scratch.b.retain(|(_, p)| !p.is_zero());
+            scratch.b.clear();
+            scratch.acc.drain_into(&mut scratch.b);
             std::mem::swap(&mut scratch.a, &mut scratch.b);
             if step.store {
                 if let Some(store) = &mut self.views[step.node] {
+                    // Pre-size for batch-scale deltas — but not when the
+                    // store already dwarfs the delta (mostly payload
+                    // updates then; a blanket reserve would force a
+                    // pointless rehash-and-double of a large table).
+                    if scratch.a.len() > FAST_PATH_HASH_MERGE
+                        && store.len() < scratch.a.len() * 8
+                    {
+                        store.reserve(scratch.a.len());
+                    }
                     for (t, p) in &scratch.a {
                         store.insert_ref(t, p.clone());
                     }
@@ -650,7 +684,7 @@ impl<R: Ring> IvmEngine<R> {
         scratch: &mut Scratch<R>,
     ) {
         let counts = self.ind_counts.get_mut(&ind).expect("registered");
-        scratch.ind.clear();
+        debug_assert!(scratch.acc.is_empty());
         for (t, sign) in &scratch.transitions {
             let key = ProjKey::new(t, positions);
             let entry = counts.entry(key.materialize()).or_insert(0);
@@ -667,23 +701,17 @@ impl<R: Ring> IvmEngine<R> {
             if now == 0 {
                 counts.remove(&key.materialize());
             }
-            if payload.is_zero() {
-                continue;
-            }
-            match scratch
-                .ind
-                .iter_mut()
-                .find(|(bt, _)| key.key_hash() == bt.cached_hash() && key.matches(bt))
-            {
-                Some((_, bp)) => bp.add_assign(&payload),
-                None => scratch.ind.push((key.materialize(), payload)),
+            if !payload.is_zero() {
+                scratch.acc.push(&key, payload);
             }
         }
-        scratch.ind.retain(|(_, p)| !p.is_zero());
+        scratch.ind.clear();
+        scratch.acc.drain_into(&mut scratch.ind);
     }
 
     // ------------------------------------------------------------------
-    // General path (factored deltas, payload transforms, large batches)
+    // General path (factored deltas, payload transforms, uncompiled
+    // plan shapes)
     // ------------------------------------------------------------------
 
     fn apply_general(&mut self, rel: RelIndex, delta: &Delta<R>) {
@@ -926,6 +954,18 @@ impl<R: Ring> IvmEngine<R> {
     /// Total keys across materialized views.
     pub fn total_entries(&self) -> usize {
         self.views.iter().flatten().map(ViewStore::len).sum()
+    }
+
+    /// Total secondary-index buckets retained across materialized
+    /// views, including emptied ones kept for allocation-freedom. The
+    /// high-water-mark sweep bounds this against adversarial key churn;
+    /// tests assert on it.
+    pub fn index_footprint(&self) -> usize {
+        self.views
+            .iter()
+            .flatten()
+            .map(ViewStore::index_footprint)
+            .sum()
     }
 
     /// Approximate resident bytes across materialized views and
@@ -1189,8 +1229,8 @@ mod tests {
     }
 
     /// The compiled fast path and the general factor path agree on
-    /// every update of a mixed insert/delete stream (forcing the
-    /// general path by exceeding the fast-path delta-size gate).
+    /// every update of a mixed insert/delete stream (routing the foil
+    /// engine through the general entry point directly).
     #[test]
     fn fast_path_equals_general_path() {
         let (q, tree, _, mut lifts) = fig2_setup(&["C"]);
@@ -1216,8 +1256,6 @@ mod tests {
         for (ri, t, m) in updates {
             let d = Relation::from_pairs(q.relations[ri].schema.clone(), [(t.clone(), m)]);
             fast.apply(ri, &Delta::Flat(d.clone()));
-            // pad the delta with a cancelling pair beyond the gate? No:
-            // route through the general entry point directly instead.
             general.apply_general(ri, &Delta::Flat(d));
             assert_eq!(fast.result(), general.result(), "diverged after {ri}:{t}:{m}");
         }

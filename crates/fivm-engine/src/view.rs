@@ -31,11 +31,51 @@ pub enum SupportChange {
 /// map from probe keys to the full keys sharing them.
 ///
 /// Buckets whose last key is removed are kept (empty) so that churn on
-/// a stable key universe never reallocates.
+/// a stable key universe never reallocates — but only up to a
+/// high-water mark: once the retained buckets outnumber twice the most
+/// probe keys ever simultaneously live (plus a floor), a sweep drops
+/// the empty ones, so adversarial churn on ever-fresh keys cannot grow
+/// the index unboundedly.
 #[derive(Clone, Debug)]
 struct SecondaryIndex {
     positions: Vec<usize>,
     map: TupleMap<Vec<Tuple>>,
+    /// Buckets currently holding at least one key.
+    live: usize,
+    /// High-water mark of `live` — the sweep's retention budget.
+    high_water: usize,
+}
+
+/// Empty-bucket allowance below which no sweep ever triggers (keeps
+/// tiny indexes out of the sweep logic entirely).
+const INDEX_SWEEP_FLOOR: usize = 64;
+
+/// Deltas larger than this pre-size the primary map before a merge
+/// (mirrors the executor's hash-merge regime boundary: below it a
+/// batch is small enough that growth-on-demand is cheaper than a
+/// possible rehash).
+const BATCH_RESERVE_MIN: usize = 1024;
+
+impl SecondaryIndex {
+    /// Record a bucket going from empty (or absent) to occupied.
+    #[inline]
+    fn bucket_filled(&mut self) {
+        self.live += 1;
+        if self.live > self.high_water {
+            self.high_water = self.live;
+        }
+    }
+
+    /// Record a bucket emptying; sweep retained empties once they
+    /// exceed the high-water budget.
+    #[inline]
+    fn bucket_emptied(&mut self) {
+        self.live -= 1;
+        if self.map.len() > self.high_water * 2 + INDEX_SWEEP_FLOOR {
+            self.map.retain(|_, bucket| !bucket.is_empty());
+            debug_assert_eq!(self.map.len(), self.live);
+        }
+    }
 }
 
 /// A materialized view: primary map plus secondary indexes.
@@ -114,7 +154,13 @@ impl<R: Ring> ViewStore<R> {
                 .1
                 .push(t.clone());
         }
-        self.indexes.push(SecondaryIndex { positions, map });
+        let live = map.len();
+        self.indexes.push(SecondaryIndex {
+            positions,
+            map,
+            live,
+            high_water: live,
+        });
         self.indexes.len() - 1
     }
 
@@ -149,10 +195,14 @@ impl<R: Ring> ViewStore<R> {
         }
         if appeared {
             for ix in &mut self.indexes {
-                ix.map
-                    .upsert(&fivm_core::ProjKey::new(t, &ix.positions), Vec::new)
-                    .1
-                    .push(t.clone());
+                let (new_bucket, bucket) = ix
+                    .map
+                    .upsert(&fivm_core::ProjKey::new(t, &ix.positions), Vec::new);
+                let was_empty = new_bucket || bucket.is_empty();
+                bucket.push(t.clone());
+                if was_empty {
+                    ix.bucket_filled();
+                }
             }
             SupportChange::Appeared
         } else if disappeared {
@@ -162,8 +212,13 @@ impl<R: Ring> ViewStore<R> {
                     if let Some(pos) = v.iter().position(|x| x == t) {
                         v.swap_remove(pos);
                     }
-                    // The bucket is kept even when emptied: churn on a
-                    // stable key universe must not reallocate.
+                    // The bucket is kept even when emptied — churn on a
+                    // stable key universe must not reallocate — up to
+                    // the high-water budget, past which the index is
+                    // swept (see `SecondaryIndex`).
+                    if v.is_empty() {
+                        ix.bucket_emptied();
+                    }
                 }
             }
             SupportChange::Disappeared
@@ -181,10 +236,22 @@ impl<R: Ring> ViewStore<R> {
         transitions
     }
 
+    /// Pre-size the primary map for `additional` inserts; large batch
+    /// merges call this once instead of growing through the batch.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
     /// [`ViewStore::merge`] writing transitions into a caller-owned
     /// buffer (the engine reuses one across updates).
     pub fn merge_into(&mut self, delta: &Relation<R>, transitions: &mut Vec<(Tuple, i8)>) {
         debug_assert_eq!(delta.schema(), &self.schema, "delta schema mismatch");
+        // Pre-size for batch-scale deltas unless the store already
+        // dwarfs the delta (then most keys are payload updates and a
+        // blanket reserve would force a pointless rehash).
+        if delta.len() > BATCH_RESERVE_MIN && self.data.len() < delta.len() * 8 {
+            self.data.reserve(delta.len());
+        }
         for (t, p) in delta.iter() {
             match self.insert_ref(t, p.clone()) {
                 SupportChange::Appeared => transitions.push((t.clone(), 1)),
@@ -192,6 +259,13 @@ impl<R: Ring> ViewStore<R> {
                 SupportChange::Unchanged => {}
             }
         }
+    }
+
+    /// Total retained secondary-index buckets (live + emptied). The
+    /// high-water sweep keeps this O(peak live buckets); regression
+    /// tests assert on it under adversarial churn.
+    pub fn index_footprint(&self) -> usize {
+        self.indexes.iter().map(|ix| ix.map.len()).sum()
     }
 
     /// Approximate resident bytes (primary + indexes).
@@ -271,6 +345,48 @@ mod tests {
         assert_eq!(hits, &[tuple![1, 8]]);
         v.insert(tuple![1, 8], -3);
         assert!(v.probe(ix, &tuple![1]).is_empty());
+    }
+
+    /// Churn on a stable probe-key universe retains its buckets (the
+    /// allocation-freedom contract), while churn on ever-fresh probe
+    /// keys is swept back to the high-water budget.
+    #[test]
+    fn index_sweep_bounds_fresh_key_churn() {
+        // Stable universe: footprint settles at the key count.
+        let mut v: ViewStore<i64> = ViewStore::new(sch(&[0, 1]));
+        let ix = v.ensure_index(&sch(&[1]));
+        for round in 0..20 {
+            for i in 0..10i64 {
+                v.insert(tuple![i, i], 1);
+            }
+            for i in 0..10i64 {
+                v.insert(tuple![i, i], -1);
+            }
+            assert_eq!(v.index_footprint(), 10, "round {round}");
+        }
+        // Fresh keys every round: unbounded without the sweep.
+        let mut v: ViewStore<i64> = ViewStore::new(sch(&[0, 1]));
+        let ix2 = v.ensure_index(&sch(&[1]));
+        let per_round = 50i64;
+        for round in 0..40i64 {
+            let base = round * per_round;
+            for i in 0..per_round {
+                v.insert(tuple![base + i, base + i], 1);
+            }
+            for i in 0..per_round {
+                v.insert(tuple![base + i, base + i], -1);
+            }
+        }
+        let budget = 2 * 50 + super::INDEX_SWEEP_FLOOR;
+        assert!(
+            v.index_footprint() <= budget,
+            "footprint {} exceeds the high-water budget {budget}",
+            v.index_footprint()
+        );
+        // Probing still works after sweeps.
+        v.insert(tuple![1, 9], 7);
+        assert_eq!(v.probe(ix2, &tuple![9]), &[tuple![1, 9]]);
+        let _ = ix;
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! return-to-empty invariant at a scale the unit tests do not reach.
 
 use fivm::prelude::*;
+use fivm::tuple;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -132,6 +133,70 @@ fn factored_updates_interleaved_with_flat() {
         }
         assert_eq!(engine.result(), eval_tree(&tree, &db, &lifts), "round {round}");
     }
+}
+
+/// Adversarial secondary-index churn: large batches of ever-fresh join
+/// keys inserted and deleted, round after round. Each round leaves
+/// emptied index buckets behind; without the high-water-mark sweep the
+/// retained-bucket footprint grows linearly with the number of rounds
+/// (~`rounds × batch` buckets). The sweep must keep it proportional to
+/// the per-round live peak — and the engine must stay correct while
+/// sweeping.
+#[test]
+fn adversarial_key_churn_keeps_index_footprint_bounded() {
+    let (q, tree, lifts) = setup();
+    let mut engine: IvmEngine<i64> =
+        IvmEngine::new(q.clone(), tree.clone(), &[0, 1, 2], lifts.clone());
+    let mut db = Database::empty(&q);
+    let apply = |engine: &mut IvmEngine<i64>,
+                 db: &mut Database<i64>,
+                 rel: usize,
+                 pairs: Vec<(Tuple, i64)>| {
+        let d = Relation::from_pairs(q.relations[rel].schema.clone(), pairs);
+        engine.apply(rel, &Delta::Flat(d.clone()));
+        db.relations[rel].union_in_place(&d);
+    };
+
+    // Resident base so propagation does real join work.
+    apply(&mut engine, &mut db, 0, (0..8).map(|i| (tuple![i, i], 1i64)).collect());
+    apply(&mut engine, &mut db, 2, (0..8).map(|i| (tuple![i, i], 1i64)).collect());
+
+    let rounds = 40usize;
+    let batch = 256usize;
+    for round in 0..rounds {
+        // Fresh C values every round: S-tuples whose [A, C] view keys
+        // (and [C] index buckets) have never been seen before.
+        let fresh: Vec<(Tuple, i64)> = (0..batch)
+            .map(|i| {
+                let c = (round * batch + i) as i64 + 1_000;
+                (tuple![(i % 8) as i64, c, c], 1i64)
+            })
+            .collect();
+        let negated: Vec<(Tuple, i64)> =
+            fresh.iter().map(|(t, m)| (t.clone(), -m)).collect();
+        apply(&mut engine, &mut db, 1, fresh);
+        apply(&mut engine, &mut db, 1, negated);
+        if round % 10 == 9 {
+            assert_eq!(
+                engine.result(),
+                eval_tree(&tree, &db, &lifts),
+                "diverged at round {round}"
+            );
+        }
+    }
+
+    // Unswept, the footprint would be ~rounds × batch ≈ 10 240 retained
+    // buckets; the high-water budget is 2 × peak-live + a small floor.
+    let footprint = engine.index_footprint();
+    assert!(
+        footprint <= 2 * (batch + 16) + 64,
+        "retained index buckets not swept: footprint {footprint} after \
+         {rounds} rounds of {batch}-key churn"
+    );
+
+    // Sweeping kept the engine correct: fresh updates still probe fine.
+    apply(&mut engine, &mut db, 1, vec![(tuple![1, 1, 1], 1i64)]);
+    assert_eq!(engine.result(), eval_tree(&tree, &db, &lifts));
 }
 
 /// Memory accounting tracks churn: bytes after full deletion return to

@@ -1,13 +1,17 @@
 //! Proof of the zero-allocation propagation hot path: applying
-//! single-tuple updates to a warmed star-join engine performs **no heap
-//! allocation** in the steady state.
+//! single-tuple updates — and fixed-size **batches** — to a warmed
+//! star-join engine performs **no heap allocation** in the steady
+//! state.
 //!
-//! A counting `#[global_allocator]` wraps the system allocator; the
-//! test warms the engine (growing view tables, secondary-index buckets
-//! and scratch buffers), then replays a fixed insert/delete toggle
-//! cycle and asserts the allocation counter did not move. This file
-//! contains exactly one test so no concurrent test can pollute the
-//! counter.
+//! A counting `#[global_allocator]` wraps the system allocator; each
+//! phase warms the engine (growing view tables, secondary-index
+//! buckets and scratch buffers — including the batch path's
+//! sort/merge buffer and hash scratch at the phase's batch size),
+//! then replays a fixed insert/delete toggle cycle and asserts the
+//! allocation counter did not move. The batch phase runs at one size
+//! per merge regime of the flat-batch path (sort/merge band and hash
+//! band). This file contains exactly one test so no concurrent test
+//! can pollute the counter; the phases run sequentially inside it.
 
 use fivm::prelude::*;
 use fivm::tuple;
@@ -79,6 +83,15 @@ fn toggle_cycle(q: &QueryDef) -> Vec<Step> {
 
 #[test]
 fn steady_state_propagation_allocates_nothing() {
+    single_tuple_phase();
+    // One batch size per merge regime: 300 exercises the sort/merge
+    // band, 1500 crosses into the hash-scratch band.
+    for batch_size in [300, 1500] {
+        batch_phase(batch_size);
+    }
+}
+
+fn single_tuple_phase() {
     // The running star-join COUNT query (paper Figure 2): R(A,B) ⋈
     // S(A,C,E) ⋈ T(C,D), all relations updatable, all views live.
     let q = QueryDef::example_rst(&[]);
@@ -149,4 +162,82 @@ fn steady_state_propagation_allocates_nothing() {
         engine.apply(*rel, d);
     }
     assert_ne!(engine.result(), result_before, "toggles change the count");
+}
+
+/// Batch variant: after warm-up at `batch_size`, repeated toggle
+/// batches at that size perform zero allocations. Each cycle inserts
+/// one `batch_size`-tuple batch into R and one into S (a slice of it
+/// joining the resident working set, the rest fresh keys) and then
+/// deletes both, so every cycle exercises batch store merges, index
+/// maintenance, sibling probes and the size-appropriate merge regime.
+fn batch_phase(batch_size: usize) {
+    let q = QueryDef::example_rst(&[]);
+    let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
+    let tree = ViewTree::build(&q, &vo);
+    let mut engine: IvmEngine<i64> =
+        IvmEngine::new(q.clone(), tree, &[0, 1, 2], LiftingMap::new());
+
+    // Resident working set the joining slice of each batch hits.
+    for (rel, tuples) in [
+        (0usize, vec![tuple![1, 1], tuple![2, 3]]),
+        (1, vec![tuple![1, 1, 1], tuple![1, 2, 3], tuple![2, 2, 4]]),
+        (2, vec![tuple![1, 1], tuple![2, 2], tuple![2, 3]]),
+    ] {
+        for t in tuples {
+            let d = Relation::from_pairs(q.relations[rel].schema.clone(), [(t, 1i64)]);
+            engine.apply(rel, &Delta::Flat(d));
+        }
+    }
+    let result_before = engine.result();
+
+    // Pre-built toggle batches: an insert batch and its negation, for
+    // R(A,B) and S(A,C,E). One tuple in eight joins the resident keys
+    // (A ∈ {1, 2}); the rest live on fresh keys so the batch also
+    // exercises appear/disappear churn at scale.
+    let batch = |rel: usize, sign: i64| -> Delta<i64> {
+        let tuples: Vec<(Tuple, i64)> = (0..batch_size)
+            .map(|i| {
+                let i = i as i64;
+                let a = if i % 8 == 0 { 1 + (i % 2) } else { 1000 + i };
+                let t = match rel {
+                    0 => tuple![a, 50_000 + i],
+                    _ => tuple![a, 60_000 + i, i],
+                };
+                (t, sign)
+            })
+            .collect();
+        Delta::Flat(Relation::from_pairs(q.relations[rel].schema.clone(), tuples))
+    };
+    let cycle: Vec<(usize, Delta<i64>)> = vec![
+        (0, batch(0, 1)),
+        (1, batch(1, 1)),
+        (1, batch(1, -1)),
+        (0, batch(0, -1)),
+    ];
+
+    // Warm-up: two cycles grow every table, bucket and scratch buffer
+    // (including the accumulator's regime-specific storage) to this
+    // batch size's high-water mark.
+    for _ in 0..2 {
+        for (rel, d) in &cycle {
+            engine.apply(*rel, d);
+        }
+    }
+
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    for _ in 0..10 {
+        for (rel, d) in &cycle {
+            engine.apply(*rel, d);
+        }
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocations = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        allocations, 0,
+        "steady-state {batch_size}-tuple batch propagation must not \
+         allocate (saw {allocations} allocations across 10 toggle cycles)"
+    );
+    assert_eq!(engine.result(), result_before, "toggles returned to baseline");
 }
