@@ -211,6 +211,7 @@ fn smoke() {
         lifts: &LiftingMap<f64>,
         batches: &[fivm_data::Batch],
         fast: bool,
+        workers: usize,
     ) -> f64 {
         let deltas: Vec<(usize, fivm_core::Delta<f64>)> = batches
             .iter()
@@ -227,6 +228,7 @@ fn smoke() {
                 let mut engine =
                     fivm_engine::IvmEngine::new(q.clone(), tree.clone(), all, lifts.clone());
                 engine.set_fast_path(fast);
+                engine.set_workers(workers);
                 let start = Instant::now();
                 for (rel, d) in &deltas {
                     engine.apply(*rel, d);
@@ -277,10 +279,31 @@ fn smoke() {
             ("retailer", &rbq, &rbtree, &rball, &rblifts, rb.stream(bs)),
         ] {
             for fast in [true, false] {
-                let tput = batch_throughput(q, tree, all, lifts, &batches, fast);
+                let tput = batch_throughput(q, tree, all, lifts, &batches, fast, 1);
                 fig12.push_str(&format!(
                     ",\"fig12_{name}_bs{bs}_{}\":{tput:.0}",
                     if fast { "fast" } else { "general" },
+                ));
+            }
+        }
+    }
+
+    // Parallel-propagation sweep (PR 3): the same flat batches through
+    // the fast path at 1/2/4/8 workers. The w1 entry is the sequential
+    // fallback (the pool never engages at one worker), so
+    // `…_fast_w1 / …_fast` is the fallback's overhead and
+    // `…_fast_wN / …_fast_w1` the scaling — on a multi-core host;
+    // single-core containers time-slice the workers and show dispatch
+    // overhead instead.
+    for &bs in &[10_000usize, 100_000] {
+        for (name, q, tree, all, lifts, batches) in [
+            ("housing", &hbq, &hbtree, &hball, &hblifts, hb.stream(bs)),
+            ("retailer", &rbq, &rbtree, &rball, &rblifts, rb.stream(bs)),
+        ] {
+            for workers in [1usize, 2, 4, 8] {
+                let tput = batch_throughput(q, tree, all, lifts, &batches, true, workers);
+                fig12.push_str(&format!(
+                    ",\"fig12_{name}_bs{bs}_fast_w{workers}\":{tput:.0}"
                 ));
             }
         }

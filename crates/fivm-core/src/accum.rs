@@ -67,8 +67,11 @@ impl<R: Semiring> DeltaAccumulator<R> {
         }
     }
 
-    /// True iff nothing has been pushed since the last drain. (Pairs
-    /// that cancelled to zero still count until drained.)
+    /// True iff no key holds a pending contribution. In the linear
+    /// regime keys whose payloads cancel to exact zero are evicted at
+    /// push time, so they do not count; in the deferred/hash regimes
+    /// cancelled pairs remain buffered (and counted) until the drain
+    /// drops them.
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty() && self.map.is_empty()
     }
@@ -79,12 +82,22 @@ impl<R: Semiring> DeltaAccumulator<R> {
         match self.mode {
             Mode::Linear => {
                 let hash = key.key_hash();
-                if let Some((_, p)) = self
+                if let Some(i) = self
                     .buf
-                    .iter_mut()
-                    .find(|(t, _)| t.cached_hash() == hash && key.matches(t))
+                    .iter()
+                    .position(|(t, _)| t.cached_hash() == hash && key.matches(t))
                 {
-                    p.add_assign(&payload);
+                    self.buf[i].1.add_assign(&payload);
+                    // Evict keys whose payloads cancel to exact zero:
+                    // they would otherwise occupy linear-band slots and
+                    // push cancel-heavy churn (insert+delete of the same
+                    // key in one batch) into the deferred regime — and
+                    // every drained zero needlessly touches downstream
+                    // store merges and index bucket counters. The
+                    // deferred/hash regimes drop zeros at drain time.
+                    if self.buf[i].1.is_zero() {
+                        self.buf.swap_remove(i);
+                    }
                     return;
                 }
                 self.buf.push((key.materialize(), payload));
@@ -225,6 +238,24 @@ mod tests {
             }
             assert!(drain(&mut acc).is_empty(), "n = {n}");
         }
+    }
+
+    /// Cancelled keys release their linear-band slots immediately: a
+    /// stream of insert+delete pairs over many distinct keys stays in
+    /// the linear regime (and `is_empty` reflects the cancellation)
+    /// instead of accumulating zero-weight entries until drain.
+    #[test]
+    fn linear_band_evicts_cancelled_keys_eagerly() {
+        let mut acc: DeltaAccumulator<i64> = DeltaAccumulator::with_thresholds(4, 16);
+        for i in 0..1000i64 {
+            acc.push(&tuple![i], 3);
+            acc.push(&tuple![i], -3);
+            assert!(acc.is_empty(), "key {i} left a zero-weight residue");
+        }
+        // A live key after heavy cancellation still merges linearly.
+        acc.push(&tuple![7], 1);
+        acc.push(&tuple![7], 2);
+        assert_eq!(drain(&mut acc), vec![(tuple![7], 3)]);
     }
 
     #[test]

@@ -291,10 +291,18 @@ impl<R> TupleMap<R> {
     }
 
     /// Keep entries for which `f` returns `true`; the rest become
-    /// tombstones (capacity retained, compacted away by the next
-    /// rehash). This is the high-water-mark sweep primitive: callers
-    /// retaining emptied buckets for allocation-freedom use it to shed
-    /// them once they outnumber the live ones.
+    /// tombstones (capacity retained). This is the high-water-mark
+    /// sweep primitive: callers retaining emptied buckets for
+    /// allocation-freedom use it to shed them once they outnumber the
+    /// live ones.
+    ///
+    /// A sweep that drops many entries would otherwise leave probe
+    /// chains walking through its tombstones until the next
+    /// insert-triggered rehash — under repeated sweeps with few
+    /// intervening inserts, probes degenerate toward O(capacity). So
+    /// when the post-retain tombstones exceed half the live count, the
+    /// table rehashes in place (same capacity, tombstones dropped),
+    /// restoring load-factor-bounded probe chains immediately.
     pub fn retain(&mut self, mut f: impl FnMut(&Tuple, &mut R) -> bool) {
         for (i, s) in self.slots.iter_mut().enumerate() {
             if let Slot::Full(t, r) = s {
@@ -304,6 +312,47 @@ impl<R> TupleMap<R> {
                     self.items -= 1;
                 }
             }
+        }
+        if self.tombstones() > self.items / 2 && self.tombstones() > 0 {
+            self.rehash(self.slots.len());
+        }
+    }
+
+    /// Tombstoned slots currently degrading probe chains (live entries
+    /// probe *through* tombstones; only empty slots stop a chain).
+    #[inline]
+    pub fn tombstones(&self) -> usize {
+        self.used - self.items
+    }
+
+    /// Longest contiguous run of non-empty slot metadata (counting
+    /// tombstones, wrapping around the table end). Every probe walks at
+    /// most one such run plus its terminating empty slot, so this bounds
+    /// the worst-case probe length — a diagnostic for the sweep/compact
+    /// policies, asserted on by churn stress tests.
+    pub fn max_probe_run(&self) -> usize {
+        if self.meta.is_empty() {
+            return 0;
+        }
+        let mut best = 0usize;
+        let mut cur = 0usize;
+        let mut leading: Option<usize> = None;
+        for &m in &self.meta {
+            if m == META_EMPTY {
+                if leading.is_none() {
+                    leading = Some(cur);
+                }
+                best = best.max(cur);
+                cur = 0;
+            } else {
+                cur += 1;
+            }
+        }
+        match leading {
+            // No empty slot at all: a miss probe scans the whole table.
+            None => self.meta.len(),
+            // Probe runs wrap: join the trailing run to the leading one.
+            Some(lead) => best.max(cur + lead),
         }
     }
 
@@ -520,6 +569,72 @@ mod tests {
         }
         assert_eq!(m.len(), 150);
         assert_eq!(m.get(&tuple![150]), Some(&150));
+    }
+
+    /// A retain that drops the bulk of the table compacts immediately:
+    /// probe chains must not walk the dropped entries' tombstones until
+    /// some later insert happens to trigger a rehash.
+    #[test]
+    fn retain_compacts_heavy_sweeps() {
+        let mut m: TupleMap<i64> = TupleMap::new();
+        for i in 0..4096i64 {
+            m.upsert(&tuple![i], || i);
+        }
+        let cap = m.slots.len();
+        m.retain(|t, _| t.get(0).as_int().unwrap() < 64);
+        assert_eq!(m.len(), 64);
+        assert_eq!(m.tombstones(), 0, "heavy sweep must compact in place");
+        assert_eq!(m.slots.len(), cap, "compaction keeps capacity");
+        // At 64 live keys in a large table, probe runs are short; with
+        // 4032 retained tombstones they would approach O(capacity).
+        assert!(
+            m.max_probe_run() <= 16,
+            "probe run {} after sweep",
+            m.max_probe_run()
+        );
+        for i in 0..64i64 {
+            assert_eq!(m.get(&tuple![i]), Some(&i));
+        }
+    }
+
+    /// Repeated sweep rounds (insert fresh, retain a stable live set)
+    /// keep probe chains bounded — the regression the compacting rehash
+    /// fixes: tombstones from round N used to linger into round N+1.
+    #[test]
+    fn repeated_retain_rounds_keep_probe_runs_bounded() {
+        let mut m: TupleMap<i64> = TupleMap::new();
+        for i in 0..64i64 {
+            m.upsert(&tuple![i], || i);
+        }
+        for round in 1..=50i64 {
+            for i in 0..512i64 {
+                m.upsert(&tuple![round * 10_000 + i], || i);
+            }
+            m.retain(|t, _| t.get(0).as_int().unwrap() < 64);
+            assert_eq!(m.len(), 64, "round {round}");
+            assert!(
+                m.tombstones() <= m.len() / 2,
+                "round {round}: {} tombstones past the compaction bound",
+                m.tombstones()
+            );
+            assert!(
+                m.max_probe_run() <= 32,
+                "round {round}: probe run {} degenerated",
+                m.max_probe_run()
+            );
+        }
+    }
+
+    /// A light retain (dropping few entries) does not pay for a rehash.
+    #[test]
+    fn light_retain_leaves_tombstones() {
+        let mut m: TupleMap<i64> = TupleMap::new();
+        for i in 0..1024i64 {
+            m.upsert(&tuple![i], || i);
+        }
+        m.retain(|t, _| t.get(0).as_int().unwrap() >= 4);
+        assert_eq!(m.len(), 1020);
+        assert_eq!(m.tombstones(), 4, "light sweeps keep their tombstones");
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod eval;
 pub mod executor;
 pub mod first_order;
 pub mod memory;
+pub mod parallel;
 pub mod recursive;
 pub mod reeval;
 pub mod view;
@@ -32,5 +33,6 @@ pub use enumerate::FactorizedResult;
 pub use eval::{eval_node, eval_tree, Database};
 pub use executor::{IvmEngine, PayloadTransform};
 pub use first_order::FirstOrderIvm;
+pub use parallel::WorkerPool;
 pub use recursive::RecursiveIvm;
 pub use view::ViewStore;

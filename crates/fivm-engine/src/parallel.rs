@@ -1,0 +1,413 @@
+//! Parallel delta propagation: a persistent worker pool plus the
+//! per-worker scratch state the executor's fan-out uses.
+//!
+//! # Why the fan-out is safe
+//!
+//! Each maintenance step of the compiled fast path is a map over the
+//! current delta buffer: probe sibling views (read-only), lift margin
+//! payloads, project onto the node's keys, and merge duplicates. The
+//! probes only ever take `&ViewStore` — all store *mutation* (the
+//! per-step view merge) happens strictly after the step's fan-out has
+//! been gathered — so workers share the stores behind plain shared
+//! references ([`crate::view::ViewStore`] is `Sync` whenever the ring
+//! payload is, which [`fivm_core::ring::Semiring`] requires).
+//!
+//! # The two-phase range partition
+//!
+//! Merging duplicates is the only cross-tuple interaction in a step, so
+//! the fan-out runs as a radix-partitioned aggregation:
+//!
+//! 1. **Route** — worker `w` takes the `w`-th contiguous chunk of the
+//!    step's input, joins and lifts it exactly like the sequential
+//!    path, and routes every surviving `(output key, payload)` pair
+//!    into one of `W` destination buffers by a multiply-shift range map
+//!    of the output key's cached hash ([`destination`]).
+//! 2. **Merge** — worker `d` owns hash range `d`: it folds every
+//!    worker's `d`-buffer (in worker order, which is chunk order)
+//!    through its own [`DeltaAccumulator`] and drains a merged run.
+//!
+//! The drained runs are **disjoint by construction** — a key's pairs
+//! all land in the one destination its hash maps to — so concatenating
+//! them is the step's merged delta, and only the final per-step store
+//! merge needs single-writer access. Per-key payloads fold in the same
+//! order as the sequential path (workers emit in chunk order, merges
+//! consume in worker order), so exact rings produce bit-identical
+//! results at any worker count; see `tests/parallel_determinism.rs`.
+//!
+//! # The pool
+//!
+//! [`WorkerPool`] keeps its threads parked between dispatches
+//! (mutex + condvar), so a step's fan-out costs two wake/park rounds,
+//! not thread spawns. [`WorkerPool::scatter`] publishes a
+//! lifetime-erased closure pointer and blocks until every worker has
+//! run it — that blocking is what makes the erasure sound (the borrow
+//! cannot end before `scatter` returns). Below
+//! [`DEFAULT_PARALLEL_THRESHOLD`] tuples the executor skips all of
+//! this, so single-tuple latency pays one length comparison.
+
+use fivm_core::{DeltaAccumulator, Ring, Tuple};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Steps with fewer input tuples than this take the sequential path
+/// (see the executor): below it, the two wake/park rounds of a
+/// dispatch cost more than the fan-out saves. Override per engine with
+/// `IvmEngine::set_parallel_threshold` or globally with
+/// `FIVM_PAR_THRESHOLD`.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 4096;
+
+/// Worker count from the `FIVM_WORKERS` environment variable
+/// (`1` — fully sequential — when unset or unparsable).
+pub fn env_workers() -> usize {
+    std::env::var("FIVM_WORKERS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Parallel-step threshold from `FIVM_PAR_THRESHOLD`
+/// ([`DEFAULT_PARALLEL_THRESHOLD`] when unset or unparsable).
+pub fn env_parallel_threshold() -> usize {
+    std::env::var("FIVM_PAR_THRESHOLD")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(DEFAULT_PARALLEL_THRESHOLD)
+}
+
+/// The `i`-th of `parts` contiguous chunks of a `len`-element buffer
+/// (balanced to within one element; deterministic).
+#[inline]
+pub fn chunk(len: usize, parts: usize, i: usize) -> std::ops::Range<usize> {
+    (len * i / parts)..(len * (i + 1) / parts)
+}
+
+/// Range-partition a cached tuple hash over `parts` destinations:
+/// remix (cached hashes feed slot indexes elsewhere; reusing their raw
+/// bits would correlate partitions with table layouts), then map the
+/// top 32 bits onto `0..parts` by multiply-shift — no modulo bias, and
+/// `parts` need not be a power of two.
+#[inline]
+pub fn destination(hash: u64, parts: usize) -> usize {
+    let mixed = (hash ^ (hash >> 31)).wrapping_mul(0xA24B_AED4_963E_E407);
+    (((mixed >> 32) * parts as u64) >> 32) as usize
+}
+
+/// Lifetime-erased dispatch payload; see [`WorkerPool::scatter`] for
+/// the soundness argument.
+#[derive(Clone, Copy)]
+struct Job {
+    task: *const (dyn Fn(usize) + Sync),
+}
+
+// SAFETY: the pointee is `Sync` (callable from any thread by shared
+// reference) and `scatter` keeps the pointee's borrow alive until every
+// worker is done with it.
+unsafe impl Send for Job {}
+
+struct PoolState {
+    job: Option<Job>,
+    /// Dispatch counter; a worker runs each epoch's job exactly once.
+    epoch: u64,
+    /// Workers that have not finished the current epoch's job.
+    remaining: usize,
+    /// A worker panicked while running the current job.
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signalled on new work (and shutdown).
+    work: Condvar,
+    /// Signalled when the last worker finishes an epoch.
+    done: Condvar,
+}
+
+/// A persistent pool of parked worker threads; see the
+/// [module docs](self).
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` (≥ 1) parked threads.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                job: None,
+                epoch: 0,
+                remaining: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fivm-worker-{w}"))
+                    .spawn(move || worker_loop(w, &shared))
+                    .expect("failed to spawn fivm worker thread")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            workers,
+        }
+    }
+
+    /// Number of worker threads (also the partition count).
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run `f(w)` once on every worker `w` in `0..workers()`,
+    /// concurrently, and block until all have finished. Panics if any
+    /// worker's invocation panicked.
+    ///
+    /// SAFETY of the internal lifetime erasure: `f`'s borrow is erased
+    /// to publish it through the shared state, but this call does not
+    /// return until `remaining == 0`, i.e. until no worker can touch
+    /// the pointer again (workers take the job pointer only when the
+    /// epoch advances, which happens only inside a later `scatter`).
+    /// That argument requires dispatches to be serialized — two
+    /// concurrent `scatter`s would race the epoch/remaining protocol
+    /// and let one caller return while its closure is still running —
+    /// which is why this takes `&mut self`: exclusive access makes
+    /// concurrent dispatch unrepresentable in safe code.
+    pub fn scatter(&mut self, f: &(dyn Fn(usize) + Sync)) {
+        let task: *const (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(f as *const _)
+        };
+        let mut st = self.shared.state.lock().expect("pool state poisoned");
+        st.job = Some(Job { task });
+        st.epoch += 1;
+        st.remaining = self.workers;
+        st.panicked = false;
+        self.shared.work.notify_all();
+        while st.remaining > 0 {
+            st = self.shared.done.wait(st).expect("pool state poisoned");
+        }
+        st.job = None;
+        let panicked = st.panicked;
+        drop(st);
+        assert!(!panicked, "a fivm worker panicked during a parallel step");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(w: usize, shared: &PoolShared) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let task = {
+            let mut st = shared.state.lock().expect("pool state poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    break st.job.as_ref().expect("epoch advanced without a job").task;
+                }
+                st = shared.work.wait(st).expect("pool state poisoned");
+            }
+        };
+        // SAFETY: `scatter` blocks until this worker decrements
+        // `remaining` below, so the erased borrow is still live here.
+        let result = catch_unwind(AssertUnwindSafe(|| (unsafe { &*task })(w)));
+        let mut st = shared.state.lock().expect("pool state poisoned");
+        if result.is_err() {
+            st.panicked = true;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// Route-phase state owned by one worker: ping-pong join buffers plus
+/// one destination buffer per merge partition. Grow-only, like the
+/// executor's sequential scratch — steady-state batches at a stable
+/// size reuse all of it.
+pub(crate) struct WorkerScratch<R> {
+    pub(crate) a: Vec<(Tuple, R)>,
+    pub(crate) b: Vec<(Tuple, R)>,
+    /// `route[d]` holds the pairs bound for merge partition `d`.
+    pub(crate) route: Vec<Vec<(Tuple, R)>>,
+}
+
+/// Merge-phase state owned by one destination partition.
+pub(crate) struct MergeSlot<R> {
+    pub(crate) acc: DeltaAccumulator<R>,
+    pub(crate) run: Vec<(Tuple, R)>,
+    /// `pending[w]` swaps with worker `w`'s `route[self]` buffer at the
+    /// start of the merge phase: collection happens under staggered,
+    /// swap-only critical sections, and the actual merge runs lock-free
+    /// afterwards — in `w` order, which the determinism contract
+    /// needs. Each `(w, d)` pair always swaps with the same slot, so
+    /// buffer capacities stay paired and grow-only.
+    pub(crate) pending: Vec<Vec<(Tuple, R)>>,
+}
+
+/// Everything the executor needs to fan a step out: the pool plus
+/// per-worker route scratches and per-destination merge slots. Lock
+/// contention is kept structural, not incidental: each worker locks
+/// only its own scratch in the route phase and its own slot in the
+/// merge phase, and cross-worker route collection staggers its lock
+/// order (destination `d` starts at scratch `d`) holding each lock
+/// only for buffer swaps. The mutexes exist to keep the fan-out in
+/// safe Rust.
+pub(crate) struct ParRuntime<R> {
+    pub(crate) pool: WorkerPool,
+    pub(crate) scratches: Vec<Mutex<WorkerScratch<R>>>,
+    pub(crate) merges: Vec<Mutex<MergeSlot<R>>>,
+}
+
+impl<R: Ring> ParRuntime<R> {
+    /// A runtime with `workers` threads/partitions and the executor's
+    /// accumulator regime thresholds.
+    pub(crate) fn new(workers: usize, linear_max: usize, hash_min: usize) -> Self {
+        let workers = workers.max(1);
+        ParRuntime {
+            pool: WorkerPool::new(workers),
+            scratches: (0..workers)
+                .map(|_| {
+                    Mutex::new(WorkerScratch {
+                        a: Vec::new(),
+                        b: Vec::new(),
+                        route: (0..workers).map(|_| Vec::new()).collect(),
+                    })
+                })
+                .collect(),
+            merges: (0..workers)
+                .map(|_| {
+                    Mutex::new(MergeSlot {
+                        acc: DeltaAccumulator::with_thresholds(linear_max, hash_min),
+                        run: Vec::new(),
+                        pending: (0..workers).map(|_| Vec::new()).collect(),
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scatter_runs_every_worker_once() {
+        let mut pool = WorkerPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        pool.scatter(&|w| {
+            hits[w].fetch_add(1, Ordering::SeqCst);
+        });
+        for (w, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "worker {w}");
+        }
+    }
+
+    #[test]
+    fn scatter_is_reusable_and_sees_borrowed_state() {
+        let mut pool = WorkerPool::new(3);
+        let total = AtomicUsize::new(0);
+        let data: Vec<usize> = (0..300).collect();
+        for _ in 0..50 {
+            pool.scatter(&|w| {
+                let r = chunk(data.len(), 3, w);
+                let s: usize = data[r].iter().sum();
+                total.fetch_add(s, Ordering::SeqCst);
+            });
+        }
+        let expected: usize = 50 * data.iter().sum::<usize>();
+        assert_eq!(total.load(Ordering::SeqCst), expected);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_dispatcher() {
+        let mut pool = WorkerPool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.scatter(&|w| {
+                if w == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "scatter must re-raise worker panics");
+        // The pool stays usable after a panicked dispatch.
+        let ok = AtomicUsize::new(0);
+        pool.scatter(&|_| {
+            ok.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ok.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn chunks_cover_exactly_once() {
+        for len in [0usize, 1, 7, 100, 101] {
+            for parts in [1usize, 2, 3, 8] {
+                let mut covered = vec![0u8; len];
+                for i in 0..parts {
+                    for j in chunk(len, parts, i) {
+                        covered[j] += 1;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c == 1), "len {len} parts {parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn destinations_are_in_range_and_spread() {
+        for parts in [1usize, 2, 3, 4, 8] {
+            let mut counts = vec![0usize; parts];
+            for i in 0..10_000u64 {
+                // Feed realistic (already-mixed) hashes.
+                let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let d = destination(h, parts);
+                assert!(d < parts);
+                counts[d] += 1;
+            }
+            let min = *counts.iter().min().unwrap();
+            assert!(
+                min * parts * 2 > 10_000,
+                "partition skew at parts={parts}: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_drop_joins_workers() {
+        let mut pool = WorkerPool::new(2);
+        pool.scatter(&|_| {});
+        drop(pool); // must not hang
+    }
+}

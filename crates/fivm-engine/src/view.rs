@@ -261,6 +261,63 @@ impl<R: Ring> ViewStore<R> {
         }
     }
 
+    /// Replace this view's contents with `rel`, retaining the slot
+    /// capacity of the primary map and the *structure* of every
+    /// secondary index (its probe positions and so its compiled index
+    /// id), while rebuilding index contents over the new data.
+    ///
+    /// Crucially, the per-index high-water live-bucket counters are
+    /// **reset from the reloaded contents**: they drive the
+    /// empty-bucket sweep budget, and inheriting the previous
+    /// lifetime's peak would let a reloaded engine retain stale sweep
+    /// budgets (too many empty buckets before a sweep fires) — or,
+    /// after loading a larger database, sweep too eagerly.
+    pub fn reload(&mut self, rel: &Relation<R>) {
+        self.data.clear();
+        self.data.reserve(rel.len());
+        if rel.schema() == &self.schema {
+            for (t, p) in rel.iter() {
+                if !p.is_zero() {
+                    *self.data.upsert(t, R::zero).1 = p.clone();
+                }
+            }
+        } else {
+            // Column permutation (loads hand views relations in their
+            // own schema order).
+            let pos = rel
+                .schema()
+                .positions_of(self.schema.vars())
+                .expect("reload relation must be a permutation of the view schema");
+            for (t, p) in rel.iter() {
+                if !p.is_zero() {
+                    *self.data.upsert(&fivm_core::ProjKey::new(t, &pos), R::zero).1 = p.clone();
+                }
+            }
+        }
+        for ix in &mut self.indexes {
+            ix.map.clear();
+            for t in self.data.keys() {
+                ix.map
+                    .upsert(&fivm_core::ProjKey::new(t, &ix.positions), Vec::new)
+                    .1
+                    .push(t.clone());
+            }
+            ix.live = ix.map.len();
+            ix.high_water = ix.live;
+        }
+    }
+
+    /// Worst-case probe-chain length across the primary map and all
+    /// secondary indexes (see [`TupleMap::max_probe_run`]).
+    pub fn max_probe_run(&self) -> usize {
+        self.indexes
+            .iter()
+            .map(|ix| ix.map.max_probe_run())
+            .chain([self.data.max_probe_run()])
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Total retained secondary-index buckets (live + emptied). The
     /// high-water sweep keeps this O(peak live buckets); regression
     /// tests assert on it under adversarial churn.
@@ -387,6 +444,68 @@ mod tests {
         v.insert(tuple![1, 9], 7);
         assert_eq!(v.probe(ix2, &tuple![9]), &[tuple![1, 9]]);
         let _ = ix;
+    }
+
+    /// Delta propagation probes view stores from worker threads behind
+    /// shared references; the whole storage stack must stay `Send +
+    /// Sync` (compile-time check).
+    #[test]
+    fn view_storage_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tuple>();
+        assert_send_sync::<fivm_core::Value>();
+        assert_send_sync::<TupleMap<i64>>();
+        assert_send_sync::<ViewStore<i64>>();
+        assert_send_sync::<fivm_core::Lifting<i64>>();
+    }
+
+    /// `reload` keeps index ids/positions but resets the high-water
+    /// sweep counters from the reloaded contents: after reloading a
+    /// small database over a store whose previous life had a large
+    /// bucket peak, fresh-key churn must be swept against the *new*
+    /// (small) budget.
+    #[test]
+    fn reload_resets_index_high_water_counters() {
+        let mut v: ViewStore<i64> = ViewStore::new(sch(&[0, 1]));
+        let ix = v.ensure_index(&sch(&[1]));
+        // Inflate the high-water mark: 5000 simultaneously-live buckets.
+        for i in 0..5000i64 {
+            v.insert(tuple![i, i], 1);
+        }
+        // Reload a 4-row database.
+        let small = Relation::from_pairs(
+            sch(&[0, 1]),
+            (0..4i64).map(|i| (tuple![i, i], 1)),
+        );
+        v.reload(&small);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.probe(ix, &tuple![2]), &[tuple![2, 2]]);
+        // Fresh-key churn: without the counter reset the stale budget
+        // (2 × 5000) would retain every emptied bucket below it.
+        for round in 0..40i64 {
+            for i in 0..50 {
+                v.insert(tuple![10_000 + round * 50 + i, 10_000 + round * 50 + i], 1);
+            }
+            for i in 0..50 {
+                v.insert(tuple![10_000 + round * 50 + i, 10_000 + round * 50 + i], -1);
+            }
+        }
+        let budget = 2 * (4 + 50) + super::INDEX_SWEEP_FLOOR;
+        assert!(
+            v.index_footprint() <= budget,
+            "stale high-water budget survived reload: footprint {} > {budget}",
+            v.index_footprint()
+        );
+    }
+
+    /// `reload` accepts contents in a permuted column order and stores
+    /// them under the view's own schema.
+    #[test]
+    fn reload_reorders_permuted_schemas() {
+        let mut v: ViewStore<i64> = ViewStore::new(sch(&[0, 1]));
+        let rel = Relation::from_pairs(sch(&[1, 0]), [(tuple![9, 1], 7i64)]);
+        v.reload(&rel);
+        assert_eq!(v.get(&tuple![1, 9]), Some(&7));
     }
 
     #[test]

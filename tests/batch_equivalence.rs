@@ -2,7 +2,9 @@
 //! applying one N-tuple batch must equal applying its N tuples
 //! individually, and equal applying any partition of it into
 //! sub-batches — and all of those must equal the general
-//! factor-propagation path ([`IvmEngine::set_fast_path`]`(false)`).
+//! factor-propagation path ([`IvmEngine::set_fast_path`]`(false)`)
+//! and the parallel fan-out (`set_workers(4)` with a forced-low
+//! parallel threshold).
 //!
 //! N is driven across every merge-regime boundary of the batch path:
 //! the old 32-tuple fast-path gate (now the linear-merge bound) and
@@ -88,8 +90,9 @@ fn assert_all_views_agree(engines: &[IvmEngine<i64>], context: &str) -> Result<(
     Ok(())
 }
 
-/// Apply `pairs` to `rel` four ways — one batch, singles, random
-/// partition, general path — and assert full-state agreement.
+/// Apply `pairs` to `rel` five ways — one batch, singles, random
+/// partition, general path, parallel fast path — and assert
+/// full-state agreement.
 fn check_equivalence(
     q: &QueryDef,
     tree: &ViewTree,
@@ -100,10 +103,14 @@ fn check_equivalence(
     context: &str,
 ) -> Result<(), TestCaseError> {
     let all: Vec<usize> = (0..q.relations.len()).collect();
-    let mut engines: Vec<IvmEngine<i64>> = (0..4)
+    let mut engines: Vec<IvmEngine<i64>> = (0..5)
         .map(|_| IvmEngine::new(q.clone(), tree.clone(), &all, lifts.clone()))
         .collect();
     engines[3].set_fast_path(false);
+    // Engine 4: the parallel fan-out, forced onto every batch-scale
+    // step (4 workers, threshold far below the sweep sizes).
+    engines[4].set_workers(4);
+    engines[4].set_parallel_threshold(16);
     warm(q, &mut engines);
     let schema = q.relations[rel].schema.clone();
 
@@ -128,7 +135,10 @@ fn check_equivalence(
     }
 
     // Engine 3: the whole batch through the general path.
-    engines[3].apply(rel, &Delta::Flat(full));
+    engines[3].apply(rel, &Delta::Flat(full.clone()));
+
+    // Engine 4: the whole batch through the parallel fast path.
+    engines[4].apply(rel, &Delta::Flat(full));
 
     assert_all_views_agree(&engines, context)
 }

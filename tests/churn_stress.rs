@@ -199,6 +199,109 @@ fn adversarial_key_churn_keeps_index_footprint_bounded() {
     assert_eq!(engine.result(), eval_tree(&tree, &db, &lifts));
 }
 
+/// Probe-chain health across repeated high-water sweeps: each sweep
+/// round runs `TupleMap::retain` under the hood, and before the
+/// compacting-rehash fix its tombstones accumulated until the next
+/// insert-triggered rehash — probe chains degenerated toward
+/// O(capacity) between rehashes. Bounded `max_probe_run` across many
+/// sweep rounds is the regression guard.
+#[test]
+fn sweep_rounds_keep_probe_runs_bounded() {
+    let (q, tree, lifts) = setup();
+    let mut engine: IvmEngine<i64> =
+        IvmEngine::new(q.clone(), tree.clone(), &[0, 1, 2], lifts.clone());
+    let mut db = Database::empty(&q);
+    let apply = |engine: &mut IvmEngine<i64>,
+                 db: &mut Database<i64>,
+                 rel: usize,
+                 pairs: Vec<(Tuple, i64)>| {
+        let d = Relation::from_pairs(q.relations[rel].schema.clone(), pairs);
+        engine.apply(rel, &Delta::Flat(d.clone()));
+        db.relations[rel].union_in_place(&d);
+    };
+    apply(&mut engine, &mut db, 0, (0..8).map(|i| (tuple![i, i], 1i64)).collect());
+    apply(&mut engine, &mut db, 2, (0..8).map(|i| (tuple![i, i], 1i64)).collect());
+
+    let batch = 256usize;
+    for round in 0..40usize {
+        let fresh: Vec<(Tuple, i64)> = (0..batch)
+            .map(|i| {
+                let c = (round * batch + i) as i64 + 1_000;
+                (tuple![(i % 8) as i64, c, c], 1i64)
+            })
+            .collect();
+        let negated: Vec<(Tuple, i64)> =
+            fresh.iter().map(|(t, m)| (t.clone(), -m)).collect();
+        apply(&mut engine, &mut db, 1, fresh);
+        apply(&mut engine, &mut db, 1, negated);
+        // The churned tables hold ≤ ~600 live entries at ≤ 7/8 load;
+        // healthy linear-probe runs there are short. Tombstone piles
+        // left by un-compacted sweeps produced runs in the hundreds.
+        let run = engine.max_probe_run();
+        assert!(
+            run <= 64,
+            "round {round}: max probe run {run} degenerated (sweep left tombstones?)"
+        );
+    }
+    assert_eq!(engine.result(), eval_tree(&tree, &db, &lifts));
+}
+
+/// `load` on a dirty engine resets the index high-water sweep budgets
+/// (PR 2's live-bucket counters) along with the indicator support
+/// counts: after reloading a small database over an engine whose
+/// previous life had a large bucket peak, fresh-key churn must be
+/// swept against the *new* budget — and the engine must stay correct.
+#[test]
+fn load_then_churn_uses_fresh_sweep_budgets() {
+    let (q, tree, lifts) = setup();
+    let mut engine: IvmEngine<i64> =
+        IvmEngine::new(q.clone(), tree.clone(), &[0, 1, 2], lifts.clone());
+
+    // Inflate the secondary-index high-water marks: 4096 concurrently
+    // live S-tuples with distinct join keys.
+    let big: Vec<(Tuple, i64)> = (0..4096i64).map(|c| (tuple![c % 8, c, c], 1)).collect();
+    let d = Relation::from_pairs(q.relations[1].schema.clone(), big);
+    engine.apply(1, &Delta::Flat(d));
+    assert!(engine.index_footprint() > 2048, "peak not reached");
+
+    // Reload a tiny database.
+    let mut db = Database::empty(&q);
+    for i in 0..8i64 {
+        db.relations[0].insert(tuple![i, i], 1);
+        db.relations[1].insert(tuple![i, i, i], 1);
+        db.relations[2].insert(tuple![i, i], 1);
+    }
+    engine.load(&db);
+    assert_eq!(engine.result(), eval_tree(&tree, &db, &lifts));
+
+    // Fresh-key churn after the reload: with stale (pre-load) budgets
+    // of 2 × 4096, none of these emptied buckets would ever be swept.
+    let batch = 64usize;
+    for round in 0..40usize {
+        let fresh: Vec<(Tuple, i64)> = (0..batch)
+            .map(|i| {
+                let c = (round * batch + i) as i64 + 100_000;
+                (tuple![(i % 8) as i64, c, c], 1i64)
+            })
+            .collect();
+        let negated: Vec<(Tuple, i64)> =
+            fresh.iter().map(|(t, m)| (t.clone(), -m)).collect();
+        let df = Relation::from_pairs(q.relations[1].schema.clone(), fresh);
+        let dn = Relation::from_pairs(q.relations[1].schema.clone(), negated);
+        engine.apply(1, &Delta::Flat(df.clone()));
+        engine.apply(1, &Delta::Flat(dn.clone()));
+        db.relations[1].union_in_place(&df);
+        db.relations[1].union_in_place(&dn);
+    }
+    let footprint = engine.index_footprint();
+    let budget = 2 * (8 + batch) + 64;
+    assert!(
+        footprint <= budget,
+        "stale sweep budget survived load: footprint {footprint} > {budget}"
+    );
+    assert_eq!(engine.result(), eval_tree(&tree, &db, &lifts));
+}
+
 /// Memory accounting tracks churn: bytes after full deletion return to
 /// (near) the empty baseline — no leaked index entries.
 #[test]

@@ -1,245 +1,42 @@
 //! Differential oracle for the batch fast path: a from-scratch
-//! reference evaluator, sharing **no code** with the engine's
-//! relational algebra, recomputes every query result from the raw
-//! update history and must agree with the incremental engine after
-//! every batch.
-//!
-//! The oracle stores each relation as a plain `HashMap<Vec<i64>, i64>`
-//! multiset and evaluates the query by a hand-rolled hash join over
-//! variable assignments (index the next relation on the already-bound
-//! variables, extend, multiply multiplicities), then groups by the
-//! free variables, multiplying in `g(x) = x` lifted values for the
-//! designated bound variables. No `Relation`, no `TupleMap`, no view
-//! trees — if the engine and the oracle agree across randomized
-//! schedules, they agree for independent reasons.
+//! reference evaluator (see `tests/support/oracle.rs`), sharing **no
+//! code** with the engine's relational algebra, recomputes every query
+//! result from the raw update history and must agree with the
+//! incremental engine after every batch.
 //!
 //! Proptest drives randomized insert/delete batch schedules: batch
 //! sizes 1–4096 (log-uniform, straddling every merge-regime threshold
 //! of the flat-batch path), skewed join keys (a small hot pool plus a
 //! large cold domain), interleaved relations, and deletes drawn from
 //! the live multiset so multiplicities stay non-negative.
+//!
+//! Every schedule runs on **two engines**: the default sequential one
+//! and one with 4 workers and a low parallel threshold, so the
+//! range-partitioned parallel fan-out is held to the same oracle on
+//! the same randomized schedules as the sequential path.
+
+#[path = "support/oracle.rs"]
+mod support;
 
 use fivm::prelude::*;
 use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
+use support::{batch_specs, canon_engine_result, oracle_eval, run_schedule, OracleDb};
 
-// ---------------------------------------------------------------------
-// The oracle
-// ---------------------------------------------------------------------
-
-/// Oracle-side database: per relation, row → signed multiplicity.
-type OracleDb = Vec<HashMap<Vec<i64>, i64>>;
-
-/// Recompute the query result from scratch: hash join all relations,
-/// multiply `g(x) = x` for `identity_lift_vars`, group by `q.free`.
-fn oracle_eval(q: &QueryDef, db: &OracleDb, identity_lift_vars: &[VarId]) -> BTreeMap<Vec<i64>, i64> {
-    // A partial assignment: var id → value, plus the accumulated weight.
-    let n_vars = q
-        .relations
-        .iter()
-        .flat_map(|r| r.schema.iter())
-        .map(|&v| v as usize + 1)
-        .max()
-        .unwrap_or(0);
-    let mut partials: Vec<(Vec<Option<i64>>, i64)> = vec![(vec![None; n_vars], 1)];
-
-    for (ri, rel) in q.relations.iter().enumerate() {
-        let schema: Vec<VarId> = rel.schema.iter().copied().collect();
-        let bound: Vec<usize> = schema
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| partials.first().is_some_and(|(a, _)| a[**v as usize].is_some()))
-            .map(|(i, _)| i)
-            .collect();
-        // `bound` must be identical across partials: every partial has
-        // exactly the variables of the previously joined relations.
-        let mut index: HashMap<Vec<i64>, Vec<(&Vec<i64>, i64)>> = HashMap::new();
-        for (row, &m) in &db[ri] {
-            if m == 0 {
-                continue;
-            }
-            index
-                .entry(bound.iter().map(|&i| row[i]).collect())
-                .or_default()
-                .push((row, m));
-        }
-        let mut next: Vec<(Vec<Option<i64>>, i64)> = Vec::new();
-        for (assign, w) in &partials {
-            let probe: Vec<i64> = bound
-                .iter()
-                .map(|&i| assign[schema[i] as usize].expect("bound var"))
-                .collect();
-            if let Some(rows) = index.get(&probe) {
-                for (row, m) in rows {
-                    let mut a = assign.clone();
-                    let mut consistent = true;
-                    for (i, &v) in schema.iter().enumerate() {
-                        match a[v as usize] {
-                            None => a[v as usize] = Some(row[i]),
-                            Some(x) => {
-                                // Repeated variable within one schema.
-                                if x != row[i] {
-                                    consistent = false;
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                    if consistent {
-                        next.push((a, w * m));
-                    }
-                }
-            }
-        }
-        partials = next;
-        if partials.is_empty() {
-            break;
-        }
-    }
-
-    let free: Vec<usize> = q.free.iter().map(|&v| v as usize).collect();
-    let mut out: BTreeMap<Vec<i64>, i64> = BTreeMap::new();
-    for (assign, w) in partials {
-        let mut weight = w;
-        for &v in identity_lift_vars {
-            weight *= assign[v as usize].expect("lifted var is bound in the join");
-        }
-        let key: Vec<i64> = free.iter().map(|&v| assign[v].expect("free var bound")).collect();
-        *out.entry(key).or_insert(0) += weight;
-    }
-    out.retain(|_, w| *w != 0);
-    out
-}
-
-/// Canonicalize the engine's result into the oracle's shape: reorder
-/// the key columns to `q.free` order and map to sorted rows.
-fn canon_engine_result(q: &QueryDef, r: &Relation<i64>) -> BTreeMap<Vec<i64>, i64> {
-    let r = if *r.schema() == q.free {
-        r.clone()
-    } else {
-        r.reorder(&q.free)
-    };
-    r.iter()
-        .map(|(t, &p)| {
-            let row: Vec<i64> = (0..t.len())
-                .map(|i| t.get(i).as_int().expect("int keys"))
-                .collect();
-            (row, p)
-        })
-        .collect()
-}
-
-// ---------------------------------------------------------------------
-// Randomized batch schedules
-// ---------------------------------------------------------------------
-
-/// One randomized batch: which relation, how many tuples (1–4096,
-/// log-uniform via `size_exp`), and the RNG seed its contents derive
-/// from.
-#[derive(Clone, Debug)]
-struct BatchSpec {
-    rel: usize,
-    size_exp: u32,
-    jitter: u64,
-    seed: u64,
-}
-
-fn batch_specs(max_exp: u32, batches: usize) -> impl Strategy<Value = Vec<BatchSpec>> {
-    proptest::collection::vec(
-        (0usize..64, 0u32..=max_exp, 0u64..u64::MAX, 0u64..u64::MAX)
-            .prop_map(|(rel, size_exp, jitter, seed)| BatchSpec {
-                rel,
-                size_exp,
-                jitter,
-                seed,
-            }),
-        1..=batches,
-    )
-}
-
-/// Materialize a batch: skewed fresh inserts mixed with deletes of
-/// currently-live rows. The mirror db is updated as the batch is
-/// built, so oracle state and emitted pairs always agree.
-fn build_batch(
-    spec: &BatchSpec,
-    arity: usize,
-    db_rel: &mut HashMap<Vec<i64>, i64>,
-    live: &mut Vec<Vec<i64>>,
-) -> Vec<(Tuple, i64)> {
-    let size = (((1u64 << spec.size_exp) + spec.jitter % (1u64 << spec.size_exp)) as usize).min(4096);
-    let mut rng = SmallRng::seed_from_u64(spec.seed);
-    // Cap the expected number of hot-key tuples per batch so skewed
-    // join fan-out stays measurable without making the oracle's join
-    // output explode on 4096-tuple batches.
-    let hot_prob = (200.0 / size as f64).min(0.5);
-    let mut out = Vec::with_capacity(size);
-    for _ in 0..size {
-        let delete = !live.is_empty() && rng.gen_bool(0.3);
-        if delete {
-            let i = rng.gen_range(0..live.len());
-            let row = live[i].clone();
-            let m = db_rel.get_mut(&row).expect("live rows are present");
-            *m -= 1;
-            if *m == 0 {
-                db_rel.remove(&row);
-                live.swap_remove(i);
-            }
-            out.push((Tuple::new(row.iter().map(|&v| Value::Int(v)).collect()), -1));
-        } else {
-            let row: Vec<i64> = (0..arity)
-                .map(|_| {
-                    if rng.gen_bool(hot_prob) {
-                        rng.gen_range(0..4)
-                    } else {
-                        rng.gen_range(0..100_000)
-                    }
-                })
-                .collect();
-            let m = db_rel.entry(row.clone()).or_insert(0);
-            if *m == 0 {
-                live.push(row.clone());
-            }
-            *m += 1;
-            out.push((Tuple::new(row.iter().map(|&v| Value::Int(v)).collect()), 1));
-        }
-    }
-    out
-}
-
-/// Drive a schedule through the engine and the oracle, asserting
-/// agreement after every batch.
-fn run_schedule(
+/// The sequential engine plus a parallel twin (4 workers, fan-out
+/// forced onto small batches).
+fn engine_pair(
     q: &QueryDef,
-    engine: &mut IvmEngine<i64>,
-    specs: &[BatchSpec],
-    identity_lift_vars: &[VarId],
-) -> Result<(), TestCaseError> {
-    let mut db: OracleDb = q.relations.iter().map(|_| HashMap::new()).collect();
-    let mut live: Vec<Vec<Vec<i64>>> = q.relations.iter().map(|_| Vec::new()).collect();
-    for (i, spec) in specs.iter().enumerate() {
-        let rel = spec.rel % q.relations.len();
-        let arity = q.relations[rel].schema.len();
-        let pairs = build_batch(spec, arity, &mut db[rel], &mut live[rel]);
-        let delta = Relation::from_pairs(q.relations[rel].schema.clone(), pairs);
-        engine.apply(rel, &Delta::Flat(delta));
-        let expected = oracle_eval(q, &db, identity_lift_vars);
-        let got = canon_engine_result(q, &engine.result());
-        prop_assert_eq!(
-            &got,
-            &expected,
-            "engine diverged from the oracle after batch {} (rel {})",
-            i,
-            rel
-        );
-    }
-    Ok(())
+    tree: &ViewTree,
+    lifts: &LiftingMap<i64>,
+) -> Vec<IvmEngine<i64>> {
+    let all: Vec<usize> = (0..q.relations.len()).collect();
+    let seq = IvmEngine::new(q.clone(), tree.clone(), &all, lifts.clone());
+    let mut par = IvmEngine::new(q.clone(), tree.clone(), &all, lifts.clone());
+    par.set_workers(4);
+    par.set_parallel_threshold(64);
+    vec![seq, par]
 }
-
-// ---------------------------------------------------------------------
-// The suites
-// ---------------------------------------------------------------------
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
@@ -251,9 +48,8 @@ proptest! {
         let q = QueryDef::example_rst(&[]);
         let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
         let tree = ViewTree::build(&q, &vo);
-        let mut engine: IvmEngine<i64> =
-            IvmEngine::new(q.clone(), tree, &[0, 1, 2], LiftingMap::new());
-        run_schedule(&q, &mut engine, &specs, &[])?;
+        let mut engines = engine_pair(&q, &tree, &LiftingMap::new());
+        run_schedule(&q, &mut engines, &specs, &[])?;
     }
 
     /// Group-by with non-trivial liftings: free variables A and C,
@@ -268,8 +64,8 @@ proptest! {
         let mut lifts = LiftingMap::<i64>::new();
         lifts.set(b, fivm::core::lifting::int_identity());
         lifts.set(e, fivm::core::lifting::int_identity());
-        let mut engine: IvmEngine<i64> = IvmEngine::new(q.clone(), tree, &[0, 1, 2], lifts);
-        run_schedule(&q, &mut engine, &specs, &[b, e])?;
+        let mut engines = engine_pair(&q, &tree, &lifts);
+        run_schedule(&q, &mut engines, &specs, &[b, e])?;
     }
 
     /// Triangle COUNT with indicator projections (Appendix B): the
@@ -281,25 +77,24 @@ proptest! {
         let vo = VariableOrder::parse("A - B - C", &q.catalog);
         let mut tree = ViewTree::build(&q, &vo);
         add_indicators(&mut tree, &q);
-        let mut engine: IvmEngine<i64> =
-            IvmEngine::new(q.clone(), tree, &[0, 1, 2], LiftingMap::new());
-        run_schedule(&q, &mut engine, &specs, &[])?;
+        let mut engines = engine_pair(&q, &tree, &LiftingMap::new());
+        run_schedule(&q, &mut engines, &specs, &[])?;
     }
 }
 
 /// Deterministic worst-case shapes the random driver may miss: a
 /// batch that is entirely one hot key, a batch that cancels itself,
 /// and a batch that deletes everything a previous batch inserted.
+/// Runs on the sequential engine and the 4-worker parallel twin.
 #[test]
 fn adversarial_batches_match_oracle() {
     let q = QueryDef::example_rst(&[]);
     let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
     let tree = ViewTree::build(&q, &vo);
-    let mut engine: IvmEngine<i64> =
-        IvmEngine::new(q.clone(), tree, &[0, 1, 2], LiftingMap::new());
+    let mut engines = engine_pair(&q, &tree, &LiftingMap::new());
     let mut db: OracleDb = q.relations.iter().map(|_| HashMap::new()).collect();
 
-    let apply = |engine: &mut IvmEngine<i64>,
+    let apply = |engines: &mut Vec<IvmEngine<i64>>,
                      db: &mut OracleDb,
                      rel: usize,
                      pairs: Vec<(Vec<i64>, i64)>| {
@@ -316,39 +111,85 @@ fn adversarial_batches_match_oracle() {
                 (Tuple::new(row.iter().map(|&v| Value::Int(v)).collect()), m)
             }),
         );
-        engine.apply(rel, &Delta::Flat(delta));
+        for engine in engines.iter_mut() {
+            engine.apply(rel, &Delta::Flat(delta.clone()));
+        }
+    };
+    let check = |engines: &Vec<IvmEngine<i64>>, db: &OracleDb, what: &str| {
+        let expected = oracle_eval(&q, db, &[]);
+        for (i, e) in engines.iter().enumerate() {
+            assert_eq!(
+                canon_engine_result(&q, &e.result()),
+                expected,
+                "engine {i} after {what}"
+            );
+        }
     };
 
     // 2000 R-tuples all sharing A=1 (one hot join key).
-    apply(&mut engine, &mut db, 0, (0..2000).map(|b| (vec![1, b], 1)).collect());
+    apply(&mut engines, &mut db, 0, (0..2000).map(|b| (vec![1, b], 1)).collect());
     // S and T matching the hub, enough to cross the hash-merge band.
-    apply(&mut engine, &mut db, 1, (0..1500).map(|c| (vec![1, c % 40, c], 1)).collect());
-    apply(&mut engine, &mut db, 2, (0..40).map(|c| (vec![c, c], 1)).collect());
-    assert_eq!(
-        canon_engine_result(&q, &engine.result()),
-        oracle_eval(&q, &db, &[])
-    );
+    apply(&mut engines, &mut db, 1, (0..1500).map(|c| (vec![1, c % 40, c], 1)).collect());
+    apply(&mut engines, &mut db, 2, (0..40).map(|c| (vec![c, c], 1)).collect());
+    check(&engines, &db, "hot-key load");
 
-    // A self-cancelling batch (every key nets to zero) is a no-op.
-    let before = engine.result();
+    // A self-cancelling batch (every key nets to zero) is a no-op —
+    // including for view stores and index bucket counters downstream.
+    let before: Vec<Relation<i64>> = engines.iter().map(|e| e.result()).collect();
+    let footprints: Vec<usize> = engines.iter().map(|e| e.index_footprint()).collect();
     apply(
-        &mut engine,
+        &mut engines,
         &mut db,
         0,
         (0..500).flat_map(|b| [(vec![7, b], 3), (vec![7, b], -3)]).collect(),
     );
-    assert_eq!(engine.result(), before);
-    assert_eq!(
-        canon_engine_result(&q, &engine.result()),
-        oracle_eval(&q, &db, &[])
+    for (i, e) in engines.iter().enumerate() {
+        assert_eq!(e.result(), before[i], "engine {i}: cancelled batch changed the result");
+        assert_eq!(
+            e.index_footprint(),
+            footprints[i],
+            "engine {i}: cancelled batch touched index buckets"
+        );
+    }
+    check(&engines, &db, "self-cancelling batch");
+
+    // A batch cancelling on *join-output* keys: distinct input rows
+    // that project to the same view keys with opposite weights, so the
+    // zero only appears after the per-step merge. Nothing downstream
+    // of the first projection may observe it.
+    let before: Vec<Relation<i64>> = engines.iter().map(|e| e.result()).collect();
+    apply(
+        &mut engines,
+        &mut db,
+        0,
+        (0..40)
+            .flat_map(|b| {
+                // A=1 is the hot key: both rows join all 1500 S-tuples,
+                // producing opposite-weight products that must cancel
+                // in the per-step merge.
+                [
+                    (vec![1, 10_000 + 2 * b], 1),
+                    (vec![1, 10_000 + 2 * b + 1], -1),
+                ]
+            })
+            .collect(),
     );
+    for (i, e) in engines.iter().enumerate() {
+        // R's leaf store legitimately changed; the *result* must not
+        // (the B column is marginalized with COUNT lifting, so +1/−1
+        // pairs at the same A cancel at the first projection).
+        assert_eq!(e.result(), before[i], "engine {i}: projection-cancelled batch leaked");
+    }
+    check(&engines, &db, "projection-cancelling batch");
 
     // Delete everything ever inserted: all views drain to empty.
     for rel in 0..3 {
         let all: Vec<(Vec<i64>, i64)> =
             db[rel].iter().map(|(row, &m)| (row.clone(), -m)).collect();
-        apply(&mut engine, &mut db, rel, all);
+        apply(&mut engines, &mut db, rel, all);
     }
-    assert!(engine.result().is_empty());
-    assert_eq!(engine.total_entries(), 0);
+    for (i, e) in engines.iter().enumerate() {
+        assert!(e.result().is_empty(), "engine {i}");
+        assert_eq!(e.total_entries(), 0, "engine {i}");
+    }
 }

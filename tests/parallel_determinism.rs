@@ -1,0 +1,225 @@
+//! Thread-count determinism for parallel delta propagation: the same
+//! update schedule applied at 1, 2, 4 and 8 workers must leave every
+//! materialized view **byte-identical** — same keys, same payloads —
+//! to the sequential engine's, after every batch, under the
+//! differential oracle (`tests/support/oracle.rs`).
+//!
+//! Why this holds by design: the route phase partitions a step's input
+//! into per-worker chunks in index order and routes output pairs by
+//! key-hash range; the merge phase folds each range's pairs in worker
+//! (= chunk) order. A key's payload contributions therefore fold in
+//! the same order at any worker count, and for exact rings (`i64`
+//! here) the folded sums are equal no matter how the surrounding work
+//! was interleaved. These tests pin that contract so a refactor that
+//! loses it (e.g. racing merges, nondeterministic routing) fails
+//! loudly rather than flaking downstream.
+
+#[path = "support/oracle.rs"]
+mod support;
+
+use fivm::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use support::{batch_specs, build_batch, canon_engine_result, oracle_eval, OracleDb};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One engine per worker count (plus index 0 = untouched sequential
+/// default), with the fan-out forced onto small steps.
+fn engine_fleet(q: &QueryDef, tree: &ViewTree, lifts: &LiftingMap<i64>) -> Vec<IvmEngine<i64>> {
+    let all: Vec<usize> = (0..q.relations.len()).collect();
+    let mut engines = vec![IvmEngine::new(q.clone(), tree.clone(), &all, lifts.clone())];
+    for &w in &WORKER_COUNTS {
+        let mut e = IvmEngine::new(q.clone(), tree.clone(), &all, lifts.clone());
+        e.set_workers(w);
+        e.set_parallel_threshold(16);
+        engines.push(e);
+    }
+    engines
+}
+
+/// Every materialized view of every engine, canonicalized to sorted
+/// `(key, payload)` rows, must equal the sequential reference's.
+fn assert_views_identical(
+    engines: &[IvmEngine<i64>],
+    context: &str,
+) -> Result<(), TestCaseError> {
+    let reference = &engines[0];
+    for node in 0..reference.tree().nodes.len() {
+        let want = reference.view_relation(node).map(|r| r.sorted());
+        for e in &engines[1..] {
+            let got = e.view_relation(node).map(|r| r.sorted());
+            prop_assert_eq!(
+                &got,
+                &want,
+                "{}: node {} differs between sequential and {}-worker engines",
+                context,
+                node,
+                e.workers()
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Drive one schedule through the whole fleet, checking full-state
+/// agreement and the oracle after every batch.
+fn run_deterministic_schedule(
+    q: &QueryDef,
+    engines: &mut [IvmEngine<i64>],
+    specs: &[support::BatchSpec],
+    identity_lift_vars: &[VarId],
+) -> Result<(), TestCaseError> {
+    let mut db: OracleDb = q.relations.iter().map(|_| HashMap::new()).collect();
+    let mut live: Vec<Vec<Vec<i64>>> = q.relations.iter().map(|_| Vec::new()).collect();
+    for (i, spec) in specs.iter().enumerate() {
+        let rel = spec.rel % q.relations.len();
+        let arity = q.relations[rel].schema.len();
+        let pairs = build_batch(spec, arity, &mut db[rel], &mut live[rel]);
+        let delta = Relation::from_pairs(q.relations[rel].schema.clone(), pairs);
+        for e in engines.iter_mut() {
+            e.apply(rel, &Delta::Flat(delta.clone()));
+        }
+        assert_views_identical(engines, &format!("batch {i} (rel {rel})"))?;
+        let expected = oracle_eval(q, &db, identity_lift_vars);
+        prop_assert_eq!(
+            &canon_engine_result(q, &engines[0].result()),
+            &expected,
+            "sequential engine diverged from the oracle after batch {}",
+            i
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Star group-by SUM under randomized schedules: identical views
+    /// at every worker count, after every batch.
+    #[test]
+    fn star_views_identical_across_worker_counts(specs in batch_specs(11, 5)) {
+        let q = QueryDef::example_rst(&["A", "C"]);
+        let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
+        let tree = ViewTree::build(&q, &vo);
+        let b = q.catalog.lookup("B").unwrap();
+        let e = q.catalog.lookup("E").unwrap();
+        let mut lifts = LiftingMap::<i64>::new();
+        lifts.set(b, fivm::core::lifting::int_identity());
+        lifts.set(e, fivm::core::lifting::int_identity());
+        let mut engines = engine_fleet(&q, &tree, &lifts);
+        run_deterministic_schedule(&q, &mut engines, &specs, &[b, e])?;
+    }
+
+    /// Triangle with indicator projections: indicator deltas ride the
+    /// same fan-out; views (including indicator views) must agree at
+    /// every worker count.
+    #[test]
+    fn triangle_views_identical_across_worker_counts(specs in batch_specs(10, 5)) {
+        let q = QueryDef::triangle();
+        let vo = VariableOrder::parse("A - B - C", &q.catalog);
+        let mut tree = ViewTree::build(&q, &vo);
+        add_indicators(&mut tree, &q);
+        let mut engines = engine_fleet(&q, &tree, &LiftingMap::new());
+        run_deterministic_schedule(&q, &mut engines, &specs, &[])?;
+    }
+}
+
+/// Deterministic large-batch case crossing the *default* threshold
+/// (4096), so the production configuration's fan-out — not just the
+/// test-forced one — is exercised: a 10k-tuple skewed batch, then its
+/// exact negation, at every worker count.
+#[test]
+fn default_threshold_large_batches_are_deterministic() {
+    let q = QueryDef::example_rst(&["A"]);
+    let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
+    let tree = ViewTree::build(&q, &vo);
+    let all: Vec<usize> = (0..q.relations.len()).collect();
+    let mut engines: Vec<IvmEngine<i64>> = std::iter::once(1usize)
+        .chain(WORKER_COUNTS)
+        .map(|w| {
+            let mut e = IvmEngine::new(q.clone(), tree.clone(), &all, LiftingMap::new());
+            e.set_workers(w); // default parallel threshold stays in force
+            e
+        })
+        .collect();
+
+    let batch = |rel: usize, sign: i64| {
+        let arity = q.relations[rel].schema.len();
+        Relation::from_pairs(
+            q.relations[rel].schema.clone(),
+            (0..10_000).map(move |i| {
+                let vals: Vec<Value> = (0..arity)
+                    .map(|c| {
+                        // Skew: a quarter of rows share join key 1.
+                        let v = if i % 4 == 0 && c == 0 { 1 } else { (i * 7 + c as i64) % 997 };
+                        Value::Int(v)
+                    })
+                    .collect();
+                (Tuple::new(vals), sign)
+            }),
+        )
+    };
+    for rel in 0..3 {
+        let d = batch(rel, 1);
+        for e in engines.iter_mut() {
+            e.apply(rel, &Delta::Flat(d.clone()));
+        }
+    }
+    for node in 0..engines[0].tree().nodes.len() {
+        let want = engines[0].view_relation(node).map(|r| r.sorted());
+        for e in &engines[1..] {
+            assert_eq!(
+                e.view_relation(node).map(|r| r.sorted()),
+                want,
+                "node {node} differs at {} workers after load",
+                e.workers()
+            );
+        }
+    }
+    // Exact negation drains every view to empty at every worker count.
+    for rel in 0..3 {
+        let d = batch(rel, -1);
+        for e in engines.iter_mut() {
+            e.apply(rel, &Delta::Flat(d.clone()));
+        }
+    }
+    for e in &engines {
+        assert!(e.result().is_empty(), "{} workers", e.workers());
+        assert_eq!(e.total_entries(), 0, "{} workers", e.workers());
+    }
+}
+
+/// Worker count can change mid-stream (the pool is rebuilt lazily);
+/// the maintained state stays exactly the sequential state.
+#[test]
+fn changing_worker_count_mid_stream_is_safe() {
+    let q = QueryDef::example_rst(&[]);
+    let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
+    let tree = ViewTree::build(&q, &vo);
+    let all: Vec<usize> = (0..3).collect();
+    let mut seq = IvmEngine::new(q.clone(), tree.clone(), &all, LiftingMap::new());
+    let mut par = IvmEngine::new(q.clone(), tree.clone(), &all, LiftingMap::new());
+    par.set_parallel_threshold(8);
+    for (round, &w) in [1usize, 4, 2, 8, 1, 3].iter().enumerate() {
+        par.set_workers(w);
+        for rel in 0..3 {
+            let arity = q.relations[rel].schema.len();
+            let d = Relation::from_pairs(
+                q.relations[rel].schema.clone(),
+                (0..200i64).map(|i| {
+                    let vals: Vec<Value> =
+                        (0..arity).map(|c| Value::Int((i + round as i64 * 31 + c as i64) % 23)).collect();
+                    (Tuple::new(vals), if i % 5 == 4 { -1 } else { 1 })
+                }),
+            );
+            seq.apply(rel, &Delta::Flat(d.clone()));
+            par.apply(rel, &Delta::Flat(d));
+        }
+        assert_eq!(
+            seq.result().sorted(),
+            par.result().sorted(),
+            "diverged after switching to {w} workers"
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Shared differential-oracle support for integration tests: a
+//! from-scratch reference evaluator plus randomized batch-schedule
+//! generation. Included via `#[path = "support/oracle.rs"]` by
+//! `oracle_differential.rs` (the original home of this code) and
+//! `parallel_determinism.rs` — each test binary compiles its own copy,
+//! so nothing here depends on test-specific state.
+//!
+//! The oracle stores each relation as a plain `HashMap<Vec<i64>, i64>`
+//! multiset and evaluates the query by a hand-rolled hash join over
+//! variable assignments (index the next relation on the already-bound
+//! variables, extend, multiply multiplicities), then groups by the
+//! free variables, multiplying in `g(x) = x` lifted values for the
+//! designated bound variables. No `Relation`, no `TupleMap`, no view
+//! trees — if the engine and the oracle agree across randomized
+//! schedules, they agree for independent reasons.
+
+// Each including test binary uses a subset of these helpers.
+#![allow(dead_code)]
+
+use fivm::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashMap};
+
+/// Oracle-side database: per relation, row → signed multiplicity.
+pub type OracleDb = Vec<HashMap<Vec<i64>, i64>>;
+
+/// Recompute the query result from scratch: hash join all relations,
+/// multiply `g(x) = x` for `identity_lift_vars`, group by `q.free`.
+pub fn oracle_eval(
+    q: &QueryDef,
+    db: &OracleDb,
+    identity_lift_vars: &[VarId],
+) -> BTreeMap<Vec<i64>, i64> {
+    // A partial assignment: var id → value, plus the accumulated weight.
+    let n_vars = q
+        .relations
+        .iter()
+        .flat_map(|r| r.schema.iter())
+        .map(|&v| v as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut partials: Vec<(Vec<Option<i64>>, i64)> = vec![(vec![None; n_vars], 1)];
+
+    for (ri, rel) in q.relations.iter().enumerate() {
+        let schema: Vec<VarId> = rel.schema.iter().copied().collect();
+        let bound: Vec<usize> = schema
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| partials.first().is_some_and(|(a, _)| a[**v as usize].is_some()))
+            .map(|(i, _)| i)
+            .collect();
+        // `bound` must be identical across partials: every partial has
+        // exactly the variables of the previously joined relations.
+        let mut index: HashMap<Vec<i64>, Vec<(&Vec<i64>, i64)>> = HashMap::new();
+        for (row, &m) in &db[ri] {
+            if m == 0 {
+                continue;
+            }
+            index
+                .entry(bound.iter().map(|&i| row[i]).collect())
+                .or_default()
+                .push((row, m));
+        }
+        let mut next: Vec<(Vec<Option<i64>>, i64)> = Vec::new();
+        for (assign, w) in &partials {
+            let probe: Vec<i64> = bound
+                .iter()
+                .map(|&i| assign[schema[i] as usize].expect("bound var"))
+                .collect();
+            if let Some(rows) = index.get(&probe) {
+                for (row, m) in rows {
+                    let mut a = assign.clone();
+                    let mut consistent = true;
+                    for (i, &v) in schema.iter().enumerate() {
+                        match a[v as usize] {
+                            None => a[v as usize] = Some(row[i]),
+                            Some(x) => {
+                                // Repeated variable within one schema.
+                                if x != row[i] {
+                                    consistent = false;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if consistent {
+                        next.push((a, w * m));
+                    }
+                }
+            }
+        }
+        partials = next;
+        if partials.is_empty() {
+            break;
+        }
+    }
+
+    let free: Vec<usize> = q.free.iter().map(|&v| v as usize).collect();
+    let mut out: BTreeMap<Vec<i64>, i64> = BTreeMap::new();
+    for (assign, w) in partials {
+        let mut weight = w;
+        for &v in identity_lift_vars {
+            weight *= assign[v as usize].expect("lifted var is bound in the join");
+        }
+        let key: Vec<i64> = free.iter().map(|&v| assign[v].expect("free var bound")).collect();
+        *out.entry(key).or_insert(0) += weight;
+    }
+    out.retain(|_, w| *w != 0);
+    out
+}
+
+/// Canonicalize the engine's result into the oracle's shape: reorder
+/// the key columns to `q.free` order and map to sorted rows.
+pub fn canon_engine_result(q: &QueryDef, r: &Relation<i64>) -> BTreeMap<Vec<i64>, i64> {
+    let r = if *r.schema() == q.free {
+        r.clone()
+    } else {
+        r.reorder(&q.free)
+    };
+    r.iter()
+        .map(|(t, &p)| {
+            let row: Vec<i64> = (0..t.len())
+                .map(|i| t.get(i).as_int().expect("int keys"))
+                .collect();
+            (row, p)
+        })
+        .collect()
+}
+
+/// One randomized batch: which relation, how many tuples (1–4096,
+/// log-uniform via `size_exp`), and the RNG seed its contents derive
+/// from.
+#[derive(Clone, Debug)]
+pub struct BatchSpec {
+    pub rel: usize,
+    pub size_exp: u32,
+    pub jitter: u64,
+    pub seed: u64,
+}
+
+pub fn batch_specs(max_exp: u32, batches: usize) -> impl Strategy<Value = Vec<BatchSpec>> {
+    proptest::collection::vec(
+        (0usize..64, 0u32..=max_exp, 0u64..u64::MAX, 0u64..u64::MAX)
+            .prop_map(|(rel, size_exp, jitter, seed)| BatchSpec {
+                rel,
+                size_exp,
+                jitter,
+                seed,
+            }),
+        1..=batches,
+    )
+}
+
+/// Materialize a batch: skewed fresh inserts mixed with deletes of
+/// currently-live rows. The mirror db is updated as the batch is
+/// built, so oracle state and emitted pairs always agree.
+pub fn build_batch(
+    spec: &BatchSpec,
+    arity: usize,
+    db_rel: &mut HashMap<Vec<i64>, i64>,
+    live: &mut Vec<Vec<i64>>,
+) -> Vec<(Tuple, i64)> {
+    let size =
+        (((1u64 << spec.size_exp) + spec.jitter % (1u64 << spec.size_exp)) as usize).min(4096);
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    // Cap the expected number of hot-key tuples per batch so skewed
+    // join fan-out stays measurable without making the oracle's join
+    // output explode on 4096-tuple batches.
+    let hot_prob = (200.0 / size as f64).min(0.5);
+    let mut out = Vec::with_capacity(size);
+    for _ in 0..size {
+        let delete = !live.is_empty() && rng.gen_bool(0.3);
+        if delete {
+            let i = rng.gen_range(0..live.len());
+            let row = live[i].clone();
+            let m = db_rel.get_mut(&row).expect("live rows are present");
+            *m -= 1;
+            if *m == 0 {
+                db_rel.remove(&row);
+                live.swap_remove(i);
+            }
+            out.push((Tuple::new(row.iter().map(|&v| Value::Int(v)).collect()), -1));
+        } else {
+            let row: Vec<i64> = (0..arity)
+                .map(|_| {
+                    if rng.gen_bool(hot_prob) {
+                        rng.gen_range(0..4)
+                    } else {
+                        rng.gen_range(0..100_000)
+                    }
+                })
+                .collect();
+            let m = db_rel.entry(row.clone()).or_insert(0);
+            if *m == 0 {
+                live.push(row.clone());
+            }
+            *m += 1;
+            out.push((Tuple::new(row.iter().map(|&v| Value::Int(v)).collect()), 1));
+        }
+    }
+    out
+}
+
+/// Drive a schedule through every engine and the oracle, asserting
+/// each engine agrees with the oracle (and hence with every other
+/// engine) after every batch. All engines receive identical deltas.
+pub fn run_schedule(
+    q: &QueryDef,
+    engines: &mut [IvmEngine<i64>],
+    specs: &[BatchSpec],
+    identity_lift_vars: &[VarId],
+) -> Result<(), TestCaseError> {
+    let mut db: OracleDb = q.relations.iter().map(|_| HashMap::new()).collect();
+    let mut live: Vec<Vec<Vec<i64>>> = q.relations.iter().map(|_| Vec::new()).collect();
+    for (i, spec) in specs.iter().enumerate() {
+        let rel = spec.rel % q.relations.len();
+        let arity = q.relations[rel].schema.len();
+        let pairs = build_batch(spec, arity, &mut db[rel], &mut live[rel]);
+        let delta = Relation::from_pairs(q.relations[rel].schema.clone(), pairs);
+        let expected = {
+            for engine in engines.iter_mut() {
+                engine.apply(rel, &Delta::Flat(delta.clone()));
+            }
+            oracle_eval(q, &db, identity_lift_vars)
+        };
+        for (e, engine) in engines.iter().enumerate() {
+            let got = canon_engine_result(q, &engine.result());
+            prop_assert_eq!(
+                &got,
+                &expected,
+                "engine {} ({} workers) diverged from the oracle after batch {} (rel {})",
+                e,
+                engine.workers(),
+                i,
+                rel
+            );
+        }
+    }
+    Ok(())
+}
