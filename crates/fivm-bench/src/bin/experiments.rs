@@ -125,7 +125,14 @@ fn main() {
 ///   tuples per `apply`) over Housing and Retailer SUM maintenance,
 ///   once through the compiled flat-batch fast path and once with the
 ///   fast path disabled (`set_fast_path(false)`), so the
-///   `…_fast`/`…_general` pairs record the batch path's speedup.
+///   `…_fast`/`…_general` pairs record the batch path's speedup;
+/// * **string-keyed variants** (`fig11_string…`, `fig12_string…`,
+///   `fig13_string…`): the same shapes with interned-string join keys
+///   (string postcodes / Twitter handles), plus the `foil_…` entries
+///   from [`fivm_bench::foil`] — the identical probe/merge sequence
+///   run once with `u32` symbols and once with content-hashed
+///   `Arc<str>` keys (the pre-interning `Value` representation), so
+///   `foil_…_speedup_sym_over_arcstr` isolates what interning buys.
 fn smoke() {
     // Deltas are pre-built outside the timed loops so the report tracks
     // `IvmEngine::apply` itself — the propagation hot path — rather
@@ -201,6 +208,100 @@ fn smoke() {
         &tupdates,
     );
 
+    // fig11 string variant: the same star-join shape with the shared
+    // join key `postcode` as an interned string ("PC000042"), SUM over
+    // the numeric `price` column. Symbols are interned at load (delta
+    // construction); the timed loop ships 4-byte ids.
+    //
+    // `fig11_control_sum_price` is the representation-isolated control:
+    // the *integer*-postcode instance of the identical generator config
+    // with the identical SUM(price) lifting, so
+    // fig11_string_sum_star / fig11_control_sum_price compares string
+    // keys vs integer keys with everything else equal (the headline
+    // fig11_sum_star lifts `postcode` itself, a different view-tree
+    // position for the lift).
+    let hc = housing::generate(&HousingConfig {
+        postcodes: 20_000,
+        scale: 1,
+        ..Default::default()
+    });
+    let hcq = hc.query.clone();
+    let hctree = ViewTree::build(&hcq, &hc.order);
+    let hcall: Vec<usize> = (0..hcq.relations.len()).collect();
+    let mut hclifts = LiftingMap::<f64>::new();
+    hclifts.set(
+        hcq.catalog.lookup("price").unwrap(),
+        Lifting::from_fn(|v: &Value| v.as_f64().unwrap()),
+    );
+    let hcupdates = single_tuple_deltas::<f64>(&hcq, &hc.stream(1));
+    let hctput = best_throughput(
+        || fivm_engine::IvmEngine::new(hcq.clone(), hctree.clone(), &hcall, hclifts.clone()),
+        &hcupdates,
+    );
+
+    let hs = housing::generate_string_postcodes(&HousingConfig {
+        postcodes: 20_000,
+        scale: 1,
+        ..Default::default()
+    });
+    let hsq = hs.query.clone();
+    let hstree = ViewTree::build(&hsq, &hs.order);
+    let hsall: Vec<usize> = (0..hsq.relations.len()).collect();
+    let mut hslifts = LiftingMap::<f64>::new();
+    hslifts.set(
+        hsq.catalog.lookup("price").unwrap(),
+        Lifting::from_fn(|v: &Value| v.as_f64().unwrap()),
+    );
+    let hsupdates = single_tuple_deltas::<f64>(&hsq, &hs.stream(1));
+    let hstput = best_throughput(
+        || fivm_engine::IvmEngine::new(hsq.clone(), hstree.clone(), &hsall, hslifts.clone()),
+        &hsupdates,
+    );
+
+    // fig13 string variant: the triangle over Twitter *handles*
+    // ("@user004217") — every key column an interned string.
+    let th = twitter::generate_handles(&TwitterConfig {
+        edges: 60_000,
+        nodes: 6_000,
+        ..Default::default()
+    });
+    let thq = th.query.clone();
+    let mut thtree = ViewTree::build(&thq, &th.order);
+    fivm_query::add_indicators(&mut thtree, &thq);
+    let thupdates = single_tuple_deltas::<i64>(&thq, &th.stream(1));
+    let thtput = best_throughput(
+        || fivm_engine::IvmEngine::new(thq.clone(), thtree.clone(), &[0, 1, 2], LiftingMap::new()),
+        &thupdates,
+    );
+
+    // The Arc<str> foil (fivm_bench::foil): the identical probe/merge
+    // sequence over the same key pools, instantiated once with
+    // interned u32 symbols and once with content-hashed Arc<str> keys
+    // — the representation the engine shipped before interning. Two
+    // working-set sizes: 20k keys (the fig11 shape, cache-resident)
+    // and 100k (the fig12 batch shape, cache-pressured).
+    use fivm_bench::foil::{shadow_throughput, ArcKey, SymKey};
+    let mut foil = String::new();
+    {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0x70_1F);
+        for (shape, nkeys, nupd) in [("fig11", 20_000usize, 200_000usize), ("fig12", 100_000, 200_000)] {
+            let strings: Vec<String> = (0..nkeys).map(|i| format!("PC{i:06}")).collect();
+            let sym_keys: Vec<SymKey> = (0..nkeys as u32).map(SymKey).collect();
+            let arc_keys: Vec<ArcKey> =
+                strings.iter().map(|s| ArcKey(std::sync::Arc::from(s.as_str()))).collect();
+            let updates: Vec<usize> = (0..nupd).map(|_| rng.gen_range(0..nkeys)).collect();
+            let sym_tput = shadow_throughput(&sym_keys, &updates, 3);
+            let arc_tput = shadow_throughput(&arc_keys, &updates, 3);
+            foil.push_str(&format!(
+                ",\"foil_{shape}_shape_sym\":{sym_tput:.0},\
+                 \"foil_{shape}_shape_arcstr\":{arc_tput:.0},\
+                 \"foil_{shape}_speedup_sym_over_arcstr\":{:.2}",
+                sym_tput / arc_tput.max(1e-9)
+            ));
+        }
+    }
+
     // fig12 path: the batch-size sweep as flat batches, fast path vs
     // general path (tuples/s; see the doc comment). Deltas are
     // pre-built outside the timed loop, like the single-tuple paths.
@@ -273,6 +374,22 @@ fn smoke() {
         Lifting::from_fn(|v: &Value| v.as_f64().unwrap()),
     );
 
+    // String variant of the fig12 batch sweep: the same Housing shape
+    // with string postcodes, SUM(price).
+    let sb = housing::generate_string_postcodes(&HousingConfig {
+        postcodes: 25_000,
+        scale: 4,
+        ..Default::default()
+    });
+    let sbq = sb.query.clone();
+    let sbtree = ViewTree::build(&sbq, &sb.order);
+    let sball: Vec<usize> = (0..sbq.relations.len()).collect();
+    let mut sblifts = LiftingMap::<f64>::new();
+    sblifts.set(
+        sbq.catalog.lookup("price").unwrap(),
+        Lifting::from_fn(|v: &Value| v.as_f64().unwrap()),
+    );
+
     for &bs in &[1_000usize, 10_000, 100_000] {
         for (name, q, tree, all, lifts, batches) in [
             ("housing", &hbq, &hbtree, &hball, &hblifts, hb.stream(bs)),
@@ -286,6 +403,8 @@ fn smoke() {
                 ));
             }
         }
+        let tput = batch_throughput(&sbq, &sbtree, &sball, &sblifts, &sb.stream(bs), true, 1);
+        fig12.push_str(&format!(",\"fig12_string_bs{bs}_fast\":{tput:.0}"));
     }
 
     // Parallel-propagation sweep (PR 3): the same flat batches through
@@ -312,8 +431,11 @@ fn smoke() {
     println!(
         "{{\"bench\":\"smoke\",\"unit\":\"single_tuple_updates_per_sec\",\
          \"fig11_sum_star\":{htput:.0},\"fig11_tuples\":{},\
-         \"fig13_triangle\":{ttput:.0},\"fig13_tuples\":{}\
-         {fig12}}}",
+         \"fig13_triangle\":{ttput:.0},\"fig13_tuples\":{},\
+         \"fig11_control_sum_price\":{hctput:.0},\
+         \"fig11_string_sum_star\":{hstput:.0},\
+         \"fig13_string_triangle\":{thtput:.0}\
+         {foil}{fig12}}}",
         hupdates.len(),
         tupdates.len(),
     );

@@ -1,0 +1,264 @@
+//! The **`Arc<str>` foil**: what string-keyed maintenance would cost if
+//! `Value` still carried `Str(Arc<str>)` instead of interned
+//! `Sym(u32)` symbols.
+//!
+//! The engine no longer has an `Arc<str>` variant (that is the point of
+//! the interning PR), so the foil cannot run through `IvmEngine`.
+//! Instead this module replicates the *shape* of the star-join fast
+//! path — the sequence of key operations one `apply` performs — in a
+//! minimal harness that is **generic over the key representation**:
+//!
+//! * per update, the sibling-probe pattern: hash the probe key's value
+//!   (exactly what `ProjKey::new` does per probe), probe `SIBLINGS`
+//!   open-addressing maps (hash-first compare, then key equality, as
+//!   `TupleMap` probes do), and multiply the partial payloads;
+//! * then the store-merge pattern: upsert the delta key into the
+//!   updated view's map, cloning the key only on fresh insert.
+//!
+//! Two instantiations run the identical code path:
+//!
+//! * [`SymKey`] — a `u32` id hashed as one word (`Value::Sym`'s exact
+//!   hash recipe: tag byte + one `u64`), compared by integer equality,
+//!   cloned by copy. This is what the engine ships after the PR.
+//! * [`ArcKey`] — an `Arc<str>` hashed by content (the pre-PR
+//!   `Value::Str` recipe: tag byte + bytes + terminator), compared by
+//!   string content, cloned by atomic refcount. This is what the
+//!   engine shipped before.
+//!
+//! The ratio `sym / arc` therefore isolates the representation: same
+//! harness, same probe sequence, same map layout, only the key type
+//! differs. The `sym` instantiation is also reported next to the real
+//! engine's string-variant throughput so the harness can be sanity
+//! -checked against reality (it is a *simplified* model — fewer maps
+//! and no plan dispatch — so it runs somewhat faster than the full
+//! engine at equal representation).
+
+use fivm_core::FxHasher;
+use std::hash::Hasher;
+use std::sync::Arc;
+
+/// Number of sibling views probed per update (the Housing star join
+/// probes one aggregate view per sibling relation: 5).
+const SIBLINGS: usize = 5;
+
+/// A key representation under comparison.
+pub trait KeyRep: Clone {
+    /// Hash exactly as the corresponding `Value` variant hashes into a
+    /// probe key (`ProjKey` re-hashes values per probe).
+    fn fx_hash(&self) -> u64;
+    /// Equality, as the corresponding `Value` variant compares.
+    fn eq_key(&self, other: &Self) -> bool;
+}
+
+/// Interned symbol: the post-PR representation.
+#[derive(Clone)]
+pub struct SymKey(pub u32);
+
+impl KeyRep for SymKey {
+    #[inline]
+    fn fx_hash(&self) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u8(2);
+        h.write_u64(u64::from(self.0));
+        h.finish()
+    }
+
+    #[inline]
+    fn eq_key(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+/// Shared string: the pre-PR representation (`Value::Str(Arc<str>)`),
+/// hashing and comparing content, cloning by refcount.
+#[derive(Clone)]
+pub struct ArcKey(pub Arc<str>);
+
+impl KeyRep for ArcKey {
+    #[inline]
+    fn fx_hash(&self) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u8(2);
+        h.write(self.0.as_bytes());
+        h.write_u8(0xff);
+        h.finish()
+    }
+
+    #[inline]
+    fn eq_key(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+/// A minimal open-addressing map mirroring `TupleMap`'s probe loop:
+/// power-of-two capacity, linear probing, stored hash compared before
+/// key equality, borrowed-key probes (no key construction on lookup).
+pub struct FoilMap<K> {
+    mask: usize,
+    slots: Vec<Option<(u64, K, f64)>>,
+    len: usize,
+}
+
+impl<K: KeyRep> FoilMap<K> {
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = (cap * 2).next_power_of_two().max(16);
+        FoilMap {
+            mask: cap - 1,
+            slots: (0..cap).map(|_| None).collect(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn home(&self, hash: u64) -> usize {
+        // Multiply-shift spread, as TupleMap does for short keys.
+        (hash.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
+    }
+
+    /// Borrowed probe: hash computed by the caller (per probe, like
+    /// `ProjKey`), key compared by reference.
+    #[inline]
+    pub fn get(&self, hash: u64, key: &K) -> Option<f64> {
+        let mut i = self.home(hash);
+        loop {
+            match &self.slots[i] {
+                None => return None,
+                Some((h, k, v)) => {
+                    if *h == hash && k.eq_key(key) {
+                        return Some(*v);
+                    }
+                }
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Upsert, cloning the key only on fresh insert (as `TupleKey::
+    /// materialize` is only called for new keys). Panics if the table
+    /// would exceed half full — the foil pre-sizes, it never grows.
+    #[inline]
+    pub fn upsert(&mut self, hash: u64, key: &K, delta: f64) {
+        assert!(self.len * 2 < self.slots.len(), "foil map over-full");
+        let mut i = self.home(hash);
+        loop {
+            match &mut self.slots[i] {
+                Some((h, k, v)) => {
+                    if *h == hash && k.eq_key(key) {
+                        *v += delta;
+                        return;
+                    }
+                }
+                slot @ None => {
+                    *slot = Some((hash, key.clone(), delta));
+                    self.len += 1;
+                    return;
+                }
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+}
+
+/// The star-join shadow: `SIBLINGS` pre-loaded sibling views plus the
+/// updated relation's own view, all keyed by the shared join key.
+pub struct StarShadow<K> {
+    siblings: Vec<FoilMap<K>>,
+    own: FoilMap<K>,
+    /// Root aggregate (keyed on the empty tuple in the real engine).
+    pub result: f64,
+}
+
+impl<K: KeyRep> StarShadow<K> {
+    /// Pre-load every sibling with all `keys` (every key joins, as in
+    /// the Housing star where each dimension covers every postcode).
+    pub fn load(keys: &[K]) -> Self {
+        let mut siblings = Vec::with_capacity(SIBLINGS);
+        for s in 0..SIBLINGS {
+            let mut m = FoilMap::with_capacity(keys.len());
+            for k in keys {
+                m.upsert(k.fx_hash(), k, (s + 1) as f64);
+            }
+            siblings.push(m);
+        }
+        StarShadow {
+            siblings,
+            own: FoilMap::with_capacity(keys.len()),
+            result: 0.0,
+        }
+    }
+
+    /// One single-tuple update: the per-`apply` key-op sequence of the
+    /// compiled fast path. Returns whether the update joined.
+    #[inline]
+    pub fn apply(&mut self, key: &K, lift: f64) -> bool {
+        // ProjKey::new: hash the probe key from the delta tuple.
+        let hash = key.fx_hash();
+        let mut payload = lift;
+        for s in &self.siblings {
+            match s.get(hash, key) {
+                Some(p) => payload *= p,
+                None => return false,
+            }
+        }
+        // Store merge into the updated view (owning clone on first
+        // insert only) and the root upsert.
+        self.own.upsert(hash, key, lift);
+        self.result += payload;
+        true
+    }
+}
+
+/// Throughput (updates/s) of `updates` single-tuple applies over a
+/// `keys`-sized star, best of `reps` runs. The update stream and key
+/// pool are pre-built by the caller — construction (and, for symbols,
+/// interning) happens at load, exactly as in the engine smoke runs.
+pub fn shadow_throughput<K: KeyRep>(keys: &[K], updates: &[usize], reps: usize) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let mut shadow = StarShadow::load(keys);
+        let start = std::time::Instant::now();
+        for &u in updates {
+            shadow.apply(&keys[u], 1.0);
+        }
+        let dt = start.elapsed().as_secs_f64().max(1e-9);
+        assert!(shadow.result > 0.0, "updates joined");
+        best = best.max(updates.len() as f64 / dt);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> (Vec<SymKey>, Vec<ArcKey>) {
+        (
+            (0..n as u32).map(SymKey).collect(),
+            (0..n).map(|i| ArcKey(Arc::from(format!("PC{i:06}").as_str()))).collect(),
+        )
+    }
+
+    #[test]
+    fn both_representations_compute_the_same_aggregate() {
+        let (sym, arc) = keys(100);
+        let updates: Vec<usize> = (0..500).map(|i| (i * 37) % 100).collect();
+        let mut a = StarShadow::load(&sym);
+        let mut b = StarShadow::load(&arc);
+        for &u in &updates {
+            assert!(a.apply(&sym[u], 1.0));
+            assert!(b.apply(&arc[u], 1.0));
+        }
+        assert_eq!(a.result, b.result);
+        // 5 siblings with payloads 1..=5 ⇒ each joining update adds 5!.
+        assert_eq!(a.result, updates.len() as f64 * 120.0);
+    }
+
+    #[test]
+    fn missing_keys_do_not_join() {
+        let (sym, _) = keys(10);
+        let mut shadow = StarShadow::load(&sym[..5]);
+        assert!(shadow.apply(&sym[0], 1.0));
+        assert!(!shadow.apply(&sym[9], 1.0));
+        assert_eq!(shadow.result, 120.0);
+    }
+}

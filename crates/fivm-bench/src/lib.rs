@@ -12,6 +12,8 @@
 //! re-evaluation baselines. Streams honour the paper’s one-hour-timeout
 //! protocol through a configurable [`Budget`].
 
+pub mod foil;
+
 use fivm_core::{Delta, LiftingMap, Relation, Ring, Tuple};
 use fivm_data::Batch;
 use fivm_engine::reeval::{FactorizedReeval, NaiveReeval};

@@ -2,10 +2,13 @@
 //! aliases built on it.
 //!
 //! The views maintained by F-IVM are hash maps keyed by short tuples of
-//! integers/doubles, precisely the workload where SipHash (std’s default)
-//! is needlessly slow. We reimplement the well-known Fx algorithm (the
-//! rustc hasher) here instead of depending on an external crate; the whole
-//! thing is a dozen lines.
+//! integers/doubles/interned symbols — every `Value` variant hashes as a
+//! tag byte plus one 64-bit word (string *content* is hashed exactly
+//! once, inside the symbol table at intern time, never here) — precisely
+//! the workload where SipHash (std’s default) is needlessly slow. We
+//! reimplement the well-known Fx algorithm (the rustc hasher) here
+//! instead of depending on an external crate; the whole thing is a dozen
+//! lines.
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};

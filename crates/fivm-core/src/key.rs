@@ -14,6 +14,12 @@
 //! [`crate::table::TupleMap`] accepts any `TupleKey` for lookups, which
 //! is what makes secondary-index lookups and sibling-join probes in the
 //! engine allocation-free.
+//!
+//! Probe-key construction re-hashes the projected values (see
+//! [`ProjKey::new`]), so per-probe cost tracks `Value`'s hash cost
+//! directly: with string values interned to `Value::Sym(u32)`, hashing
+//! a string-keyed probe is the same two hash ops as an integer column —
+//! no content hashing ever runs in the probe path.
 
 use crate::tuple::{hash_values, Tuple};
 use crate::value::Value;

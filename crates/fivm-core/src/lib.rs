@@ -45,7 +45,7 @@ pub use key::{hash_then_cmp, ConcatProjKey, ProjKey, TupleKey};
 pub use lifting::{Lifting, LiftingMap};
 pub use relation::Relation;
 pub use ring::{Ring, Semiring};
-pub use schema::{Catalog, Schema, VarId};
+pub use schema::{Catalog, Schema, SymbolTable, VarId};
 pub use table::TupleMap;
 pub use tuple::Tuple;
 pub use update::Delta;

@@ -107,10 +107,12 @@ impl Cofactor {
         }
     }
 
-    /// Lifting from a key [`Value`] (ints widen to doubles); panics on
-    /// non-numeric values.
+    /// Lifting from a key [`Value`]: ints widen to doubles, interned
+    /// symbols enter by their categorical code ([`Value::feature_code`]
+    /// — the same integer-code encoding the regression workloads used
+    /// before categorical columns became strings).
     pub fn lift_value(j: u32, v: &Value) -> Self {
-        Self::lift(j, v.as_f64().expect("cofactor lifting needs a numeric value"))
+        Self::lift(j, v.feature_code())
     }
 
     /// Linear aggregate for variable `i`, or 0.

@@ -1,24 +1,187 @@
-//! Variables, schemas and the name-interning catalog.
+//! Variables, schemas, the name-interning catalog — and the **symbol
+//! table** that backs [`crate::Value::Sym`].
 //!
 //! A schema is an ordered list of distinct variables (paper §2 defines
 //! schemas as sets; we keep an order so tuples have a deterministic
 //! layout). Variables are interned to dense [`VarId`]s by a [`Catalog`]
 //! owned by the query.
+//!
+//! # The symbol lifecycle
+//!
+//! String *data values* never live inside [`crate::Value`]: they are
+//! interned once, at load time, into the catalog-owned [`SymbolTable`]
+//! and carried through the engine as a dense `u32` id
+//! ([`crate::Value::Sym`]). The lifecycle is:
+//!
+//! 1. **Intern at load** — generators and loaders call
+//!    [`Catalog::intern`] / [`Catalog::sym`] while building tuples.
+//!    Interning takes `&self` (the table is internally synchronized) so
+//!    loaders do not need a mutable query. Equal strings get equal ids.
+//! 2. **Propagate as integers** — every probe, route, merge, equality,
+//!    ordering and hash in the maintenance hot path sees only the
+//!    8-byte id: no content hashing, no `Arc<str>` refcount traffic,
+//!    and nothing allocates. Worker threads in the parallel route phase
+//!    ship 8-byte symbols instead of contending on shared refcounts.
+//! 3. **Resolve at the edges** — display and tests call
+//!    [`Catalog::resolve_sym`] (or [`crate::Value::render`]) to get the
+//!    string back. Resolution is **lock-free**: an atomic length check
+//!    plus two atomic loads into append-only chunked storage; interned
+//!    strings are never moved or dropped while the table lives.
+//!
+//! Symbol ids are only meaningful relative to the table that issued
+//! them. Cloning a [`Catalog`] *shares* its symbol table (a refcount
+//! bump), so the engines, view trees and threads spawned from one query
+//! all resolve the same id space — which is also why `Sym` can order by
+//! id: within one table the order is total and deterministic, just not
+//! lexicographic (see [`crate::Value::cmp_resolved`] for the
+//! catalog-aware lexicographic comparison used by display and tests).
 
 use crate::hash::FxHashMap;
+use crate::value::Value;
 use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// log2 of the first symbol chunk's capacity (256 entries).
+const SYM_CHUNK0_LOG2: u32 = 8;
+/// Number of doubling chunks: chunk `c` holds `256 << c` symbols, so 23
+/// chunks cover ≈ 2.1 B ids — the practical `u32` range.
+const SYM_CHUNKS: usize = 23;
+
+/// Locate symbol `id`: which chunk, and which slot within it.
+#[inline]
+fn sym_locate(id: u32) -> (usize, usize) {
+    let x = (id >> SYM_CHUNK0_LOG2) + 1;
+    let chunk = x.ilog2();
+    let base = ((1u32 << chunk) - 1) << SYM_CHUNK0_LOG2;
+    (chunk as usize, (id - base) as usize)
+}
+
+/// One lazily-allocated chunk of write-once symbol slots.
+type SymChunk = OnceLock<Box<[OnceLock<Arc<str>>]>>;
+
+/// Append-only storage shared by all clones of a [`SymbolTable`].
+struct SymInner {
+    /// Doubling chunks of write-once slots. A chunk is allocated on
+    /// first use; a slot is written exactly once, under the intern
+    /// mutex, *before* `len` is raised past it — so readers that pass
+    /// the `len` gate always find the slot initialized.
+    chunks: [SymChunk; SYM_CHUNKS],
+    /// Number of published symbols (release-stored after the slot
+    /// write; acquire-loaded by readers).
+    len: AtomicU32,
+    /// Intern map: string → id. Only the intern path locks it.
+    map: Mutex<FxHashMap<Arc<str>, u32>>,
+}
+
+/// Interns string data values to dense `u32` symbol ids.
+///
+/// One table per [`Catalog`] (clones share it — see the
+/// [module docs](self) for the symbol lifecycle). [`SymbolTable::intern`]
+/// serializes writers behind a mutex; [`SymbolTable::resolve`] is
+/// lock-free and never blocks on writers.
+#[derive(Clone)]
+pub struct SymbolTable {
+    inner: Arc<SymInner>,
+}
+
+impl Default for SymbolTable {
+    fn default() -> Self {
+        SymbolTable {
+            inner: Arc::new(SymInner {
+                chunks: std::array::from_fn(|_| OnceLock::new()),
+                len: AtomicU32::new(0),
+                map: Mutex::new(FxHashMap::default()),
+            }),
+        }
+    }
+}
+
+impl SymbolTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its id (existing or fresh). Equal strings
+    /// always return equal ids; distinct strings, distinct ids. Takes
+    /// `&self`: writers serialize on an internal mutex.
+    pub fn intern(&self, s: &str) -> u32 {
+        let mut map = self.inner.map.lock().expect("symbol intern mutex");
+        if let Some(&id) = map.get(s) {
+            return id;
+        }
+        let id = self.inner.len.load(Ordering::Relaxed);
+        let (chunk_idx, slot) = sym_locate(id);
+        assert!(chunk_idx < SYM_CHUNKS, "symbol table exhausted the u32 id space");
+        let arc: Arc<str> = Arc::from(s);
+        let chunk = self.inner.chunks[chunk_idx].get_or_init(|| {
+            (0..(1usize << (SYM_CHUNK0_LOG2 + chunk_idx as u32)))
+                .map(|_| OnceLock::new())
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        });
+        chunk[slot]
+            .set(arc.clone())
+            .unwrap_or_else(|_| unreachable!("slot below len is written exactly once"));
+        // Publish: slot contents happen-before any reader that observes
+        // the new length.
+        self.inner.len.store(id + 1, Ordering::Release);
+        map.insert(arc, id);
+        id
+    }
+
+    /// The string for `id`, or `None` for an id this table never
+    /// issued. Lock-free: a length gate plus two atomic loads.
+    #[inline]
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        if id >= self.inner.len.load(Ordering::Acquire) {
+            return None;
+        }
+        let (chunk_idx, slot) = sym_locate(id);
+        let chunk = self.inner.chunks[chunk_idx].get()?;
+        chunk[slot].get().map(|a| &**a)
+    }
+
+    /// The id of an already-interned string, without interning.
+    pub fn lookup(&self, s: &str) -> Option<u32> {
+        self.inner.map.lock().expect("symbol intern mutex").get(s).copied()
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.inner.len.load(Ordering::Acquire) as usize
+    }
+
+    /// True iff no symbol has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for SymbolTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SymbolTable").field("len", &self.len()).finish()
+    }
+}
 
 /// A dense identifier for an interned variable (attribute) name.
 pub type VarId = u32;
 
-/// Interns variable names to [`VarId`]s.
+/// Interns variable names to [`VarId`]s and string data values to
+/// symbol ids.
 ///
 /// One catalog per query/database; all schemas, variable orders and view
-/// trees for that query share it.
+/// trees for that query share it. Cloning a catalog deep-copies the
+/// variable-name side (small, build-time only) but **shares** the
+/// [`SymbolTable`] — engines, threads and view trees cloned from one
+/// query resolve one id space, and symbols interned through any clone
+/// are visible to all of them.
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
     names: Vec<String>,
     index: FxHashMap<String, VarId>,
+    symbols: SymbolTable,
 }
 
 impl Catalog {
@@ -61,6 +224,31 @@ impl Catalog {
     /// True iff no variable has been interned.
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
+    }
+
+    /// Intern a string data value, returning its symbol id (see the
+    /// [module docs](self) for the symbol lifecycle). Takes `&self`:
+    /// the symbol table is internally synchronized, so loaders intern
+    /// without needing a mutable query.
+    pub fn intern(&self, s: &str) -> u32 {
+        self.symbols.intern(s)
+    }
+
+    /// Intern a string data value directly into a [`Value::Sym`].
+    pub fn sym(&self, s: &str) -> Value {
+        Value::Sym(self.intern(s))
+    }
+
+    /// Resolve a symbol id back to its string (lock-free), or `None`
+    /// for an id this catalog's table never issued.
+    #[inline]
+    pub fn resolve_sym(&self, id: u32) -> Option<&str> {
+        self.symbols.resolve(id)
+    }
+
+    /// The catalog's symbol table.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
     }
 
     /// Render a schema with variable names, e.g. `[A, C]`.
@@ -251,5 +439,68 @@ mod tests {
         let a = c.var("A");
         let b = c.var("B");
         assert_eq!(c.render(&Schema::new(vec![a, b])), "[A, B]");
+    }
+
+    #[test]
+    fn symbol_interning_roundtrip() {
+        let c = Catalog::new();
+        let a = c.intern("apple");
+        let b = c.intern("banana");
+        assert_ne!(a, b);
+        assert_eq!(c.intern("apple"), a, "re-interning is idempotent");
+        assert_eq!(c.resolve_sym(a), Some("apple"));
+        assert_eq!(c.resolve_sym(b), Some("banana"));
+        assert_eq!(c.resolve_sym(b + 1), None);
+        assert_eq!(c.symbols().lookup("banana"), Some(b));
+        assert_eq!(c.symbols().lookup("cherry"), None);
+        assert_eq!(c.symbols().len(), 2);
+    }
+
+    #[test]
+    fn catalog_clones_share_symbols() {
+        let c = Catalog::new();
+        let a = c.intern("shared");
+        let clone = c.clone();
+        assert_eq!(clone.resolve_sym(a), Some("shared"));
+        // Interning through the clone is visible to the original.
+        let b = clone.intern("later");
+        assert_eq!(c.resolve_sym(b), Some("later"));
+        assert_eq!(c.intern("later"), b);
+    }
+
+    #[test]
+    fn symbol_chunk_boundaries() {
+        // Cross the first chunk boundary (256) and read everything back.
+        let t = SymbolTable::new();
+        let ids: Vec<u32> = (0..600).map(|i| t.intern(&format!("s{i}"))).collect();
+        assert_eq!(ids, (0..600).collect::<Vec<u32>>(), "ids are dense");
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(t.resolve(*id), Some(format!("s{i}").as_str()));
+        }
+    }
+
+    #[test]
+    fn concurrent_intern_and_resolve_agree() {
+        // Writers intern overlapping string sets while readers resolve
+        // published ids; every id must round-trip to exactly one string.
+        let t = SymbolTable::new();
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let t = &t;
+                s.spawn(move || {
+                    for i in 0..500 {
+                        // Half the space overlaps across workers.
+                        let id = t.intern(&format!("k{}", (i + w * 250) % 750));
+                        let back = t.resolve(id).expect("freshly interned id resolves");
+                        assert_eq!(t.intern(back), id);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 750);
+        for id in 0..750u32 {
+            let s = t.resolve(id).expect("dense ids");
+            assert_eq!(t.lookup(s), Some(id), "bijective");
+        }
     }
 }

@@ -9,8 +9,10 @@
 //!
 //! * **Inline**: tuples of arity ≤ [`INLINE_CAP`] (= 3, covering every
 //!   view key of the paper's benchmark queries) store their values
-//!   directly in the struct. Constructing, cloning and dropping them
-//!   never touches the heap.
+//!   directly in the struct — 48 bytes of 16-byte [`Value`]s (string
+//!   values are interned symbols, so the whole inline tuple is ≤ 64
+//!   bytes; statically asserted). Constructing, cloning and dropping
+//!   them never touches the heap.
 //! * **Spilled**: wider tuples store their values in a shared
 //!   `Arc<[Value]>`; cloning is a reference-count bump.
 //!
@@ -37,6 +39,13 @@ use std::sync::Arc;
 
 /// Maximum arity stored inline (no heap allocation).
 pub const INLINE_CAP: usize = 3;
+
+/// The inline representation rides on `Value` being 16 bytes (see
+/// `value.rs`): 48 bytes of inline values + length + discriminant + the
+/// cached hash must fit one cache-line-friendly 64-byte struct. A
+/// future `Value` variant that re-inflates the union (e.g. a fat
+/// pointer) would push this past 64 and fail here at compile time.
+const _: () = assert!(std::mem::size_of::<Tuple>() <= 64);
 
 /// Fx-hash a sequence of values, resuming from a previous hash state.
 ///
@@ -257,18 +266,14 @@ impl Tuple {
     }
 
     /// Approximate in-memory footprint in bytes (for memory accounting).
+    /// Every [`Value`] is inline (symbols' string storage lives in the
+    /// catalog, shared), so only spilled value storage adds heap bytes.
     pub fn approx_bytes(&self) -> usize {
         let heap: usize = match &self.repr {
             Repr::Inline { .. } => 0,
             Repr::Spilled(v) => v.len() * std::mem::size_of::<Value>(),
         };
-        std::mem::size_of::<Tuple>()
-            + heap
-            + self
-                .values()
-                .iter()
-                .map(|v| v.approx_bytes() - std::mem::size_of::<Value>())
-                .sum::<usize>()
+        std::mem::size_of::<Tuple>() + heap
     }
 }
 
@@ -334,7 +339,9 @@ impl FromIterator<Value> for Tuple {
 }
 
 /// Convenience macro for building tuples in tests and examples:
-/// `tuple![1, 2.5, "x"]`.
+/// `tuple![1, 2.5]`. String values have no `From<&str>` conversion —
+/// intern them through the catalog (`catalog.sym("x")`) and pass the
+/// resulting [`Value`] explicitly.
 #[macro_export]
 macro_rules! tuple {
     ($($v:expr),* $(,)?) => {
@@ -357,11 +364,12 @@ mod tests {
 
     #[test]
     fn macro_and_access() {
-        let t = tuple![1, 2.5, "x"];
+        let t = Tuple::new(vec![Value::Int(1), Value::Double(2.5), Value::Sym(7)]);
         assert_eq!(t.len(), 3);
         assert_eq!(t.get(0), &Value::Int(1));
         assert_eq!(t.get(1), &Value::Double(2.5));
-        assert_eq!(t.get(2), &Value::str("x"));
+        assert_eq!(t.get(2), &Value::Sym(7));
+        assert_eq!(tuple![1, 2.5].get(0), &Value::Int(1));
     }
 
     #[test]

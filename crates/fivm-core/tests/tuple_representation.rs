@@ -9,7 +9,8 @@ use std::cmp::Ordering as CmpOrdering;
 use std::hash::{Hash, Hasher};
 
 /// Random values spanning all three key types (ints collide across a
-/// small domain; doubles include the −0.0/0.0 normalization case).
+/// small domain; doubles include the −0.0/0.0 normalization case;
+/// symbols are small interned ids, colliding across a 3-id domain).
 fn value() -> impl Strategy<Value = Value> {
     prop_oneof![
         4 => (-3i64..4).prop_map(Value::Int),
@@ -19,11 +20,7 @@ fn value() -> impl Strategy<Value = Value> {
             Just(Value::Double(1.5)),
             Just(Value::Double(-2.25)),
         ],
-        1 => prop_oneof![
-            Just(Value::str("a")),
-            Just(Value::str("bb")),
-            Just(Value::str("")),
-        ],
+        1 => (0u32..3).prop_map(Value::Sym),
     ]
 }
 

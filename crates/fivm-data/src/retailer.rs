@@ -54,8 +54,19 @@ impl Default for RetailerConfig {
     }
 }
 
-/// Private (non-join) attribute names per relation.
+/// Private (non-join) attribute names per relation. The first three are
+/// **categorical string columns** (see [`ITEM_SUBCATEGORIES`]): their
+/// values are interned symbols, not integer codes.
 pub const ITEM_ATTRS: [&str; 4] = ["subcategory", "category", "categoryCluster", "prize"];
+/// Distinct `subcategory` strings (`"subcategory#00"` …). Each
+/// subcategory maps onto one of [`ITEM_CATEGORIES`] categories, each
+/// category onto one of [`ITEM_CLUSTERS`] clusters — the snowflake
+/// hierarchy the paper's Item dimension carries.
+pub const ITEM_SUBCATEGORIES: usize = 40;
+/// Distinct `category` strings (`"category#00"` …).
+pub const ITEM_CATEGORIES: usize = 12;
+/// Distinct `categoryCluster` strings (`"categoryCluster#0"` …).
+pub const ITEM_CLUSTERS: usize = 6;
 /// Weather measurements.
 pub const WEATHER_ATTRS: [&str; 6] = ["rain", "snow", "maxtemp", "mintemp", "meanwind", "thunder"];
 /// Location attributes (area, distances to competitors, …).
@@ -171,11 +182,29 @@ pub fn generate(cfg: &RetailerConfig) -> Retailer {
             Value::Int(units),
         ]));
     }
-    // Item dimension
+    // Item dimension: the categorical columns carry real strings,
+    // interned into the query catalog once per domain value here — the
+    // engine only ever sees the 4-byte symbol ids.
+    let subcategories: Vec<Value> = (0..ITEM_SUBCATEGORIES)
+        .map(|i| q.catalog.sym(&format!("subcategory#{i:02}")))
+        .collect();
+    let categories: Vec<Value> = (0..ITEM_CATEGORIES)
+        .map(|i| q.catalog.sym(&format!("category#{i:02}")))
+        .collect();
+    let clusters: Vec<Value> = (0..ITEM_CLUSTERS)
+        .map(|i| q.catalog.sym(&format!("categoryCluster#{i}")))
+        .collect();
     for ksn in 0..cfg.items {
-        let mut vals = vec![Value::Int(ksn as i64)];
-        vals.extend((0..ITEM_ATTRS.len()).map(|a| Value::Int(rng.gen_range(0..50) + a as i64)));
-        tuples[1].push(Tuple::new(vals));
+        let sub = rng.gen_range(0..ITEM_SUBCATEGORIES);
+        let cat = sub * ITEM_CATEGORIES / ITEM_SUBCATEGORIES;
+        let cluster = cat * ITEM_CLUSTERS / ITEM_CATEGORIES;
+        tuples[1].push(Tuple::new(vec![
+            Value::Int(ksn as i64),
+            subcategories[sub].clone(),
+            categories[cat].clone(),
+            clusters[cluster].clone(),
+            Value::Int(rng.gen_range(0..500)),
+        ]));
     }
     // Weather: one row per (locn, dateid)
     for locn in 0..cfg.locations {
@@ -265,6 +294,31 @@ mod tests {
         for t in &a.tuples[0] {
             let locn = t.get(0).as_int().unwrap();
             assert!((locn as usize) < cfg.locations);
+        }
+    }
+
+    #[test]
+    fn item_categorical_columns_are_interned_strings() {
+        let r = generate(&RetailerConfig {
+            inventory_rows: 10,
+            items: 50,
+            ..Default::default()
+        });
+        for t in &r.tuples[1] {
+            // (ksn, subcategory, category, categoryCluster, prize)
+            for (pos, prefix) in [(1, "subcategory#"), (2, "category#"), (3, "categoryCluster#")] {
+                let id = t.get(pos).as_sym().expect("categorical column is a symbol");
+                let s = r.query.catalog.resolve_sym(id).expect("interned at load");
+                assert!(s.starts_with(prefix), "{s} at position {pos}");
+            }
+            assert!(t.get(4).as_int().is_some(), "prize stays numeric");
+        }
+        // The hierarchy is a function: one category per subcategory.
+        let mut sub_to_cat: std::collections::HashMap<u32, u32> = Default::default();
+        for t in &r.tuples[1] {
+            let sub = t.get(1).as_sym().unwrap();
+            let cat = t.get(2).as_sym().unwrap();
+            assert_eq!(*sub_to_cat.entry(sub).or_insert(cat), cat);
         }
     }
 

@@ -20,7 +20,13 @@
 //! F-IVM's promise is that a single-tuple update costs a handful of
 //! hash probes and ring operations per path node, so per-update setup
 //! work (cloning step vectors, schemas, and relations; recomputing
-//! projection positions) dominates if allowed on the hot path. At
+//! projection positions) dominates if allowed on the hot path. The
+//! probe and lift paths below are representation-uniform over
+//! [`fivm_core::Value`]: string key columns arrive as interned
+//! `Value::Sym(u32)` symbols (interned at load, fivm-core `schema.rs`),
+//! so a string-keyed probe hashes, compares and clones exactly like an
+//! integer one — string-heavy workloads take this same fast path at
+//! integer speed. At
 //! construction time the engine therefore *compiles* each maintenance
 //! path into a [`FastPlan`]: per step, the sibling probe positions,
 //! secondary-index ids, margin lifting positions, and the final

@@ -34,6 +34,13 @@
 //! consume in worker order), so exact rings produce bit-identical
 //! results at any worker count; see `tests/parallel_determinism.rs`.
 //!
+//! String-keyed workloads route exactly like integer ones: string
+//! values are interned to `Value::Sym(u32)` at load (fivm-core
+//! `schema.rs`), so the pairs shipped between route and merge workers
+//! carry 8-byte symbols — cloning a routed key moves no `Arc`
+//! refcounts, which keeps the fan-out free of cross-thread atomic
+//! contention on hot string values.
+//!
 //! # The pool
 //!
 //! [`WorkerPool`] keeps its threads parked between dispatches

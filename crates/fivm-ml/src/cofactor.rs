@@ -60,9 +60,7 @@ impl CofactorSpec {
             let j = j as u32;
             lifts.set(
                 v,
-                Lifting::from_fn(move |val| {
-                    DegreeRing::lift(j, val.as_f64().expect("numeric"))
-                }),
+                Lifting::from_fn(move |val| DegreeRing::lift(j, val.feature_code())),
             );
         }
         lifts
@@ -76,7 +74,7 @@ impl CofactorSpec {
         out.push(("count".to_string(), LiftingMap::new()));
         for (j, &v) in self.vars.iter().enumerate() {
             let mut lifts = LiftingMap::new();
-            lifts.set(v, Lifting::from_fn(|val| val.as_f64().expect("numeric")));
+            lifts.set(v, Lifting::from_fn(|val| val.feature_code()));
             out.push((format!("sum[{j}]"), lifts));
         }
         for (i, &vi) in self.vars.iter().enumerate() {
@@ -86,13 +84,13 @@ impl CofactorSpec {
                     lifts.set(
                         vi,
                         Lifting::from_fn(|val| {
-                            let x = val.as_f64().expect("numeric");
+                            let x = val.feature_code();
                             x * x
                         }),
                     );
                 } else {
-                    lifts.set(vi, Lifting::from_fn(|val| val.as_f64().expect("numeric")));
-                    lifts.set(vj, Lifting::from_fn(|val| val.as_f64().expect("numeric")));
+                    lifts.set(vi, Lifting::from_fn(|val| val.feature_code()));
+                    lifts.set(vj, Lifting::from_fn(|val| val.feature_code()));
                 }
                 out.push((format!("prod[{i},{j}]"), lifts));
             }

@@ -37,12 +37,36 @@ fn triangle_setup() -> (QueryDef, ViewTree, LiftingMap<i64>) {
 /// Random mixed-sign batch over a small key domain (so batches contain
 /// duplicate keys, cancellations, and join partners).
 fn random_pairs(q: &QueryDef, rel: usize, n: usize, seed: u64) -> Vec<(Tuple, i64)> {
-    let arity = q.relations[rel].schema.len();
+    random_pairs_sym(q, rel, n, seed, &[])
+}
+
+/// [`random_pairs`] with symbol-keyed columns: every column holding a
+/// variable in `sym_vars` draws an interned string (`"k00"`–`"k31"`,
+/// interned through the query catalog; the same skewed 32-value domain
+/// as the integer columns) instead of an integer.
+fn random_pairs_sym(
+    q: &QueryDef,
+    rel: usize,
+    n: usize,
+    seed: u64,
+    sym_vars: &[VarId],
+) -> Vec<(Tuple, i64)> {
+    let schema: Vec<VarId> = q.relations[rel].schema.iter().copied().collect();
+    // Pre-intern the shared 32-value domain once per call, not per row.
+    let domain: Vec<Value> = (0..32).map(|code| q.catalog.sym(&format!("k{code:02}"))).collect();
     let mut rng = SmallRng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
-            let vals: Vec<Value> = (0..arity)
-                .map(|_| Value::Int(rng.gen_range(0..32)))
+            let vals: Vec<Value> = schema
+                .iter()
+                .map(|v| {
+                    let code = rng.gen_range(0..32);
+                    if sym_vars.contains(v) {
+                        domain[code as usize].clone()
+                    } else {
+                        Value::Int(code)
+                    }
+                })
                 .collect();
             let m = *[1i64, 1, 2, -1].get(rng.gen_range(0..4)).unwrap();
             (Tuple::new(vals), m)
@@ -51,9 +75,9 @@ fn random_pairs(q: &QueryDef, rel: usize, n: usize, seed: u64) -> Vec<(Tuple, i6
 }
 
 /// Resident working set so sibling joins have partners from the start.
-fn warm(q: &QueryDef, engines: &mut [IvmEngine<i64>]) {
+fn warm(q: &QueryDef, engines: &mut [IvmEngine<i64>], sym_vars: &[VarId]) {
     for rel in 0..q.relations.len() {
-        let pairs = random_pairs(q, rel, 64, 0xBA5E + rel as u64);
+        let pairs = random_pairs_sym(q, rel, 64, 0xBA5E + rel as u64, sym_vars);
         let d = Relation::from_pairs(q.relations[rel].schema.clone(), pairs);
         for e in engines.iter_mut() {
             e.apply(rel, &Delta::Flat(d.clone()));
@@ -93,6 +117,7 @@ fn assert_all_views_agree(engines: &[IvmEngine<i64>], context: &str) -> Result<(
 /// Apply `pairs` to `rel` five ways — one batch, singles, random
 /// partition, general path, parallel fast path — and assert
 /// full-state agreement.
+#[allow(clippy::too_many_arguments)]
 fn check_equivalence(
     q: &QueryDef,
     tree: &ViewTree,
@@ -100,6 +125,7 @@ fn check_equivalence(
     rel: usize,
     pairs: &[(Tuple, i64)],
     partition_seed: u64,
+    sym_vars: &[VarId],
     context: &str,
 ) -> Result<(), TestCaseError> {
     let all: Vec<usize> = (0..q.relations.len()).collect();
@@ -111,7 +137,7 @@ fn check_equivalence(
     // step (4 workers, threshold far below the sweep sizes).
     engines[4].set_workers(4);
     engines[4].set_parallel_threshold(16);
-    warm(q, &mut engines);
+    warm(q, &mut engines, sym_vars);
     let schema = q.relations[rel].schema.clone();
 
     // Engine 0: the whole batch at once.
@@ -151,7 +177,7 @@ fn batch_sizes_straddling_thresholds_are_equivalent() {
     for n in [1usize, 31, 32, 33, 100, 1023, 1024, 1025, 2048] {
         for rel in 0..3 {
             let pairs = random_pairs(&q, rel, n, n as u64 * 31 + rel as u64);
-            check_equivalence(&q, &tree, &lifts, rel, &pairs, n as u64, &format!("star N={n} rel={rel}"))
+            check_equivalence(&q, &tree, &lifts, rel, &pairs, n as u64, &[], &format!("star N={n} rel={rel}"))
                 .unwrap_or_else(|e| panic!("{e}"));
         }
     }
@@ -164,8 +190,39 @@ fn triangle_batches_straddling_thresholds_are_equivalent() {
     let (q, tree, lifts) = triangle_setup();
     for n in [1usize, 32, 33, 64, 512, 1025] {
         let pairs = random_pairs(&q, 0, n, n as u64 * 17);
-        check_equivalence(&q, &tree, &lifts, 0, &pairs, n as u64, &format!("triangle N={n}"))
+        check_equivalence(&q, &tree, &lifts, 0, &pairs, n as u64, &[], &format!("triangle N={n}"))
             .unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+/// The threshold sweep with **string join keys**: A (the free group-by
+/// variable) and C (the inner join variable) carry interned symbols
+/// from the same skewed 32-value domain, so duplicate keys,
+/// cancellations and join partners all land on symbol equality/hash,
+/// across all five application strategies including the parallel
+/// fan-out.
+#[test]
+fn symbol_keyed_batches_straddling_thresholds_are_equivalent() {
+    let (q, tree, lifts) = star_setup();
+    let sym_vars: Vec<VarId> = ["A", "C"]
+        .iter()
+        .map(|n| q.catalog.lookup(n).unwrap())
+        .collect();
+    for n in [1usize, 32, 33, 100, 1024, 1025, 2048] {
+        for rel in 0..3 {
+            let pairs = random_pairs_sym(&q, rel, n, n as u64 * 13 + rel as u64, &sym_vars);
+            check_equivalence(
+                &q,
+                &tree,
+                &lifts,
+                rel,
+                &pairs,
+                n as u64,
+                &sym_vars,
+                &format!("sym star N={n} rel={rel}"),
+            )
+            .unwrap_or_else(|e| panic!("{e}"));
+        }
     }
 }
 
@@ -182,6 +239,6 @@ proptest! {
     ) {
         let (q, tree, lifts) = star_setup();
         let pairs = random_pairs(&q, rel, n, seed);
-        check_equivalence(&q, &tree, &lifts, rel, &pairs, partition_seed, "random star")?;
+        check_equivalence(&q, &tree, &lifts, rel, &pairs, partition_seed, &[], "random star")?;
     }
 }

@@ -21,7 +21,9 @@ mod support;
 use fivm::prelude::*;
 use proptest::prelude::*;
 use std::collections::HashMap;
-use support::{batch_specs, canon_engine_result, oracle_eval, run_schedule, OracleDb};
+use support::{
+    batch_specs, canon_engine_result, oracle_eval, run_schedule, run_schedule_sym, OracleDb,
+};
 
 /// The sequential engine plus a parallel twin (4 workers, fan-out
 /// forced onto small batches).
@@ -79,6 +81,57 @@ proptest! {
         add_indicators(&mut tree, &q);
         let mut engines = engine_pair(&q, &tree, &LiftingMap::new());
         run_schedule(&q, &mut engines, &specs, &[])?;
+    }
+
+    /// COUNT over the star join with **string join keys**: A and C —
+    /// the variables every sibling probe routes on — carry interned
+    /// symbols from skewed categorical domains, with inserts and
+    /// deletes. A broken symbol equality/hash/order would corrupt
+    /// probes, merges and canonicalization here.
+    #[test]
+    fn star_count_with_symbol_join_keys_matches_oracle(specs in batch_specs(11, 6)) {
+        let q = QueryDef::example_rst(&[]);
+        let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
+        let tree = ViewTree::build(&q, &vo);
+        let a = q.catalog.lookup("A").unwrap();
+        let c = q.catalog.lookup("C").unwrap();
+        let mut engines = engine_pair(&q, &tree, &LiftingMap::new());
+        run_schedule_sym(&q, &mut engines, &specs, &[], &[a, c])?;
+    }
+
+    /// Group-by over string keys: free variables A (symbolic) and C,
+    /// SUM(B * E) over the numeric bound columns — symbol keys flow
+    /// into the *result* relation and through `reorder`/canon.
+    #[test]
+    fn star_group_by_with_symbol_free_var_matches_oracle(specs in batch_specs(10, 6)) {
+        let q = QueryDef::example_rst(&["A", "C"]);
+        let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
+        let tree = ViewTree::build(&q, &vo);
+        let a = q.catalog.lookup("A").unwrap();
+        let b = q.catalog.lookup("B").unwrap();
+        let e = q.catalog.lookup("E").unwrap();
+        let mut lifts = LiftingMap::<i64>::new();
+        lifts.set(b, fivm::core::lifting::int_identity());
+        lifts.set(e, fivm::core::lifting::int_identity());
+        let mut engines = engine_pair(&q, &tree, &lifts);
+        run_schedule_sym(&q, &mut engines, &specs, &[b, e], &[a])?;
+    }
+
+    /// Triangle with indicators over **all-symbol** edges (the Twitter
+    /// handle shape): every key column in the cyclic query is an
+    /// interned string.
+    #[test]
+    fn triangle_with_symbol_keys_matches_oracle(specs in batch_specs(10, 6)) {
+        let q = QueryDef::triangle();
+        let vo = VariableOrder::parse("A - B - C", &q.catalog);
+        let mut tree = ViewTree::build(&q, &vo);
+        add_indicators(&mut tree, &q);
+        let vars: Vec<VarId> = ["A", "B", "C"]
+            .iter()
+            .map(|n| q.catalog.lookup(n).unwrap())
+            .collect();
+        let mut engines = engine_pair(&q, &tree, &LiftingMap::new());
+        run_schedule_sym(&q, &mut engines, &specs, &[], &vars)?;
     }
 }
 

@@ -13,6 +13,16 @@
 //! designated bound variables. No `Relation`, no `TupleMap`, no view
 //! trees — if the engine and the oracle agree across randomized
 //! schedules, they agree for independent reasons.
+//!
+//! **Symbol (string) key columns**: schedules can declare a set of
+//! variables whose values are interned strings. Generation draws from
+//! a small skewed categorical domain per variable, interns the string
+//! through the query catalog, and hands the engine a `Value::Sym` while
+//! the oracle keeps the intern id as a plain `i64` — sound because
+//! interning is injective (equal ids ⇔ equal strings; verified
+//! independently by the `fivm-core` interning proptests), so the
+//! oracle's join structure over ids is exactly the join structure over
+//! strings, while the oracle still shares no code with the engine.
 
 // Each including test binary uses a subset of these helpers.
 #![allow(dead_code)]
@@ -112,7 +122,9 @@ pub fn oracle_eval(
 }
 
 /// Canonicalize the engine's result into the oracle's shape: reorder
-/// the key columns to `q.free` order and map to sorted rows.
+/// the key columns to `q.free` order and map to sorted rows. Symbol
+/// keys canonicalize to their intern id — the same `i64` the oracle
+/// carried for them.
 pub fn canon_engine_result(q: &QueryDef, r: &Relation<i64>) -> BTreeMap<Vec<i64>, i64> {
     let r = if *r.schema() == q.free {
         r.clone()
@@ -122,7 +134,11 @@ pub fn canon_engine_result(q: &QueryDef, r: &Relation<i64>) -> BTreeMap<Vec<i64>
     r.iter()
         .map(|(t, &p)| {
             let row: Vec<i64> = (0..t.len())
-                .map(|i| t.get(i).as_int().expect("int keys"))
+                .map(|i| match t.get(i) {
+                    Value::Int(v) => *v,
+                    Value::Sym(s) => i64::from(*s),
+                    other => panic!("unexpected key value {other:?}"),
+                })
                 .collect();
             (row, p)
         })
@@ -153,12 +169,56 @@ pub fn batch_specs(max_exp: u32, batches: usize) -> impl Strategy<Value = Vec<Ba
     )
 }
 
+/// How one column of a generated relation produces key values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColKind {
+    /// Skewed integers: a small hot pool plus a 100 k cold domain.
+    Int,
+    /// Interned strings from a skewed categorical domain, identified by
+    /// the variable id so every relation sharing the variable draws
+    /// from (and interns into) the same string domain.
+    Sym(VarId),
+}
+
+/// The per-column kinds for a relation's schema: `Sym` for variables in
+/// `sym_vars`, `Int` otherwise.
+pub fn col_kinds(q: &QueryDef, rel: usize, sym_vars: &[VarId]) -> Vec<ColKind> {
+    q.relations[rel]
+        .schema
+        .iter()
+        .map(|v| {
+            if sym_vars.contains(v) {
+                ColKind::Sym(*v)
+            } else {
+                ColKind::Int
+            }
+        })
+        .collect()
+}
+
 /// Materialize a batch: skewed fresh inserts mixed with deletes of
 /// currently-live rows. The mirror db is updated as the batch is
 /// built, so oracle state and emitted pairs always agree.
 pub fn build_batch(
     spec: &BatchSpec,
     arity: usize,
+    db_rel: &mut HashMap<Vec<i64>, i64>,
+    live: &mut Vec<Vec<i64>>,
+) -> Vec<(Tuple, i64)> {
+    let kinds = vec![ColKind::Int; arity];
+    build_batch_with_cols(spec, &kinds, &Catalog::new(), db_rel, live)
+}
+
+/// [`build_batch`] with per-column kinds. Symbol columns draw a code
+/// from a small skewed categorical domain (hot 0–2, cold 0–39), intern
+/// `"v<var>:<code>"` through `catalog`, store the intern id in the
+/// oracle row and ship `Value::Sym(id)` to the engine. Skewed
+/// categorical domains mean heavy duplicate-key fan-out — the regime
+/// where a broken symbol equality would corrupt merges loudly.
+pub fn build_batch_with_cols(
+    spec: &BatchSpec,
+    kinds: &[ColKind],
+    catalog: &Catalog,
     db_rel: &mut HashMap<Vec<i64>, i64>,
     live: &mut Vec<Vec<i64>>,
 ) -> Vec<(Tuple, i64)> {
@@ -169,6 +229,30 @@ pub fn build_batch(
     // join fan-out stays measurable without making the oracle's join
     // output explode on 4096-tuple batches.
     let hot_prob = (200.0 / size as f64).min(0.5);
+    // Pre-intern each symbol column's 40-value domain once per batch
+    // (idempotent across batches) instead of per generated row.
+    let domains: Vec<Option<Vec<i64>>> = kinds
+        .iter()
+        .map(|kind| match kind {
+            ColKind::Int => None,
+            ColKind::Sym(var) => Some(
+                (0..40)
+                    .map(|code| i64::from(catalog.intern(&format!("v{var}:{code:02}"))))
+                    .collect(),
+            ),
+        })
+        .collect();
+    let to_tuple = |row: &[i64]| -> Tuple {
+        Tuple::new(
+            row.iter()
+                .zip(kinds)
+                .map(|(&v, kind)| match kind {
+                    ColKind::Int => Value::Int(v),
+                    ColKind::Sym(_) => Value::Sym(v as u32),
+                })
+                .collect(),
+        )
+    };
     let mut out = Vec::with_capacity(size);
     for _ in 0..size {
         let delete = !live.is_empty() && rng.gen_bool(0.3);
@@ -181,14 +265,25 @@ pub fn build_batch(
                 db_rel.remove(&row);
                 live.swap_remove(i);
             }
-            out.push((Tuple::new(row.iter().map(|&v| Value::Int(v)).collect()), -1));
+            out.push((to_tuple(&row), -1));
         } else {
-            let row: Vec<i64> = (0..arity)
-                .map(|_| {
-                    if rng.gen_bool(hot_prob) {
-                        rng.gen_range(0..4)
-                    } else {
-                        rng.gen_range(0..100_000)
+            let row: Vec<i64> = domains
+                .iter()
+                .map(|domain| match domain {
+                    None => {
+                        if rng.gen_bool(hot_prob) {
+                            rng.gen_range(0..4)
+                        } else {
+                            rng.gen_range(0..100_000)
+                        }
+                    }
+                    Some(ids) => {
+                        let code: usize = if rng.gen_bool(0.3) {
+                            rng.gen_range(0..3)
+                        } else {
+                            rng.gen_range(0..40)
+                        };
+                        ids[code]
                     }
                 })
                 .collect();
@@ -197,7 +292,7 @@ pub fn build_batch(
                 live.push(row.clone());
             }
             *m += 1;
-            out.push((Tuple::new(row.iter().map(|&v| Value::Int(v)).collect()), 1));
+            out.push((to_tuple(&row), 1));
         }
     }
     out
@@ -212,12 +307,33 @@ pub fn run_schedule(
     specs: &[BatchSpec],
     identity_lift_vars: &[VarId],
 ) -> Result<(), TestCaseError> {
+    run_schedule_sym(q, engines, specs, identity_lift_vars, &[])
+}
+
+/// [`run_schedule`] with a set of symbol-keyed variables: every column
+/// holding one of `sym_vars` generates interned-string values (see
+/// [`build_batch_with_cols`]). `identity_lift_vars` must stay disjoint
+/// from `sym_vars` — symbols have no numeric lifting.
+pub fn run_schedule_sym(
+    q: &QueryDef,
+    engines: &mut [IvmEngine<i64>],
+    specs: &[BatchSpec],
+    identity_lift_vars: &[VarId],
+    sym_vars: &[VarId],
+) -> Result<(), TestCaseError> {
+    assert!(
+        identity_lift_vars.iter().all(|v| !sym_vars.contains(v)),
+        "symbol variables cannot take numeric liftings"
+    );
+    let kinds: Vec<Vec<ColKind>> = (0..q.relations.len())
+        .map(|rel| col_kinds(q, rel, sym_vars))
+        .collect();
     let mut db: OracleDb = q.relations.iter().map(|_| HashMap::new()).collect();
     let mut live: Vec<Vec<Vec<i64>>> = q.relations.iter().map(|_| Vec::new()).collect();
     for (i, spec) in specs.iter().enumerate() {
         let rel = spec.rel % q.relations.len();
-        let arity = q.relations[rel].schema.len();
-        let pairs = build_batch(spec, arity, &mut db[rel], &mut live[rel]);
+        let pairs =
+            build_batch_with_cols(spec, &kinds[rel], &q.catalog, &mut db[rel], &mut live[rel]);
         let delta = Relation::from_pairs(q.relations[rel].schema.clone(), pairs);
         let expected = {
             for engine in engines.iter_mut() {

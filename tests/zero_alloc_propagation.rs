@@ -107,6 +107,7 @@ fn steady_state_propagation_allocates_nothing() {
     for batch_size in [300, 1500] {
         batch_phase(batch_size);
     }
+    symbol_phase();
 }
 
 fn single_tuple_phase() {
@@ -181,6 +182,87 @@ fn single_tuple_phase() {
         engine.apply(*rel, d);
     }
     assert_ne!(engine.result(), result_before, "toggles change the count");
+}
+
+/// Symbol-key variant: string-valued key columns, interned at "load"
+/// (delta construction — outside the counting window, where the symbol
+/// table's one-allocation-per-distinct-string cost belongs), propagate
+/// with **zero** allocations in the steady state: `Value::Sym` is a
+/// 4-byte id, so cloning, probing, hashing and merging string-keyed
+/// tuples never touches the heap or an `Arc` refcount. This is the
+/// load-time-interning claim of the symbol lifecycle (fivm-core
+/// `schema.rs`), enforced.
+fn symbol_phase() {
+    let q = QueryDef::example_rst(&[]);
+    let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
+    let tree = ViewTree::build(&q, &vo);
+    let mut engine: IvmEngine<i64> =
+        IvmEngine::new(q.clone(), tree, &[0, 1, 2], LiftingMap::new());
+
+    // All interning happens here, while deltas are pre-built.
+    let sym = |s: &str| q.catalog.sym(s);
+    let single = |rel: usize, vals: Vec<Value>, m: i64| -> Step {
+        (
+            rel,
+            Delta::Flat(Relation::from_pairs(
+                q.relations[rel].schema.clone(),
+                [(Tuple::new(vals), m)],
+            )),
+        )
+    };
+    // Resident working set: A and C columns are interned strings.
+    let base: Vec<Step> = vec![
+        single(0, vec![sym("alpha"), Value::Int(1)], 2),
+        single(0, vec![sym("beta"), Value::Int(2)], 2),
+        single(1, vec![sym("alpha"), sym("red"), Value::Int(1)], 2),
+        single(1, vec![sym("beta"), sym("blue"), Value::Int(2)], 2),
+        single(2, vec![sym("red"), Value::Int(1)], 2),
+        single(2, vec![sym("blue"), Value::Int(2)], 2),
+    ];
+    for (rel, d) in &base {
+        engine.apply(*rel, d);
+    }
+    let result_before = engine.result();
+    assert!(!result_before.is_empty(), "symbol-keyed join produced results");
+
+    // Toggles: membership churn on fresh symbol keys plus payload
+    // toggles on resident symbol keys.
+    let cycle: Vec<Step> = vec![
+        single(0, vec![sym("gamma"), Value::Int(9)], 1),
+        single(1, vec![sym("gamma"), sym("green"), Value::Int(9)], 1),
+        single(2, vec![sym("green"), Value::Int(9)], 1),
+        single(2, vec![sym("green"), Value::Int(9)], -1),
+        single(1, vec![sym("gamma"), sym("green"), Value::Int(9)], -1),
+        single(0, vec![sym("gamma"), Value::Int(9)], -1),
+        single(0, vec![sym("alpha"), Value::Int(1)], 1),
+        single(0, vec![sym("alpha"), Value::Int(1)], -1),
+        single(1, vec![sym("beta"), sym("blue"), Value::Int(2)], 1),
+        single(1, vec![sym("beta"), sym("blue"), Value::Int(2)], -1),
+    ];
+
+    for _ in 0..2 {
+        for (rel, d) in &cycle {
+            engine.apply(*rel, d);
+        }
+    }
+
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    COUNTING_THREAD.with(|c| c.set(true));
+    COUNTING.store(true, Ordering::SeqCst);
+    for _ in 0..25 {
+        for (rel, d) in &cycle {
+            engine.apply(*rel, d);
+        }
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocations = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        allocations, 0,
+        "steady-state propagation of interned string keys must not \
+         allocate (saw {allocations} allocations across 25 toggle cycles)"
+    );
+    assert_eq!(engine.result(), result_before);
 }
 
 /// Batch variant: after warm-up at `batch_size`, repeated toggle
