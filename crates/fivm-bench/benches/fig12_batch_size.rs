@@ -28,12 +28,8 @@ fn batch_size_bench(c: &mut Criterion) {
         let batches = h.stream(bs);
         group.bench_with_input(BenchmarkId::new("F-IVM", bs), &bs, |b, _| {
             b.iter(|| {
-                let mut m = FIvmMaintainer::<Cofactor>::new(
-                    q.clone(),
-                    tree.clone(),
-                    &all,
-                    spec.liftings(),
-                );
+                let mut m =
+                    FIvmMaintainer::<Cofactor>::new(q.clone(), tree.clone(), &all, spec.liftings());
                 for batch in &batches {
                     m.apply_batch(batch.relation, black_box(&batch.tuples));
                 }

@@ -30,12 +30,8 @@ fn triangle_bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("F-IVM+indicator", |b| {
         b.iter(|| {
-            let mut m = FIvmMaintainer::<Cofactor>::new(
-                q.clone(),
-                with_ind.clone(),
-                &all,
-                spec.liftings(),
-            );
+            let mut m =
+                FIvmMaintainer::<Cofactor>::new(q.clone(), with_ind.clone(), &all, spec.liftings());
             for batch in &batches {
                 m.apply_batch(batch.relation, black_box(&batch.tuples));
             }
@@ -69,12 +65,8 @@ fn triangle_bench(c: &mut Criterion) {
     }
     group.bench_function("F-IVM ONE", |b| {
         b.iter(|| {
-            let mut m = FIvmMaintainer::<Cofactor>::new(
-                q.clone(),
-                with_ind.clone(),
-                &[0],
-                spec.liftings(),
-            );
+            let mut m =
+                FIvmMaintainer::<Cofactor>::new(q.clone(), with_ind.clone(), &[0], spec.liftings());
             m.engine.load(&static_db);
             for batch in &one_batches {
                 m.apply_batch(batch.relation, black_box(&batch.tuples));

@@ -16,9 +16,7 @@ fn cq_liftings(q: &QueryDef) -> LiftingMap<RelPayload> {
     for &v in q.all_vars().iter() {
         lifts.set(
             v,
-            Lifting::from_fn(move |val: &Value| {
-                RelPayload::lift_free(Schema::new(vec![v]), val)
-            }),
+            Lifting::from_fn(move |val: &Value| RelPayload::lift_free(Schema::new(vec![v]), val)),
         );
     }
     lifts

@@ -234,7 +234,9 @@ mod tests {
     fn keys(n: usize) -> (Vec<SymKey>, Vec<ArcKey>) {
         (
             (0..n as u32).map(SymKey).collect(),
-            (0..n).map(|i| ArcKey(Arc::from(format!("PC{i:06}").as_str()))).collect(),
+            (0..n)
+                .map(|i| ArcKey(Arc::from(format!("PC{i:06}").as_str())))
+                .collect(),
         )
     }
 

@@ -183,7 +183,10 @@ impl Maintainer for ScalarFleet {
     }
 
     fn bytes(&self) -> usize {
-        self.recursive.iter().map(RecursiveIvm::approx_bytes).sum::<usize>()
+        self.recursive
+            .iter()
+            .map(RecursiveIvm::approx_bytes)
+            .sum::<usize>()
             + self
                 .first_order
                 .iter()
@@ -394,10 +397,7 @@ mod tests {
         assert!((report.fraction - 1.0).abs() < 1e-12);
         assert!(report.throughput > 0.0);
         assert_eq!(report.checkpoints.len(), 3); // quarters crossed at 0.5, 0.75, 1.0
-        assert_eq!(
-            m.engine.result().payload(&fivm_core::Tuple::unit()),
-            1i64
-        );
+        assert_eq!(m.engine.result().payload(&fivm_core::Tuple::unit()), 1i64);
     }
 
     #[test]

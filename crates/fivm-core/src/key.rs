@@ -34,9 +34,7 @@ use std::cmp::Ordering;
 /// (where it keeps the order total and deterministic).
 #[inline]
 pub fn hash_then_cmp(a: &Tuple, b: &Tuple) -> Ordering {
-    a.cached_hash()
-        .cmp(&b.cached_hash())
-        .then_with(|| a.cmp(b))
+    a.cached_hash().cmp(&b.cached_hash()).then_with(|| a.cmp(b))
 }
 
 /// A (possibly borrowed) key into a map keyed by [`Tuple`]s.

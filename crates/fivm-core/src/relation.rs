@@ -114,7 +114,11 @@ impl<R: Semiring> Relation<R> {
 
     /// Deterministically ordered contents (tests, display).
     pub fn sorted(&self) -> Vec<(Tuple, R)> {
-        let mut v: Vec<_> = self.data.iter().map(|(t, p)| (t.clone(), p.clone())).collect();
+        let mut v: Vec<_> = self
+            .data
+            .iter()
+            .map(|(t, p)| (t.clone(), p.clone()))
+            .collect();
         v.sort_by(|a, b| a.0.cmp(&b.0));
         v
     }
@@ -150,7 +154,10 @@ impl<R: Semiring> Relation<R> {
         // (non-commutative rings), so always produce left*right.
         let mut index: FxHashMap<Tuple, Vec<(&Tuple, &R)>> = FxHashMap::default();
         for (t, p) in other.data.iter() {
-            index.entry(t.project(&right_common)).or_default().push((t, p));
+            index
+                .entry(t.project(&right_common))
+                .or_default()
+                .push((t, p));
         }
         let mut out = Relation::new(out_schema);
         for (lt, lp) in self.data.iter() {
@@ -251,7 +258,11 @@ impl<R: Ring> Relation<R> {
     pub fn neg(&self) -> Relation<R> {
         Relation {
             schema: self.schema.clone(),
-            data: self.data.iter().map(|(t, p)| (t.clone(), p.neg())).collect(),
+            data: self
+                .data
+                .iter()
+                .map(|(t, p)| (t.clone(), p.neg()))
+                .collect(),
         }
     }
 }
@@ -260,10 +271,7 @@ impl<R: Semiring> PartialEq for Relation<R> {
     fn eq(&self, other: &Self) -> bool {
         self.schema == other.schema
             && self.data.len() == other.data.len()
-            && self
-                .data
-                .iter()
-                .all(|(t, p)| other.data.get(t) == Some(p))
+            && self.data.iter().all(|(t, p)| other.data.get(t) == Some(p))
     }
 }
 
@@ -378,12 +386,7 @@ mod tests {
         let (a, b, cc, d, e) = (c.var("A"), c.var("B"), c.var("C"), c.var("D"), c.var("E"));
         let r = Relation::from_pairs(
             Schema::new(vec![a, b]),
-            (1..=4).map(|i| {
-                (
-                    tuple![if i <= 2 { 1 } else { i - 1 }, i],
-                    1i64,
-                )
-            }),
+            (1..=4).map(|i| (tuple![if i <= 2 { 1 } else { i - 1 }, i], 1i64)),
         );
         // R = {(a1,b1),(a1,b2),(a2,b3),(a3,b4)}
         assert_eq!(r.len(), 4);

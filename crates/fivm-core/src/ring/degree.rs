@@ -95,10 +95,7 @@ impl PartialEq for DegreeRing {
         self.aggs
             .iter()
             .all(|(k, v)| (*v == 0.0) == (other.get(*k) == 0.0) && *v == other.get(*k))
-            && other
-                .aggs
-                .iter()
-                .all(|(k, v)| *v == self.get(*k))
+            && other.aggs.iter().all(|(k, v)| *v == self.get(*k))
     }
 }
 
@@ -209,8 +206,11 @@ mod tests {
     /// they are two encodings of the same mathematical object.
     #[test]
     fn agrees_with_cofactor_ring() {
-        let combos: Vec<Vec<(u32, f64)>> =
-            vec![vec![(0, 2.0), (1, -1.0)], vec![(2, 3.0)], vec![(1, 0.5), (3, 4.0)]];
+        let combos: Vec<Vec<(u32, f64)>> = vec![
+            vec![(0, 2.0), (1, -1.0)],
+            vec![(2, 3.0)],
+            vec![(1, 0.5), (3, 4.0)],
+        ];
         let build_deg = |v: &[(u32, f64)]| {
             let mut acc = DegreeRing::zero();
             for &(j, x) in v {
@@ -225,8 +225,12 @@ mod tests {
             }
             acc
         };
-        let d = build_deg(&combos[0]).mul(&build_deg(&combos[1])).mul(&build_deg(&combos[2]));
-        let c = build_cof(&combos[0]).mul(&build_cof(&combos[1])).mul(&build_cof(&combos[2]));
+        let d = build_deg(&combos[0])
+            .mul(&build_deg(&combos[1]))
+            .mul(&build_deg(&combos[2]));
+        let c = build_cof(&combos[0])
+            .mul(&build_cof(&combos[1]))
+            .mul(&build_cof(&combos[2]));
         assert_eq!(d.count() as i64, c.count);
         for i in 0..4u32 {
             assert!((d.sum(i) - c.sum(i)).abs() < 1e-9);

@@ -170,7 +170,10 @@ impl Semiring for RelPayload {
         // Index the right side on the common variables.
         let mut index: FxHashMap<Tuple, Vec<(&Tuple, i64)>> = FxHashMap::default();
         for (t, &m) in &other.data {
-            index.entry(t.project(&right_common)).or_default().push((t, m));
+            index
+                .entry(t.project(&right_common))
+                .or_default()
+                .push((t, m));
         }
 
         let mut data: FxHashMap<Tuple, i64> = FxHashMap::default();
@@ -198,7 +201,9 @@ impl Semiring for RelPayload {
     }
 
     fn heap_bytes(&self) -> usize {
-        self.data.keys().map(|t| t.approx_bytes() + std::mem::size_of::<i64>() + 8)
+        self.data
+            .keys()
+            .map(|t| t.approx_bytes() + std::mem::size_of::<i64>() + 8)
             .sum()
     }
 }

@@ -129,7 +129,11 @@ mod tests {
 
     #[test]
     fn triple_ring_axioms() {
-        check_ring_axioms(&(1i64, 2i64, 3i64), &(-4i64, 5i64, 0i64), &(7i64, -8i64, 9i64));
+        check_ring_axioms(
+            &(1i64, 2i64, 3i64),
+            &(-4i64, 5i64, 0i64),
+            &(7i64, -8i64, 9i64),
+        );
     }
 
     #[test]

@@ -113,7 +113,10 @@ impl SymbolTable {
         }
         let id = self.inner.len.load(Ordering::Relaxed);
         let (chunk_idx, slot) = sym_locate(id);
-        assert!(chunk_idx < SYM_CHUNKS, "symbol table exhausted the u32 id space");
+        assert!(
+            chunk_idx < SYM_CHUNKS,
+            "symbol table exhausted the u32 id space"
+        );
         let arc: Arc<str> = Arc::from(s);
         let chunk = self.inner.chunks[chunk_idx].get_or_init(|| {
             (0..(1usize << (SYM_CHUNK0_LOG2 + chunk_idx as u32)))
@@ -145,7 +148,12 @@ impl SymbolTable {
 
     /// The id of an already-interned string, without interning.
     pub fn lookup(&self, s: &str) -> Option<u32> {
-        self.inner.map.lock().expect("symbol intern mutex").get(s).copied()
+        self.inner
+            .map
+            .lock()
+            .expect("symbol intern mutex")
+            .get(s)
+            .copied()
     }
 
     /// Number of interned symbols.
@@ -161,7 +169,9 @@ impl SymbolTable {
 
 impl fmt::Debug for SymbolTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("SymbolTable").field("len", &self.len()).finish()
+        f.debug_struct("SymbolTable")
+            .field("len", &self.len())
+            .finish()
     }
 }
 

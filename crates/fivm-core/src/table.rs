@@ -409,10 +409,7 @@ impl<R> TupleMap<R> {
     /// Re-insert every live entry into a fresh slot array of `new_cap`
     /// slots, dropping tombstones.
     fn rehash(&mut self, new_cap: usize) {
-        let old = std::mem::replace(
-            &mut self.slots,
-            (0..new_cap).map(|_| Slot::Empty).collect(),
-        );
+        let old = std::mem::replace(&mut self.slots, (0..new_cap).map(|_| Slot::Empty).collect());
         self.meta.clear();
         self.meta.resize(new_cap, META_EMPTY);
         self.used = self.items;

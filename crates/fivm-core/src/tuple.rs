@@ -227,9 +227,26 @@ impl Tuple {
     /// [`INLINE_CAP`].
     pub fn project(&self, positions: &[usize]) -> Tuple {
         let vals = self.values();
+        Tuple::build(positions.len(), positions.iter().map(|&p| vals[p].clone()))
+    }
+
+    /// Project the virtual concatenation `self ⧺ other` onto
+    /// `positions` (indices `< self.len()` select from `self`, the rest
+    /// from `other`) without materializing the concatenation. This is
+    /// the factored-delta flatten step: a product of two factors lands
+    /// directly in a store's key order. Allocation-free for output
+    /// arity ≤ [`INLINE_CAP`], like [`Tuple::project`].
+    pub fn concat_project(&self, other: &Tuple, positions: &[usize]) -> Tuple {
+        let (lv, rv) = (self.values(), other.values());
         Tuple::build(
             positions.len(),
-            positions.iter().map(|&p| vals[p].clone()),
+            positions.iter().map(|&p| {
+                if p < lv.len() {
+                    lv[p].clone()
+                } else {
+                    rv[p - lv.len()].clone()
+                }
+            }),
         )
     }
 
@@ -424,6 +441,20 @@ mod tests {
         let a = tuple![1];
         let b = tuple![7, 8, 9];
         assert_eq!(a.concat_projected(&b, &[2, 0]), tuple![1, 9, 7]);
+    }
+
+    #[test]
+    fn concat_project_agrees_with_eager_concat_then_project() {
+        let a = tuple![1, 2];
+        let b = tuple![7, 8, 9];
+        for positions in [&[0usize, 2][..], &[4, 0], &[3, 1, 2], &[], &[1, 1, 4, 4, 0]] {
+            let eager = a.concat(&b).project(positions);
+            let fused = a.concat_project(&b, positions);
+            assert_eq!(fused, eager, "{positions:?}");
+            assert_eq!(fused.cached_hash(), eager.cached_hash(), "{positions:?}");
+        }
+        // unit left operand: everything selects from the right
+        assert_eq!(Tuple::unit().concat_project(&b, &[2, 0]), tuple![9, 7]);
     }
 
     #[test]

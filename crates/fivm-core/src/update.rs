@@ -27,7 +27,10 @@ pub enum Delta<R> {
 impl<R: Semiring> Delta<R> {
     /// A factored delta; validates pairwise schema disjointness.
     pub fn factored(factors: Vec<Relation<R>>) -> Self {
-        assert!(!factors.is_empty(), "factored delta needs at least one factor");
+        assert!(
+            !factors.is_empty(),
+            "factored delta needs at least one factor"
+        );
         for i in 0..factors.len() {
             for j in (i + 1)..factors.len() {
                 assert!(

@@ -167,9 +167,7 @@ impl PartialEq for Value {
     fn eq(&self, other: &Self) -> bool {
         match (self, other) {
             (Value::Int(a), Value::Int(b)) => a == b,
-            (Value::Double(a), Value::Double(b)) => {
-                Self::double_bits(*a) == Self::double_bits(*b)
-            }
+            (Value::Double(a), Value::Double(b)) => Self::double_bits(*a) == Self::double_bits(*b),
             (Value::Sym(a), Value::Sym(b)) => a == b,
             _ => false,
         }

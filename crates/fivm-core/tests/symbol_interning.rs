@@ -8,8 +8,11 @@ use proptest::prelude::*;
 /// Short strings with plenty of duplicates (small alphabet, length ≤ 4)
 /// so interning's dedup path is exercised as hard as the fresh path.
 fn word() -> impl Strategy<Value = String> {
-    proptest::collection::vec(prop_oneof![Just('a'), Just('b'), Just('c'), Just('ø')], 0..=4)
-        .prop_map(|cs| cs.into_iter().collect())
+    proptest::collection::vec(
+        prop_oneof![Just('a'), Just('b'), Just('c'), Just('ø')],
+        0..=4,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
 }
 
 proptest! {

@@ -306,7 +306,11 @@ mod tests {
         });
         for t in &r.tuples[1] {
             // (ksn, subcategory, category, categoryCluster, prize)
-            for (pos, prefix) in [(1, "subcategory#"), (2, "category#"), (3, "categoryCluster#")] {
+            for (pos, prefix) in [
+                (1, "subcategory#"),
+                (2, "category#"),
+                (3, "categoryCluster#"),
+            ] {
                 let id = t.get(pos).as_sym().expect("categorical column is a symbol");
                 let s = r.query.catalog.resolve_sym(id).expect("interned at load");
                 assert!(s.starts_with(prefix), "{s} at position {pos}");

@@ -123,8 +123,7 @@ impl<'a> FactorizedResult<'a> {
         out: &mut Vec<(Tuple, i64)>,
     ) {
         let Some((&node, rest)) = worklist.split_first() else {
-            let tuple: Option<Vec<Value>> =
-                out_vars.iter().map(|v| ctx.get(v).cloned()).collect();
+            let tuple: Option<Vec<Value>> = out_vars.iter().map(|v| ctx.get(v).cloned()).collect();
             if let Some(vals) = tuple {
                 out.push((Tuple::new(vals), mult));
             }
@@ -176,9 +175,7 @@ mod tests {
             let v = q.catalog.lookup(name).unwrap();
             lifts.set(
                 v,
-                Lifting::from_fn(move |val| {
-                    RelPayload::lift_free(Schema::new(vec![v]), val)
-                }),
+                Lifting::from_fn(move |val| RelPayload::lift_free(Schema::new(vec![v]), val)),
             );
         }
         lifts
@@ -206,13 +203,9 @@ mod tests {
         let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
         let tree = fivm_query::ViewTree::build(&q, &vo);
         let lifts = cq_liftings(&q, &["A", "B", "C", "D"]);
-        let mut engine: IvmEngine<RelPayload> =
-            IvmEngine::new(q.clone(), tree, &[0, 1, 2], lifts);
+        let mut engine: IvmEngine<RelPayload> = IvmEngine::new(q.clone(), tree, &[0, 1, 2], lifts);
         for (ri, t) in fig2_updates() {
-            let d = Relation::from_pairs(
-                q.relations[ri].schema.clone(),
-                [(t, RelPayload::one())],
-            );
+            let d = Relation::from_pairs(q.relations[ri].schema.clone(), [(t, RelPayload::one())]);
             engine.apply(ri, &Delta::Flat(d));
         }
         let root = engine.result();
@@ -237,13 +230,9 @@ mod tests {
             IvmEngine::new(q.clone(), tree.clone(), &[0, 1, 2], lifts.clone())
                 .with_payload_transform(transform)
                 .with_payload_preprojection(factorized_preprojection());
-        let mut list: IvmEngine<RelPayload> =
-            IvmEngine::new(q.clone(), tree, &[0, 1, 2], lifts);
+        let mut list: IvmEngine<RelPayload> = IvmEngine::new(q.clone(), tree, &[0, 1, 2], lifts);
         for (ri, t) in fig2_updates() {
-            let d = Relation::from_pairs(
-                q.relations[ri].schema.clone(),
-                [(t, RelPayload::one())],
-            );
+            let d = Relation::from_pairs(q.relations[ri].schema.clone(), [(t, RelPayload::one())]);
             fact.apply(ri, &Delta::Flat(d.clone()));
             list.apply(ri, &Delta::Flat(d));
         }
@@ -355,10 +344,7 @@ mod tests {
             IvmEngine::new(q.clone(), tree.clone(), &[0, 1, 2], lifts.clone());
         let mut db = Database::empty(&q);
         for (ri, t) in fig2_updates() {
-            let d = Relation::from_pairs(
-                q.relations[ri].schema.clone(),
-                [(t, RelPayload::one())],
-            );
+            let d = Relation::from_pairs(q.relations[ri].schema.clone(), [(t, RelPayload::one())]);
             engine.apply(ri, &Delta::Flat(d.clone()));
             db.relations[ri].union_in_place(&d);
         }

@@ -91,7 +91,9 @@ pub fn eval_all<R: Semiring>(
             out[id] = Some(eval_node(tree, id, &children, db, liftings));
         }
     }
-    out.into_iter().map(|r| r.expect("all nodes evaluated")).collect()
+    out.into_iter()
+        .map(|r| r.expect("all nodes evaluated"))
+        .collect()
 }
 
 /// Evaluate the tree and return the root view (the query result).

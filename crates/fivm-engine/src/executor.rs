@@ -35,8 +35,31 @@
 //! buffers, probing sibling views through borrowed [`ProjKey`]s — in
 //! the steady state (existing keys changing payload, or deletes
 //! matched by later re-inserts) it performs **zero heap allocations**.
-//! Factored deltas and payload-transform modes take the general
-//! factor-propagation path below, which shares the same stores.
+//! Payload-transform modes take the general factor-propagation path
+//! below, which shares the same stores.
+//!
+//! # The compiled factored path
+//!
+//! Factorizable updates (§5) — rank-1 deltas expressed as a product of
+//! per-variable vectors, and their rank-r sequences — are compiled the
+//! same way. The factorization **shape** of a delta (which variables
+//! travel together in one factor; [`fivm_query::FactorShape`]) fully
+//! determines the sequence of probe/⊕-pushdown operations the
+//! `Optimize` rewrite produces, so the engine compiles one
+//! [`FactoredPlan`] per (relation, shape) pair and caches it: a slot
+//! program of cross/adopt/join/fold operations over reusable factor
+//! buffers, with marginalization **fused into the join that binds the
+//! variable** (the push-⊕-into-factors rewrite, resolved to tuple
+//! positions at compile time) and store flattening emitted directly in
+//! each store's key order via [`Tuple::concat_project`]. The canonical
+//! rank-1 shape (every leaf variable its own vector factor) is
+//! precompiled at construction; other shapes compile once on first
+//! sight and are cached thereafter — repeated rank-1/rank-r updates
+//! run with zero plan interpretation and, at steady state, zero heap
+//! allocations (tests/zero_alloc_propagation.rs, factored phase).
+//! Shapes the compiler cannot express (and factored updates under a
+//! payload transform) fall back to the general path below, which
+//! remains the semantic reference.
 //!
 //! # The flat-batch path
 //!
@@ -87,12 +110,12 @@
 //! differently across counts.
 
 use crate::parallel::{self, ParRuntime};
-use crate::view::ViewStore;
+use crate::view::{SupportChange, ViewStore};
 use fivm_core::{
     Delta, DeltaAccumulator, FxHashMap, Lifting, LiftingMap, ProjKey, Relation, Ring, Schema,
     Tuple, TupleKey,
 };
-use fivm_query::delta::{delta_steps, path_from, DeltaStep};
+use fivm_query::delta::{delta_steps, path_from, DeltaStep, FactorShape};
 use fivm_query::{
     delta_path, materialization, MaterializationPlan, NodeId, NodeKind, QueryDef, RelIndex,
     ViewTree,
@@ -164,6 +187,113 @@ struct FastPlan<R> {
     steps: Vec<FastStep<R>>,
 }
 
+/// Fused marginalization (the compiled push-⊕-into-factors rewrite):
+/// lift payloads at the given tuple positions, project the tuple onto
+/// `out_pos`, and merge duplicates through the step accumulator.
+struct Fused<R> {
+    /// Non-trivial margin liftings: position of the marginalized
+    /// variable in the factor's (joined) tuple, in margin order.
+    lifts: Vec<(usize, Lifting<R>)>,
+    /// Projection dropping the marginalized positions.
+    out_pos: Box<[usize]>,
+}
+
+/// One compiled operation of a [`FactoredPlan`] over factor slots.
+/// Slots are single-assignment within a plan: every op reads its
+/// inputs by reference and overwrites its output slot, so the backing
+/// buffers are reused across updates and never alias.
+enum FactorOp<R> {
+    /// Cross product of two disjoint-schema factors (`out = a ⊗ b`,
+    /// schemas concatenate) — factor merging and store flattening.
+    Cross { a: usize, b: usize, out: usize },
+    /// Copy a sibling view in as a fresh factor: a sibling disjoint
+    /// from every delta factor contributes a Cartesian factor, kept
+    /// unexpanded until a store forces multiplication.
+    Adopt { node: NodeId, out: usize },
+    /// Join a factor with a sibling view (compiled probe), optionally
+    /// applying the fused margin lifts + projection on the fly — the
+    /// `Optimize` rewrite pushes `⊕X` into the single factor that
+    /// binds `X`, so marginalization never leaves the factor.
+    Join {
+        input: usize,
+        out: usize,
+        sib: FastSibling,
+        fused: Option<Fused<R>>,
+    },
+    /// Margin lifts + projection on a factor that joined no sibling
+    /// this step (e.g. a margin variable private to one vector factor).
+    Fold {
+        input: usize,
+        out: usize,
+        fused: Fused<R>,
+    },
+}
+
+/// Flatten-and-merge of the live factors into a node's store; factors
+/// are crossed down to at most two slots at compile time, and the
+/// final pair lands in the store's key order via
+/// [`Tuple::concat_project`] without materializing the full product
+/// tuple first.
+///
+/// Unlike the general path — which switches to the flat form after a
+/// mid-path store merge — the compiled path **keeps propagating the
+/// factors**: the store must absorb the multiplied-out product (a
+/// rank-1 outer product is a `p²` change to the view, unavoidable),
+/// but the delta itself stays a pair of vectors, so the *next* step's
+/// sibling join is a matrix-vector product instead of a `p²`-tuple
+/// flat join. This is precisely §5's "keep factors separate for as
+/// long as possible", and what preserves the `O(p² log k)` rank-1
+/// bound when every chain matrix is updatable (all internal product
+/// views materialized).
+struct FactoredStore {
+    a: usize,
+    b: Option<usize>,
+    /// Projection onto the node's key order over the virtual `a ⧺ b`.
+    out_pos: Box<[usize]>,
+}
+
+/// One compiled maintenance step of a [`FactoredPlan`].
+struct FactoredStep<R> {
+    /// The node whose delta this step computes.
+    node: NodeId,
+    /// Slots that must all be non-empty entering the step: an empty
+    /// factor means the whole product delta vanished.
+    live_in: Box<[usize]>,
+    ops: Vec<FactorOp<R>>,
+    store: Option<FactoredStore>,
+}
+
+/// A maintenance path compiled for one (relation, factorization-shape)
+/// pair — see the module docs. Input factors land in slots
+/// `0..shape_len`; every other slot is written by an op before any op
+/// reads it.
+struct FactoredPlan<R> {
+    /// The relation's leaf node.
+    entry: NodeId,
+    /// Number of input factors (the shape's length).
+    shape_len: usize,
+    /// Total slots the plan addresses (scratch is sized to this).
+    n_slots: usize,
+    /// Flatten-and-merge of the update into the leaf store, collecting
+    /// support transitions for indicator maintenance; present iff the
+    /// leaf is materialized. `ops` holds only `Cross` (reading the
+    /// input slots non-destructively — they stay live for propagation).
+    entry_store: Option<FactoredEntry<R>>,
+    steps: Vec<FactoredStep<R>>,
+}
+
+/// The entry flatten of a [`FactoredPlan`] (leaf store maintenance).
+struct FactoredEntry<R> {
+    ops: Vec<FactorOp<R>>,
+    a: usize,
+    b: Option<usize>,
+    /// Projection onto the leaf's key order over the virtual `a ⧺ b`.
+    out_pos: Box<[usize]>,
+}
+
+/// One relation's cached factored plans, probed linearly by shape.
+type ShapeCache<R> = Vec<(FactorShape, Option<Arc<FactoredPlan<R>>>)>;
+
 /// Reusable per-update buffers; capacity warms up and is never
 /// released, which is what makes the steady state allocation-free.
 struct Scratch<R> {
@@ -177,6 +307,9 @@ struct Scratch<R> {
     /// Size-adaptive per-step duplicate merge (linear / sort-merge /
     /// hash — see the module docs).
     acc: DeltaAccumulator<R>,
+    /// Factor slot buffers for the compiled factored path (grow-only,
+    /// shared across every cached [`FactoredPlan`]).
+    slots: Vec<Vec<(Tuple, R)>>,
 }
 
 impl<R: Ring> Default for Scratch<R> {
@@ -186,10 +319,8 @@ impl<R: Ring> Default for Scratch<R> {
             b: Vec::new(),
             transitions: Vec::new(),
             ind: Vec::new(),
-            acc: DeltaAccumulator::with_thresholds(
-                FAST_PATH_LINEAR_MERGE,
-                FAST_PATH_HASH_MERGE,
-            ),
+            acc: DeltaAccumulator::with_thresholds(FAST_PATH_LINEAR_MERGE, FAST_PATH_HASH_MERGE),
+            slots: Vec::new(),
         }
     }
 }
@@ -219,6 +350,12 @@ pub struct IvmEngine<R: Ring> {
     rel_steps: Vec<Option<Arc<Vec<DeltaStep>>>>,
     /// Compiled fast plans per updatable relation.
     rel_fast: Vec<Option<Arc<FastPlan<R>>>>,
+    /// Compiled factored plans per relation, keyed by factorization
+    /// shape. A handful of shapes per relation at most, so the probe
+    /// is an allocation-free linear scan; `None` caches "this shape
+    /// does not compile" so unsupported shapes pay one probe, not a
+    /// recompile, per update.
+    rel_factored: Vec<ShapeCache<R>>,
     /// Indicator nodes per relation (precomputed: `indicators_of`
     /// allocates, and `apply` is the hot path).
     rel_indicators: Vec<Arc<[NodeId]>>,
@@ -316,6 +453,7 @@ impl<R: Ring> IvmEngine<R> {
             views,
             rel_steps,
             rel_fast: Vec::new(),
+            rel_factored: Vec::new(),
             rel_indicators,
             ind_plans: FxHashMap::default(),
             ind_counts,
@@ -364,15 +502,34 @@ impl<R: Ring> IvmEngine<R> {
                 },
             );
         }
+        // Precompile the canonical rank-1 shape — every leaf variable
+        // its own vector factor — per updatable relation, so
+        // fig6-style factorizable updates never touch the lazy-compile
+        // path; other shapes compile once on first sight (see
+        // `factored_plan`).
+        self.rel_factored = vec![Vec::new(); self.query.relations.len()];
+        for r in 0..self.query.relations.len() {
+            if self.rel_steps[r].is_none() {
+                continue;
+            }
+            let Some(leaf) = self.tree.leaf_of(r) else {
+                continue;
+            };
+            let shape = FactorShape::new(
+                self.tree.nodes[leaf]
+                    .keys
+                    .iter()
+                    .map(|&v| Schema::new(vec![v]))
+                    .collect::<Vec<_>>(),
+            );
+            let plan = self.compile_factored(r, shape.schemas()).map(Arc::new);
+            self.rel_factored[r].push((shape, plan));
+        }
     }
 
     /// Compile one maintenance path, or `None` if its shape is not
     /// fast-path-eligible (schema mismatch along the way).
-    fn compile_path(
-        &mut self,
-        entry: NodeId,
-        steps: &Arc<Vec<DeltaStep>>,
-    ) -> Option<FastPlan<R>> {
+    fn compile_path(&mut self, entry: NodeId, steps: &Arc<Vec<DeltaStep>>) -> Option<FastPlan<R>> {
         let entry_schema = self.tree.nodes[entry].keys.clone();
         let mut cur = entry_schema.clone();
         let mut compiled = Vec::with_capacity(steps.len());
@@ -443,6 +600,241 @@ impl<R: Ring> IvmEngine<R> {
         })
     }
 
+    /// Compile the maintenance path of `rel` for one factorization
+    /// shape (see the module docs), or `None` if the shape does not
+    /// partition the leaf schema or the path's geometry defeats the
+    /// compiler. Runs the general path's factor algebra **symbolically
+    /// over schemas**: the factor list is simulated step by step and
+    /// every probe position, cross order, fused margin and store
+    /// flatten is resolved to fixed slot indices and tuple positions.
+    fn compile_factored(&mut self, rel: RelIndex, shape: &[Schema]) -> Option<FactoredPlan<R>> {
+        let steps = self.rel_steps[rel].clone()?;
+        let entry = self.tree.leaf_of(rel)?;
+        let leaf_keys = self.tree.nodes[entry].keys.clone();
+        if !FactorShape::new(shape.to_vec()).partitions(&leaf_keys) {
+            return None;
+        }
+        let mut next_slot = shape.len();
+        let alloc_slot = |next_slot: &mut usize| {
+            let s = *next_slot;
+            *next_slot += 1;
+            s
+        };
+        // The live factor list: (slot, schema), mirrored exactly at
+        // runtime by the slot buffers.
+        let mut factors: Vec<(usize, Schema)> = shape.iter().cloned().enumerate().collect();
+
+        // Leaf store maintenance (also feeds indicator support
+        // transitions): flatten the input factors into leaf-key order.
+        // The crossing reads the input slots non-destructively, so the
+        // factors stay live for propagation.
+        let entry_store = if self.plan.store[entry] {
+            let mut ops = Vec::new();
+            let (a, b, out_pos) =
+                Self::compile_flatten(factors.clone(), &leaf_keys, &mut next_slot, &mut ops)?;
+            Some(FactoredEntry { ops, a, b, out_pos })
+        } else {
+            None
+        };
+
+        let mut compiled = Vec::with_capacity(steps.len());
+        for step in steps.iter() {
+            let live_in: Box<[usize]> = factors.iter().map(|&(s, _)| s).collect();
+            let mut ops: Vec<FactorOp<R>> = Vec::new();
+            // Index (into `ops`) of the op that produced each live
+            // factor this step — margins fuse into a producing `Join`.
+            let mut produced: Vec<Option<usize>> = vec![None; factors.len()];
+
+            for &s in &step.siblings {
+                let sib_keys = self.tree.nodes[s].keys.clone();
+                let sharing: Vec<usize> = factors
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (_, sch))| !sch.disjoint(&sib_keys))
+                    .map(|(i, _)| i)
+                    .collect();
+                if sharing.is_empty() {
+                    // Cartesian contribution: the sibling becomes its
+                    // own factor, unexpanded.
+                    self.views[s].as_ref()?;
+                    let out = alloc_slot(&mut next_slot);
+                    ops.push(FactorOp::Adopt { node: s, out });
+                    factors.push((out, sib_keys));
+                    produced.push(Some(ops.len() - 1));
+                    continue;
+                }
+                // Merge the sharing factors (disjoint schemas ⇒ cross
+                // products), left to right.
+                let (mut cur_slot, mut cur_schema) = factors[sharing[0]].clone();
+                for &i in &sharing[1..] {
+                    let (os, osch) = factors[i].clone();
+                    let out = alloc_slot(&mut next_slot);
+                    ops.push(FactorOp::Cross {
+                        a: cur_slot,
+                        b: os,
+                        out,
+                    });
+                    cur_schema = cur_schema.union(&osch);
+                    cur_slot = out;
+                }
+                for &i in sharing.iter().rev() {
+                    factors.remove(i);
+                    produced.remove(i);
+                }
+                // Compile the probe exactly like the flat path.
+                let common = cur_schema.intersect(&sib_keys);
+                let sib = if common.len() == sib_keys.len() {
+                    let probe_pos = cur_schema.positions_of(sib_keys.vars())?;
+                    FastSibling {
+                        node: s,
+                        full_key: true,
+                        probe_pos: probe_pos.into(),
+                        rest_pos: Box::from([]),
+                        index_id: usize::MAX,
+                    }
+                } else {
+                    let index_positions = sib_keys.positions_of(common.vars())?;
+                    let probe_pos = cur_schema.positions_of(common.vars())?;
+                    let rest_vars = sib_keys.minus(&common);
+                    let rest_pos = sib_keys.positions_of(rest_vars.vars())?;
+                    let index_id = self.views[s]
+                        .as_mut()?
+                        .ensure_index_on_positions(index_positions);
+                    cur_schema = cur_schema.union(&sib_keys);
+                    FastSibling {
+                        node: s,
+                        full_key: false,
+                        probe_pos: probe_pos.into(),
+                        rest_pos: rest_pos.into(),
+                        index_id,
+                    }
+                };
+                let out = alloc_slot(&mut next_slot);
+                ops.push(FactorOp::Join {
+                    input: cur_slot,
+                    out,
+                    sib,
+                    fused: None,
+                });
+                factors.push((out, cur_schema));
+                produced.push(Some(ops.len() - 1));
+            }
+
+            // Margins, grouped by the single factor binding each
+            // variable; fused into that factor's producing join when
+            // there is one (the push-⊕ rewrite), a standalone fold
+            // otherwise.
+            let mut margin_of: Vec<Vec<fivm_core::VarId>> = vec![Vec::new(); factors.len()];
+            for &mv in &step.margin {
+                let idx = factors.iter().position(|(_, sch)| sch.contains(mv))?;
+                margin_of[idx].push(mv);
+            }
+            for (idx, mvs) in margin_of.iter().enumerate() {
+                if mvs.is_empty() {
+                    continue;
+                }
+                let (slot, schema) = factors[idx].clone();
+                let mut lifts = Vec::new();
+                for &mv in mvs {
+                    let pos = schema.position(mv)?;
+                    let lifting = self.liftings.get(mv);
+                    if !lifting.is_one() {
+                        lifts.push((pos, lifting));
+                    }
+                }
+                let mut out_schema = schema.clone();
+                for &mv in mvs {
+                    out_schema = out_schema.without(mv);
+                }
+                let out_pos: Box<[usize]> = schema.positions_of(out_schema.vars())?.into();
+                let fused = Fused { lifts, out_pos };
+                let mut fused = Some(fused);
+                if let Some(op_idx) = produced[idx] {
+                    if let FactorOp::Join { fused: f, .. } = &mut ops[op_idx] {
+                        if f.is_none() {
+                            *f = fused.take();
+                            factors[idx].1 = out_schema.clone();
+                        }
+                    }
+                }
+                if let Some(fused) = fused {
+                    let out = alloc_slot(&mut next_slot);
+                    ops.push(FactorOp::Fold {
+                        input: slot,
+                        out,
+                        fused,
+                    });
+                    factors[idx] = (out, out_schema);
+                    produced[idx] = Some(ops.len() - 1);
+                }
+            }
+
+            // Sanity: the live schemas must partition the node's keys.
+            let node_keys = self.tree.nodes[step.node].keys.clone();
+            {
+                let mut union = Schema::empty();
+                for (_, sch) in &factors {
+                    if !union.disjoint(sch) {
+                        return None;
+                    }
+                    union = union.union(sch);
+                }
+                if union.len() != node_keys.len() || !union.subset_of(&node_keys) {
+                    return None;
+                }
+            }
+
+            let store = if self.plan.store[step.node] {
+                let (a, b, out_pos) =
+                    Self::compile_flatten(factors.clone(), &node_keys, &mut next_slot, &mut ops)?;
+                Some(FactoredStore { a, b, out_pos })
+            } else {
+                None
+            };
+            compiled.push(FactoredStep {
+                node: step.node,
+                live_in,
+                ops,
+                store,
+            });
+        }
+        Some(FactoredPlan {
+            entry,
+            shape_len: shape.len(),
+            n_slots: next_slot,
+            entry_store,
+            steps: compiled,
+        })
+    }
+
+    /// Reduce a live factor list to at most two slots by cross
+    /// products and compute the projection of their virtual
+    /// concatenation onto `keys` — the compile-time form of the
+    /// general path's `flatten_to`.
+    fn compile_flatten(
+        mut live: Vec<(usize, Schema)>,
+        keys: &Schema,
+        next_slot: &mut usize,
+        ops: &mut Vec<FactorOp<R>>,
+    ) -> Option<(usize, Option<usize>, Box<[usize]>)> {
+        while live.len() > 2 {
+            let (sa, xa) = live.remove(0);
+            let (sb, xb) = live.remove(0);
+            let out = *next_slot;
+            *next_slot += 1;
+            ops.push(FactorOp::Cross { a: sa, b: sb, out });
+            live.insert(0, (out, xa.union(&xb)));
+        }
+        match live.as_slice() {
+            [(a, sa)] => Some((*a, None, sa.positions_of(keys.vars())?.into())),
+            [(a, sa), (b, sb)] => {
+                let cat = sa.union(sb);
+                Some((*a, Some(*b), cat.positions_of(keys.vars())?.into()))
+            }
+            _ => None,
+        }
+    }
+
     /// Install a payload transform (factorized-payload mode, §6.3).
     /// Must be set before any data is loaded; incompatible with factored
     /// (multi-factor) updates.
@@ -456,7 +848,10 @@ impl<R: Ring> IvmEngine<R> {
     /// sound together with a payload transform that discards all child
     /// payload variables, as the factorized mode does.
     pub fn with_payload_preprojection(mut self, f: PayloadPreprojection<R>) -> Self {
-        assert_eq!(self.updates_applied, 0, "set the projection before updating");
+        assert_eq!(
+            self.updates_applied, 0,
+            "set the projection before updating"
+        );
         self.payload_preproject = Some(f);
         self
     }
@@ -551,21 +946,48 @@ impl<R: Ring> IvmEngine<R> {
             self.rel_steps[rel].is_some(),
             "relation {rel} is not updatable in this engine"
         );
-        if let Delta::Flat(r) = delta {
-            if self.fast_path
-                && self.payload_transform.is_none()
-                && self.payload_preproject.is_none()
-            {
-                if let Some(fast) = &self.rel_fast[rel] {
-                    if *r.schema() == fast.entry_schema {
-                        let fast = fast.clone();
-                        self.apply_fast(rel, r, &fast);
+        if self.fast_path && self.payload_transform.is_none() && self.payload_preproject.is_none() {
+            match delta {
+                Delta::Flat(r) => {
+                    if let Some(fast) = &self.rel_fast[rel] {
+                        if *r.schema() == fast.entry_schema {
+                            let fast = fast.clone();
+                            self.apply_fast(rel, r, &fast);
+                            return;
+                        }
+                    }
+                }
+                Delta::Factored(fs) => {
+                    if let Some(plan) = self.factored_plan(rel, fs) {
+                        self.apply_factored(rel, fs, &plan);
                         return;
                     }
                 }
             }
         }
         self.apply_general(rel, delta);
+    }
+
+    /// The cached compiled plan for this delta's factorization shape,
+    /// compiling it on first sight. The cache probe is an
+    /// allocation-free linear scan over the handful of shapes a
+    /// relation ever sees; a shape that fails to compile is cached as
+    /// `None` so it routes to the general path at probe cost.
+    fn factored_plan(
+        &mut self,
+        rel: RelIndex,
+        factors: &[Relation<R>],
+    ) -> Option<Arc<FactoredPlan<R>>> {
+        if let Some((_, plan)) = self.rel_factored[rel]
+            .iter()
+            .find(|(shape, _)| shape.matches(factors))
+        {
+            return plan.clone();
+        }
+        let shape = FactorShape::of(factors);
+        let plan = self.compile_factored(rel, shape.schemas()).map(Arc::new);
+        self.rel_factored[rel].push((shape, plan.clone()));
+        plan
     }
 
     /// Enable or disable the compiled fast path. Disabling routes every
@@ -604,6 +1026,28 @@ impl<R: Ring> IvmEngine<R> {
         self.par_threshold = tuples.max(1);
     }
 
+    /// Number of factorization shapes cached for `rel`'s compiled
+    /// factored path (compiled or cached-as-uncompilable) — a
+    /// diagnostic for tests: a steady stream of same-shape rank-1
+    /// updates must not grow this.
+    pub fn factored_shapes_cached(&self, rel: RelIndex) -> usize {
+        self.rel_factored.get(rel).map_or(0, Vec::len)
+    }
+
+    /// Whether the canonical rank-1 shape (every leaf variable its own
+    /// vector factor) compiled for `rel` — precompiled at construction.
+    pub fn has_rank1_plan(&self, rel: RelIndex) -> bool {
+        let Some(leaf) = self.tree.leaf_of(rel) else {
+            return false;
+        };
+        let n = self.tree.nodes[leaf].keys.len();
+        self.rel_factored.get(rel).is_some_and(|shapes| {
+            shapes
+                .iter()
+                .any(|(s, plan)| s.len() == n && plan.is_some())
+        })
+    }
+
     /// Worst-case probe-chain length across all materialized views'
     /// primary maps and secondary indexes — a table-health diagnostic
     /// (the retain-compaction and sweep policies keep it bounded under
@@ -638,15 +1082,22 @@ impl<R: Ring> IvmEngine<R> {
             .a
             .extend(delta.iter().map(|(t, p)| (t.clone(), p.clone())));
         self.run_fast_steps(fast, &mut scratch);
+        self.run_indicators(&indicators, &mut scratch);
+        self.scratch = scratch;
+    }
 
-        // Indicator projections of `rel`, sequenced after (Appendix B).
+    /// Maintain and propagate the indicator projections of a relation
+    /// from the leaf support transitions in `scratch.transitions`
+    /// (Appendix B, sequenced after the relation's own delta) — shared
+    /// by the compiled flat and factored paths.
+    fn run_indicators(&mut self, indicators: &Arc<[NodeId]>, scratch: &mut Scratch<R>) {
         for &ind in indicators.iter() {
             let plan = &self.ind_plans[&ind];
             let positions = plan.positions.clone();
             let fast_ind = plan.fast.clone();
             let general_steps = plan.steps.clone();
             let proj = plan.proj.clone();
-            self.indicator_delta_into(ind, &positions, &mut scratch);
+            self.indicator_delta_into(ind, &positions, scratch);
             if scratch.ind.is_empty() {
                 continue;
             }
@@ -659,16 +1110,14 @@ impl<R: Ring> IvmEngine<R> {
                 Some(f) => {
                     scratch.a.clear();
                     scratch.a.append(&mut scratch.ind);
-                    self.run_fast_steps(f, &mut scratch);
+                    self.run_fast_steps(f, scratch);
                 }
                 None => {
-                    let delta_ind =
-                        Relation::from_pairs(proj, scratch.ind.drain(..));
+                    let delta_ind = Relation::from_pairs(proj, scratch.ind.drain(..));
                     self.propagate(&general_steps, vec![delta_ind]);
                 }
             }
         }
-        self.scratch = scratch;
     }
 
     /// Walk compiled steps over the ping-pong buffers, fanning
@@ -694,9 +1143,7 @@ impl<R: Ring> IvmEngine<R> {
                     // store already dwarfs the delta (mostly payload
                     // updates then; a blanket reserve would force a
                     // pointless rehash-and-double of a large table).
-                    if scratch.a.len() > FAST_PATH_HASH_MERGE
-                        && store.len() < scratch.a.len() * 8
-                    {
+                    if scratch.a.len() > FAST_PATH_HASH_MERGE && store.len() < scratch.a.len() * 8 {
                         store.reserve(scratch.a.len());
                     }
                     for (t, p) in &scratch.a {
@@ -925,14 +1372,229 @@ impl<R: Ring> IvmEngine<R> {
         std::mem::swap(&mut scratch.a, &mut scratch.b);
     }
 
+    // ------------------------------------------------------------------
+    // Compiled factored path
+    // ------------------------------------------------------------------
+
+    /// Apply a factored delta through its compiled plan (module docs):
+    /// copy the input factors into their slots, maintain the leaf
+    /// store, run the slot program, then the indicator projections.
+    /// Steady-state allocation-free for factor/key arities within the
+    /// inline-tuple width, like the flat path.
+    fn apply_factored(&mut self, rel: RelIndex, factors: &[Relation<R>], plan: &FactoredPlan<R>) {
+        debug_assert_eq!(factors.len(), plan.shape_len);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.transitions.clear();
+        if scratch.slots.len() < plan.n_slots {
+            scratch.slots.resize_with(plan.n_slots, Vec::new);
+        }
+        for (i, f) in factors.iter().enumerate() {
+            let mut buf = std::mem::take(&mut scratch.slots[i]);
+            buf.clear();
+            buf.extend(f.iter().map(|(t, p)| (t.clone(), p.clone())));
+            scratch.slots[i] = buf;
+        }
+
+        let indicators = self.rel_indicators[rel].clone();
+        if let Some(es) = &plan.entry_store {
+            for op in &es.ops {
+                self.run_factor_op(op, &mut scratch);
+            }
+            let store = self.views[plan.entry].as_mut().expect("entry stored");
+            let Scratch {
+                slots, transitions, ..
+            } = &mut scratch;
+            let mut merge =
+                |key: Tuple, p: R, store: &mut ViewStore<R>| match store.insert_ref(&key, p) {
+                    SupportChange::Appeared => transitions.push((key, 1)),
+                    SupportChange::Disappeared => transitions.push((key, -1)),
+                    SupportChange::Unchanged => {}
+                };
+            match es.b {
+                None => {
+                    for (t, p) in &slots[es.a] {
+                        merge(t.project(&es.out_pos), p.clone(), store);
+                    }
+                }
+                Some(b) => {
+                    for (ta, pa) in &slots[es.a] {
+                        for (tb, pb) in &slots[b] {
+                            let p = pa.mul(pb);
+                            if !p.is_zero() {
+                                merge(ta.concat_project(tb, &es.out_pos), p, store);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        self.run_factored_steps(plan, &mut scratch);
+        self.run_indicators(&indicators, &mut scratch);
+        self.scratch = scratch;
+    }
+
+    /// Walk the compiled factored steps over the slot buffers.
+    fn run_factored_steps(&mut self, plan: &FactoredPlan<R>, scratch: &mut Scratch<R>) {
+        for step in &plan.steps {
+            if step.live_in.iter().any(|&s| scratch.slots[s].is_empty()) {
+                return; // an empty factor ⇒ the product delta vanished
+            }
+            for op in &step.ops {
+                self.run_factor_op(op, scratch);
+            }
+            if let Some(st) = &step.store {
+                let store = self.views[step.node].as_mut().expect("stored node");
+                match st.b {
+                    None => {
+                        for (t, p) in &scratch.slots[st.a] {
+                            store.insert_ref(&t.project(&st.out_pos), p.clone());
+                        }
+                    }
+                    Some(b) => {
+                        for (ta, pa) in &scratch.slots[st.a] {
+                            for (tb, pb) in &scratch.slots[b] {
+                                let p = pa.mul(pb);
+                                if !p.is_zero() {
+                                    store.insert_ref(&ta.concat_project(tb, &st.out_pos), p);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Execute one slot op (see [`FactorOp`]). Inputs are read by
+    /// reference; the output buffer is taken, cleared, filled and put
+    /// back, so warmed capacity survives across updates.
+    fn run_factor_op(&mut self, op: &FactorOp<R>, scratch: &mut Scratch<R>) {
+        match op {
+            FactorOp::Cross { a, b, out } => {
+                let mut buf = std::mem::take(&mut scratch.slots[*out]);
+                buf.clear();
+                for (ta, pa) in &scratch.slots[*a] {
+                    for (tb, pb) in &scratch.slots[*b] {
+                        let p = pa.mul(pb);
+                        if !p.is_zero() {
+                            buf.push((ta.concat(tb), p));
+                        }
+                    }
+                }
+                scratch.slots[*out] = buf;
+            }
+            FactorOp::Adopt { node, out } => {
+                let store = self.views[*node]
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("sibling view {node} not materialized"));
+                let mut buf = std::mem::take(&mut scratch.slots[*out]);
+                buf.clear();
+                buf.extend(store.iter().map(|(t, p)| (t.clone(), p.clone())));
+                scratch.slots[*out] = buf;
+            }
+            FactorOp::Join {
+                input,
+                out,
+                sib,
+                fused,
+            } => {
+                let store = self.views[sib.node]
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("sibling view {} not materialized", sib.node));
+                let mut buf = std::mem::take(&mut scratch.slots[*out]);
+                buf.clear();
+                let Scratch { slots, acc, .. } = &mut *scratch;
+                let input_buf = &slots[*input];
+                match fused {
+                    None => {
+                        if sib.full_key {
+                            for (t, p) in input_buf {
+                                let probe = ProjKey::new(t, &sib.probe_pos);
+                                if let Some(sp) = store.get(&probe) {
+                                    let prod = p.mul(sp);
+                                    if !prod.is_zero() {
+                                        buf.push((t.clone(), prod));
+                                    }
+                                }
+                            }
+                        } else {
+                            for (t, p) in input_buf {
+                                let probe = ProjKey::new(t, &sib.probe_pos);
+                                for full in store.probe(sib.index_id, &probe) {
+                                    let sp = store.get(full).expect("indexed keys are live");
+                                    let prod = p.mul(sp);
+                                    if !prod.is_zero() {
+                                        buf.push((t.concat_projected(full, &sib.rest_pos), prod));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Some(f) => {
+                        // The fused ⊕: lift, project, merge — the
+                        // joined pairs never materialize as a factor.
+                        debug_assert!(acc.is_empty());
+                        if sib.full_key {
+                            for (t, p) in input_buf {
+                                let probe = ProjKey::new(t, &sib.probe_pos);
+                                if let Some(sp) = store.get(&probe) {
+                                    let mut prod = p.mul(sp);
+                                    for (pos, lifting) in &f.lifts {
+                                        prod = prod.mul(&lifting.lift(t.get(*pos)));
+                                    }
+                                    if !prod.is_zero() {
+                                        acc.push(&ProjKey::new(t, &f.out_pos), prod);
+                                    }
+                                }
+                            }
+                        } else {
+                            for (t, p) in input_buf {
+                                let probe = ProjKey::new(t, &sib.probe_pos);
+                                for full in store.probe(sib.index_id, &probe) {
+                                    let sp = store.get(full).expect("indexed keys are live");
+                                    let mut prod = p.mul(sp);
+                                    if prod.is_zero() {
+                                        continue;
+                                    }
+                                    let joined = t.concat_projected(full, &sib.rest_pos);
+                                    for (pos, lifting) in &f.lifts {
+                                        prod = prod.mul(&lifting.lift(joined.get(*pos)));
+                                    }
+                                    if !prod.is_zero() {
+                                        acc.push(&ProjKey::new(&joined, &f.out_pos), prod);
+                                    }
+                                }
+                            }
+                        }
+                        acc.drain_into(&mut buf);
+                    }
+                }
+                scratch.slots[*out] = buf;
+            }
+            FactorOp::Fold { input, out, fused } => {
+                let mut buf = std::mem::take(&mut scratch.slots[*out]);
+                buf.clear();
+                let Scratch { slots, acc, .. } = &mut *scratch;
+                debug_assert!(acc.is_empty());
+                for (t, p) in &slots[*input] {
+                    let mut prod = p.clone();
+                    for (pos, lifting) in &fused.lifts {
+                        prod = prod.mul(&lifting.lift(t.get(*pos)));
+                    }
+                    if !prod.is_zero() {
+                        acc.push(&ProjKey::new(t, &fused.out_pos), prod);
+                    }
+                }
+                acc.drain_into(&mut buf);
+                scratch.slots[*out] = buf;
+            }
+        }
+    }
+
     /// Compute an indicator delta from the leaf support transitions in
     /// `scratch.transitions` into `scratch.ind` (Example B.2).
-    fn indicator_delta_into(
-        &mut self,
-        ind: NodeId,
-        positions: &[usize],
-        scratch: &mut Scratch<R>,
-    ) {
+    fn indicator_delta_into(&mut self, ind: NodeId, positions: &[usize], scratch: &mut Scratch<R>) {
         let counts = self.ind_counts.get_mut(&ind).expect("registered");
         debug_assert!(scratch.acc.is_empty());
         for (t, sign) in &scratch.transitions {
@@ -1221,7 +1883,12 @@ impl<R: Ring> IvmEngine<R> {
     /// Approximate resident bytes across materialized views and
     /// indicator counters.
     pub fn approx_bytes(&self) -> usize {
-        let views: usize = self.views.iter().flatten().map(ViewStore::approx_bytes).sum();
+        let views: usize = self
+            .views
+            .iter()
+            .flatten()
+            .map(ViewStore::approx_bytes)
+            .sum();
         let counts: usize = self
             .ind_counts
             .values()
@@ -1256,9 +1923,7 @@ mod tests {
     use fivm_core::tuple;
     use fivm_query::VariableOrder;
 
-    fn fig2_setup(
-        free: &[&str],
-    ) -> (QueryDef, ViewTree, Database<i64>, LiftingMap<i64>) {
+    fn fig2_setup(free: &[&str]) -> (QueryDef, ViewTree, Database<i64>, LiftingMap<i64>) {
         let q = QueryDef::example_rst(free);
         let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
         let tree = ViewTree::build(&q, &vo);
@@ -1268,12 +1933,23 @@ mod tests {
 
     fn insert_fig2(engine: &mut IvmEngine<i64>) {
         let rs = [
-            (0usize, vec![tuple![1, 1], tuple![1, 2], tuple![2, 3], tuple![3, 4]]),
+            (
+                0usize,
+                vec![tuple![1, 1], tuple![1, 2], tuple![2, 3], tuple![3, 4]],
+            ),
             (
                 1,
-                vec![tuple![1, 1, 1], tuple![1, 1, 2], tuple![1, 2, 3], tuple![2, 2, 4]],
+                vec![
+                    tuple![1, 1, 1],
+                    tuple![1, 1, 2],
+                    tuple![1, 2, 3],
+                    tuple![2, 2, 4],
+                ],
             ),
-            (2, vec![tuple![1, 1], tuple![2, 2], tuple![2, 3], tuple![3, 4]]),
+            (
+                2,
+                vec![tuple![1, 1], tuple![2, 2], tuple![2, 3], tuple![3, 4]],
+            ),
         ];
         for (ri, tuples) in rs {
             for t in tuples {
@@ -1358,11 +2034,22 @@ mod tests {
         insert_fig2(&mut engine);
         // delete in a different order
         let rs = [
-            (2usize, vec![tuple![1, 1], tuple![2, 2], tuple![2, 3], tuple![3, 4]]),
-            (0, vec![tuple![1, 1], tuple![1, 2], tuple![2, 3], tuple![3, 4]]),
+            (
+                2usize,
+                vec![tuple![1, 1], tuple![2, 2], tuple![2, 3], tuple![3, 4]],
+            ),
+            (
+                0,
+                vec![tuple![1, 1], tuple![1, 2], tuple![2, 3], tuple![3, 4]],
+            ),
             (
                 1,
-                vec![tuple![1, 1, 1], tuple![1, 1, 2], tuple![1, 2, 3], tuple![2, 2, 4]],
+                vec![
+                    tuple![1, 1, 1],
+                    tuple![1, 1, 2],
+                    tuple![1, 2, 3],
+                    tuple![2, 2, 4],
+                ],
             ),
         ];
         for (ri, tuples) in rs {
@@ -1391,17 +2078,17 @@ mod tests {
             q.catalog.lookup("C").unwrap(),
             q.catalog.lookup("E").unwrap(),
         );
-        let sa = Relation::from_pairs(
-            Schema::new(vec![a]),
-            [(tuple![1], 1i64), (tuple![2], 1)],
-        );
+        let sa = Relation::from_pairs(Schema::new(vec![a]), [(tuple![1], 1i64), (tuple![2], 1)]);
         let sce = Relation::from_pairs(
             Schema::new(vec![c, e]),
             [(tuple![2, 9], 1i64), (tuple![1, 9], 2)],
         );
         let factored = Delta::factored(vec![sa, sce]);
         fact_engine.apply(1, &factored);
-        flat_engine.apply(1, &Delta::Flat(factored.flatten().reorder(&q.relations[1].schema)));
+        flat_engine.apply(
+            1,
+            &Delta::Flat(factored.flatten().reorder(&q.relations[1].schema)),
+        );
         assert_eq!(fact_engine.result(), flat_engine.result());
     }
 
@@ -1447,8 +2134,8 @@ mod tests {
             (1, tuple![1, 1], 1),
             (2, tuple![1, 1], 1), // closes triangle (1,1,1)
             (0, tuple![1, 2], 1),
-            (1, tuple![2, 1], 1), // closes (1,2,1)
-            (0, tuple![1, 1], 1), // multiplicity 2
+            (1, tuple![2, 1], 1),  // closes (1,2,1)
+            (0, tuple![1, 1], 1),  // multiplicity 2
             (0, tuple![1, 1], -2), // delete both copies → support shrinks
             (2, tuple![1, 2], 1),
             (1, tuple![1, 1], 1),
@@ -1507,7 +2194,11 @@ mod tests {
             let d = Relation::from_pairs(q.relations[ri].schema.clone(), [(t.clone(), m)]);
             fast.apply(ri, &Delta::Flat(d.clone()));
             general.apply_general(ri, &Delta::Flat(d));
-            assert_eq!(fast.result(), general.result(), "diverged after {ri}:{t}:{m}");
+            assert_eq!(
+                fast.result(),
+                general.result(),
+                "diverged after {ri}:{t}:{m}"
+            );
         }
     }
 
@@ -1565,6 +2256,144 @@ mod tests {
             engine.result().payload(&Tuple::unit()),
             eval_tree(&tree, &db, &lifts).payload(&Tuple::unit())
         );
+    }
+
+    /// The canonical rank-1 shape precompiles for every updatable
+    /// relation of the benchmark shapes, and repeated same-shape
+    /// updates never grow the plan cache (zero-interpretation steady
+    /// state).
+    #[test]
+    fn rank1_plans_precompile_and_cache_is_stable() {
+        let (q, tree, _, lifts) = fig2_setup(&[]);
+        let mut engine = IvmEngine::new(q.clone(), tree, &[0, 1, 2], lifts);
+        for r in 0..3 {
+            assert!(engine.has_rank1_plan(r), "relation {r} missing rank-1 plan");
+            assert_eq!(engine.factored_shapes_cached(r), 1);
+        }
+        insert_fig2(&mut engine);
+        // S(A, C, E) as a product of three vector factors — the
+        // precompiled shape: the cache must not grow across updates.
+        let (a, c, e) = (
+            q.catalog.lookup("A").unwrap(),
+            q.catalog.lookup("C").unwrap(),
+            q.catalog.lookup("E").unwrap(),
+        );
+        let mk = || {
+            Delta::factored(vec![
+                Relation::from_pairs(Schema::new(vec![a]), [(tuple![1], 1i64)]),
+                Relation::from_pairs(Schema::new(vec![c]), [(tuple![2], 1i64)]),
+                Relation::from_pairs(Schema::new(vec![e]), [(tuple![9], 3i64)]),
+            ])
+        };
+        for _ in 0..4 {
+            engine.apply(1, &mk());
+        }
+        assert_eq!(engine.factored_shapes_cached(1), 1);
+        // A two-factor grouping is a *different* shape: compiled once
+        // on first sight, cached thereafter.
+        let grouped = || {
+            Delta::factored(vec![
+                Relation::from_pairs(Schema::new(vec![a]), [(tuple![1], 1i64)]),
+                Relation::from_pairs(Schema::new(vec![c, e]), [(tuple![2, 9], 1i64)]),
+            ])
+        };
+        for _ in 0..4 {
+            engine.apply(1, &grouped());
+        }
+        assert_eq!(engine.factored_shapes_cached(1), 2);
+    }
+
+    /// The compiled factored path agrees with the general factor path
+    /// on a mixed insert/delete rank-1 stream, across every
+    /// materialized view (exact i64 ring).
+    #[test]
+    fn factored_fast_path_equals_general_path() {
+        let (q, tree, _, mut lifts) = fig2_setup(&["A"]);
+        lifts.set(q.catalog.lookup("B").unwrap(), int_identity());
+        let mut fast = IvmEngine::new(q.clone(), tree.clone(), &[0, 1, 2], lifts.clone());
+        let mut general = IvmEngine::new(q.clone(), tree, &[0, 1, 2], lifts);
+        general.set_fast_path(false);
+        insert_fig2(&mut fast);
+        insert_fig2(&mut general);
+        let (a, c, e) = (
+            q.catalog.lookup("A").unwrap(),
+            q.catalog.lookup("C").unwrap(),
+            q.catalog.lookup("E").unwrap(),
+        );
+        let updates: Vec<Delta<i64>> = vec![
+            Delta::factored(vec![
+                Relation::from_pairs(Schema::new(vec![a]), [(tuple![1], 1i64), (tuple![2], 1)]),
+                Relation::from_pairs(
+                    Schema::new(vec![c, e]),
+                    [(tuple![2, 9], 1i64), (tuple![1, 9], 2)],
+                ),
+            ]),
+            Delta::factored(vec![
+                Relation::from_pairs(Schema::new(vec![a]), [(tuple![1], -1i64)]),
+                Relation::from_pairs(Schema::new(vec![c]), [(tuple![2], 1i64)]),
+                Relation::from_pairs(Schema::new(vec![e]), [(tuple![9], 1i64)]),
+            ]),
+            Delta::factored(vec![
+                Relation::from_pairs(Schema::new(vec![c, e]), [(tuple![2, 9], -1i64)]),
+                Relation::from_pairs(Schema::new(vec![a]), [(tuple![2], 1i64)]),
+            ]),
+        ];
+        for (i, d) in updates.iter().enumerate() {
+            fast.apply(1, d);
+            general.apply(1, d);
+            for node in 0..fast.tree().nodes.len() {
+                assert_eq!(
+                    fast.view_relation(node),
+                    general.view_relation(node),
+                    "view {node} diverged after update {i}"
+                );
+            }
+        }
+    }
+
+    /// Factored updates maintain indicator projections (the leaf-store
+    /// flatten collects support transitions): triangle query, rank-1
+    /// edge updates, compared against recomputation.
+    #[test]
+    fn factored_update_maintains_indicators() {
+        let q = QueryDef::triangle();
+        let vo = VariableOrder::parse("A - B - C", &q.catalog);
+        let mut tree = ViewTree::build(&q, &vo);
+        fivm_query::add_indicators(&mut tree, &q);
+        let lifts = LiftingMap::<i64>::new();
+        let mut engine = IvmEngine::new(q.clone(), tree.clone(), &[0, 1, 2], lifts.clone());
+        let mut db = Database::empty(&q);
+        let (a, b, c) = (
+            q.catalog.lookup("A").unwrap(),
+            q.catalog.lookup("B").unwrap(),
+            q.catalog.lookup("C").unwrap(),
+        );
+        let vecs = [(0usize, a, b), (1, b, c), (2, c, a)];
+        let updates: Vec<(usize, i64, i64, i64)> = vec![
+            (0, 1, 1, 1),
+            (1, 1, 1, 1),
+            (2, 1, 1, 1), // closes (1,1,1)
+            (0, 1, 2, 1),
+            (1, 2, 1, 1),
+            (0, 1, 1, -1), // delete → support shrinks
+            (2, 1, 2, 1),
+            (0, 2, 1, 1),
+        ];
+        for (ri, x, y, m) in updates {
+            let (_, vx, vy) = vecs[ri];
+            let d = Delta::factored(vec![
+                Relation::from_pairs(Schema::new(vec![vx]), [(tuple![x], m)]),
+                Relation::from_pairs(Schema::new(vec![vy]), [(tuple![y], 1i64)]),
+            ]);
+            engine.apply(ri, &d);
+            db.relations[ri].union_in_place(&d.flatten().reorder(&q.relations[ri].schema));
+            let expected = eval_tree(&tree, &db, &lifts);
+            assert_eq!(
+                engine.result().payload(&Tuple::unit()),
+                expected.payload(&Tuple::unit()),
+                "diverged after {ri}:({x},{y}):{m}"
+            );
+        }
     }
 
     /// Sanity: single-tuple updates on the running query go through the

@@ -79,7 +79,11 @@ impl<R: Ring> FirstOrderIvm<R> {
 
     /// Approximate resident bytes (base relations + result).
     pub fn approx_bytes(&self) -> usize {
-        self.db.relations.iter().map(Relation::approx_bytes).sum::<usize>()
+        self.db
+            .relations
+            .iter()
+            .map(Relation::approx_bytes)
+            .sum::<usize>()
             + self.result.approx_bytes()
     }
 

@@ -349,11 +349,7 @@ mod tests {
     #[test]
     fn star_join_decomposes_into_singletons() {
         let q = QueryDef::new(
-            &[
-                ("H", &["P", "X"]),
-                ("S", &["P", "Y"]),
-                ("I", &["P", "Z"]),
-            ],
+            &[("H", &["P", "X"]), ("S", &["P", "Y"]), ("I", &["P", "Z"])],
             &[],
         );
         let ivm: RecursiveIvm<i64> = RecursiveIvm::new(q, &[0, 1, 2], LiftingMap::new());
@@ -387,7 +383,10 @@ mod tests {
         let inv = q.relation_index("Inv").unwrap();
         let comps = &top.complements[&inv];
         // components: {Item}, {Loc, Census} — zip connects L and C
-        let masks: Vec<u32> = comps.iter().map(|&c| ivm.views[c].mask.count_ones()).collect();
+        let masks: Vec<u32> = comps
+            .iter()
+            .map(|&c| ivm.views[c].mask.count_ones())
+            .collect();
         let mut sorted = masks.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![1, 2]);

@@ -290,7 +290,10 @@ impl<R: Ring> ViewStore<R> {
                 .expect("reload relation must be a permutation of the view schema");
             for (t, p) in rel.iter() {
                 if !p.is_zero() {
-                    *self.data.upsert(&fivm_core::ProjKey::new(t, &pos), R::zero).1 = p.clone();
+                    *self
+                        .data
+                        .upsert(&fivm_core::ProjKey::new(t, &pos), R::zero)
+                        .1 = p.clone();
                 }
             }
         }
@@ -473,10 +476,7 @@ mod tests {
             v.insert(tuple![i, i], 1);
         }
         // Reload a 4-row database.
-        let small = Relation::from_pairs(
-            sch(&[0, 1]),
-            (0..4i64).map(|i| (tuple![i, i], 1)),
-        );
+        let small = Relation::from_pairs(sch(&[0, 1]), (0..4i64).map(|i| (tuple![i, i], 1)));
         v.reload(&small);
         assert_eq!(v.len(), 4);
         assert_eq!(v.probe(ix, &tuple![2]), &[tuple![2, 2]]);

@@ -19,9 +19,7 @@ pub fn optimal_parenthesization(dims: &[usize]) -> (u64, Vec<Vec<usize>>) {
             let j = i + len - 1;
             m[i][j] = u64::MAX;
             for k in i..j {
-                let cost = m[i][k]
-                    + m[k + 1][j]
-                    + (dims[i] * dims[k + 1] * dims[j + 1]) as u64;
+                let cost = m[i][k] + m[k + 1][j] + (dims[i] * dims[k + 1] * dims[j + 1]) as u64;
                 if cost < m[i][j] {
                     m[i][j] = cost;
                     s[i][j] = k;

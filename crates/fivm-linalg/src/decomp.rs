@@ -92,9 +92,18 @@ mod tests {
     #[test]
     fn exact_rank_r_recovered() {
         let mut d = Matrix::zeros(6, 6);
-        d.add_outer(&[1.0, 0.0, 2.0, 0.0, 0.0, 1.0], &[1.0, 1.0, 0.0, 0.0, 2.0, 0.0]);
-        d.add_outer(&[0.0, 3.0, 0.0, 1.0, 0.0, 0.0], &[0.0, 1.0, 1.0, 0.0, 0.0, 1.0]);
-        d.add_outer(&[1.0, 1.0, 1.0, 1.0, 1.0, 1.0], &[0.5, 0.0, 0.0, 0.5, 0.0, 0.0]);
+        d.add_outer(
+            &[1.0, 0.0, 2.0, 0.0, 0.0, 1.0],
+            &[1.0, 1.0, 0.0, 0.0, 2.0, 0.0],
+        );
+        d.add_outer(
+            &[0.0, 3.0, 0.0, 1.0, 0.0, 0.0],
+            &[0.0, 1.0, 1.0, 0.0, 0.0, 1.0],
+        );
+        d.add_outer(
+            &[1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+            &[0.5, 0.0, 0.0, 0.5, 0.0, 0.0],
+        );
         let f = low_rank_decompose(&d, 3, 1e-9).expect("rank 3");
         assert!(f.len() <= 3);
         assert!(reconstruct(6, 6, &f).approx_eq(&d, 1e-9));

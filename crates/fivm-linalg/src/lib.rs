@@ -17,13 +17,20 @@
 //!
 //! [`decomp`] provides low-rank decompositions of update matrices
 //! (paper §5: arbitrary updates decompose into sums of rank-1 tensors).
+//!
+//! [`engine_chain`] drives the same chain through the **relational
+//! F-IVM engine** with factorizable (rank-1 factored) updates — the
+//! Figure 6 hash runtime, exercising the engine's compiled factored
+//! fast path.
 
 pub mod chain;
 pub mod decomp;
+pub mod engine_chain;
 pub mod linview;
 pub mod matrix;
 
 pub use chain::{chain_cost, multiply_chain, optimal_parenthesization};
 pub use decomp::{low_rank_decompose, row_update_factors};
+pub use engine_chain::EngineChainIvm;
 pub use linview::{DenseChainIvm, FirstOrderChain, ReEvalChain};
 pub use matrix::Matrix;

@@ -213,7 +213,11 @@ mod tests {
 
     fn mats(k: usize, n: usize) -> Vec<Matrix> {
         (0..k)
-            .map(|m| Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17 + m * 7) % 10) as f64 * 0.1 - 0.45))
+            .map(|m| {
+                Matrix::from_fn(n, n, |i, j| {
+                    ((i * 31 + j * 17 + m * 7) % 10) as f64 * 0.1 - 0.45
+                })
+            })
             .collect()
     }
 
@@ -246,7 +250,9 @@ mod tests {
             .map(|r| {
                 (
                     (0..6).map(|i| ((i + r) % 4) as f64 * 0.3).collect(),
-                    (0..6).map(|i| ((i * r + 1) % 5) as f64 * 0.2 - 0.3).collect(),
+                    (0..6)
+                        .map(|i| ((i * r + 1) % 5) as f64 * 0.2 - 0.3)
+                        .collect(),
                 )
             })
             .collect();
@@ -266,7 +272,9 @@ mod tests {
         let mut re = ReEvalChain::new(base.clone());
         let mut fi = DenseChainIvm::new(base);
         for pos in 0..k {
-            let u: Vec<f64> = (0..5).map(|i| if i == pos % 5 { 1.0 } else { 0.0 }).collect();
+            let u: Vec<f64> = (0..5)
+                .map(|i| if i == pos % 5 { 1.0 } else { 0.0 })
+                .collect();
             let v: Vec<f64> = (0..5).map(|i| (i as f64 - pos as f64) * 0.1).collect();
             let mut delta = Matrix::zeros(5, 5);
             delta.add_outer(&u, &v);

@@ -118,7 +118,10 @@ impl CofactorSpec {
     /// Extract the dense triple from a SQL-OPT (degree-ring) result.
     pub fn extract_degree(&self, result: &Relation<DegreeRing>) -> (i64, Vec<f64>, Vec<f64>) {
         let m = self.m();
-        let p = result.get(&Tuple::unit()).cloned().unwrap_or_else(DegreeRing::zero);
+        let p = result
+            .get(&Tuple::unit())
+            .cloned()
+            .unwrap_or_else(DegreeRing::zero);
         let mut s = vec![0.0; m];
         let mut q = vec![0.0; m * m];
         for j in 0..m {
@@ -214,10 +217,8 @@ mod tests {
         let db = tiny_db(&q);
         for ri in 0..2 {
             for (t, p) in db.relations[ri].iter() {
-                let d = Relation::from_pairs(
-                    q.relations[ri].schema.clone(),
-                    [(t.clone(), p.clone())],
-                );
+                let d =
+                    Relation::from_pairs(q.relations[ri].schema.clone(), [(t.clone(), p.clone())]);
                 engine.apply(ri, &Delta::Flat(d));
             }
         }
@@ -276,10 +277,7 @@ mod tests {
                 let j: usize = rest.trim_end_matches(']').parse().unwrap();
                 es[j]
             } else {
-                let inner = name
-                    .strip_prefix("prod[")
-                    .unwrap()
-                    .trim_end_matches(']');
+                let inner = name.strip_prefix("prod[").unwrap().trim_end_matches(']');
                 let (i, j) = inner.split_once(',').unwrap();
                 eq[i.parse::<usize>().unwrap() * 3 + j.parse::<usize>().unwrap()]
             };

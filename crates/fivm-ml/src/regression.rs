@@ -46,13 +46,7 @@ pub struct TrainedModel {
 impl TrainedModel {
     /// Predict a label from feature values.
     pub fn predict(&self, x: &[f64]) -> f64 {
-        self.bias
-            + self
-                .weights
-                .iter()
-                .zip(x)
-                .map(|(w, v)| w * v)
-                .sum::<f64>()
+        self.bias + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
     }
 }
 

@@ -45,7 +45,10 @@ impl CostModel {
 
     /// The assumed domain of `v`.
     pub fn domain(&self, v: VarId) -> f64 {
-        self.domains.get(&v).copied().unwrap_or(Self::DEFAULT_DOMAIN)
+        self.domains
+            .get(&v)
+            .copied()
+            .unwrap_or(Self::DEFAULT_DOMAIN)
     }
 
     /// Estimated size of a view keyed on `keys` (product of domains).

@@ -19,7 +19,66 @@
 //! runtime shape of the delta.
 
 use crate::viewtree::{NodeId, ViewTree};
-use fivm_core::VarId;
+use fivm_core::{Relation, Schema, Semiring, VarId};
+
+/// The factorization shape of a factored delta: the ordered list of its
+/// factor schemas (which variables carry vector factors together, which
+/// stand alone). Two deltas with the same shape propagate through the
+/// identical sequence of probe/⊕-pushdown operations, so engines compile
+/// the `Optimize` rewrite (§5) **once per (relation, shape) pair** and
+/// key the plan cache on this type — it is `Hash + Eq` for exactly that
+/// purpose.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct FactorShape(Box<[Schema]>);
+
+impl FactorShape {
+    /// Build a shape from factor schemas, in factor order.
+    pub fn new(schemas: impl IntoIterator<Item = Schema>) -> Self {
+        FactorShape(schemas.into_iter().collect())
+    }
+
+    /// The shape of a concrete factored delta.
+    pub fn of<R: Semiring>(factors: &[Relation<R>]) -> Self {
+        FactorShape(factors.iter().map(|f| f.schema().clone()).collect())
+    }
+
+    /// Whether `factors` has exactly this shape (same factor count,
+    /// same schemas in the same order). Allocation-free: this is the
+    /// hot-path cache probe for repeated rank-1/rank-r updates.
+    pub fn matches<R: Semiring>(&self, factors: &[Relation<R>]) -> bool {
+        self.0.len() == factors.len() && self.0.iter().zip(factors).all(|(s, f)| s == f.schema())
+    }
+
+    /// The factor schemas, in factor order.
+    pub fn schemas(&self) -> &[Schema] {
+        &self.0
+    }
+
+    /// Number of factors.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff the shape has no factors (never produced by
+    /// [`FactorShape::of`] on a valid factored delta).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether the factor schemas are pairwise disjoint and their
+    /// union covers exactly the variables of `leaf_keys` — the
+    /// precondition for compiling a maintenance plan for this shape.
+    pub fn partitions(&self, leaf_keys: &Schema) -> bool {
+        let mut union = Schema::empty();
+        for s in self.0.iter() {
+            if !union.disjoint(s) {
+                return false;
+            }
+            union = union.union(s);
+        }
+        union.len() == leaf_keys.len() && union.subset_of(leaf_keys)
+    }
+}
 
 /// The leaf-to-root maintenance path for updates to `rel` (leaf first,
 /// root last). Returns `None` if the relation has no leaf in the tree.
@@ -125,6 +184,54 @@ mod tests {
     fn missing_relation_has_no_path() {
         let (_, t) = fig2_tree();
         assert!(delta_path(&t, 99).is_none());
+    }
+
+    #[test]
+    fn factor_shape_keys_are_order_sensitive_and_hashable() {
+        use fivm_core::Relation;
+        let q = QueryDef::example_rst(&[]);
+        let (a, c, e) = (
+            q.catalog.lookup("A").unwrap(),
+            q.catalog.lookup("C").unwrap(),
+            q.catalog.lookup("E").unwrap(),
+        );
+        let ra: Relation<i64> = Relation::new(Schema::new(vec![a]));
+        let rce: Relation<i64> = Relation::new(Schema::new(vec![c, e]));
+        let shape = FactorShape::of(&[ra.clone(), rce.clone()]);
+        assert!(shape.matches(&[ra.clone(), rce.clone()]));
+        // factor order is part of the shape
+        assert!(!shape.matches(&[rce.clone(), ra.clone()]));
+        assert_ne!(shape, FactorShape::of(&[rce.clone(), ra.clone()]));
+        // hashable: usable as a map key
+        let mut m = std::collections::HashMap::new();
+        m.insert(shape.clone(), 1);
+        assert_eq!(m.get(&FactorShape::of(&[ra, rce])), Some(&1));
+    }
+
+    #[test]
+    fn factor_shape_partition_check() {
+        let q = QueryDef::example_rst(&[]);
+        let (a, c, e) = (
+            q.catalog.lookup("A").unwrap(),
+            q.catalog.lookup("C").unwrap(),
+            q.catalog.lookup("E").unwrap(),
+        );
+        let s_keys = Schema::new(vec![a, c, e]);
+        let shape = FactorShape::new([Schema::new(vec![a]), Schema::new(vec![c, e])]);
+        assert!(shape.partitions(&s_keys));
+        // missing a variable
+        assert!(!FactorShape::new([Schema::new(vec![a])]).partitions(&s_keys));
+        // overlapping factors
+        assert!(
+            !FactorShape::new([Schema::new(vec![a, c]), Schema::new(vec![c, e])])
+                .partitions(&s_keys)
+        );
+        // variable outside the leaf schema
+        let b = q.catalog.lookup("B").unwrap();
+        assert!(
+            !FactorShape::new([Schema::new(vec![a, b]), Schema::new(vec![c, e])])
+                .partitions(&s_keys)
+        );
     }
 
     #[test]

@@ -127,12 +127,7 @@ mod tests {
 
     #[test]
     fn loop_four_is_cyclic() {
-        let survivors = gyo_reduce(&[
-            sch(&[0, 1]),
-            sch(&[1, 2]),
-            sch(&[2, 3]),
-            sch(&[3, 0]),
-        ]);
+        let survivors = gyo_reduce(&[sch(&[0, 1]), sch(&[1, 2]), sch(&[2, 3]), sch(&[3, 0])]);
         assert_eq!(survivors.len(), 4);
     }
 

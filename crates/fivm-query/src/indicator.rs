@@ -110,8 +110,7 @@ mod tests {
         match &ind.kind {
             NodeKind::Indicator { rel, proj } => {
                 assert_eq!(q.relations[*rel].name, "R");
-                let names: Vec<&str> =
-                    proj.iter().map(|&v| q.catalog.name(v)).collect();
+                let names: Vec<&str> = proj.iter().map(|&v| q.catalog.name(v)).collect();
                 assert_eq!(names, vec!["A", "B"]);
             }
             k => panic!("not an indicator: {k:?}"),

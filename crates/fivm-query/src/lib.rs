@@ -31,7 +31,7 @@ pub mod varorder;
 pub mod viewtree;
 
 pub use cost::{best_order, enumerate_orders, CostModel};
-pub use delta::delta_path;
+pub use delta::{delta_path, FactorShape};
 pub use indicator::add_indicators;
 pub use materialize::{materialization, MaterializationPlan};
 pub use query::{QueryDef, RelDef, RelIndex};

@@ -45,10 +45,7 @@ pub fn materialization(tree: &ViewTree, updatable: u64) -> MaterializationPlan {
             }
         })
         .collect();
-    MaterializationPlan {
-        store,
-        updatable,
-    }
+    MaterializationPlan { store, updatable }
 }
 
 /// The relations a node is “defined over” for the purposes of µ.

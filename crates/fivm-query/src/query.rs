@@ -114,11 +114,7 @@ impl QueryDef {
     /// The triangle query `Q△` of Appendix B: `R(A,B), S(B,C), T(C,A)`.
     pub fn triangle() -> Self {
         QueryDef::new(
-            &[
-                ("R", &["A", "B"]),
-                ("S", &["B", "C"]),
-                ("T", &["C", "A"]),
-            ],
+            &[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["C", "A"])],
             &[],
         )
     }

@@ -33,7 +33,9 @@ impl VariableOrder {
     /// order: every relation’s variables trivially lie on the one path).
     pub fn chain(vars: &[VarId]) -> Self {
         let n = vars.len();
-        let parent = (0..n).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let parent = (0..n)
+            .map(|i| if i == 0 { None } else { Some(i - 1) })
+            .collect();
         let mut children = vec![Vec::new(); n];
         for i in 1..n {
             children[i - 1].push(i);
@@ -341,7 +343,9 @@ mod tests {
         let node = |name: &str| vo.node_of(q.catalog.lookup(name).unwrap()).unwrap();
         let dep = |name: &str| {
             let d = vo.dep(node(name), &q);
-            d.iter().map(|&v| q.catalog.name(v).to_string()).collect::<Vec<_>>()
+            d.iter()
+                .map(|&v| q.catalog.name(v).to_string())
+                .collect::<Vec<_>>()
         };
         assert_eq!(dep("A"), Vec::<String>::new());
         assert_eq!(dep("B"), vec!["A"]);

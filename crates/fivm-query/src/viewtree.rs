@@ -262,8 +262,7 @@ impl ViewTree {
                     ));
                 }
                 NodeKind::Inner { margin, at } => {
-                    let margins: Vec<&str> =
-                        margin.iter().map(|&v| q.catalog.name(v)).collect();
+                    let margins: Vec<&str> = margin.iter().map(|&v| q.catalog.name(v)).collect();
                     out.push_str(&format!(
                         "V@{}{} ⊕[{}]\n",
                         q.catalog.name(*at),

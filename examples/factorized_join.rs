@@ -35,9 +35,7 @@ fn main() {
     for &v in all_vars.iter() {
         lifts.set(
             v,
-            Lifting::from_fn(move |val: &Value| {
-                RelPayload::lift_free(Schema::new(vec![v]), val)
-            }),
+            Lifting::from_fn(move |val: &Value| RelPayload::lift_free(Schema::new(vec![v]), val)),
         );
     }
 
@@ -53,10 +51,9 @@ fn main() {
 
     // Factorized payloads: same engine + the §6.3 projection transform.
     let transform = factorized_transform(&tree);
-    let mut fact: IvmEngine<RelPayload> =
-        IvmEngine::new(q.clone(), tree, &updatable, lifts)
-            .with_payload_transform(transform)
-            .with_payload_preprojection(factorized_preprojection());
+    let mut fact: IvmEngine<RelPayload> = IvmEngine::new(q.clone(), tree, &updatable, lifts)
+        .with_payload_transform(transform)
+        .with_payload_preprojection(factorized_preprojection());
     let t1 = Instant::now();
     run_stream(&mut fact, &h, &q);
     let t_fact = t1.elapsed();
@@ -64,8 +61,14 @@ fn main() {
     let listing_bytes = listing.approx_bytes();
     let fact_bytes = fact.approx_bytes();
     println!("\n                     time        memory");
-    println!("  listing payloads   {t_list:>9.2?}  {}", format_bytes(listing_bytes));
-    println!("  factorized         {t_fact:>9.2?}  {}", format_bytes(fact_bytes));
+    println!(
+        "  listing payloads   {t_list:>9.2?}  {}",
+        format_bytes(listing_bytes)
+    );
+    println!(
+        "  factorized         {t_fact:>9.2?}  {}",
+        format_bytes(fact_bytes)
+    );
     println!(
         "  factorization wins: {:.1}x less memory, {:.1}x faster",
         listing_bytes as f64 / fact_bytes as f64,
@@ -76,12 +79,7 @@ fn main() {
     // multiplicity totals.
     let result = FactorizedResult::new(&fact);
     let total = result.total_multiplicity();
-    let listing_total: i64 = listing
-        .result()
-        .payload(&Tuple::unit())
-        .data
-        .values()
-        .sum();
+    let listing_total: i64 = listing.result().payload(&Tuple::unit()).data.values().sum();
     assert_eq!(total, listing_total);
     println!("\njoin cardinality from both representations: {total}");
 

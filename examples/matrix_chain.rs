@@ -61,8 +61,14 @@ fn main() {
     assert!(fivm.product().approx_eq(reev.product(), 1e-6));
     println!("dense runtime, {} updates:", updates.len());
     println!("  F-IVM (factorized, O(n²))  {t_f:?}");
-    println!("  1-IVM (δA=A1·δA2·A3, O(n³)) {t_1:?}  ({:.1}x)", ratio(t_1, t_f));
-    println!("  RE-EVAL (full product)      {t_r:?}  ({:.1}x)", ratio(t_r, t_f));
+    println!(
+        "  1-IVM (δA=A1·δA2·A3, O(n³)) {t_1:?}  ({:.1}x)",
+        ratio(t_1, t_f)
+    );
+    println!(
+        "  RE-EVAL (full product)      {t_r:?}  ({:.1}x)",
+        ratio(t_r, t_f)
+    );
 
     // ---- hash-relation runtime: the generic engine over the chain
     //      query with factored deltas (the same code path as any other

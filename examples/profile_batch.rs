@@ -157,13 +157,21 @@ fn decompose(q: &QueryDef, tuples: &[Tuple]) {
     for t in tuples {
         *m.upsert(t, || 0.0).1 += 1.0;
     }
-    println!("  raw fill (vec order):   {:?} ({} keys)", t0.elapsed(), m.len());
+    println!(
+        "  raw fill (vec order):   {:?} ({} keys)",
+        t0.elapsed(),
+        m.len()
+    );
     let t0 = Instant::now();
     let mut m = fivm::core::TupleMap::<f64>::new();
     for (t, p) in d.iter() {
         *m.upsert(t, || 0.0).1 += *p;
     }
-    println!("  raw fill (table order): {:?} ({} keys)", t0.elapsed(), m.len());
+    println!(
+        "  raw fill (table order): {:?} ({} keys)",
+        t0.elapsed(),
+        m.len()
+    );
 
     let mut store: ViewStore<f64> = ViewStore::new(schema.clone());
     store.ensure_index(&Schema::new(vec![q.catalog.lookup("ksn").unwrap()]));

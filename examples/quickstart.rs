@@ -34,7 +34,8 @@ fn main() {
     }
 
     // Materialize for updates to all three relations.
-    let mut engine: IvmEngine<f64> = IvmEngine::new(q.clone(), tree.clone(), &[0, 1, 2], lifts.clone());
+    let mut engine: IvmEngine<f64> =
+        IvmEngine::new(q.clone(), tree.clone(), &[0, 1, 2], lifts.clone());
     println!(
         "{} views materialized (µ, Figure 5)",
         engine.plan().stored_count()

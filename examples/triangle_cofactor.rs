@@ -34,11 +34,8 @@ fn main() {
         added
             .iter()
             .map(|&id| match &with_ind.nodes[id].kind {
-                NodeKind::Indicator { rel, proj } => format!(
-                    "∃{} {}",
-                    q.catalog.render(proj),
-                    q.relations[*rel].name
-                ),
+                NodeKind::Indicator { rel, proj } =>
+                    format!("∃{} {}", q.catalog.render(proj), q.relations[*rel].name),
                 _ => unreachable!(),
             })
             .collect::<Vec<_>>()
@@ -53,8 +50,7 @@ fn main() {
         let t0 = Instant::now();
         for batch in t.stream(1000) {
             let schema = q.relations[batch.relation].schema.clone();
-            let delta =
-                Relation::from_pairs(schema, batch.tuples.into_iter().map(|x| (x, 1i64)));
+            let delta = Relation::from_pairs(schema, batch.tuples.into_iter().map(|x| (x, 1i64)));
             engine.apply(batch.relation, &Delta::Flat(delta));
         }
         let elapsed = t0.elapsed();

@@ -22,7 +22,10 @@ fn star_setup() -> (QueryDef, ViewTree, LiftingMap<i64>) {
     let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
     let tree = ViewTree::build(&q, &vo);
     let mut lifts = LiftingMap::new();
-    lifts.set(q.catalog.lookup("B").unwrap(), fivm::core::lifting::int_identity());
+    lifts.set(
+        q.catalog.lookup("B").unwrap(),
+        fivm::core::lifting::int_identity(),
+    );
     (q, tree, lifts)
 }
 
@@ -53,7 +56,9 @@ fn random_pairs_sym(
 ) -> Vec<(Tuple, i64)> {
     let schema: Vec<VarId> = q.relations[rel].schema.iter().copied().collect();
     // Pre-intern the shared 32-value domain once per call, not per row.
-    let domain: Vec<Value> = (0..32).map(|code| q.catalog.sym(&format!("k{code:02}"))).collect();
+    let domain: Vec<Value> = (0..32)
+        .map(|code| q.catalog.sym(&format!("k{code:02}")))
+        .collect();
     let mut rng = SmallRng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
@@ -177,8 +182,17 @@ fn batch_sizes_straddling_thresholds_are_equivalent() {
     for n in [1usize, 31, 32, 33, 100, 1023, 1024, 1025, 2048] {
         for rel in 0..3 {
             let pairs = random_pairs(&q, rel, n, n as u64 * 31 + rel as u64);
-            check_equivalence(&q, &tree, &lifts, rel, &pairs, n as u64, &[], &format!("star N={n} rel={rel}"))
-                .unwrap_or_else(|e| panic!("{e}"));
+            check_equivalence(
+                &q,
+                &tree,
+                &lifts,
+                rel,
+                &pairs,
+                n as u64,
+                &[],
+                &format!("star N={n} rel={rel}"),
+            )
+            .unwrap_or_else(|e| panic!("{e}"));
         }
     }
 }
@@ -190,8 +204,17 @@ fn triangle_batches_straddling_thresholds_are_equivalent() {
     let (q, tree, lifts) = triangle_setup();
     for n in [1usize, 32, 33, 64, 512, 1025] {
         let pairs = random_pairs(&q, 0, n, n as u64 * 17);
-        check_equivalence(&q, &tree, &lifts, 0, &pairs, n as u64, &[], &format!("triangle N={n}"))
-            .unwrap_or_else(|e| panic!("{e}"));
+        check_equivalence(
+            &q,
+            &tree,
+            &lifts,
+            0,
+            &pairs,
+            n as u64,
+            &[],
+            &format!("triangle N={n}"),
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
     }
 }
 

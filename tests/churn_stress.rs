@@ -27,11 +27,17 @@ fn thousand_update_churn_stays_consistent() {
     for step in 0..1000 {
         let rel = rng.gen_range(0..3usize);
         let arity = q.relations[rel].schema.len();
-        let vals: Vec<Value> = (0..arity).map(|_| Value::Int(rng.gen_range(0..3))).collect();
+        let vals: Vec<Value> = (0..arity)
+            .map(|_| Value::Int(rng.gen_range(0..3)))
+            .collect();
         let t = Tuple::new(vals);
         // deletes only of existing tuples, otherwise insert
         let existing = db.relations[rel].payload(&t);
-        let mult = if existing > 0 && rng.gen_bool(0.45) { -1 } else { 1 };
+        let mult = if existing > 0 && rng.gen_bool(0.45) {
+            -1
+        } else {
+            1
+        };
         let d = Relation::from_pairs(q.relations[rel].schema.clone(), [(t, mult)]);
         engine.apply(rel, &Delta::Flat(d.clone()));
         db.relations[rel].union_in_place(&d);
@@ -68,8 +74,9 @@ fn mixed_sign_batches() {
         let mut batch = Relation::new(schema.clone());
         for _ in 0..20 {
             let arity = schema.len();
-            let vals: Vec<Value> =
-                (0..arity).map(|_| Value::Int(rng.gen_range(0..4))).collect();
+            let vals: Vec<Value> = (0..arity)
+                .map(|_| Value::Int(rng.gen_range(0..4)))
+                .collect();
             let m: i64 = *[1, 1, 2, -1].get(rng.gen_range(0..4)).unwrap();
             batch.insert(Tuple::new(vals), m);
         }
@@ -83,7 +90,11 @@ fn mixed_sign_batches() {
         );
         engine.apply(rel, &Delta::Flat(clamped.clone()));
         db.relations[rel].union_in_place(&clamped);
-        assert_eq!(engine.result(), eval_tree(&tree, &db, &lifts), "round {round}");
+        assert_eq!(
+            engine.result(),
+            eval_tree(&tree, &db, &lifts),
+            "round {round}"
+        );
     }
 }
 
@@ -122,16 +133,19 @@ fn factored_updates_interleaved_with_flat() {
         } else {
             let rel = round % 3;
             let arity = q.relations[rel].schema.len();
-            let vals: Vec<Value> =
-                (0..arity).map(|_| Value::Int(rng.gen_range(0..3))).collect();
-            let d = Relation::from_pairs(
-                q.relations[rel].schema.clone(),
-                [(Tuple::new(vals), 1i64)],
-            );
+            let vals: Vec<Value> = (0..arity)
+                .map(|_| Value::Int(rng.gen_range(0..3)))
+                .collect();
+            let d =
+                Relation::from_pairs(q.relations[rel].schema.clone(), [(Tuple::new(vals), 1i64)]);
             engine.apply(rel, &Delta::Flat(d.clone()));
             db.relations[rel].union_in_place(&d);
         }
-        assert_eq!(engine.result(), eval_tree(&tree, &db, &lifts), "round {round}");
+        assert_eq!(
+            engine.result(),
+            eval_tree(&tree, &db, &lifts),
+            "round {round}"
+        );
     }
 }
 
@@ -158,8 +172,18 @@ fn adversarial_key_churn_keeps_index_footprint_bounded() {
     };
 
     // Resident base so propagation does real join work.
-    apply(&mut engine, &mut db, 0, (0..8).map(|i| (tuple![i, i], 1i64)).collect());
-    apply(&mut engine, &mut db, 2, (0..8).map(|i| (tuple![i, i], 1i64)).collect());
+    apply(
+        &mut engine,
+        &mut db,
+        0,
+        (0..8).map(|i| (tuple![i, i], 1i64)).collect(),
+    );
+    apply(
+        &mut engine,
+        &mut db,
+        2,
+        (0..8).map(|i| (tuple![i, i], 1i64)).collect(),
+    );
 
     let rounds = 40usize;
     let batch = 256usize;
@@ -172,8 +196,7 @@ fn adversarial_key_churn_keeps_index_footprint_bounded() {
                 (tuple![(i % 8) as i64, c, c], 1i64)
             })
             .collect();
-        let negated: Vec<(Tuple, i64)> =
-            fresh.iter().map(|(t, m)| (t.clone(), -m)).collect();
+        let negated: Vec<(Tuple, i64)> = fresh.iter().map(|(t, m)| (t.clone(), -m)).collect();
         apply(&mut engine, &mut db, 1, fresh);
         apply(&mut engine, &mut db, 1, negated);
         if round % 10 == 9 {
@@ -219,8 +242,18 @@ fn sweep_rounds_keep_probe_runs_bounded() {
         engine.apply(rel, &Delta::Flat(d.clone()));
         db.relations[rel].union_in_place(&d);
     };
-    apply(&mut engine, &mut db, 0, (0..8).map(|i| (tuple![i, i], 1i64)).collect());
-    apply(&mut engine, &mut db, 2, (0..8).map(|i| (tuple![i, i], 1i64)).collect());
+    apply(
+        &mut engine,
+        &mut db,
+        0,
+        (0..8).map(|i| (tuple![i, i], 1i64)).collect(),
+    );
+    apply(
+        &mut engine,
+        &mut db,
+        2,
+        (0..8).map(|i| (tuple![i, i], 1i64)).collect(),
+    );
 
     let batch = 256usize;
     for round in 0..40usize {
@@ -230,8 +263,7 @@ fn sweep_rounds_keep_probe_runs_bounded() {
                 (tuple![(i % 8) as i64, c, c], 1i64)
             })
             .collect();
-        let negated: Vec<(Tuple, i64)> =
-            fresh.iter().map(|(t, m)| (t.clone(), -m)).collect();
+        let negated: Vec<(Tuple, i64)> = fresh.iter().map(|(t, m)| (t.clone(), -m)).collect();
         apply(&mut engine, &mut db, 1, fresh);
         apply(&mut engine, &mut db, 1, negated);
         // The churned tables hold ≤ ~600 live entries at ≤ 7/8 load;
@@ -284,8 +316,7 @@ fn load_then_churn_uses_fresh_sweep_budgets() {
                 (tuple![(i % 8) as i64, c, c], 1i64)
             })
             .collect();
-        let negated: Vec<(Tuple, i64)> =
-            fresh.iter().map(|(t, m)| (t.clone(), -m)).collect();
+        let negated: Vec<(Tuple, i64)> = fresh.iter().map(|(t, m)| (t.clone(), -m)).collect();
         let df = Relation::from_pairs(q.relations[1].schema.clone(), fresh);
         let dn = Relation::from_pairs(q.relations[1].schema.clone(), negated);
         engine.apply(1, &Delta::Flat(df.clone()));
@@ -314,7 +345,9 @@ fn memory_returns_after_teardown() {
     for _ in 0..200 {
         let rel = rng.gen_range(0..3usize);
         let arity = q.relations[rel].schema.len();
-        let vals: Vec<Value> = (0..arity).map(|_| Value::Int(rng.gen_range(0..10))).collect();
+        let vals: Vec<Value> = (0..arity)
+            .map(|_| Value::Int(rng.gen_range(0..10)))
+            .collect();
         let t = Tuple::new(vals);
         let d = Relation::from_pairs(q.relations[rel].schema.clone(), [(t.clone(), 1i64)]);
         engine.apply(rel, &Delta::Flat(d));

@@ -89,17 +89,15 @@ fn indicator_bounds_view_size() {
 
     let all = [0usize, 1, 2];
     let lifts = LiftingMap::<i64>::new();
-    let mut plain_engine: IvmEngine<i64> = IvmEngine::new(q.clone(), plain.clone(), &all, lifts.clone());
+    let mut plain_engine: IvmEngine<i64> =
+        IvmEngine::new(q.clone(), plain.clone(), &all, lifts.clone());
     let mut ind_engine: IvmEngine<i64> = IvmEngine::new(q.clone(), ind.clone(), &all, lifts);
 
     // n S-edges into a hub, n T-edges out of it → S⋈T has n² pairs, but
     // R touches only one (a, b) pair.
     let n = 40i64;
     let apply = |e: &mut IvmEngine<i64>, rel: usize, vals: Vec<Value>| {
-        let d = Relation::from_pairs(
-            q.relations[rel].schema.clone(),
-            [(Tuple::new(vals), 1i64)],
-        );
+        let d = Relation::from_pairs(q.relations[rel].schema.clone(), [(Tuple::new(vals), 1i64)]);
         e.apply(rel, &Delta::Flat(d));
     };
     for b in 0..n {
@@ -124,15 +122,10 @@ fn indicator_bounds_view_size() {
     let st_view = |t: &ViewTree| {
         t.nodes
             .iter()
-            .position(|nd| {
-                nd.rels == 0b110 && matches!(nd.kind, NodeKind::Inner { .. })
-            })
+            .position(|nd| nd.rels == 0b110 && matches!(nd.kind, NodeKind::Inner { .. }))
             .unwrap()
     };
-    let plain_size = plain_engine
-        .view_relation(st_view(&plain))
-        .unwrap()
-        .len();
+    let plain_size = plain_engine.view_relation(st_view(&plain)).unwrap().len();
     let ind_size = ind_engine.view_relation(st_view(&ind)).unwrap().len();
     assert_eq!(plain_size, (n * n) as usize, "unbounded view is quadratic");
     assert_eq!(ind_size, 1, "indicator bounds the view by R’s support");

@@ -127,8 +127,7 @@ fn per_group_cofactor_models() {
     let x = q.catalog.lookup("X").unwrap();
     let y = q.catalog.lookup("Y").unwrap();
     let spec = CofactorSpec { vars: vec![x, y] };
-    let mut engine: IvmEngine<Cofactor> =
-        IvmEngine::new(q.clone(), tree, &[0, 1], spec.liftings());
+    let mut engine: IvmEngine<Cofactor> = IvmEngine::new(q.clone(), tree, &[0, 1], spec.liftings());
     for g in [0i64, 1] {
         let dd = Relation::from_pairs(
             q.relations[1].schema.clone(),

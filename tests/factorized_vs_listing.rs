@@ -12,9 +12,7 @@ fn cq_liftings(_q: &QueryDef, cq_free: &[VarId]) -> LiftingMap<RelPayload> {
     for &v in cq_free {
         lifts.set(
             v,
-            Lifting::from_fn(move |val: &Value| {
-                RelPayload::lift_free(Schema::new(vec![v]), val)
-            }),
+            Lifting::from_fn(move |val: &Value| RelPayload::lift_free(Schema::new(vec![v]), val)),
         );
     }
     lifts

@@ -1,0 +1,144 @@
+//! Figure 6 oracle: the relational engine's compiled factored path,
+//! driven through [`fivm_linalg::EngineChainIvm`], must maintain the
+//! matrix-chain product `A₁ ⋯ A_k` in agreement with two independent
+//! oracles — dense re-evaluation ([`ReEvalChain`], ground truth
+//! recomputed from scratch) and the dense LINVIEW-style F-IVM
+//! ([`DenseChainIvm`]) — and with the engine's own general factor path,
+//! under randomized rank-1 / rank-r update schedules across chain
+//! lengths, positions and signs (deletes are negative-coefficient
+//! rank-1 updates). Floating-point sums fold in different orders per
+//! strategy, so agreement is asserted to 1e-6 relative tolerance.
+
+use fivm_linalg::{DenseChainIvm, EngineChainIvm, Matrix, ReEvalChain};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_chain(k: usize, n: usize, rng: &mut SmallRng) -> Vec<Matrix> {
+    (0..k)
+        .map(|_| Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0)))
+        .collect()
+}
+
+fn random_vec(n: usize, rng: &mut SmallRng) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// A sparse ±e_row vector (the one-row-update / delete shape).
+fn sparse_vec(n: usize, rng: &mut SmallRng) -> Vec<f64> {
+    let mut v = vec![0.0; n];
+    v[rng.gen_range(0..n)] = if rng.gen_range(0..2) == 0 { 1.0 } else { -1.0 };
+    v
+}
+
+fn assert_close(a: &Matrix, b: &Matrix, context: &str) {
+    let scale = a.max_abs().max(1.0);
+    assert!(
+        a.max_abs_diff(b) <= 1e-6 * scale,
+        "{context}: max |diff| {} exceeds tolerance (scale {scale})",
+        a.max_abs_diff(b)
+    );
+}
+
+/// One randomized schedule: `updates` rank-1/rank-r updates to random
+/// chain positions, checked against both oracles and the general path
+/// after every update.
+fn run_schedule(k: usize, n: usize, updates: usize, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let chain = random_chain(k, n, &mut rng);
+    let mut reeval = ReEvalChain::new(chain.clone());
+    let mut dense = DenseChainIvm::new(chain.clone());
+    let mut engine = EngineChainIvm::new(chain.clone());
+    let mut general = EngineChainIvm::new(chain);
+    general.set_fast_path(false);
+
+    for step in 0..updates {
+        let pos = rng.gen_range(0..k);
+        let r = rng.gen_range(1..=3);
+        let factors: Vec<(Vec<f64>, Vec<f64>)> = (0..r)
+            .map(|_| {
+                let u = if rng.gen_range(0..2) == 0 {
+                    sparse_vec(n, &mut rng)
+                } else {
+                    random_vec(n, &mut rng)
+                };
+                (u, random_vec(n, &mut rng))
+            })
+            .collect();
+        let mut flat = Matrix::zeros(n, n);
+        for (u, v) in &factors {
+            flat.add_outer(u, v);
+        }
+        reeval.apply(pos, &flat);
+        dense.apply_rank_r(pos, &factors);
+        engine.apply_rank_r(pos, &factors);
+        general.apply_rank_r(pos, &factors);
+
+        let truth = reeval.product();
+        let ctx = format!("k={k} n={n} seed={seed} step={step} pos={pos} rank={r}");
+        assert_close(truth, dense.product(), &format!("{ctx} [dense F-IVM]"));
+        assert_close(
+            truth,
+            &engine.product(),
+            &format!("{ctx} [engine factored]"),
+        );
+        assert_close(
+            truth,
+            &general.product(),
+            &format!("{ctx} [engine general]"),
+        );
+    }
+}
+
+/// Chain lengths 2–5 (balanced product trees of different depths),
+/// small dimension, several seeds each.
+#[test]
+fn randomized_rank_schedules_match_oracles() {
+    for k in 2..=5usize {
+        for seed in 0..3u64 {
+            run_schedule(k, 7, 6, seed * 6151 + k as u64);
+        }
+    }
+}
+
+/// A larger dimension crossing the accumulator's hash-merge regime
+/// (n² products per step ≫ 1024).
+#[test]
+fn hash_regime_dimension_matches_oracles() {
+    run_schedule(3, 40, 4, 0xF166);
+}
+
+/// An update stream that cancels itself must return the product to
+/// its initial state (deletes really delete).
+#[test]
+fn cancelling_updates_return_to_start() {
+    let mut rng = SmallRng::seed_from_u64(99);
+    let chain = random_chain(3, 9, &mut rng);
+    let re = ReEvalChain::new(chain.clone());
+    let mut engine = EngineChainIvm::new(chain);
+    let before = re.product().clone();
+    let u = random_vec(9, &mut rng);
+    let v = random_vec(9, &mut rng);
+    let neg_u: Vec<f64> = u.iter().map(|x| -x).collect();
+    for _ in 0..3 {
+        engine.apply_rank1(1, &u, &v);
+        engine.apply_rank1(1, &neg_u, &v);
+    }
+    assert_close(&before, &engine.product(), "cancelling stream");
+}
+
+/// The flat foil agrees too (rank-1 multiplied out through the flat
+/// fast path) — slower, same answer.
+#[test]
+fn flat_foil_agrees_with_factored() {
+    let mut rng = SmallRng::seed_from_u64(1234);
+    let chain = random_chain(3, 8, &mut rng);
+    let mut fact = EngineChainIvm::new(chain.clone());
+    let mut flat = EngineChainIvm::new(chain);
+    for _ in 0..4 {
+        let u = random_vec(8, &mut rng);
+        let v = random_vec(8, &mut rng);
+        fact.apply_rank1(1, &u, &v);
+        flat.apply_rank1_flat(1, &u, &v);
+        assert_close(&fact.product(), &flat.product(), "factored vs flat foil");
+    }
+}

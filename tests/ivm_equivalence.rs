@@ -172,13 +172,41 @@ fn regression_repeated_keys_and_deletes() {
     let q = QueryDef::example_rst(&[]);
     let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
     let updates = vec![
-        Upd { rel: 0, vals: vec![0, 0], mult: 2 },
-        Upd { rel: 1, vals: vec![0, 1, 2], mult: 1 },
-        Upd { rel: 2, vals: vec![1, 0], mult: 1 },
-        Upd { rel: 0, vals: vec![0, 0], mult: -1 },
-        Upd { rel: 2, vals: vec![1, 0], mult: -1 },
-        Upd { rel: 2, vals: vec![1, 3], mult: 2 },
-        Upd { rel: 1, vals: vec![0, 1, 2], mult: -1 },
+        Upd {
+            rel: 0,
+            vals: vec![0, 0],
+            mult: 2,
+        },
+        Upd {
+            rel: 1,
+            vals: vec![0, 1, 2],
+            mult: 1,
+        },
+        Upd {
+            rel: 2,
+            vals: vec![1, 0],
+            mult: 1,
+        },
+        Upd {
+            rel: 0,
+            vals: vec![0, 0],
+            mult: -1,
+        },
+        Upd {
+            rel: 2,
+            vals: vec![1, 0],
+            mult: -1,
+        },
+        Upd {
+            rel: 2,
+            vals: vec![1, 3],
+            mult: 2,
+        },
+        Upd {
+            rel: 1,
+            vals: vec![0, 1, 2],
+            mult: -1,
+        },
     ];
     run_equivalence(&q, &vo, &LiftingMap::new(), &updates).unwrap();
 }

@@ -27,11 +27,7 @@ use support::{
 
 /// The sequential engine plus a parallel twin (4 workers, fan-out
 /// forced onto small batches).
-fn engine_pair(
-    q: &QueryDef,
-    tree: &ViewTree,
-    lifts: &LiftingMap<i64>,
-) -> Vec<IvmEngine<i64>> {
+fn engine_pair(q: &QueryDef, tree: &ViewTree, lifts: &LiftingMap<i64>) -> Vec<IvmEngine<i64>> {
     let all: Vec<usize> = (0..q.relations.len()).collect();
     let seq = IvmEngine::new(q.clone(), tree.clone(), &all, lifts.clone());
     let mut par = IvmEngine::new(q.clone(), tree.clone(), &all, lifts.clone());
@@ -148,9 +144,9 @@ fn adversarial_batches_match_oracle() {
     let mut db: OracleDb = q.relations.iter().map(|_| HashMap::new()).collect();
 
     let apply = |engines: &mut Vec<IvmEngine<i64>>,
-                     db: &mut OracleDb,
-                     rel: usize,
-                     pairs: Vec<(Vec<i64>, i64)>| {
+                 db: &mut OracleDb,
+                 rel: usize,
+                 pairs: Vec<(Vec<i64>, i64)>| {
         for (row, m) in &pairs {
             let e = db[rel].entry(row.clone()).or_insert(0);
             *e += m;
@@ -160,9 +156,9 @@ fn adversarial_batches_match_oracle() {
         }
         let delta = Relation::from_pairs(
             q.relations[rel].schema.clone(),
-            pairs.into_iter().map(|(row, m)| {
-                (Tuple::new(row.iter().map(|&v| Value::Int(v)).collect()), m)
-            }),
+            pairs
+                .into_iter()
+                .map(|(row, m)| (Tuple::new(row.iter().map(|&v| Value::Int(v)).collect()), m)),
         );
         for engine in engines.iter_mut() {
             engine.apply(rel, &Delta::Flat(delta.clone()));
@@ -180,10 +176,25 @@ fn adversarial_batches_match_oracle() {
     };
 
     // 2000 R-tuples all sharing A=1 (one hot join key).
-    apply(&mut engines, &mut db, 0, (0..2000).map(|b| (vec![1, b], 1)).collect());
+    apply(
+        &mut engines,
+        &mut db,
+        0,
+        (0..2000).map(|b| (vec![1, b], 1)).collect(),
+    );
     // S and T matching the hub, enough to cross the hash-merge band.
-    apply(&mut engines, &mut db, 1, (0..1500).map(|c| (vec![1, c % 40, c], 1)).collect());
-    apply(&mut engines, &mut db, 2, (0..40).map(|c| (vec![c, c], 1)).collect());
+    apply(
+        &mut engines,
+        &mut db,
+        1,
+        (0..1500).map(|c| (vec![1, c % 40, c], 1)).collect(),
+    );
+    apply(
+        &mut engines,
+        &mut db,
+        2,
+        (0..40).map(|c| (vec![c, c], 1)).collect(),
+    );
     check(&engines, &db, "hot-key load");
 
     // A self-cancelling batch (every key nets to zero) is a no-op —
@@ -194,10 +205,16 @@ fn adversarial_batches_match_oracle() {
         &mut engines,
         &mut db,
         0,
-        (0..500).flat_map(|b| [(vec![7, b], 3), (vec![7, b], -3)]).collect(),
+        (0..500)
+            .flat_map(|b| [(vec![7, b], 3), (vec![7, b], -3)])
+            .collect(),
     );
     for (i, e) in engines.iter().enumerate() {
-        assert_eq!(e.result(), before[i], "engine {i}: cancelled batch changed the result");
+        assert_eq!(
+            e.result(),
+            before[i],
+            "engine {i}: cancelled batch changed the result"
+        );
         assert_eq!(
             e.index_footprint(),
             footprints[i],
@@ -231,14 +248,17 @@ fn adversarial_batches_match_oracle() {
         // R's leaf store legitimately changed; the *result* must not
         // (the B column is marginalized with COUNT lifting, so +1/−1
         // pairs at the same A cancel at the first projection).
-        assert_eq!(e.result(), before[i], "engine {i}: projection-cancelled batch leaked");
+        assert_eq!(
+            e.result(),
+            before[i],
+            "engine {i}: projection-cancelled batch leaked"
+        );
     }
     check(&engines, &db, "projection-cancelling batch");
 
     // Delete everything ever inserted: all views drain to empty.
     for rel in 0..3 {
-        let all: Vec<(Vec<i64>, i64)> =
-            db[rel].iter().map(|(row, &m)| (row.clone(), -m)).collect();
+        let all: Vec<(Vec<i64>, i64)> = db[rel].iter().map(|(row, &m)| (row.clone(), -m)).collect();
         apply(&mut engines, &mut db, rel, all);
     }
     for (i, e) in engines.iter().enumerate() {

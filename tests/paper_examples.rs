@@ -35,7 +35,8 @@ fn example_1_1_group_by_sum() {
             Lifting::from_fn(|x: &Value| x.as_int().unwrap()),
         );
     }
-    let mut engine: IvmEngine<i64> = IvmEngine::new(q.clone(), tree.clone(), &[0, 1, 2], lifts.clone());
+    let mut engine: IvmEngine<i64> =
+        IvmEngine::new(q.clone(), tree.clone(), &[0, 1, 2], lifts.clone());
     let db = fig2_db(&q, 1i64);
     engine.load(&db);
     let expected = eval_tree(&tree, &db, &lifts);
@@ -59,8 +60,7 @@ fn example_4_1_count_delta() {
     let q = QueryDef::example_rst(&[]);
     let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
     let tree = ViewTree::build(&q, &vo);
-    let mut engine: IvmEngine<i64> =
-        IvmEngine::new(q.clone(), tree, &[0, 1, 2], LiftingMap::new());
+    let mut engine: IvmEngine<i64> = IvmEngine::new(q.clone(), tree, &[0, 1, 2], LiftingMap::new());
     engine.load(&fig2_db(&q, 1i64));
     assert_eq!(engine.result().payload(&Tuple::unit()), 10); // Figure 2d
     let dt = Relation::from_pairs(
@@ -185,7 +185,8 @@ fn example_6_1_rank1_update() {
     let q = matrices::chain_query(3);
     let vo = VariableOrder::parse("X1 - X4 - X3 - X2", &q.catalog);
     let tree = ViewTree::build(&q, &vo);
-    let mut engine: IvmEngine<f64> = IvmEngine::new(q.clone(), tree.clone(), &[1], LiftingMap::new());
+    let mut engine: IvmEngine<f64> =
+        IvmEngine::new(q.clone(), tree.clone(), &[1], LiftingMap::new());
     let chain = matrices::random_chain(3, n, 5);
     let mut db = Database::<f64>::empty(&q);
     for (i, d) in chain.iter().enumerate() {

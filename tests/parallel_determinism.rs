@@ -40,10 +40,7 @@ fn engine_fleet(q: &QueryDef, tree: &ViewTree, lifts: &LiftingMap<i64>) -> Vec<I
 
 /// Every materialized view of every engine, canonicalized to sorted
 /// `(key, payload)` rows, must equal the sequential reference's.
-fn assert_views_identical(
-    engines: &[IvmEngine<i64>],
-    context: &str,
-) -> Result<(), TestCaseError> {
+fn assert_views_identical(engines: &[IvmEngine<i64>], context: &str) -> Result<(), TestCaseError> {
     let reference = &engines[0];
     for node in 0..reference.tree().nodes.len() {
         let want = reference.view_relation(node).map(|r| r.sorted());
@@ -152,7 +149,11 @@ fn default_threshold_large_batches_are_deterministic() {
                 let vals: Vec<Value> = (0..arity)
                     .map(|c| {
                         // Skew: a quarter of rows share join key 1.
-                        let v = if i % 4 == 0 && c == 0 { 1 } else { (i * 7 + c as i64) % 997 };
+                        let v = if i % 4 == 0 && c == 0 {
+                            1
+                        } else {
+                            (i * 7 + c as i64) % 997
+                        };
                         Value::Int(v)
                     })
                     .collect();
@@ -208,8 +209,9 @@ fn changing_worker_count_mid_stream_is_safe() {
             let d = Relation::from_pairs(
                 q.relations[rel].schema.clone(),
                 (0..200i64).map(|i| {
-                    let vals: Vec<Value> =
-                        (0..arity).map(|c| Value::Int((i + round as i64 * 31 + c as i64) % 23)).collect();
+                    let vals: Vec<Value> = (0..arity)
+                        .map(|c| Value::Int((i + round as i64 * 31 + c as i64) % 23))
+                        .collect();
                     (Tuple::new(vals), if i % 5 == 4 { -1 } else { 1 })
                 }),
             );

@@ -14,35 +14,38 @@ use proptest::prelude::*;
 /// with relation i−1).
 fn query_strategy() -> impl Strategy<Value = QueryDef> {
     let names = ["A", "B", "C", "D", "E"];
-    proptest::collection::vec(proptest::sample::subsequence(vec![0usize, 1, 2, 3, 4], 2..=3), 2..=4)
-        .prop_filter_map("connected query", move |schemas| {
-            // force connectivity: each relation must share a var with
-            // the union of the previous ones
-            let mut seen: Vec<usize> = schemas[0].clone();
-            for s in &schemas[1..] {
-                if !s.iter().any(|v| seen.contains(v)) {
-                    return None;
-                }
-                seen.extend(s.iter().copied());
+    proptest::collection::vec(
+        proptest::sample::subsequence(vec![0usize, 1, 2, 3, 4], 2..=3),
+        2..=4,
+    )
+    .prop_filter_map("connected query", move |schemas| {
+        // force connectivity: each relation must share a var with
+        // the union of the previous ones
+        let mut seen: Vec<usize> = schemas[0].clone();
+        for s in &schemas[1..] {
+            if !s.iter().any(|v| seen.contains(v)) {
+                return None;
             }
-            let rels: Vec<(String, Vec<&str>)> = schemas
-                .iter()
-                .enumerate()
-                .map(|(i, s)| {
-                    (
-                        format!("R{i}"),
-                        s.iter().map(|&v| names[v]).collect::<Vec<_>>(),
-                    )
-                })
-                .collect();
-            let rel_refs: Vec<(&str, &[&str])> = rels
-                .iter()
-                .map(|(n, a)| (n.as_str(), a.as_slice()))
-                .collect();
-            // free vars: the first variable of the first relation
-            let free = vec![rels[0].1[0]];
-            Some(QueryDef::new(&rel_refs, &free))
-        })
+            seen.extend(s.iter().copied());
+        }
+        let rels: Vec<(String, Vec<&str>)> = schemas
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                (
+                    format!("R{i}"),
+                    s.iter().map(|&v| names[v]).collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let rel_refs: Vec<(&str, &[&str])> = rels
+            .iter()
+            .map(|(n, a)| (n.as_str(), a.as_slice()))
+            .collect();
+        // free vars: the first variable of the first relation
+        let free = vec![rels[0].1[0]];
+        Some(QueryDef::new(&rel_refs, &free))
+    })
 }
 
 /// Naive oracle: join all relations, marginalize every bound variable.

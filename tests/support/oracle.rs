@@ -58,7 +58,11 @@ pub fn oracle_eval(
         let bound: Vec<usize> = schema
             .iter()
             .enumerate()
-            .filter(|(_, v)| partials.first().is_some_and(|(a, _)| a[**v as usize].is_some()))
+            .filter(|(_, v)| {
+                partials
+                    .first()
+                    .is_some_and(|(a, _)| a[**v as usize].is_some())
+            })
             .map(|(i, _)| i)
             .collect();
         // `bound` must be identical across partials: every partial has
@@ -114,7 +118,10 @@ pub fn oracle_eval(
         for &v in identity_lift_vars {
             weight *= assign[v as usize].expect("lifted var is bound in the join");
         }
-        let key: Vec<i64> = free.iter().map(|&v| assign[v].expect("free var bound")).collect();
+        let key: Vec<i64> = free
+            .iter()
+            .map(|&v| assign[v].expect("free var bound"))
+            .collect();
         *out.entry(key).or_insert(0) += weight;
     }
     out.retain(|_, w| *w != 0);
@@ -158,13 +165,14 @@ pub struct BatchSpec {
 
 pub fn batch_specs(max_exp: u32, batches: usize) -> impl Strategy<Value = Vec<BatchSpec>> {
     proptest::collection::vec(
-        (0usize..64, 0u32..=max_exp, 0u64..u64::MAX, 0u64..u64::MAX)
-            .prop_map(|(rel, size_exp, jitter, seed)| BatchSpec {
+        (0usize..64, 0u32..=max_exp, 0u64..u64::MAX, 0u64..u64::MAX).prop_map(
+            |(rel, size_exp, jitter, seed)| BatchSpec {
                 rel,
                 size_exp,
                 jitter,
                 seed,
-            }),
+            },
+        ),
         1..=batches,
     )
 }

@@ -108,6 +108,7 @@ fn steady_state_propagation_allocates_nothing() {
         batch_phase(batch_size);
     }
     symbol_phase();
+    factored_phase();
 }
 
 fn single_tuple_phase() {
@@ -116,19 +117,29 @@ fn single_tuple_phase() {
     let q = QueryDef::example_rst(&[]);
     let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
     let tree = ViewTree::build(&q, &vo);
-    let mut engine: IvmEngine<i64> =
-        IvmEngine::new(q.clone(), tree, &[0, 1, 2], LiftingMap::new());
+    let mut engine: IvmEngine<i64> = IvmEngine::new(q.clone(), tree, &[0, 1, 2], LiftingMap::new());
 
     // Resident working set (multiplicity 2 where payload toggles land).
     let base: Vec<Step> = {
         let mut v = Vec::new();
         for (rel, tuples) in [
-            (0usize, vec![tuple![1, 1], tuple![1, 2], tuple![2, 3], tuple![3, 4]]),
+            (
+                0usize,
+                vec![tuple![1, 1], tuple![1, 2], tuple![2, 3], tuple![3, 4]],
+            ),
             (
                 1,
-                vec![tuple![1, 1, 1], tuple![1, 1, 2], tuple![1, 2, 3], tuple![2, 2, 4]],
+                vec![
+                    tuple![1, 1, 1],
+                    tuple![1, 1, 2],
+                    tuple![1, 2, 3],
+                    tuple![2, 2, 4],
+                ],
             ),
-            (2, vec![tuple![1, 1], tuple![2, 2], tuple![2, 3], tuple![3, 4]]),
+            (
+                2,
+                vec![tuple![1, 1], tuple![2, 2], tuple![2, 3], tuple![3, 4]],
+            ),
         ] {
             for t in tuples {
                 let d = Relation::from_pairs(q.relations[rel].schema.clone(), [(t, 2i64)]);
@@ -196,8 +207,7 @@ fn symbol_phase() {
     let q = QueryDef::example_rst(&[]);
     let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
     let tree = ViewTree::build(&q, &vo);
-    let mut engine: IvmEngine<i64> =
-        IvmEngine::new(q.clone(), tree, &[0, 1, 2], LiftingMap::new());
+    let mut engine: IvmEngine<i64> = IvmEngine::new(q.clone(), tree, &[0, 1, 2], LiftingMap::new());
 
     // All interning happens here, while deltas are pre-built.
     let sym = |s: &str| q.catalog.sym(s);
@@ -223,7 +233,10 @@ fn symbol_phase() {
         engine.apply(*rel, d);
     }
     let result_before = engine.result();
-    assert!(!result_before.is_empty(), "symbol-keyed join produced results");
+    assert!(
+        !result_before.is_empty(),
+        "symbol-keyed join produced results"
+    );
 
     // Toggles: membership churn on fresh symbol keys plus payload
     // toggles on resident symbol keys.
@@ -265,6 +278,105 @@ fn symbol_phase() {
     assert_eq!(engine.result(), result_before);
 }
 
+/// Factored variant: steady-state propagation of **factored deltas**
+/// through the compiled factored path allocates nothing. Each cycle
+/// toggles rank-1 products (insert, then the negated factor cancels
+/// them) in two factorization shapes of S(A,C,E) — the precompiled
+/// all-singleton rank-1 shape and a grouped `[A] ⊗ [C,E]` shape — plus
+/// rank-1 toggles on R and T, so the slot program (cross, fused join,
+/// store flatten via `concat_project`), the plan-cache probe, and the
+/// accumulator all run with warmed buffers.
+fn factored_phase() {
+    let q = QueryDef::example_rst(&[]);
+    let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
+    let tree = ViewTree::build(&q, &vo);
+    let mut engine: IvmEngine<i64> = IvmEngine::new(q.clone(), tree, &[0, 1, 2], LiftingMap::new());
+
+    // Resident working set (flat inserts; the factored toggles join it).
+    for (rel, tuples) in [
+        (0usize, vec![tuple![1, 1], tuple![1, 2], tuple![2, 3]]),
+        (1, vec![tuple![1, 1, 1], tuple![1, 2, 3], tuple![2, 2, 4]]),
+        (2, vec![tuple![1, 1], tuple![2, 2], tuple![2, 3]]),
+    ] {
+        for t in tuples {
+            let d = Relation::from_pairs(q.relations[rel].schema.clone(), [(t, 2i64)]);
+            engine.apply(rel, &Delta::Flat(d));
+        }
+    }
+    let result_before = engine.result();
+
+    let var = |n: &str| q.catalog.lookup(n).unwrap();
+    let (a, b, c, d_, e) = (var("A"), var("B"), var("C"), var("D"), var("E"));
+    let vec1 = |v, x: i64, m: i64| Relation::from_pairs(Schema::new(vec![v]), [(tuple![x], m)]);
+    // Toggle cycle: every insert has its cancelling negation.
+    let cycle: Vec<(usize, Delta<i64>)> = vec![
+        // S as three vector factors (the precompiled rank-1 shape),
+        // fresh keys A=9/C=9/E=90: membership appears then disappears.
+        (
+            1,
+            Delta::factored(vec![vec1(a, 9, 1), vec1(c, 9, 1), vec1(e, 90, 1)]),
+        ),
+        (
+            1,
+            Delta::factored(vec![vec1(a, 9, -1), vec1(c, 9, 1), vec1(e, 90, 1)]),
+        ),
+        // S as a grouped [A] ⊗ [C,E] shape on resident keys (payload
+        // toggles: multiplicity 2 → 3 → 2).
+        (
+            1,
+            Delta::factored(vec![
+                vec1(a, 1, 1),
+                Relation::from_pairs(Schema::new(vec![c, e]), [(tuple![2, 3], 1i64)]),
+            ]),
+        ),
+        (
+            1,
+            Delta::factored(vec![
+                vec1(a, 1, -1),
+                Relation::from_pairs(Schema::new(vec![c, e]), [(tuple![2, 3], 1i64)]),
+            ]),
+        ),
+        // R and T rank-1 toggles (fresh and resident keys).
+        (0, Delta::factored(vec![vec1(a, 9, 1), vec1(b, 90, 1)])),
+        (0, Delta::factored(vec![vec1(a, 9, -1), vec1(b, 90, 1)])),
+        (2, Delta::factored(vec![vec1(c, 2, 1), vec1(d_, 2, 1)])),
+        (2, Delta::factored(vec![vec1(c, 2, -1), vec1(d_, 2, 1)])),
+    ];
+
+    // Warm-up: grows slot buffers, plan caches (both shapes compile
+    // here), accumulator storage and view tables.
+    for _ in 0..2 {
+        for (rel, d) in &cycle {
+            engine.apply(*rel, d);
+        }
+    }
+
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    COUNTING_THREAD.with(|c| c.set(true));
+    COUNTING.store(true, Ordering::SeqCst);
+    for _ in 0..25 {
+        for (rel, d) in &cycle {
+            engine.apply(*rel, d);
+        }
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocations = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        allocations, 0,
+        "steady-state factored propagation must not allocate \
+         (saw {allocations} allocations across 25 toggle cycles)"
+    );
+    assert_eq!(
+        engine.result(),
+        result_before,
+        "toggles returned to baseline"
+    );
+    // The toggles were real factored work: the singleton and grouped
+    // shapes both live in the plan cache, and nothing was recompiled.
+    assert_eq!(engine.factored_shapes_cached(1), 2);
+}
+
 /// Batch variant: after warm-up at `batch_size`, repeated toggle
 /// batches at that size perform zero allocations. Each cycle inserts
 /// one `batch_size`-tuple batch into R and one into S (a slice of it
@@ -275,8 +387,7 @@ fn batch_phase(batch_size: usize) {
     let q = QueryDef::example_rst(&[]);
     let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
     let tree = ViewTree::build(&q, &vo);
-    let mut engine: IvmEngine<i64> =
-        IvmEngine::new(q.clone(), tree, &[0, 1, 2], LiftingMap::new());
+    let mut engine: IvmEngine<i64> = IvmEngine::new(q.clone(), tree, &[0, 1, 2], LiftingMap::new());
 
     // Resident working set the joining slice of each batch hits.
     for (rel, tuples) in [
@@ -307,7 +418,10 @@ fn batch_phase(batch_size: usize) {
                 (t, sign)
             })
             .collect();
-        Delta::Flat(Relation::from_pairs(q.relations[rel].schema.clone(), tuples))
+        Delta::Flat(Relation::from_pairs(
+            q.relations[rel].schema.clone(),
+            tuples,
+        ))
     };
     let cycle: Vec<(usize, Delta<i64>)> = vec![
         (0, batch(0, 1)),
@@ -341,5 +455,9 @@ fn batch_phase(batch_size: usize) {
         "steady-state {batch_size}-tuple batch propagation must not \
          allocate (saw {allocations} allocations across 10 toggle cycles)"
     );
-    assert_eq!(engine.result(), result_before, "toggles returned to baseline");
+    assert_eq!(
+        engine.result(),
+        result_before,
+        "toggles returned to baseline"
+    );
 }
