@@ -505,6 +505,116 @@ fn smoke() {
         )
     };
 
+    // Durability (PR 6): the same pre-built fig11 updates through a
+    // WAL-logged engine (group commit, no fsync per update — the
+    // default config) vs the plain engine measured above; recovery
+    // wall-time as a function of the log tail replayed; and a
+    // checkpoint-interval sweep showing the logging-side and
+    // recovery-side cost of checkpoint cadence. The <15% logging
+    // overhead budget is asserted, not just recorded.
+    let durability = {
+        use fivm_durability::{DurabilityConfig, DurableEngine};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        fn bench_dir(tag: &str) -> std::path::PathBuf {
+            static N: AtomicU64 = AtomicU64::new(0);
+            let d = std::env::temp_dir().join(format!(
+                "fivm-bench-dur-{tag}-{}-{}",
+                std::process::id(),
+                N.fetch_add(1, Ordering::Relaxed)
+            ));
+            let _ = std::fs::remove_dir_all(&d);
+            d
+        }
+        let manual = DurabilityConfig {
+            checkpoint_every: 0,
+            ..DurabilityConfig::default()
+        };
+
+        // Logging-overhead A/B, best of 3 on both sides (htput above).
+        let logged_tput = (0..3)
+            .map(|_| {
+                let dir = bench_dir("ab");
+                let engine =
+                    fivm_engine::IvmEngine::new(hq.clone(), htree.clone(), &hall, hlifts.clone());
+                let mut d = DurableEngine::create(&dir, engine, manual.clone()).unwrap();
+                let start = Instant::now();
+                for (rel, dl) in &hupdates {
+                    d.apply(*rel, dl).unwrap();
+                }
+                let tput = hupdates.len() as f64 / start.elapsed().as_secs_f64().max(1e-9);
+                drop(d);
+                let _ = std::fs::remove_dir_all(&dir);
+                tput
+            })
+            .fold(0.0f64, f64::max);
+        let overhead_pct = (htput / logged_tput.max(1e-9) - 1.0) * 100.0;
+        assert!(
+            overhead_pct < 15.0,
+            "WAL logging overhead {overhead_pct:.1}% exceeds the 15% budget \
+             (plain {htput:.0}/s vs logged {logged_tput:.0}/s)"
+        );
+        let mut out = format!(
+            ",\"fig11_logged_sum_star\":{logged_tput:.0},\
+             \"fig11_logging_overhead_pct\":{overhead_pct:.1}"
+        );
+
+        // Recovery wall-time vs replayed log-tail length: one
+        // checkpoint at LSN 0, then an n-update tail. The single-tuple
+        // fig11 updates are cycled to reach each length.
+        for n in [1_000usize, 10_000, 30_000] {
+            let dir = bench_dir("tail");
+            let engine =
+                fivm_engine::IvmEngine::new(hq.clone(), htree.clone(), &hall, hlifts.clone());
+            let mut d = DurableEngine::create(&dir, engine, manual.clone()).unwrap();
+            for (rel, dl) in hupdates.iter().cycle().take(n) {
+                d.apply(*rel, dl).unwrap();
+            }
+            d.sync_all().unwrap();
+            drop(d);
+            let engine =
+                fivm_engine::IvmEngine::new(hq.clone(), htree.clone(), &hall, hlifts.clone());
+            let start = Instant::now();
+            let (_r, report) = DurableEngine::open(&dir, engine, manual.clone()).unwrap();
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(report.replayed_updates, n as u64);
+            out.push_str(&format!(",\"recovery_tail{n}_ms\":{ms:.1}"));
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        // Checkpoint-interval sweep over a fixed 30k-update stream:
+        // denser checkpoints tax the logging side (snapshot writes) and
+        // pay off at recovery (shorter tail), sparser the reverse.
+        for every in [1_000u64, 10_000, 100_000] {
+            let dir = bench_dir("ckpt");
+            let cfg = DurabilityConfig {
+                checkpoint_every: every,
+                ..DurabilityConfig::default()
+            };
+            let engine =
+                fivm_engine::IvmEngine::new(hq.clone(), htree.clone(), &hall, hlifts.clone());
+            let mut d = DurableEngine::create(&dir, engine, cfg.clone()).unwrap();
+            let start = Instant::now();
+            for (rel, dl) in hupdates.iter().cycle().take(30_000) {
+                d.apply(*rel, dl).unwrap();
+            }
+            let tput = 30_000.0 / start.elapsed().as_secs_f64().max(1e-9);
+            d.sync_all().unwrap();
+            drop(d);
+            let engine =
+                fivm_engine::IvmEngine::new(hq.clone(), htree.clone(), &hall, hlifts.clone());
+            let start = Instant::now();
+            let (_r, report) = DurableEngine::open(&dir, engine, cfg).unwrap();
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            assert!(report.replayed_updates <= every);
+            out.push_str(&format!(
+                ",\"logged_tput_ckpt_every{every}\":{tput:.0},\
+                 \"recovery_ckpt_every{every}_ms\":{ms:.1}"
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        out
+    };
+
     println!(
         "{{\"bench\":\"smoke\",\"unit\":\"single_tuple_updates_per_sec\",\
          \"fig11_sum_star\":{htput:.0},\"fig11_tuples\":{},\
@@ -512,7 +622,7 @@ fn smoke() {
          \"fig11_control_sum_price\":{hctput:.0},\
          \"fig11_string_sum_star\":{hstput:.0},\
          \"fig13_string_triangle\":{thtput:.0}\
-         {foil}{fig6}{fig12}}}",
+         {foil}{fig6}{fig12}{durability}}}",
         hupdates.len(),
         tupdates.len(),
     );

@@ -28,6 +28,7 @@
 //! (`fivm-query`) and execution (`fivm-engine`).
 
 pub mod accum;
+pub mod codec;
 pub mod hash;
 pub mod key;
 pub mod lifting;
@@ -40,6 +41,7 @@ pub mod update;
 pub mod value;
 
 pub use accum::DeltaAccumulator;
+pub use codec::{Codec, CodecError};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use key::{hash_then_cmp, ConcatProjKey, ProjKey, TupleKey};
 pub use lifting::{Lifting, LiftingMap};

@@ -1,0 +1,243 @@
+//! Incremental checkpoints: per-view snapshot files plus a manifest.
+//!
+//! A checkpoint `s` consists of:
+//!
+//! * view files `view-<node>-<fileseq>.vw`, one per materialized view
+//!   — but only views *dirtied since the previous checkpoint* get new
+//!   files; clean views are carried forward by referencing the file
+//!   the previous manifest already pointed at (view files are
+//!   immutable once written — a fresh `fileseq` is allocated for every
+//!   write, never reused);
+//! * a manifest `ckpt-<s>.man` naming the checkpoint LSN, the query
+//!   fingerprint, a full symbol-table snapshot, and the
+//!   `(node, fileseq)` pair for **every** materialized view.
+//!
+//! Commit protocol: view files are written and fsynced first, then the
+//! manifest is written to a temp name, fsynced, and renamed into
+//! place. A crash mid-checkpoint therefore leaves either no new
+//! manifest (stray view files are garbage-collected later) or a
+//! complete one. Recovery validates a manifest by checksum *and* by
+//! opening every view file it references, falling back to the previous
+//! manifest on any failure.
+
+use crate::crc::crc32;
+use crate::wal::FRAME_HEADER_LEN;
+use crate::{DurabilityError, Result};
+use fivm_core::{Codec, Relation, Semiring};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of manifest files.
+pub const MANIFEST_MAGIC: &[u8; 8] = b"FIVMCKP1";
+/// Magic prefix of view snapshot files.
+pub const VIEW_MAGIC: &[u8; 8] = b"FIVMVIW1";
+
+/// A decoded checkpoint manifest.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    pub seq: u64,
+    /// All updates with LSN ≤ this are reflected in the view files.
+    pub lsn: u64,
+    /// [`fivm_query::QueryDef::fingerprint`] of the engine that cut it.
+    pub query_fingerprint: u64,
+    /// Full symbol table at `lsn`, in intern-id order.
+    pub symbols: Vec<String>,
+    /// `(node id, view file seq)` for every materialized view.
+    pub views: Vec<(usize, u64)>,
+}
+
+/// A manifest file discovered on disk (not yet validated).
+#[derive(Debug, Clone)]
+pub struct ManifestInfo {
+    pub path: PathBuf,
+    pub seq: u64,
+}
+
+/// List manifests of `dir`, sorted by sequence number (oldest first).
+pub fn list_manifests(dir: &Path) -> Result<Vec<ManifestInfo>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(stem) = name
+            .strip_prefix("ckpt-")
+            .and_then(|s| s.strip_suffix(".man"))
+        else {
+            continue;
+        };
+        if let Ok(seq) = stem.parse() {
+            out.push(ManifestInfo { path, seq });
+        }
+    }
+    out.sort_by_key(|m| m.seq);
+    Ok(out)
+}
+
+pub fn manifest_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("ckpt-{seq:06}.man"))
+}
+
+pub fn view_file_path(dir: &Path, node: usize, file_seq: u64) -> PathBuf {
+    dir.join(format!("view-{node:04}-{file_seq:06}.vw"))
+}
+
+/// Read a magic-prefixed single-frame file, validating the checksum.
+fn read_framed(path: &Path, magic: &[u8; 8]) -> Result<Vec<u8>> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let corrupt = |detail: &str| DurabilityError::Corrupt {
+        file: path.to_path_buf(),
+        detail: detail.into(),
+    };
+    if bytes.len() < 8 + FRAME_HEADER_LEN as usize || &bytes[0..8] != magic {
+        return Err(corrupt("bad magic or truncated header"));
+    }
+    let len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    let payload = bytes
+        .get(16..16 + len)
+        .ok_or_else(|| corrupt("payload shorter than frame length"))?;
+    if crc32(payload) != crc {
+        return Err(corrupt("checksum mismatch"));
+    }
+    Ok(payload.to_vec())
+}
+
+/// Write a magic-prefixed single-frame file at `path` and fsync it.
+fn write_framed(path: &Path, magic: &[u8; 8], payload: &[u8]) -> Result<()> {
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(path)?;
+    file.write_all(magic)?;
+    file.write_all(&(payload.len() as u32).to_le_bytes())?;
+    file.write_all(&crc32(payload).to_le_bytes())?;
+    file.write_all(payload)?;
+    file.sync_all()?;
+    Ok(())
+}
+
+/// Read and validate a manifest file.
+pub fn read_manifest(path: &Path) -> Result<Manifest> {
+    let payload = read_framed(path, MANIFEST_MAGIC)?;
+    let input = &mut payload.as_slice();
+    let seq = fivm_core::codec::take_u64(input)?;
+    let lsn = fivm_core::codec::take_u64(input)?;
+    let query_fingerprint = fivm_core::codec::take_u64(input)?;
+    let n_syms = fivm_core::codec::take_count(input, "manifest symbols", 4)?;
+    let mut symbols = Vec::with_capacity(n_syms);
+    for _ in 0..n_syms {
+        symbols.push(String::decode(input)?);
+    }
+    let n_views = fivm_core::codec::take_count(input, "manifest views", 12)?;
+    let mut views = Vec::with_capacity(n_views);
+    for _ in 0..n_views {
+        let node = fivm_core::codec::take_u32(input)? as usize;
+        let file_seq = fivm_core::codec::take_u64(input)?;
+        views.push((node, file_seq));
+    }
+    Ok(Manifest {
+        seq,
+        lsn,
+        query_fingerprint,
+        symbols,
+        views,
+    })
+}
+
+/// Write a manifest via the temp-then-rename commit protocol.
+pub fn write_manifest(dir: &Path, m: &Manifest) -> Result<()> {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&m.seq.to_le_bytes());
+    payload.extend_from_slice(&m.lsn.to_le_bytes());
+    payload.extend_from_slice(&m.query_fingerprint.to_le_bytes());
+    payload.extend_from_slice(&(m.symbols.len() as u32).to_le_bytes());
+    for s in &m.symbols {
+        s.encode(&mut payload);
+    }
+    payload.extend_from_slice(&(m.views.len() as u32).to_le_bytes());
+    for &(node, file_seq) in &m.views {
+        payload.extend_from_slice(&(node as u32).to_le_bytes());
+        payload.extend_from_slice(&file_seq.to_le_bytes());
+    }
+    let tmp = dir.join(format!("ckpt-{:06}.tmp", m.seq));
+    write_framed(&tmp, MANIFEST_MAGIC, &payload)?;
+    std::fs::rename(&tmp, manifest_path(dir, m.seq))?;
+    Ok(())
+}
+
+/// Write one view snapshot file (fsynced).
+pub fn write_view_file<R: Semiring + Codec>(
+    dir: &Path,
+    node: usize,
+    file_seq: u64,
+    rel: &Relation<R>,
+) -> Result<()> {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&(node as u32).to_le_bytes());
+    rel.encode(&mut payload);
+    write_framed(&view_file_path(dir, node, file_seq), VIEW_MAGIC, &payload)
+}
+
+/// Read and validate one view snapshot file.
+pub fn read_view_file<R: Semiring + Codec>(
+    dir: &Path,
+    node: usize,
+    file_seq: u64,
+) -> Result<Relation<R>> {
+    let path = view_file_path(dir, node, file_seq);
+    let payload = read_framed(&path, VIEW_MAGIC)?;
+    let input = &mut payload.as_slice();
+    let stored_node = fivm_core::codec::take_u32(input)? as usize;
+    if stored_node != node {
+        return Err(DurabilityError::Corrupt {
+            file: path,
+            detail: format!("view file claims node {stored_node}, expected {node}"),
+        });
+    }
+    Ok(Relation::decode(input)?)
+}
+
+/// Garbage-collect checkpoints: keep the newest `retained` manifests,
+/// delete older ones plus any view file no retained manifest
+/// references (including stray files from checkpoints that never
+/// committed). Returns the LSN of the *oldest retained* manifest —
+/// the safe WAL truncation cutoff: even if the newest checkpoint is
+/// later lost, recovery can still start from the oldest retained one.
+pub fn gc(dir: &Path, retained: usize) -> Result<Option<u64>> {
+    let manifests = list_manifests(dir)?;
+    if manifests.is_empty() {
+        return Ok(None);
+    }
+    let keep_from = manifests.len().saturating_sub(retained.max(1));
+    let mut referenced: Vec<PathBuf> = Vec::new();
+    let mut oldest_retained_lsn = None;
+    for info in &manifests[keep_from..] {
+        let m = read_manifest(&info.path)?;
+        if oldest_retained_lsn.is_none() {
+            oldest_retained_lsn = Some(m.lsn);
+        }
+        for &(node, file_seq) in &m.views {
+            referenced.push(view_file_path(dir, node, file_seq));
+        }
+    }
+    for info in &manifests[..keep_from] {
+        std::fs::remove_file(&info.path)?;
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let is_view = name.starts_with("view-") && name.ends_with(".vw");
+        let is_stale_tmp = name.starts_with("ckpt-") && name.ends_with(".tmp");
+        if (is_view && !referenced.contains(&path)) || is_stale_tmp {
+            std::fs::remove_file(&path)?;
+        }
+    }
+    Ok(oldest_retained_lsn)
+}

@@ -1,0 +1,514 @@
+//! [`DurableEngine`]: an [`IvmEngine`] whose applied deltas are
+//! write-ahead logged and whose materialized views are periodically
+//! checkpointed, recoverable after a crash to exactly the prefix of
+//! updates that reached disk.
+//!
+//! The logical clock is the engine's own `updates_applied` counter
+//! (one LSN per applied delta). Recovery = newest valid checkpoint +
+//! replay of the log tail; because delta propagation is deterministic
+//! (bit-identical across worker counts for exact rings — the PR 3
+//! parallel-determinism guarantee), the recovered views are
+//! byte-identical to an uninterrupted engine that applied the same
+//! prefix.
+
+use crate::checkpoint::{self, Manifest};
+use crate::wal::{self, DeltaLog, SegmentInfo, WalRecord};
+use crate::{DurabilityConfig, DurabilityError, Result};
+use fivm_core::{Codec, Delta, FxHashMap, Relation, Ring};
+use fivm_engine::IvmEngine;
+use fivm_query::RelIndex;
+use std::path::{Path, PathBuf};
+
+/// What recovery found and did. The fault-injection harness compares
+/// the recovered engine against a reference that applied exactly
+/// `1..=last_lsn`.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// No checkpoint was used (fresh directory, or replay from LSN 0).
+    pub cold_start: bool,
+    /// Sequence number of the checkpoint restored from.
+    pub checkpoint_seq: Option<u64>,
+    /// LSN the restored checkpoint covered (0 if none).
+    pub checkpoint_lsn: u64,
+    /// Last update reflected in the recovered engine.
+    pub last_lsn: u64,
+    /// Updates replayed from the log tail.
+    pub replayed_updates: u64,
+    /// Torn-tail bytes discarded from the final segment.
+    pub truncated_bytes: u64,
+    /// Newest-first manifests that failed validation and were skipped.
+    pub manifests_skipped: usize,
+}
+
+/// A write-ahead-logged, checkpointed IVM engine.
+pub struct DurableEngine<R: Ring> {
+    engine: IvmEngine<R>,
+    dir: PathBuf,
+    cfg: DurabilityConfig,
+    log: DeltaLog,
+    /// Reused scratch for record encoding — the append path allocates
+    /// nothing once this and the log's group-commit buffer are warm.
+    payload_buf: Vec<u8>,
+    /// Symbol-table prefix already durable (in the log or a snapshot).
+    symbols_logged: usize,
+    last_lsn: u64,
+    last_ckpt_lsn: u64,
+    next_ckpt_seq: u64,
+    next_file_seq: u64,
+    /// Per-node view-store version at the last checkpoint — unchanged
+    /// versions let the next checkpoint skip re-snapshotting the view.
+    view_versions: FxHashMap<usize, u64>,
+    /// Per-node snapshot file currently on disk.
+    view_files: FxHashMap<usize, u64>,
+}
+
+impl<R: Ring + Codec> DurableEngine<R> {
+    /// Start durability for `engine` in an empty (or nonexistent)
+    /// directory: writes an initial checkpoint of the engine's current
+    /// state (so a pre-`load`ed engine is captured too) and opens the
+    /// first log segment.
+    pub fn create(
+        dir: impl AsRef<Path>,
+        engine: IvmEngine<R>,
+        cfg: DurabilityConfig,
+    ) -> Result<Self> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        if !checkpoint::list_manifests(dir)?.is_empty() || !wal::list_segments(dir)?.is_empty() {
+            return Err(DurabilityError::Mismatch(format!(
+                "{} already holds durability state; use open() to recover",
+                dir.display()
+            )));
+        }
+        let last_lsn = engine.updates_applied();
+        let log = DeltaLog::create(
+            dir,
+            0,
+            last_lsn + 1,
+            cfg.segment_bytes,
+            cfg.flush_bytes,
+            cfg.sync_data,
+        )?;
+        let mut this = DurableEngine {
+            engine,
+            dir: dir.to_path_buf(),
+            cfg,
+            log,
+            payload_buf: Vec::with_capacity(4096),
+            symbols_logged: 0,
+            last_lsn,
+            last_ckpt_lsn: 0,
+            next_ckpt_seq: 0,
+            next_file_seq: 0,
+            view_versions: FxHashMap::default(),
+            view_files: FxHashMap::default(),
+        };
+        this.checkpoint()?;
+        Ok(this)
+    }
+
+    /// Open a durability directory: recover from the newest valid
+    /// checkpoint plus the log tail (truncating a torn final record),
+    /// or behave like [`DurableEngine::create`] on an empty directory.
+    /// `engine` must be freshly built for the same query (it is the
+    /// recovery target); pre-applied updates would desync the LSN
+    /// clock and are rejected.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        engine: IvmEngine<R>,
+        cfg: DurabilityConfig,
+    ) -> Result<(Self, RecoveryReport)> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let manifests = checkpoint::list_manifests(dir)?;
+        let segments = wal::list_segments(dir)?;
+        if manifests.is_empty() && segments.is_empty() {
+            let this = Self::create(dir, engine, cfg)?;
+            let report = RecoveryReport {
+                cold_start: true,
+                last_lsn: this.last_lsn,
+                ..Default::default()
+            };
+            return Ok((this, report));
+        }
+        if engine.updates_applied() != 0 {
+            return Err(DurabilityError::Mismatch(
+                "recovery target engine has already applied updates".into(),
+            ));
+        }
+        Self::recover(dir, engine, cfg, manifests, segments)
+    }
+
+    fn recover(
+        dir: &Path,
+        mut engine: IvmEngine<R>,
+        cfg: DurabilityConfig,
+        manifests: Vec<checkpoint::ManifestInfo>,
+        mut segments: Vec<SegmentInfo>,
+    ) -> Result<(Self, RecoveryReport)> {
+        let mut report = RecoveryReport::default();
+        let fingerprint = engine.query().fingerprint();
+
+        // Newest valid checkpoint: manifest must checksum, match the
+        // engine's query, and have every referenced view file intact.
+        type LoadedViews<R> = Vec<(usize, Relation<R>)>;
+        let mut chosen: Option<(Manifest, LoadedViews<R>)> = None;
+        for info in manifests.iter().rev() {
+            let m = match checkpoint::read_manifest(&info.path) {
+                Ok(m) => m,
+                Err(_) => {
+                    report.manifests_skipped += 1;
+                    continue;
+                }
+            };
+            if m.query_fingerprint != fingerprint {
+                return Err(DurabilityError::Mismatch(format!(
+                    "checkpoint {} was cut from a different query (fingerprint {:#x}, engine {:#x})",
+                    info.seq, m.query_fingerprint, fingerprint
+                )));
+            }
+            let mut snapshots = Vec::with_capacity(m.views.len());
+            let mut ok = true;
+            for &(node, file_seq) in &m.views {
+                match checkpoint::read_view_file::<R>(dir, node, file_seq) {
+                    Ok(rel) => snapshots.push((node, rel)),
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                chosen = Some((m, snapshots));
+                break;
+            }
+            report.manifests_skipped += 1;
+        }
+
+        let (ckpt_lsn, view_files) = match &chosen {
+            Some((m, snapshots)) => {
+                report.checkpoint_seq = Some(m.seq);
+                report.checkpoint_lsn = m.lsn;
+                restore_symbols(&engine, &m.symbols)?;
+                engine.restore_views(snapshots, m.lsn);
+                (m.lsn, m.views.iter().copied().collect::<FxHashMap<_, _>>())
+            }
+            None => {
+                // No usable checkpoint. A full replay is only sound if
+                // the log still reaches back to the beginning.
+                report.cold_start = true;
+                if let Some(first) = segments.first() {
+                    if first.first_lsn > 1 {
+                        return Err(DurabilityError::Corrupt {
+                            file: first.path.clone(),
+                            detail: format!(
+                                "no valid checkpoint and the log starts at LSN {} — \
+                                 earlier segments were truncated",
+                                first.first_lsn
+                            ),
+                        });
+                    }
+                }
+                (0, FxHashMap::default())
+            }
+        };
+        drop(chosen);
+
+        // Replay the tail. Start at the last segment that begins at or
+        // before the checkpoint boundary; older segments are fully
+        // covered by the restored snapshot.
+        let mut last_lsn = ckpt_lsn;
+        let start = match segments.iter().rposition(|s| s.first_lsn <= ckpt_lsn + 1) {
+            Some(i) => i,
+            None if segments.is_empty() => 0,
+            None => {
+                return Err(DurabilityError::Corrupt {
+                    file: segments[0].path.clone(),
+                    detail: format!(
+                        "log does not reach back to checkpoint LSN {ckpt_lsn} \
+                         (oldest surviving segment starts at {})",
+                        segments[0].first_lsn
+                    ),
+                });
+            }
+        };
+        let schemas: Vec<fivm_core::Schema> = engine
+            .query()
+            .relations
+            .iter()
+            .map(|r| r.schema.clone())
+            .collect();
+        for (i, info) in segments.iter().enumerate().skip(start) {
+            let is_last = i + 1 == segments.len();
+            let (records, torn_at) = match wal::read_segment::<R>(info, &schemas) {
+                Ok(r) => r,
+                // A final segment too short or garbled to even carry
+                // its header is a torn segment creation: drop it.
+                Err(DurabilityError::Corrupt { .. }) if is_last => {
+                    report.truncated_bytes += std::fs::metadata(&info.path)?.len();
+                    std::fs::remove_file(&info.path)?;
+                    segments.pop();
+                    break;
+                }
+                Err(e) => return Err(e),
+            };
+            if let Some(valid_len) = torn_at {
+                if !is_last {
+                    return Err(DurabilityError::Corrupt {
+                        file: info.path.clone(),
+                        detail: format!("invalid record at byte {valid_len} mid-log"),
+                    });
+                }
+                let total = std::fs::metadata(&info.path)?.len();
+                report.truncated_bytes += total - valid_len;
+                std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(&info.path)?
+                    .set_len(valid_len)?;
+            }
+            for rec in records {
+                match rec {
+                    WalRecord::Symbols { first_id, syms } => {
+                        replay_symbols(&engine, first_id, &syms)?;
+                    }
+                    WalRecord::Update { lsn, rel, delta } => {
+                        if lsn <= ckpt_lsn {
+                            continue;
+                        }
+                        if lsn != last_lsn + 1 {
+                            return Err(DurabilityError::Corrupt {
+                                file: info.path.clone(),
+                                detail: format!(
+                                    "LSN gap in replay: expected {}, found {lsn}",
+                                    last_lsn + 1
+                                ),
+                            });
+                        }
+                        engine.apply(rel, &delta);
+                        last_lsn = lsn;
+                        report.replayed_updates += 1;
+                    }
+                }
+            }
+        }
+        report.last_lsn = last_lsn;
+        debug_assert_eq!(engine.updates_applied(), last_lsn);
+
+        // Continue appending into a fresh segment after the tail.
+        let next_seq = segments.last().map_or(0, |s| s.seq + 1);
+        let log = DeltaLog::create(
+            dir,
+            next_seq,
+            last_lsn + 1,
+            cfg.segment_bytes,
+            cfg.flush_bytes,
+            cfg.sync_data,
+        )?;
+        let next_ckpt_seq = manifests.last().map_or(0, |m| m.seq + 1);
+        let next_file_seq = max_view_file_seq(dir)?.map_or(0, |s| s + 1);
+        let symbols_logged = engine.query().catalog.symbols().len();
+        let view_versions = engine
+            .materialized_nodes()
+            .into_iter()
+            .map(|n| (n, engine.view_version(n).unwrap()))
+            .collect();
+        let mut this = DurableEngine {
+            engine,
+            dir: dir.to_path_buf(),
+            cfg,
+            log,
+            payload_buf: Vec::with_capacity(4096),
+            symbols_logged,
+            last_lsn,
+            last_ckpt_lsn: ckpt_lsn,
+            next_ckpt_seq,
+            next_file_seq,
+            view_versions,
+            view_files,
+        };
+        if this.view_files.is_empty() {
+            // Cold replay had no checkpoint to carry forward — cut one
+            // now so the directory always holds a restorable snapshot.
+            this.view_versions.clear();
+            this.checkpoint()?;
+        }
+        Ok((this, report))
+    }
+
+    /// Log `delta`, then apply it to the engine. The record (and any
+    /// newly interned symbols) is buffered; it reaches the OS at the
+    /// group-commit threshold and the disk on checkpoint/[`Self::sync_all`]
+    /// (or every flush with [`DurabilityConfig::sync_data`]).
+    pub fn apply(&mut self, rel: RelIndex, delta: &Delta<R>) -> Result<()> {
+        let lsn = self.last_lsn + 1;
+        self.log.maybe_rotate(lsn)?;
+        self.log_new_symbols()?;
+        wal::encode_update_record(&mut self.payload_buf, lsn, rel, delta);
+        self.log.append(&self.payload_buf)?;
+        self.engine.apply(rel, delta);
+        self.last_lsn = lsn;
+        debug_assert_eq!(self.engine.updates_applied(), lsn);
+        if self.cfg.checkpoint_every > 0 && lsn - self.last_ckpt_lsn >= self.cfg.checkpoint_every {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Cut a checkpoint: snapshot views dirtied since the last one,
+    /// commit a manifest covering all of them, garbage-collect old
+    /// checkpoints and truncate fully-covered log segments. Returns
+    /// the checkpoint LSN.
+    pub fn checkpoint(&mut self) -> Result<u64> {
+        // Any symbols not yet in the log go in first: every retained
+        // checkpoint + surviving tail must be self-sufficient even if
+        // this manifest is later lost.
+        self.log_new_symbols()?;
+        self.log.sync()?;
+        for node in self.engine.materialized_nodes() {
+            let ver = self.engine.view_version(node).expect("materialized");
+            if self.view_versions.get(&node) == Some(&ver) && self.view_files.contains_key(&node) {
+                continue;
+            }
+            let file_seq = self.next_file_seq;
+            self.next_file_seq += 1;
+            let rel = self.engine.view_relation(node).expect("materialized");
+            checkpoint::write_view_file(&self.dir, node, file_seq, &rel)?;
+            self.view_files.insert(node, file_seq);
+            self.view_versions.insert(node, ver);
+        }
+        let symbols = self.symbol_snapshot();
+        let mut views: Vec<(usize, u64)> = self.view_files.iter().map(|(&n, &f)| (n, f)).collect();
+        views.sort_unstable();
+        let manifest = Manifest {
+            seq: self.next_ckpt_seq,
+            lsn: self.last_lsn,
+            query_fingerprint: self.engine.query().fingerprint(),
+            symbols,
+            views,
+        };
+        checkpoint::write_manifest(&self.dir, &manifest)?;
+        self.next_ckpt_seq += 1;
+        self.last_ckpt_lsn = self.last_lsn;
+        if let Some(cutoff) = checkpoint::gc(&self.dir, self.cfg.retained_checkpoints)? {
+            self.log.truncate_covered(cutoff)?;
+        }
+        Ok(self.last_lsn)
+    }
+
+    /// Flush the group-commit buffer and fsync the current segment.
+    pub fn sync_all(&mut self) -> Result<()> {
+        self.log.sync()
+    }
+
+    /// The wrapped engine. Mutating access is deliberately absent:
+    /// updates applied behind the log's back would be lost on recovery.
+    pub fn engine(&self) -> &IvmEngine<R> {
+        &self.engine
+    }
+
+    /// LSN of the last applied update.
+    pub fn last_lsn(&self) -> u64 {
+        self.last_lsn
+    }
+
+    /// LSN covered by the most recent checkpoint.
+    pub fn last_checkpoint_lsn(&self) -> u64 {
+        self.last_ckpt_lsn
+    }
+
+    /// Log any symbols interned since the last record. No-op (and
+    /// allocation-free) when the table hasn't grown.
+    fn log_new_symbols(&mut self) -> Result<()> {
+        let table = self.engine.query().catalog.symbols();
+        let len = table.len();
+        if len == self.symbols_logged {
+            return Ok(());
+        }
+        let first_id = self.symbols_logged as u32;
+        let syms: Vec<&str> = (self.symbols_logged..len)
+            .map(|id| table.resolve(id as u32).expect("dense symbol ids"))
+            .collect();
+        wal::encode_symbols_record(&mut self.payload_buf, first_id, &syms);
+        drop(syms);
+        self.log.append(&self.payload_buf)?;
+        self.symbols_logged = len;
+        Ok(())
+    }
+
+    fn symbol_snapshot(&self) -> Vec<String> {
+        let table = self.engine.query().catalog.symbols();
+        (0..table.len())
+            .map(|id| {
+                table
+                    .resolve(id as u32)
+                    .expect("dense symbol ids")
+                    .to_string()
+            })
+            .collect()
+    }
+}
+
+/// Re-intern a full symbol-table snapshot into the engine's catalog,
+/// verifying that ids come out identical (dense tables reproduce ids
+/// by interning in id order).
+fn restore_symbols<R: Ring>(engine: &IvmEngine<R>, symbols: &[String]) -> Result<()> {
+    let table = engine.query().catalog.symbols();
+    for (id, s) in symbols.iter().enumerate() {
+        replay_symbol(table, id as u32, s)?;
+    }
+    Ok(())
+}
+
+/// Replay one symbols log record (idempotent against the snapshot).
+fn replay_symbols<R: Ring>(engine: &IvmEngine<R>, first_id: u32, syms: &[String]) -> Result<()> {
+    let table = engine.query().catalog.symbols();
+    for (i, s) in syms.iter().enumerate() {
+        replay_symbol(table, first_id + i as u32, s)?;
+    }
+    Ok(())
+}
+
+fn replay_symbol(table: &fivm_core::SymbolTable, expect: u32, s: &str) -> Result<()> {
+    let len = table.len() as u32;
+    if expect < len {
+        if table.resolve(expect) != Some(s) {
+            return Err(DurabilityError::Mismatch(format!(
+                "symbol id {expect} is {:?} in the engine but {s:?} on disk",
+                table.resolve(expect)
+            )));
+        }
+        return Ok(());
+    }
+    if expect > len {
+        return Err(DurabilityError::Mismatch(format!(
+            "symbol record skips ids {len}..{expect} — log tail is incomplete"
+        )));
+    }
+    let got = table.intern(s);
+    debug_assert_eq!(got, expect);
+    Ok(())
+}
+
+/// Highest `view-<node>-<seq>.vw` sequence present in `dir` (including
+/// strays from aborted checkpoints — their names must not be reused).
+fn max_view_file_seq(dir: &Path) -> Result<Option<u64>> {
+    let mut max = None;
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(stem) = name
+            .strip_prefix("view-")
+            .and_then(|s| s.strip_suffix(".vw"))
+        else {
+            continue;
+        };
+        if let Some((_, seq_s)) = stem.rsplit_once('-') {
+            if let Ok(seq) = seq_s.parse::<u64>() {
+                max = Some(max.map_or(seq, |m: u64| m.max(seq)));
+            }
+        }
+    }
+    Ok(max)
+}

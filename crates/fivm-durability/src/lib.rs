@@ -1,0 +1,125 @@
+//! # fivm-durability — crash safety for the F-IVM engine
+//!
+//! The paper's delta-propagation model makes the update stream a
+//! natural write-ahead log: every state change of the engine is an
+//! applied `(relation, delta)` pair, so logging exactly those pairs —
+//! plus the symbol-table increments that give `Value::Sym` ids meaning
+//! — captures everything needed to rebuild the materialized views.
+//! This crate provides:
+//!
+//! * [`wal`] — a segmented append-only delta log with length-prefixed,
+//!   CRC-32-checksummed records (codec from `fivm_core::codec`);
+//! * [`checkpoint`] — incremental checkpoints: per-view snapshot files
+//!   (only views dirtied since the previous checkpoint are rewritten)
+//!   under a checksummed manifest, committed by atomic rename;
+//! * [`DurableEngine`] — the engine wrapper tying them together:
+//!   log-then-apply on the write path, checkpoint + tail replay with
+//!   torn-record truncation on recovery.
+//!
+//! The on-disk layout and the torn-write/corruption rules are
+//! specified in `docs/wal-format.md` at the repository root.
+
+pub mod checkpoint;
+pub mod crc;
+mod engine;
+pub mod wal;
+
+pub use engine::{DurableEngine, RecoveryReport};
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Tuning knobs for [`DurableEngine`].
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Auto-checkpoint after this many updates since the last
+    /// checkpoint; `0` disables auto-checkpointing (call
+    /// [`DurableEngine::checkpoint`] manually).
+    pub checkpoint_every: u64,
+    /// Rotate to a new log segment once the current one exceeds this
+    /// many bytes.
+    pub segment_bytes: u64,
+    /// Group-commit threshold: buffered log bytes are written to the
+    /// OS once they exceed this.
+    pub flush_bytes: usize,
+    /// `fsync` on every group-commit flush (durability per flush
+    /// instead of per checkpoint). Off by default: the crash-safety
+    /// guarantee is "recover to a consistent prefix", and the bench
+    /// overhead budget assumes OS-buffered appends.
+    pub sync_data: bool,
+    /// How many checkpoints to retain (min 1). Keeping 2 means a
+    /// corrupted newest checkpoint still recovers from the previous
+    /// one plus a longer log tail.
+    pub retained_checkpoints: usize,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            checkpoint_every: 10_000,
+            segment_bytes: 8 << 20,
+            flush_bytes: 256 << 10,
+            sync_data: false,
+            retained_checkpoints: 2,
+        }
+    }
+}
+
+/// Everything that can go wrong durably.
+#[derive(Debug)]
+pub enum DurabilityError {
+    Io(std::io::Error),
+    /// A record or file failed to decode (reported by the codec).
+    Codec(fivm_core::CodecError),
+    /// On-disk state is damaged beyond the torn-tail rules (corruption
+    /// in a non-final segment, missing log prefix, LSN gap).
+    Corrupt {
+        file: PathBuf,
+        detail: String,
+    },
+    /// The directory's state does not belong to this engine (query
+    /// fingerprint, symbol table, or LSN clock disagree).
+    Mismatch(String),
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::Io(e) => write!(f, "i/o error: {e}"),
+            DurabilityError::Codec(e) => write!(f, "decode error: {e}"),
+            DurabilityError::Corrupt { file, detail } => {
+                write!(
+                    f,
+                    "corrupt durability state in {}: {detail}",
+                    file.display()
+                )
+            }
+            DurabilityError::Mismatch(detail) => write!(f, "state mismatch: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurabilityError::Io(e) => Some(e),
+            DurabilityError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DurabilityError {
+    fn from(e: std::io::Error) -> Self {
+        DurabilityError::Io(e)
+    }
+}
+
+impl From<fivm_core::CodecError> for DurabilityError {
+    fn from(e: fivm_core::CodecError) -> Self {
+        DurabilityError::Codec(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DurabilityError>;

@@ -1,0 +1,411 @@
+//! The segmented append-only delta log.
+//!
+//! A log directory holds numbered segment files
+//! `wal-<seq>-<firstlsn>.seg`, each a 24-byte header (magic, sequence
+//! number, first LSN) followed by checksummed frames:
+//!
+//! ```text
+//! [len: u32 LE][crc32c(payload): u32 LE][payload: len bytes]
+//! ```
+//!
+//! Frame payloads are log records — either a symbol-table increment or
+//! one `(lsn, relation, delta)` update (see [`WalRecord`]). LSNs are
+//! the engine's own `updates_applied` counter: exactly one update
+//! record per applied delta, so "replay the tail after LSN `c`" is
+//! well-defined without any separate sequencing. Flat deltas are
+//! stored schema-elided (see [`encode_update_record`]): the replayer
+//! reconstructs the schema from the relation index, so the hot path
+//! checksums roughly half the bytes a self-describing record would.
+//!
+//! Appends are group-committed through an in-memory buffer flushed at
+//! a byte threshold (and on checkpoint/drop), so the steady-state cost
+//! per update is an encode + a CRC over a few dozen bytes. Both the
+//! payload scratch buffer and the group-commit buffer are reused, so
+//! the append path performs no per-update allocations once warm.
+//!
+//! Torn-write policy (see `docs/wal-format.md`): an invalid frame —
+//! short header, length overrunning the file, CRC mismatch — ends
+//! replay at that offset. In the *final* segment that is a torn write:
+//! the file is truncated to the valid prefix and recovery proceeds. In
+//! any earlier segment it is hard corruption and recovery refuses.
+
+use crate::crc::crc32;
+use crate::{DurabilityError, Result};
+use fivm_core::{Codec, Delta, Schema, Semiring};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of every segment file (the trailing byte is the format
+/// version).
+pub const SEGMENT_MAGIC: &[u8; 8] = b"FIVMWAL1";
+/// Segment header: magic + seq (u64) + first LSN (u64).
+pub const SEGMENT_HEADER_LEN: u64 = 24;
+/// Frame header: payload length + CRC-32.
+pub const FRAME_HEADER_LEN: u64 = 8;
+
+/// Record kind tags (first payload byte).
+const REC_SYMBOLS: u8 = 1;
+const REC_UPDATE: u8 = 2;
+
+/// One decoded log record.
+#[derive(Debug)]
+pub enum WalRecord<R> {
+    /// Symbol-table increment: strings interned as ids
+    /// `first_id..first_id + syms.len()`, in order.
+    Symbols { first_id: u32, syms: Vec<String> },
+    /// One applied update.
+    Update {
+        lsn: u64,
+        rel: usize,
+        delta: Delta<R>,
+    },
+}
+
+/// A segment file discovered on disk.
+#[derive(Debug, Clone)]
+pub struct SegmentInfo {
+    pub path: PathBuf,
+    pub seq: u64,
+    pub first_lsn: u64,
+}
+
+/// Encode a symbols record into `out` (cleared first).
+pub fn encode_symbols_record(out: &mut Vec<u8>, first_id: u32, syms: &[&str]) {
+    out.clear();
+    out.push(REC_SYMBOLS);
+    out.extend_from_slice(&first_id.to_le_bytes());
+    out.extend_from_slice(&(syms.len() as u32).to_le_bytes());
+    for s in syms {
+        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        out.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Update-record delta layouts (byte after the relation index).
+const DELTA_FLAT_ELIDED: u8 = 0;
+const DELTA_SELF_DESCRIBING: u8 = 1;
+
+/// Encode an update record into `out` (cleared first).
+///
+/// Flat deltas are written **schema-elided**: the replayer knows every
+/// relation's schema from the query, so the record carries only the
+/// tuple values and payloads — no schema, no per-tuple arity. This
+/// halves the bytes encoded and checksummed per single-tuple update,
+/// which is what keeps logging inside its overhead budget. Factored
+/// deltas (multiple factor schemas, not derivable from the relation)
+/// fall back to the self-describing [`Delta`] codec.
+pub fn encode_update_record<R: Semiring + Codec>(
+    out: &mut Vec<u8>,
+    lsn: u64,
+    rel: usize,
+    delta: &Delta<R>,
+) {
+    out.clear();
+    let mut hdr = [0u8; 14];
+    hdr[0] = REC_UPDATE;
+    hdr[1..9].copy_from_slice(&lsn.to_le_bytes());
+    hdr[9..13].copy_from_slice(&(rel as u32).to_le_bytes());
+    match delta {
+        Delta::Flat(r) => {
+            hdr[13] = DELTA_FLAT_ELIDED;
+            out.extend_from_slice(&hdr);
+            fivm_core::codec::put_count(out, r.len());
+            for (t, p) in r.iter() {
+                for v in t.values() {
+                    v.encode(out);
+                }
+                p.encode(out);
+            }
+        }
+        factored => {
+            hdr[13] = DELTA_SELF_DESCRIBING;
+            out.extend_from_slice(&hdr);
+            factored.encode(out);
+        }
+    }
+}
+
+/// Decode one record payload. `schemas` maps relation index → schema
+/// (from the recovering engine's query) for schema-elided flat deltas.
+pub fn decode_record<R: Semiring + Codec>(
+    mut payload: &[u8],
+    schemas: &[Schema],
+) -> Result<WalRecord<R>> {
+    let input = &mut payload;
+    match fivm_core::codec::take_u8(input)? {
+        REC_SYMBOLS => {
+            let first_id = fivm_core::codec::take_u32(input)?;
+            let n = fivm_core::codec::take_count(input, "symbol count", 4)?;
+            let mut syms = Vec::with_capacity(n);
+            for _ in 0..n {
+                syms.push(String::decode(input)?);
+            }
+            Ok(WalRecord::Symbols { first_id, syms })
+        }
+        REC_UPDATE => {
+            let lsn = fivm_core::codec::take_u64(input)?;
+            let rel = fivm_core::codec::take_u32(input)? as usize;
+            let delta = match fivm_core::codec::take_u8(input)? {
+                DELTA_FLAT_ELIDED => {
+                    let Some(schema) = schemas.get(rel) else {
+                        return Err(DurabilityError::Codec(fivm_core::CodecError::Invalid {
+                            what: "update record (relation index out of range)",
+                        }));
+                    };
+                    let arity = schema.len();
+                    // Minimum pair: `arity` 5-byte values + 1 payload byte.
+                    let n = fivm_core::codec::take_count(input, "flat delta size", arity * 5 + 1)?;
+                    let mut pairs = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let mut vals = Vec::with_capacity(arity);
+                        for _ in 0..arity {
+                            vals.push(fivm_core::Value::decode(input)?);
+                        }
+                        pairs.push((fivm_core::Tuple::new(vals), R::decode(input)?));
+                    }
+                    Delta::Flat(fivm_core::Relation::from_pairs(schema.clone(), pairs))
+                }
+                DELTA_SELF_DESCRIBING => Delta::decode(input)?,
+                tag => {
+                    return Err(DurabilityError::Codec(fivm_core::CodecError::BadTag {
+                        what: "update record delta layout",
+                        tag,
+                    }))
+                }
+            };
+            Ok(WalRecord::Update { lsn, rel, delta })
+        }
+        tag => Err(DurabilityError::Codec(fivm_core::CodecError::BadTag {
+            what: "log record",
+            tag,
+        })),
+    }
+}
+
+/// List the segment files of `dir`, sorted by sequence number.
+pub fn list_segments(dir: &Path) -> Result<Vec<SegmentInfo>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(stem) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".seg"))
+        else {
+            continue;
+        };
+        let Some((seq_s, lsn_s)) = stem.split_once('-') else {
+            continue;
+        };
+        if let (Ok(seq), Ok(first_lsn)) = (seq_s.parse(), lsn_s.parse()) {
+            out.push(SegmentInfo {
+                path,
+                seq,
+                first_lsn,
+            });
+        }
+    }
+    out.sort_by_key(|s| s.seq);
+    Ok(out)
+}
+
+fn segment_path(dir: &Path, seq: u64, first_lsn: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:06}-{first_lsn:012}.seg"))
+}
+
+/// Byte spans `(offset, total_len)` of every valid frame in a segment,
+/// in file order. The fault-injection harness uses this to find the
+/// final record's boundaries; `total_len` includes the frame header.
+pub fn frame_spans(path: &Path) -> Result<Vec<(u64, u64)>> {
+    let bytes = std::fs::read(path)?;
+    let mut spans = Vec::new();
+    let mut off = SEGMENT_HEADER_LEN as usize;
+    while let Some(consumed) = valid_frame_at(&bytes, off) {
+        spans.push((off as u64, consumed as u64));
+        off += consumed;
+    }
+    Ok(spans)
+}
+
+/// If a complete, checksum-valid frame starts at `off`, return its
+/// total length (header + payload); otherwise `None`.
+fn valid_frame_at(bytes: &[u8], off: usize) -> Option<usize> {
+    let rest = bytes.get(off..)?;
+    if rest.len() < FRAME_HEADER_LEN as usize {
+        return None;
+    }
+    let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+    let payload = rest.get(8..8 + len)?;
+    if len == 0 || crc32(payload) != crc {
+        return None;
+    }
+    Some(8 + len)
+}
+
+/// Read and decode one segment. Returns the decoded records plus, when
+/// the segment ends in an invalid frame, the byte offset of the valid
+/// prefix (`Some(valid_len)`); the header itself is validated against
+/// `info`'s name-derived seq/LSN.
+pub fn read_segment<R: Semiring + Codec>(
+    info: &SegmentInfo,
+    schemas: &[Schema],
+) -> Result<(Vec<WalRecord<R>>, Option<u64>)> {
+    let mut bytes = Vec::new();
+    File::open(&info.path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < SEGMENT_HEADER_LEN as usize
+        || &bytes[0..8] != SEGMENT_MAGIC
+        || u64::from_le_bytes(bytes[8..16].try_into().unwrap()) != info.seq
+        || u64::from_le_bytes(bytes[16..24].try_into().unwrap()) != info.first_lsn
+    {
+        return Err(DurabilityError::Corrupt {
+            file: info.path.clone(),
+            detail: "bad segment header".into(),
+        });
+    }
+    let mut records = Vec::new();
+    let mut off = SEGMENT_HEADER_LEN as usize;
+    while off < bytes.len() {
+        match valid_frame_at(&bytes, off) {
+            Some(consumed) => {
+                let payload = &bytes[off + 8..off + consumed];
+                // A frame that checksums but does not decode is hard
+                // corruption, not a torn write — CRC-valid garbage
+                // means the writer itself misbehaved.
+                records.push(decode_record(payload, schemas)?);
+                off += consumed;
+            }
+            None => return Ok((records, Some(off as u64))),
+        }
+    }
+    Ok((records, None))
+}
+
+/// The append half of the log: owns the current segment file and the
+/// group-commit buffer.
+pub struct DeltaLog {
+    dir: PathBuf,
+    file: File,
+    seq: u64,
+    /// Bytes in the current segment, counting buffered-but-unflushed.
+    seg_bytes: u64,
+    buf: Vec<u8>,
+    flush_bytes: usize,
+    segment_bytes: u64,
+    sync_data: bool,
+}
+
+impl DeltaLog {
+    /// Open a fresh segment `seq` starting at `first_lsn` and return a
+    /// log appending to it.
+    pub fn create(
+        dir: &Path,
+        seq: u64,
+        first_lsn: u64,
+        segment_bytes: u64,
+        flush_bytes: usize,
+        sync_data: bool,
+    ) -> Result<Self> {
+        let file = new_segment(dir, seq, first_lsn)?;
+        Ok(DeltaLog {
+            dir: dir.to_path_buf(),
+            file,
+            seq,
+            seg_bytes: SEGMENT_HEADER_LEN,
+            buf: Vec::with_capacity(flush_bytes + 4096),
+            flush_bytes,
+            segment_bytes,
+            sync_data,
+        })
+    }
+
+    /// Rotate to a new segment if the current one is over budget. Must
+    /// be called at an update boundary, *before* the symbol/update
+    /// records of LSN `next_lsn` are appended, so the new segment's
+    /// first-LSN label is exact.
+    pub fn maybe_rotate(&mut self, next_lsn: u64) -> Result<()> {
+        if self.seg_bytes < self.segment_bytes {
+            return Ok(());
+        }
+        self.flush()?;
+        self.file.sync_data()?;
+        self.seq += 1;
+        self.file = new_segment(&self.dir, self.seq, next_lsn)?;
+        self.seg_bytes = SEGMENT_HEADER_LEN;
+        Ok(())
+    }
+
+    /// Frame `payload` and append it (buffered).
+    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        let mut hdr = [0u8; FRAME_HEADER_LEN as usize];
+        hdr[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        hdr[4..].copy_from_slice(&crc32(payload).to_le_bytes());
+        self.buf.extend_from_slice(&hdr);
+        self.buf.extend_from_slice(payload);
+        self.seg_bytes += FRAME_HEADER_LEN + payload.len() as u64;
+        if self.buf.len() >= self.flush_bytes {
+            self.flush()?;
+            if self.sync_data {
+                self.file.sync_data()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Write the group-commit buffer through to the OS.
+    pub fn flush(&mut self) -> Result<()> {
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Flush and fsync the current segment.
+    pub fn sync(&mut self) -> Result<()> {
+        self.flush()?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Current segment sequence number.
+    pub fn current_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Delete every segment whose records are all covered by a
+    /// checkpoint at `cutoff_lsn` — i.e. whose *successor* segment
+    /// starts at or before `cutoff_lsn + 1`. The current segment is
+    /// never deleted.
+    pub fn truncate_covered(&mut self, cutoff_lsn: u64) -> Result<usize> {
+        let segments = list_segments(&self.dir)?;
+        let mut removed = 0;
+        for pair in segments.windows(2) {
+            if pair[0].seq < self.seq && pair[1].first_lsn <= cutoff_lsn + 1 {
+                std::fs::remove_file(&pair[0].path)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+impl Drop for DeltaLog {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+fn new_segment(dir: &Path, seq: u64, first_lsn: u64) -> Result<File> {
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(segment_path(dir, seq, first_lsn))?;
+    file.write_all(SEGMENT_MAGIC)?;
+    file.write_all(&seq.to_le_bytes())?;
+    file.write_all(&first_lsn.to_le_bytes())?;
+    Ok(file)
+}

@@ -937,6 +937,90 @@ impl<R: Ring> IvmEngine<R> {
         }
     }
 
+    /// Restore materialized views from checkpointed snapshots — the
+    /// recovery counterpart of [`IvmEngine::load`]. Where `load`
+    /// derives every view bottom-up from base relations, this trusts
+    /// the snapshots: each `(node, relation)` pair is reloaded in place
+    /// (keeping secondary-index ids, so compiled flat/factored plans
+    /// stay valid without a recompile), indicator support counts are
+    /// rebuilt from the restored leaf stores, and the update counter is
+    /// set to the checkpoint's logical position so subsequent log
+    /// replay continues the original numbering.
+    ///
+    /// `snapshots` must cover every materialized node of this engine
+    /// (checkpoints always snapshot all of them); panics otherwise,
+    /// since a partial restore would silently mix checkpoint state with
+    /// pre-restore state.
+    pub fn restore_views(&mut self, snapshots: &[(NodeId, Relation<R>)], updates_applied: u64) {
+        let mut restored = vec![false; self.views.len()];
+        for (node, rel) in snapshots {
+            let store = self.views[*node]
+                .as_mut()
+                .expect("checkpointed node must be materialized in this engine");
+            store.reload(rel);
+            restored[*node] = true;
+        }
+        for (id, v) in self.views.iter().enumerate() {
+            assert!(
+                v.is_none() || restored[id],
+                "restore_views: materialized node {id} missing from the checkpoint"
+            );
+        }
+        self.rebuild_indicator_counts();
+        self.updates_applied = updates_applied;
+    }
+
+    /// Recompute indicator support counts from the (restored) leaf
+    /// stores of the indicated relations. Mirrors the count
+    /// initialization in [`IvmEngine::load`]: a leaf store holds one
+    /// entry per distinct live tuple, so each contributes `+1` to its
+    /// projection's count.
+    fn rebuild_indicator_counts(&mut self) {
+        let mut rebuilt: Vec<(NodeId, FxHashMap<Tuple, i64>)> = Vec::new();
+        for (id, n) in self.tree.nodes.iter().enumerate() {
+            if let NodeKind::Indicator { rel, proj } = &n.kind {
+                let leaf = self
+                    .tree
+                    .nodes
+                    .iter()
+                    .position(|m| matches!(&m.kind, NodeKind::Relation(ri) if ri == rel))
+                    .expect("indicated relation has a leaf node");
+                let store = self.views[leaf]
+                    .as_ref()
+                    .expect("indicated relation leaves are force-stored");
+                let positions = store
+                    .schema()
+                    .positions_of(proj.vars())
+                    .expect("indicator proj in relation schema");
+                let mut counts: FxHashMap<Tuple, i64> = FxHashMap::default();
+                for (t, _) in store.iter() {
+                    *counts.entry(t.project(&positions)).or_insert(0) += 1;
+                }
+                rebuilt.push((id, counts));
+            }
+        }
+        for (id, counts) in rebuilt {
+            *self.ind_counts.get_mut(&id).expect("registered") = counts;
+        }
+    }
+
+    /// Node ids of all materialized views, in tree order (checkpoints
+    /// iterate these).
+    pub fn materialized_nodes(&self) -> Vec<NodeId> {
+        self.views
+            .iter()
+            .enumerate()
+            .filter_map(|(id, v)| v.as_ref().map(|_| id))
+            .collect()
+    }
+
+    /// Content-mutation version of a node's view store, if
+    /// materialized. Monotonic; incremental checkpoints skip views
+    /// whose version is unchanged since the last checkpoint.
+    pub fn view_version(&self, node: NodeId) -> Option<u64> {
+        self.views[node].as_ref().map(ViewStore::version)
+    }
+
     /// Apply an update to `rel` (paper §4's IVM trigger): maintains the
     /// leaf store, propagates the delta leaf-to-root, then maintains and
     /// propagates any indicator projections of `rel`.
@@ -2301,6 +2385,66 @@ mod tests {
             engine.apply(1, &grouped());
         }
         assert_eq!(engine.factored_shapes_cached(1), 2);
+    }
+
+    /// `load` after factored-path activity: the warm shape cache holds
+    /// compiled `FactoredPlan`s with secondary-index ids baked in, and
+    /// `ViewStore::reload` (which `load` uses) keeps index ids and
+    /// positions stable — so cached plans must stay valid, producing
+    /// the same views as a cold engine given the same load + updates.
+    /// The durability layer's `restore_views` leans on exactly this
+    /// invariant when replaying a log tail over restored snapshots.
+    #[test]
+    fn load_after_warm_factored_cache_keeps_plans_valid() {
+        let (q, tree, mut db, lifts) = fig2_setup(&[]);
+        let mut warm = IvmEngine::new(q.clone(), tree.clone(), &[0, 1, 2], lifts.clone());
+        let (a, c, e) = (
+            q.catalog.lookup("A").unwrap(),
+            q.catalog.lookup("C").unwrap(),
+            q.catalog.lookup("E").unwrap(),
+        );
+        let rank1 = |av: i64, cv: i64, ev: i64, sign: i64| {
+            Delta::factored(vec![
+                Relation::from_pairs(Schema::new(vec![a]), [(tuple![av], sign)]),
+                Relation::from_pairs(Schema::new(vec![c]), [(tuple![cv], 1i64)]),
+                Relation::from_pairs(Schema::new(vec![e]), [(tuple![ev], 1i64)]),
+            ])
+        };
+        // Warm the cache (compiles the plan, creating its secondary
+        // indexes) with pre-load activity that `load` will supersede.
+        insert_fig2(&mut warm);
+        warm.apply(1, &rank1(1, 2, 9, 1));
+        let shapes_before = warm.factored_shapes_cached(1);
+        assert!(shapes_before >= 1);
+
+        for (t, r) in [(tuple![1, 1], 0), (tuple![2, 3], 0), (tuple![7, 8], 0)] {
+            db.relations[r].insert(t, 1);
+        }
+        for t in [tuple![1, 1, 1], tuple![1, 2, 3], tuple![7, 7, 7]] {
+            db.relations[1].insert(t, 1);
+        }
+        for t in [tuple![1, 1], tuple![2, 2], tuple![7, 9]] {
+            db.relations[2].insert(t, 1);
+        }
+        warm.load(&db);
+        // Post-load factored updates run through the *cached* plan —
+        // no recompilation, same shape count.
+        warm.apply(1, &rank1(1, 2, 4, 1));
+        warm.apply(1, &rank1(7, 7, 7, -1));
+        assert_eq!(warm.factored_shapes_cached(1), shapes_before);
+
+        // A cold engine over the same load + updates is the oracle.
+        let mut cold = IvmEngine::new(q.clone(), tree, &[0, 1, 2], lifts);
+        cold.load(&db);
+        cold.apply(1, &rank1(1, 2, 4, 1));
+        cold.apply(1, &rank1(7, 7, 7, -1));
+        for node in warm.materialized_nodes() {
+            assert_eq!(
+                warm.view_relation(node).unwrap().sorted(),
+                cold.view_relation(node).unwrap().sorted(),
+                "view {node} diverged after load with a warm plan cache"
+            );
+        }
     }
 
     /// The compiled factored path agrees with the general factor path

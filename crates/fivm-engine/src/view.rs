@@ -84,6 +84,12 @@ pub struct ViewStore<R> {
     schema: Schema,
     data: TupleMap<R>,
     indexes: Vec<SecondaryIndex>,
+    /// Monotonic content-mutation counter. Every data change — an
+    /// applied payload in [`ViewStore::insert_ref`] or a wholesale
+    /// [`ViewStore::reload`] — bumps it; index (re)builds do not, since
+    /// indexes are derived state. Incremental checkpoints compare it
+    /// against the last-checkpointed version to skip clean views.
+    version: u64,
 }
 
 impl<R: Ring> ViewStore<R> {
@@ -93,7 +99,13 @@ impl<R: Ring> ViewStore<R> {
             schema,
             data: TupleMap::new(),
             indexes: Vec::new(),
+            version: 0,
         }
+    }
+
+    /// Content-mutation counter (see the field docs).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The view's key schema.
@@ -187,6 +199,7 @@ impl<R: Ring> ViewStore<R> {
         if payload.is_zero() {
             return SupportChange::Unchanged;
         }
+        self.version += 1;
         let (appeared, slot) = self.data.upsert(t, R::zero);
         slot.add_assign(&payload);
         let disappeared = !appeared && slot.is_zero();
@@ -273,6 +286,7 @@ impl<R: Ring> ViewStore<R> {
     /// budgets (too many empty buckets before a sweep fires) — or,
     /// after loading a larger database, sweep too eagerly.
     pub fn reload(&mut self, rel: &Relation<R>) {
+        self.version += 1;
         self.data.clear();
         self.data.reserve(rel.len());
         if rel.schema() == &self.schema {

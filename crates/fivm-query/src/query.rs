@@ -98,6 +98,30 @@ impl QueryDef {
         self.relations.iter().map(|r| r.schema.clone()).collect()
     }
 
+    /// Structural fingerprint of the query: relation names, their
+    /// attribute *names* (not the dense [`VarId`]s, which depend on
+    /// catalog interning order), and the free variables. The durability
+    /// layer stamps this into checkpoint manifests so recovery refuses
+    /// to restore a snapshot onto an engine built for a different
+    /// query — checkpointed view contents are only meaningful against
+    /// the view tree they were cut from.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = fivm_core::FxHasher::default();
+        self.relations.len().hash(&mut h);
+        for r in &self.relations {
+            r.name.hash(&mut h);
+            r.schema.len().hash(&mut h);
+            for &v in r.schema.vars() {
+                self.catalog.name(v).hash(&mut h);
+            }
+        }
+        for &v in self.free.vars() {
+            self.catalog.name(v).hash(&mut h);
+        }
+        h.finish()
+    }
+
     /// The running example of the paper (Examples 1.1 / 2.3): relations
     /// `R(A,B)`, `S(A,C,E)`, `T(C,D)` with free variables `free`.
     pub fn example_rst(free: &[&str]) -> Self {

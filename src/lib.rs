@@ -22,6 +22,8 @@
 //! * [`engine`](fivm_engine) — the IVM executor and the baselines
 //!   (1-IVM, DBToaster-style recursive IVM, re-evaluation), factorized
 //!   payloads and enumeration, memory accounting.
+//! * [`durability`](fivm_durability) — segmented write-ahead delta log,
+//!   incremental checkpoints, and crash recovery for the engine.
 //! * [`linalg`](fivm_linalg) — dense matrices and LINVIEW-style matrix
 //!   chain maintenance.
 //! * [`ml`](fivm_ml) — cofactor-matrix queries and linear-regression
@@ -50,6 +52,7 @@
 pub use fivm_core as core;
 pub use fivm_core::tuple;
 pub use fivm_data as data;
+pub use fivm_durability as durability;
 pub use fivm_engine as engine;
 pub use fivm_linalg as linalg;
 pub use fivm_ml as ml;
@@ -62,9 +65,10 @@ pub mod prelude {
     pub use fivm_core::ring::degree::DegreeRing;
     pub use fivm_core::ring::relational::RelPayload;
     pub use fivm_core::{
-        Catalog, Delta, FxHashMap, FxHashSet, Lifting, LiftingMap, Relation, Ring, Schema,
-        Semiring, Tuple, Value, VarId,
+        Catalog, Codec, CodecError, Delta, FxHashMap, FxHashSet, Lifting, LiftingMap, Relation,
+        Ring, Schema, Semiring, Tuple, Value, VarId,
     };
+    pub use fivm_durability::{DurabilityConfig, DurableEngine, RecoveryReport};
     pub use fivm_engine::{
         eval_tree, Database, FactorizedResult, FirstOrderIvm, IvmEngine, RecursiveIvm, ViewStore,
     };

@@ -1,0 +1,392 @@
+//! Fault-injection harness for the durability layer.
+//!
+//! A deterministic schedule (see `support/oracle.rs`'s `ScheduleGen`)
+//! is streamed through a write-ahead-logged engine with periodic
+//! incremental checkpoints. The resulting directory is then damaged in
+//! every way the torn-write/corruption model admits — the log cut at
+//! **every byte boundary of the final record**, bits flipped, the
+//! newest checkpoint dropped or left half-written, a checkpoint killed
+//! between its view files and its manifest — and recovery must come
+//! back **byte-identical on every materialized view** to an
+//! uninterrupted reference engine that applied exactly the surviving
+//! prefix of updates. Corruption that cannot be safely truncated (a
+//! damaged record in the middle of the log, a missing log prefix) must
+//! be a clean error, never a panic and never a silently wrong view.
+//!
+//! Engines default to the session's `FIVM_WORKERS` setting, so CI runs
+//! this suite both sequentially and at 4 workers; an explicit 4-worker
+//! test keeps the parallel path covered in default runs too. The i64
+//! ring is exact, so parallel determinism (PR 3) makes "byte-identical"
+//! well-defined at any worker count.
+
+#[path = "support/oracle.rs"]
+mod oracle;
+
+use fivm::durability::wal;
+use fivm::prelude::*;
+use oracle::{BatchSpec, ScheduleGen};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const N_UPDATES: usize = 25;
+const CHECKPOINT_EVERY: u64 = 7;
+
+/// All materialized views, sorted — the byte-identity witness.
+type Snapshot = Vec<(usize, Vec<(Tuple, i64)>)>;
+
+fn specs() -> Vec<BatchSpec> {
+    (0..N_UPDATES)
+        .map(|i| BatchSpec {
+            rel: i % 3,
+            // Small final batch keeps the every-byte-boundary sweep
+            // cheap without losing generality.
+            size_exp: if i + 1 == N_UPDATES {
+                1
+            } else {
+                (i as u32 * 5 + 2) % 4
+            },
+            jitter: (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            seed: 0xC0FF_EE00 + i as u64,
+        })
+        .collect()
+}
+
+/// Fresh engine over the running-example query with indicators (so
+/// recovery's indicator-count rebuild is on the hook too).
+fn fresh(workers: Option<usize>) -> (QueryDef, IvmEngine<i64>) {
+    let q = QueryDef::example_rst(&["A"]);
+    let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
+    let mut tree = ViewTree::build(&q, &vo);
+    add_indicators(&mut tree, &q);
+    let mut engine = IvmEngine::new(q.clone(), tree, &[0, 1, 2], LiftingMap::new());
+    if let Some(w) = workers {
+        engine.set_workers(w);
+    }
+    (q, engine)
+}
+
+fn sym_vars(q: &QueryDef) -> Vec<VarId> {
+    vec![
+        q.catalog.lookup("B").unwrap(),
+        q.catalog.lookup("E").unwrap(),
+    ]
+}
+
+fn cfg() -> DurabilityConfig {
+    DurabilityConfig {
+        checkpoint_every: CHECKPOINT_EVERY,
+        segment_bytes: 2048,
+        retained_checkpoints: 2,
+        ..DurabilityConfig::default()
+    }
+}
+
+fn snapshot(e: &IvmEngine<i64>) -> Snapshot {
+    e.materialized_nodes()
+        .into_iter()
+        .map(|n| (n, e.view_relation(n).unwrap().sorted()))
+        .collect()
+}
+
+/// Run the full schedule through a durable engine into `dir`.
+fn run_durable(dir: &Path, workers: Option<usize>) {
+    run_durable_cfg(dir, workers, cfg());
+}
+
+fn run_durable_cfg(dir: &Path, workers: Option<usize>, cfg: DurabilityConfig) {
+    let (q, engine) = fresh(workers);
+    let mut gen = ScheduleGen::new(&q, &specs(), &sym_vars(&q));
+    let mut d = DurableEngine::create(dir, engine, cfg).unwrap();
+    while let Some((rel, delta)) = gen.next_batch(&q.catalog) {
+        d.apply(rel, &Delta::Flat(delta)).unwrap();
+    }
+    d.sync_all().unwrap();
+}
+
+/// Reference snapshots: `out[k]` is the state after applying exactly
+/// the first `k` updates on an uninterrupted engine.
+fn reference_snapshots(workers: Option<usize>) -> Vec<Snapshot> {
+    let (q, mut engine) = fresh(workers);
+    let mut gen = ScheduleGen::new(&q, &specs(), &sym_vars(&q));
+    let mut out = vec![snapshot(&engine)];
+    while let Some((rel, delta)) = gen.next_batch(&q.catalog) {
+        engine.apply(rel, &Delta::Flat(delta));
+        out.push(snapshot(&engine));
+    }
+    out
+}
+
+/// Recover from `dir` into a brand-new engine (fresh catalog — the
+/// restart simulation) and assert every materialized view equals the
+/// reference at the recovered LSN.
+fn recover_and_check(dir: &Path, refs: &[Snapshot], workers: Option<usize>) -> RecoveryReport {
+    let (_q2, engine) = fresh(workers);
+    let (recovered, report) =
+        DurableEngine::open(dir, engine, cfg()).expect("recovery must succeed");
+    let got = snapshot(recovered.engine());
+    assert_eq!(
+        got, refs[report.last_lsn as usize],
+        "recovered views diverge from the reference at LSN {}",
+        report.last_lsn
+    );
+    report
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "fivm-crashpoints-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let p = entry.unwrap().path();
+        std::fs::copy(&p, dst.join(p.file_name().unwrap())).unwrap();
+    }
+}
+
+/// Byte span (offset, len) of the final record of the final segment.
+fn final_record_span(dir: &Path) -> (PathBuf, u64, u64) {
+    let segments = wal::list_segments(dir).unwrap();
+    let last = segments.last().expect("log has segments").path.clone();
+    let spans = wal::frame_spans(&last).unwrap();
+    let &(off, len) = spans.last().expect("final segment has records");
+    (last, off, len)
+}
+
+#[test]
+fn cut_at_every_byte_boundary_of_final_record() {
+    let base = scratch("cuts");
+    run_durable(&base, None);
+    let refs = reference_snapshots(None);
+    let (seg, off, len) = final_record_span(&base);
+    let seg_name = seg.file_name().unwrap().to_owned();
+    let n = N_UPDATES as u64;
+
+    for cut in off..=off + len {
+        let dir = scratch("cut-case");
+        copy_dir(&base, &dir);
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(dir.join(&seg_name))
+            .unwrap()
+            .set_len(cut)
+            .unwrap();
+        let report = recover_and_check(&dir, &refs, None);
+        let expect = if cut == off + len { n } else { n - 1 };
+        assert_eq!(
+            report.last_lsn,
+            expect,
+            "cut at byte {cut} (record spans {off}..{})",
+            off + len
+        );
+        if cut > off && cut < off + len {
+            // A cut exactly at `off` leaves a valid record boundary —
+            // nothing to truncate. Any cut *inside* the record must be.
+            assert!(report.truncated_bytes > 0, "torn tail must be truncated");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn bit_flips_in_final_record_are_detected_and_truncated() {
+    let base = scratch("flips");
+    run_durable(&base, None);
+    let refs = reference_snapshots(None);
+    let (seg, off, len) = final_record_span(&base);
+    let seg_name = seg.file_name().unwrap().to_owned();
+
+    for byte in 0..len {
+        let dir = scratch("flip-case");
+        copy_dir(&base, &dir);
+        let path = dir.join(&seg_name);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[(off + byte) as usize] ^= 1 << (byte % 8);
+        std::fs::write(&path, &bytes).unwrap();
+        let report = recover_and_check(&dir, &refs, None);
+        assert_eq!(
+            report.last_lsn,
+            N_UPDATES as u64 - 1,
+            "flip at record byte {byte} must drop exactly the final record"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn corruption_mid_log_is_a_clean_error() {
+    let base = scratch("midlog");
+    // Tiny segments and no auto-checkpoints: recovery must replay the
+    // whole multi-segment log, so a damaged middle segment is always on
+    // the replay path (with checkpoints, replay starts past it).
+    let midlog_cfg = DurabilityConfig {
+        checkpoint_every: 0,
+        segment_bytes: 512,
+        ..DurabilityConfig::default()
+    };
+    run_durable_cfg(&base, None, midlog_cfg.clone());
+    let segments = wal::list_segments(&base).unwrap();
+    assert!(segments.len() >= 2, "schedule must span multiple segments");
+    // Damage a record in a non-final segment: recovery cannot truncate
+    // (later records exist) so it must refuse — with an error, not a
+    // panic, and not a silently shortened replay.
+    let victim = &segments[segments.len() - 2];
+    let spans = wal::frame_spans(&victim.path).unwrap();
+    let &(off, len) = spans.first().unwrap();
+    let mut bytes = std::fs::read(&victim.path).unwrap();
+    bytes[(off + len / 2) as usize] ^= 0x10;
+    std::fs::write(&victim.path, &bytes).unwrap();
+
+    let (_q2, engine) = fresh(None);
+    let result = DurableEngine::open(&base, engine, midlog_cfg);
+    assert!(result.is_err(), "mid-log corruption must be rejected");
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn dropped_newest_checkpoint_recovers_from_previous() {
+    let base = scratch("dropckpt");
+    run_durable(&base, None);
+    let refs = reference_snapshots(None);
+    let manifests = fivm::durability::checkpoint::list_manifests(&base).unwrap();
+    assert_eq!(manifests.len(), 2, "two checkpoints retained");
+    std::fs::remove_file(&manifests.last().unwrap().path).unwrap();
+
+    let report = recover_and_check(&base, &refs, None);
+    assert_eq!(
+        report.last_lsn, N_UPDATES as u64,
+        "full state via longer tail"
+    );
+    assert_eq!(report.checkpoint_seq, Some(manifests[0].seq));
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn all_checkpoints_lost_with_truncated_log_is_a_clean_error() {
+    let base = scratch("allckpt");
+    run_durable(&base, None);
+    // Log segments before the oldest retained checkpoint were
+    // truncated, so with every manifest gone there is no consistent
+    // state to rebuild — recovery must say so, not guess.
+    for m in fivm::durability::checkpoint::list_manifests(&base).unwrap() {
+        std::fs::remove_file(&m.path).unwrap();
+    }
+    let (_q2, engine) = fresh(None);
+    let result = DurableEngine::open(&base, engine, cfg());
+    assert!(result.is_err(), "missing log prefix must be rejected");
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn partial_newest_checkpoint_falls_back() {
+    let base = scratch("partial");
+    run_durable(&base, None);
+    let refs = reference_snapshots(None);
+
+    // Case 1: manifest half-written (kill during the manifest write —
+    // possible only before the atomic rename, but a torn rename target
+    // must be tolerated identically).
+    let dir1 = scratch("partial-man");
+    copy_dir(&base, &dir1);
+    let manifests = fivm::durability::checkpoint::list_manifests(&dir1).unwrap();
+    let newest = manifests.last().unwrap();
+    let size = std::fs::metadata(&newest.path).unwrap().len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&newest.path)
+        .unwrap()
+        .set_len(size / 2)
+        .unwrap();
+    let report = recover_and_check(&dir1, &refs, None);
+    assert_eq!(report.last_lsn, N_UPDATES as u64);
+    assert_eq!(report.manifests_skipped, 1);
+    std::fs::remove_dir_all(&dir1).unwrap();
+
+    // Case 2: a view file the newest manifest references is torn.
+    let dir2 = scratch("partial-view");
+    copy_dir(&base, &dir2);
+    let manifests = fivm::durability::checkpoint::list_manifests(&dir2).unwrap();
+    let m = fivm::durability::checkpoint::read_manifest(&manifests.last().unwrap().path).unwrap();
+    // Pick a view file not shared with the previous manifest.
+    let prev = fivm::durability::checkpoint::read_manifest(&manifests[0].path).unwrap();
+    let &(node, file_seq) = m
+        .views
+        .iter()
+        .find(|v| !prev.views.contains(v))
+        .expect("newest checkpoint rewrote at least one view");
+    let vpath = fivm::durability::checkpoint::view_file_path(&dir2, node, file_seq);
+    let size = std::fs::metadata(&vpath).unwrap().len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&vpath)
+        .unwrap()
+        .set_len(size.saturating_sub(7))
+        .unwrap();
+    let report = recover_and_check(&dir2, &refs, None);
+    assert_eq!(report.last_lsn, N_UPDATES as u64);
+    assert_eq!(report.manifests_skipped, 1);
+    std::fs::remove_dir_all(&dir2).unwrap();
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn kill_between_view_files_and_manifest_is_invisible() {
+    let base = scratch("midckpt");
+    run_durable(&base, None);
+    let refs = reference_snapshots(None);
+    // A checkpoint that died after writing view files but before the
+    // manifest rename leaves stray view files and possibly a .tmp
+    // manifest. Recovery must ignore both.
+    std::fs::write(
+        fivm::durability::checkpoint::view_file_path(&base, 0, 999_999),
+        b"FIVMVIW1 partial garbage",
+    )
+    .unwrap();
+    std::fs::write(base.join("ckpt-000099.tmp"), b"FIVMCKP1 torn").unwrap();
+    let report = recover_and_check(&base, &refs, None);
+    assert_eq!(report.last_lsn, N_UPDATES as u64);
+    assert_eq!(report.manifests_skipped, 0);
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+/// The same crash-point sweep on explicit 4-worker engines (sampled
+/// boundaries plus both extremes): parallel propagation must recover
+/// byte-identically too. In CI the whole suite additionally runs under
+/// `FIVM_WORKERS=4`, which covers the full sweep at 4 workers.
+#[test]
+fn crash_points_recover_identically_with_four_workers() {
+    let base = scratch("cuts4");
+    run_durable(&base, Some(4));
+    let refs = reference_snapshots(Some(4));
+    let (seg, off, len) = final_record_span(&base);
+    let seg_name = seg.file_name().unwrap().to_owned();
+    let n = N_UPDATES as u64;
+
+    let mut cuts: Vec<u64> = (off..=off + len).step_by(5).collect();
+    cuts.push(off + len);
+    cuts.push(off + 1);
+    for cut in cuts {
+        let dir = scratch("cut4-case");
+        copy_dir(&base, &dir);
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(dir.join(&seg_name))
+            .unwrap()
+            .set_len(cut)
+            .unwrap();
+        let report = recover_and_check(&dir, &refs, Some(4));
+        let expect = if cut == off + len { n } else { n - 1 };
+        assert_eq!(report.last_lsn, expect, "cut at byte {cut}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::remove_dir_all(&base).unwrap();
+}

@@ -306,6 +306,61 @@ pub fn build_batch_with_cols(
     out
 }
 
+/// Lazy, reproducible delta schedules — the crash-point generalization
+/// of [`run_schedule`]. Instead of driving engines in lockstep against
+/// the oracle, a `ScheduleGen` regenerates the same `(rel, delta)`
+/// sequence on demand against *any* catalog: the write-ahead-logged
+/// engine under test, the uninterrupted reference engine, and any
+/// prefix replay each build their own generator from the same specs,
+/// and because generation (including string interning) is
+/// seed-deterministic and order-identical, `Value::Sym` ids agree
+/// across the independently-built catalogs — which is exactly the
+/// property crash recovery must preserve and the fault-injection
+/// harness asserts.
+///
+/// Laziness matters: symbols must be interned just before the batch
+/// that uses them, so a durable engine's log interleaves symbol
+/// records with update records the way a live system would.
+pub struct ScheduleGen {
+    kinds: Vec<Vec<ColKind>>,
+    schemas: Vec<Schema>,
+    db: OracleDb,
+    live: Vec<Vec<Vec<i64>>>,
+    specs: Vec<BatchSpec>,
+    next: usize,
+}
+
+impl ScheduleGen {
+    pub fn new(q: &QueryDef, specs: &[BatchSpec], sym_vars: &[VarId]) -> Self {
+        ScheduleGen {
+            kinds: (0..q.relations.len())
+                .map(|rel| col_kinds(q, rel, sym_vars))
+                .collect(),
+            schemas: q.relations.iter().map(|r| r.schema.clone()).collect(),
+            db: q.relations.iter().map(|_| HashMap::new()).collect(),
+            live: q.relations.iter().map(|_| Vec::new()).collect(),
+            specs: specs.to_vec(),
+            next: 0,
+        }
+    }
+
+    /// Generate the next batch, interning any symbol values through
+    /// `catalog`.
+    pub fn next_batch(&mut self, catalog: &Catalog) -> Option<(usize, Relation<i64>)> {
+        let spec = self.specs.get(self.next)?.clone();
+        self.next += 1;
+        let rel = spec.rel % self.kinds.len();
+        let pairs = build_batch_with_cols(
+            &spec,
+            &self.kinds[rel],
+            catalog,
+            &mut self.db[rel],
+            &mut self.live[rel],
+        );
+        Some((rel, Relation::from_pairs(self.schemas[rel].clone(), pairs)))
+    }
+}
+
 /// Drive a schedule through every engine and the oracle, asserting
 /// each engine agrees with the oracle (and hence with every other
 /// engine) after every batch. All engines receive identical deltas.

@@ -109,6 +109,7 @@ fn steady_state_propagation_allocates_nothing() {
     }
     symbol_phase();
     factored_phase();
+    logging_phase();
 }
 
 fn single_tuple_phase() {
@@ -375,6 +376,98 @@ fn factored_phase() {
     // The toggles were real factored work: the singleton and grouped
     // shapes both live in the plan cache, and nothing was recompiled.
     assert_eq!(engine.factored_shapes_cached(1), 2);
+}
+
+/// Write-ahead-logging variant: propagation **with durability logging
+/// enabled** stays zero-alloc in the steady state. The log's encode
+/// scratch and group-commit buffer are both reused, `log_new_symbols`
+/// early-returns without touching the heap when the symbol table has
+/// not grown, and flushing is a plain `write_all` — so after warm-up
+/// (which sizes both buffers to their high-water marks) a logged
+/// toggle cycle performs exactly as many allocations as an unlogged
+/// one: zero. `flush_bytes` is set low enough that the counting window
+/// crosses many flush boundaries, so the group-commit drain path is
+/// covered too, not just buffered appends.
+fn logging_phase() {
+    let dir = std::env::temp_dir().join(format!("fivm-zeroalloc-log-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let q = QueryDef::example_rst(&[]);
+    let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
+    let tree = ViewTree::build(&q, &vo);
+    let engine: IvmEngine<i64> = IvmEngine::new(q.clone(), tree, &[0, 1, 2], LiftingMap::new());
+    let cfg = DurabilityConfig {
+        checkpoint_every: 0,    // checkpoints allocate; they are not the hot path
+        segment_bytes: 1 << 30, // no rotation inside the counting window
+        flush_bytes: 4096,      // ~ every 4 toggle cycles cross a flush
+        ..DurabilityConfig::default()
+    };
+    let mut engine = DurableEngine::create(&dir, engine, cfg).unwrap();
+
+    for (rel, tuples) in [
+        (
+            0usize,
+            vec![tuple![1, 1], tuple![1, 2], tuple![2, 3], tuple![3, 4]],
+        ),
+        (
+            1,
+            vec![
+                tuple![1, 1, 1],
+                tuple![1, 1, 2],
+                tuple![1, 2, 3],
+                tuple![2, 2, 4],
+            ],
+        ),
+        (
+            2,
+            vec![tuple![1, 1], tuple![2, 2], tuple![2, 3], tuple![3, 4]],
+        ),
+    ] {
+        for t in tuples {
+            let d = Relation::from_pairs(q.relations[rel].schema.clone(), [(t, 2i64)]);
+            engine.apply(rel, &Delta::Flat(d)).unwrap();
+        }
+    }
+    let result_before = engine.engine().result();
+
+    let cycle = toggle_cycle(&q);
+    for _ in 0..2 {
+        for (rel, d) in &cycle {
+            engine.apply(*rel, d).unwrap();
+        }
+    }
+
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    COUNTING_THREAD.with(|c| c.set(true));
+    COUNTING.store(true, Ordering::SeqCst);
+    for _ in 0..25 {
+        for (rel, d) in &cycle {
+            engine.apply(*rel, d).unwrap();
+        }
+    }
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocations = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        allocations, 0,
+        "steady-state propagation with WAL logging must not allocate \
+         (saw {allocations} allocations across 25 logged toggle cycles)"
+    );
+    assert_eq!(engine.engine().result(), result_before);
+
+    // The log was real: recovery replays every logged toggle back to
+    // the same state.
+    engine.sync_all().unwrap();
+    drop(engine);
+    let q2 = QueryDef::example_rst(&[]);
+    let vo2 = VariableOrder::parse("A - { B, C - { D, E } }", &q2.catalog);
+    let tree2 = ViewTree::build(&q2, &vo2);
+    let engine2: IvmEngine<i64> = IvmEngine::new(q2.clone(), tree2, &[0, 1, 2], LiftingMap::new());
+    let (recovered, report) =
+        DurableEngine::open(&dir, engine2, DurabilityConfig::default()).unwrap();
+    assert_eq!(report.last_lsn, 12 + 27 * 12);
+    assert_eq!(recovered.engine().result(), result_before);
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 /// Batch variant: after warm-up at `batch_size`, repeated toggle
