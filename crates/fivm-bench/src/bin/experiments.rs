@@ -615,6 +615,163 @@ fn smoke() {
         out
     };
 
+    // Serving layer (PR 7): epoch-snapshot reads + subscriptions over
+    // the fig11 writer.
+    //
+    // * `serving_writer_tput`: the same pre-built fig11 updates through
+    //   `ServingEngine::apply` with no publishes in the timed loop —
+    //   the epoch layer's promise is that *between* publishes the
+    //   single-tuple maintenance path pays nothing, asserted as a <10%
+    //   budget against the plain-engine `fig11_sum_star` above.
+    // * `serving_publish_ms`: one full copy-on-write epoch build with
+    //   every store dirty (the worst case; clean stores are carried by
+    //   reference and cost nothing).
+    // * `serving_writer_tput_pub16k`: publish every 16 384 updates —
+    //   the amortized cost of a realistic refresh cadence.
+    // * `serving_reader_agg_K`: aggregate reader ops/s (pin + 64 point
+    //   probes + a 32-entry enumeration slice per pin) at K = 1/2/4/8
+    //   reader threads against a live writer publishing at the 16k
+    //   cadence. Scaling is asserted only on ≥4-core hosts;
+    //   single-core containers time-slice the readers.
+    let serving = {
+        use fivm_engine::ServingEngine;
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+        // Writer A/B: no publishes in the loop (one at the end, after
+        // the timer, so the epoch machinery is exercised but unbilled).
+        let serving_tput = (0..3)
+            .map(|_| {
+                let engine =
+                    fivm_engine::IvmEngine::new(hq.clone(), htree.clone(), &hall, hlifts.clone());
+                let mut s = ServingEngine::new(engine);
+                let start = Instant::now();
+                for (rel, d) in &hupdates {
+                    s.apply(*rel, d);
+                }
+                let tput = hupdates.len() as f64 / start.elapsed().as_secs_f64().max(1e-9);
+                s.publish();
+                tput
+            })
+            .fold(0.0f64, f64::max);
+        let writer_overhead_pct = (htput / serving_tput.max(1e-9) - 1.0) * 100.0;
+        assert!(
+            writer_overhead_pct < 10.0,
+            "serving-layer writer overhead {writer_overhead_pct:.1}% exceeds the 10% budget \
+             (plain {htput:.0}/s vs serving {serving_tput:.0}/s)"
+        );
+
+        // Worst-case publish: every store dirty, full COW clone.
+        let (publish_ms, probe_node) = {
+            let engine =
+                fivm_engine::IvmEngine::new(hq.clone(), htree.clone(), &hall, hlifts.clone());
+            let mut s = ServingEngine::new(engine);
+            for (rel, d) in &hupdates {
+                s.apply(*rel, d);
+            }
+            let start = Instant::now();
+            let snap = s.publish();
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            // Probe target for the reader sweep: the largest non-root
+            // view (a postcode-keyed branch view).
+            let root = s.engine().tree().root;
+            let node = s
+                .engine()
+                .materialized_nodes()
+                .into_iter()
+                .filter(|&n| n != root)
+                .max_by_key(|&n| snap.view(n).map_or(0, |v| v.len()))
+                .unwrap_or(root);
+            (ms, node)
+        };
+
+        // Amortized publish cadence.
+        let pub16k_tput = (0..3)
+            .map(|_| {
+                let engine =
+                    fivm_engine::IvmEngine::new(hq.clone(), htree.clone(), &hall, hlifts.clone());
+                let mut s = ServingEngine::new(engine).with_publish_every(16_384);
+                let start = Instant::now();
+                for (rel, d) in &hupdates {
+                    s.apply(*rel, d);
+                }
+                hupdates.len() as f64 / start.elapsed().as_secs_f64().max(1e-9)
+            })
+            .fold(0.0f64, f64::max);
+
+        // Reader scaling against a live writer.
+        let probe_keys: Vec<fivm_core::Tuple> = (0..1024)
+            .map(|i| fivm_core::Tuple::new(vec![Value::Int((i * 19) % 20_000)]))
+            .collect();
+        let mut out = format!(
+            ",\"serving_writer_tput\":{serving_tput:.0},\
+             \"serving_writer_overhead_pct\":{writer_overhead_pct:.1},\
+             \"serving_publish_ms\":{publish_ms:.1},\
+             \"serving_writer_tput_pub16k\":{pub16k_tput:.0}"
+        );
+        let mut agg_by_readers = Vec::new();
+        for readers in [1usize, 2, 4, 8] {
+            let engine =
+                fivm_engine::IvmEngine::new(hq.clone(), htree.clone(), &hall, hlifts.clone());
+            let mut s = ServingEngine::new(engine).with_publish_every(16_384);
+            let stop = AtomicBool::new(false);
+            let ops = AtomicU64::new(0);
+            let elapsed = std::thread::scope(|scope| {
+                for _ in 0..readers {
+                    let reader = s.reader();
+                    let stop = &stop;
+                    let ops = &ops;
+                    let keys = &probe_keys;
+                    scope.spawn(move || {
+                        let mut i = 0usize;
+                        let mut local = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            let snap = reader.pin();
+                            for _ in 0..64 {
+                                i = (i + 1) % keys.len();
+                                if snap.get(probe_node, &keys[i]).is_some() {
+                                    local += 1;
+                                }
+                            }
+                            local += snap.iter(probe_node).take(32).count() as u64;
+                            ops.fetch_add(65, Ordering::Relaxed);
+                        }
+                        let _ = local;
+                    });
+                }
+                let start = Instant::now();
+                for _ in 0..3 {
+                    for (rel, d) in &hupdates {
+                        s.apply(*rel, d);
+                    }
+                }
+                let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+                stop.store(true, Ordering::Relaxed);
+                elapsed
+            });
+            let agg = ops.load(Ordering::Relaxed) as f64 / elapsed;
+            agg_by_readers.push((readers, agg));
+            out.push_str(&format!(",\"serving_reader_agg_{readers}\":{agg:.0}"));
+        }
+        let one = agg_by_readers[0].1;
+        let best = agg_by_readers
+            .iter()
+            .map(|&(_, a)| a)
+            .fold(0.0f64, f64::max);
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores >= 4 {
+            assert!(
+                best > 1.3 * one,
+                "readers do not scale: best aggregate {best:.0}/s vs 1-reader {one:.0}/s \
+                 on a {cores}-core host"
+            );
+        }
+        out.push_str(&format!(
+            ",\"serving_reader_scaling_best_over_1\":{:.2}",
+            best / one.max(1e-9)
+        ));
+        out
+    };
+
     println!(
         "{{\"bench\":\"smoke\",\"unit\":\"single_tuple_updates_per_sec\",\
          \"fig11_sum_star\":{htput:.0},\"fig11_tuples\":{},\
@@ -622,7 +779,7 @@ fn smoke() {
          \"fig11_control_sum_price\":{hctput:.0},\
          \"fig11_string_sum_star\":{hstput:.0},\
          \"fig13_string_triangle\":{thtput:.0}\
-         {foil}{fig6}{fig12}{durability}}}",
+         {foil}{fig6}{fig12}{durability}{serving}}}",
         hupdates.len(),
         tupdates.len(),
     );

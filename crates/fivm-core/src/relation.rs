@@ -112,7 +112,9 @@ impl<R: Semiring> Relation<R> {
         self.data.iter()
     }
 
-    /// Deterministically ordered contents (tests, display).
+    /// Deterministically ordered contents (tests, display). Symbol keys
+    /// order by intern id — for user-facing dictionary order use
+    /// [`Relation::sorted_resolved`].
     pub fn sorted(&self) -> Vec<(Tuple, R)> {
         let mut v: Vec<_> = self
             .data
@@ -120,6 +122,22 @@ impl<R: Semiring> Relation<R> {
             .map(|(t, p)| (t.clone(), p.clone()))
             .collect();
         v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Contents in catalog-resolved order: symbol keys sort by their
+    /// interned strings (lexicographically, via
+    /// [`Tuple::cmp_resolved`]), not by intern id — the order a user
+    /// reading the view expects. Intern ids are assigned in
+    /// first-appearance order, so [`Relation::sorted`] over string keys
+    /// reflects insertion history, which is meaningless to a reader.
+    pub fn sorted_resolved(&self, catalog: &crate::Catalog) -> Vec<(Tuple, R)> {
+        let mut v: Vec<_> = self
+            .data
+            .iter()
+            .map(|(t, p)| (t.clone(), p.clone()))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp_resolved(&b.0, catalog));
         v
     }
 

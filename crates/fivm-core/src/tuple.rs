@@ -193,6 +193,21 @@ impl Tuple {
         self.values().iter()
     }
 
+    /// Catalog-aware lexicographic order: like [`Ord`], but each value
+    /// compares via [`Value::cmp_resolved`], so symbol columns sort by
+    /// their resolved strings (dictionary order) instead of intern-id
+    /// order. User-facing sorted readback routes through this; the hot
+    /// path keeps the id-based [`Ord`].
+    pub fn cmp_resolved(&self, other: &Tuple, catalog: &crate::Catalog) -> std::cmp::Ordering {
+        for (a, b) in self.values().iter().zip(other.values()) {
+            let ord = a.cmp_resolved(b, catalog);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        self.len().cmp(&other.len())
+    }
+
     /// Lay out `len` values inline or spilled, hash not yet computed.
     #[inline]
     fn assemble(len: usize, mut vals: impl Iterator<Item = Value>) -> Repr {

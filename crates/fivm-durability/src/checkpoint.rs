@@ -202,30 +202,53 @@ pub fn read_view_file<R: Semiring + Codec>(
     Ok(Relation::decode(input)?)
 }
 
-/// Garbage-collect checkpoints: keep the newest `retained` manifests,
-/// delete older ones plus any view file no retained manifest
-/// references (including stray files from checkpoints that never
-/// committed). Returns the LSN of the *oldest retained* manifest —
-/// the safe WAL truncation cutoff: even if the newest checkpoint is
-/// later lost, recovery can still start from the oldest retained one.
+/// Garbage-collect checkpoints: keep the newest `retained` manifests
+/// that are actually *restorable* (manifest checksums and every view
+/// file it references exists), delete everything older or unrestorable,
+/// plus any view file no kept manifest references (including stray
+/// files from checkpoints that never committed). Returns the LSN of
+/// the **oldest kept** manifest — the safe WAL truncation cutoff: even
+/// if the newest checkpoint is later lost, recovery can still start
+/// from the oldest kept one plus the surviving log tail.
+///
+/// Unrestorable manifests do not count toward `retained` and never
+/// anchor the cutoff: a corrupt retained manifest would otherwise hold
+/// the truncation watermark at an LSN recovery can't actually reach
+/// (or, worse, let the WAL be truncated past the newest manifest that
+/// *does* restore).
 pub fn gc(dir: &Path, retained: usize) -> Result<Option<u64>> {
     let manifests = list_manifests(dir)?;
     if manifests.is_empty() {
         return Ok(None);
     }
-    let keep_from = manifests.len().saturating_sub(retained.max(1));
-    let mut referenced: Vec<PathBuf> = Vec::new();
-    let mut oldest_retained_lsn = None;
-    for info in &manifests[keep_from..] {
-        let m = read_manifest(&info.path)?;
-        if oldest_retained_lsn.is_none() {
-            oldest_retained_lsn = Some(m.lsn);
+    // Walk newest → oldest, keeping up to `retained` restorable
+    // manifests; everything else (older, corrupt, or missing a view
+    // file) is deleted.
+    let retained = retained.max(1);
+    let mut kept: Vec<(&ManifestInfo, Manifest)> = Vec::with_capacity(retained);
+    let mut doomed: Vec<&ManifestInfo> = Vec::new();
+    for info in manifests.iter().rev() {
+        if kept.len() >= retained {
+            doomed.push(info);
+            continue;
         }
+        let restorable = read_manifest(&info.path).ok().filter(|m| {
+            m.views
+                .iter()
+                .all(|&(node, file_seq)| view_file_path(dir, node, file_seq).is_file())
+        });
+        match restorable {
+            Some(m) => kept.push((info, m)),
+            None => doomed.push(info),
+        }
+    }
+    let mut referenced: Vec<PathBuf> = Vec::new();
+    for (_, m) in &kept {
         for &(node, file_seq) in &m.views {
             referenced.push(view_file_path(dir, node, file_seq));
         }
     }
-    for info in &manifests[..keep_from] {
+    for info in doomed {
         std::fs::remove_file(&info.path)?;
     }
     for entry in std::fs::read_dir(dir)? {
@@ -239,5 +262,6 @@ pub fn gc(dir: &Path, retained: usize) -> Result<Option<u64>> {
             std::fs::remove_file(&path)?;
         }
     }
-    Ok(oldest_retained_lsn)
+    // `kept` is newest-first; the cutoff is the oldest kept manifest.
+    Ok(kept.last().map(|(_, m)| m.lsn))
 }

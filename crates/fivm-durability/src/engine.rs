@@ -15,9 +15,12 @@ use crate::checkpoint::{self, Manifest};
 use crate::wal::{self, DeltaLog, SegmentInfo, WalRecord};
 use crate::{DurabilityConfig, DurabilityError, Result};
 use fivm_core::{Codec, Delta, FxHashMap, Relation, Ring};
+use fivm_engine::snapshot::{EngineSnapshot, SnapshotPublisher, SnapshotReader};
+use fivm_engine::subscribe::{Subscriber, SubscriptionHub};
 use fivm_engine::IvmEngine;
-use fivm_query::RelIndex;
+use fivm_query::{NodeId, RelIndex};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// What recovery found and did. The fault-injection harness compares
 /// the recovered engine against a reference that applied exactly
@@ -52,6 +55,10 @@ pub struct DurableEngine<R: Ring> {
     /// Symbol-table prefix already durable (in the log or a snapshot).
     symbols_logged: usize,
     last_lsn: u64,
+    /// Everything at or below this LSN survives a crash (fsynced log
+    /// prefix or checkpoint) — the exact acknowledgement watermark of
+    /// the configured [`crate::SyncPolicy`].
+    durable_lsn: u64,
     last_ckpt_lsn: u64,
     next_ckpt_seq: u64,
     next_file_seq: u64,
@@ -60,6 +67,12 @@ pub struct DurableEngine<R: Ring> {
     view_versions: FxHashMap<usize, u64>,
     /// Per-node snapshot file currently on disk.
     view_files: FxHashMap<usize, u64>,
+    /// Serving layer: epoch publisher + subscription hub. Constructed
+    /// *after* recovery completes, publishing the recovered state as
+    /// epoch 0 — readers always pin a fully recovered, consistent
+    /// image, never a mid-replay one.
+    publisher: SnapshotPublisher<R>,
+    hub: SubscriptionHub<R>,
 }
 
 impl<R: Ring + Codec> DurableEngine<R> {
@@ -87,8 +100,9 @@ impl<R: Ring + Codec> DurableEngine<R> {
             last_lsn + 1,
             cfg.segment_bytes,
             cfg.flush_bytes,
-            cfg.sync_data,
+            cfg.sync,
         )?;
+        let publisher = SnapshotPublisher::new(&engine);
         let mut this = DurableEngine {
             engine,
             dir: dir.to_path_buf(),
@@ -97,11 +111,14 @@ impl<R: Ring + Codec> DurableEngine<R> {
             payload_buf: Vec::with_capacity(4096),
             symbols_logged: 0,
             last_lsn,
+            durable_lsn: 0,
             last_ckpt_lsn: 0,
             next_ckpt_seq: 0,
             next_file_seq: 0,
             view_versions: FxHashMap::default(),
             view_files: FxHashMap::default(),
+            publisher,
+            hub: SubscriptionHub::new(),
         };
         this.checkpoint()?;
         Ok(this)
@@ -302,7 +319,7 @@ impl<R: Ring + Codec> DurableEngine<R> {
             last_lsn + 1,
             cfg.segment_bytes,
             cfg.flush_bytes,
-            cfg.sync_data,
+            cfg.sync,
         )?;
         let next_ckpt_seq = manifests.last().map_or(0, |m| m.seq + 1);
         let next_file_seq = max_view_file_seq(dir)?.map_or(0, |s| s + 1);
@@ -312,6 +329,9 @@ impl<R: Ring + Codec> DurableEngine<R> {
             .into_iter()
             .map(|n| (n, engine.view_version(n).unwrap()))
             .collect();
+        // Recovery lands in a published epoch: readers pinning right
+        // after `open` observe exactly the recovered prefix.
+        let publisher = SnapshotPublisher::new(&engine);
         let mut this = DurableEngine {
             engine,
             dir: dir.to_path_buf(),
@@ -320,11 +340,16 @@ impl<R: Ring + Codec> DurableEngine<R> {
             payload_buf: Vec::with_capacity(4096),
             symbols_logged,
             last_lsn,
+            // Everything recovered came off disk, so the full prefix is
+            // durable again the moment `open` returns.
+            durable_lsn: last_lsn,
             last_ckpt_lsn: ckpt_lsn,
             next_ckpt_seq,
             next_file_seq,
             view_versions,
             view_files,
+            publisher,
+            hub: SubscriptionHub::new(),
         };
         if this.view_files.is_empty() {
             // Cold replay had no checkpoint to carry forward — cut one
@@ -336,9 +361,9 @@ impl<R: Ring + Codec> DurableEngine<R> {
     }
 
     /// Log `delta`, then apply it to the engine. The record (and any
-    /// newly interned symbols) is buffered; it reaches the OS at the
-    /// group-commit threshold and the disk on checkpoint/[`Self::sync_all`]
-    /// (or every flush with [`DurabilityConfig::sync_data`]).
+    /// newly interned symbols) is buffered; when it becomes *durable*
+    /// (fsynced) is governed by [`crate::SyncPolicy`] — see
+    /// [`Self::durable_lsn`] for the current watermark.
     pub fn apply(&mut self, rel: RelIndex, delta: &Delta<R>) -> Result<()> {
         let lsn = self.last_lsn + 1;
         self.log.maybe_rotate(lsn)?;
@@ -348,6 +373,9 @@ impl<R: Ring + Codec> DurableEngine<R> {
         self.engine.apply(rel, delta);
         self.last_lsn = lsn;
         debug_assert_eq!(self.engine.updates_applied(), lsn);
+        if self.log.note_update()? {
+            self.durable_lsn = lsn;
+        }
         if self.cfg.checkpoint_every > 0 && lsn - self.last_ckpt_lsn >= self.cfg.checkpoint_every {
             self.checkpoint()?;
         }
@@ -364,6 +392,7 @@ impl<R: Ring + Codec> DurableEngine<R> {
         // this manifest is later lost.
         self.log_new_symbols()?;
         self.log.sync()?;
+        self.durable_lsn = self.last_lsn;
         for node in self.engine.materialized_nodes() {
             let ver = self.engine.view_version(node).expect("materialized");
             if self.view_versions.get(&node) == Some(&ver) && self.view_files.contains_key(&node) {
@@ -396,8 +425,11 @@ impl<R: Ring + Codec> DurableEngine<R> {
     }
 
     /// Flush the group-commit buffer and fsync the current segment.
+    /// Afterwards every applied update is durable.
     pub fn sync_all(&mut self) -> Result<()> {
-        self.log.sync()
+        self.log.sync()?;
+        self.durable_lsn = self.last_lsn;
+        Ok(())
     }
 
     /// The wrapped engine. Mutating access is deliberately absent:
@@ -414,6 +446,48 @@ impl<R: Ring + Codec> DurableEngine<R> {
     /// LSN covered by the most recent checkpoint.
     pub fn last_checkpoint_lsn(&self) -> u64 {
         self.last_ckpt_lsn
+    }
+
+    /// Highest LSN guaranteed to survive a crash right now: the prefix
+    /// `1..=durable_lsn` is in fsynced log segments or a committed
+    /// checkpoint. Updates in `durable_lsn+1..=last_lsn` are applied
+    /// and acknowledged but could be lost to power failure, per the
+    /// configured [`crate::SyncPolicy`].
+    pub fn durable_lsn(&self) -> u64 {
+        self.durable_lsn
+    }
+
+    /// `(segment seq, synced byte length)` of the current WAL segment —
+    /// the exact on-disk extent an fsync has pinned. Crash harnesses
+    /// truncate the segment to this length to simulate losing the
+    /// OS-buffered tail.
+    pub fn wal_durable_span(&self) -> (u64, u64) {
+        self.log.durable_span()
+    }
+
+    /// A handle for concurrent lock-free reads of published snapshots.
+    /// See [`fivm_engine::snapshot`] for the epoch protocol.
+    pub fn reader(&self) -> SnapshotReader<R> {
+        self.publisher.reader()
+    }
+
+    /// Subscribe to per-epoch output deltas of materialized view
+    /// `node`. Returns `None` if the node is not materialized. Deltas
+    /// are delivered on [`Self::publish`].
+    pub fn subscribe(&mut self, node: NodeId) -> Option<Subscriber<R>> {
+        if !self.engine.set_change_capture(node, true) {
+            return None;
+        }
+        Some(self.hub.subscribe(node))
+    }
+
+    /// Publish the engine's current state as a new epoch (visible to
+    /// all [`Self::reader`] handles) and deliver accumulated view
+    /// deltas to subscribers.
+    pub fn publish(&mut self) -> Arc<EngineSnapshot<R>> {
+        let snap = self.publisher.publish(&self.engine);
+        self.hub.deliver(snap.epoch(), snap.lsn(), &mut self.engine);
+        snap
     }
 
     /// Log any symbols interned since the last record. No-op (and

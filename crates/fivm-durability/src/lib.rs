@@ -25,9 +25,46 @@ mod engine;
 pub mod wal;
 
 pub use engine::{DurableEngine, RecoveryReport};
+pub use fivm_engine::{EngineSnapshot, SnapshotReader, Subscriber, ViewDelta};
 
 use std::fmt;
 use std::path::PathBuf;
+
+/// When the write-ahead log `fsync`s, i.e. the exact durability
+/// contract behind [`DurableEngine::apply`]'s acknowledgement. In every
+/// mode recovery returns a *consistent prefix* of acknowledged updates;
+/// the policy bounds how much of the acknowledged tail a crash (power
+/// loss, kernel panic — not a mere process kill, which loses nothing
+/// flushed) may silently drop. [`DurableEngine::durable_lsn`] reports
+/// the exact watermark at any moment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// `fsync` only at checkpoints, segment rotation, and explicit
+    /// [`DurableEngine::sync_all`]. An acknowledged update is durable
+    /// once the next checkpoint (at most `checkpoint_every` updates
+    /// later) or sync completes; a crash before that loses the
+    /// acknowledged tail back to the last checkpoint. Cheapest mode and
+    /// the default — the bench overhead budget assumes OS-buffered
+    /// appends.
+    OnCheckpoint,
+    /// `fsync` at every group-commit flush: whenever `flush_bytes` of
+    /// buffered records reach the OS, they are synced before the next
+    /// update is acknowledged. A crash loses at most the updates still
+    /// in the group-commit buffer (< `flush_bytes` encoded bytes) —
+    /// bounded in bytes, not in updates or time.
+    EveryFlush,
+    /// Amortized group-commit `fsync` batching: sync once at least
+    /// `max_updates` acknowledged updates are unsynced, or at the first
+    /// acknowledgement after `max_delay` has elapsed since the last
+    /// sync — whichever comes first. A crash loses fewer than
+    /// `max_updates` acknowledged updates (and, on an active stream, at
+    /// most ~`max_delay` of them in time), at the cost of one `fsync`
+    /// per window instead of per update.
+    Batched {
+        max_updates: u64,
+        max_delay: std::time::Duration,
+    },
+}
 
 /// Tuning knobs for [`DurableEngine`].
 #[derive(Debug, Clone)]
@@ -42,11 +79,9 @@ pub struct DurabilityConfig {
     /// Group-commit threshold: buffered log bytes are written to the
     /// OS once they exceed this.
     pub flush_bytes: usize,
-    /// `fsync` on every group-commit flush (durability per flush
-    /// instead of per checkpoint). Off by default: the crash-safety
-    /// guarantee is "recover to a consistent prefix", and the bench
-    /// overhead budget assumes OS-buffered appends.
-    pub sync_data: bool,
+    /// When the log `fsync`s — the durability contract of every
+    /// acknowledged update (see [`SyncPolicy`]).
+    pub sync: SyncPolicy,
     /// How many checkpoints to retain (min 1). Keeping 2 means a
     /// corrupted newest checkpoint still recovers from the previous
     /// one plus a longer log tail.
@@ -59,7 +94,7 @@ impl Default for DurabilityConfig {
             checkpoint_every: 10_000,
             segment_bytes: 8 << 20,
             flush_bytes: 256 << 10,
-            sync_data: false,
+            sync: SyncPolicy::OnCheckpoint,
             retained_checkpoints: 2,
         }
     }

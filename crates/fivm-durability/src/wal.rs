@@ -295,7 +295,18 @@ pub struct DeltaLog {
     buf: Vec<u8>,
     flush_bytes: usize,
     segment_bytes: u64,
-    sync_data: bool,
+    policy: crate::SyncPolicy,
+    /// Updates acknowledged since the last `fsync` (the amortized
+    /// batching window of [`crate::SyncPolicy::Batched`]).
+    unsynced_updates: u64,
+    /// When the last `fsync` completed (the `max_delay` clock).
+    last_sync: std::time::Instant,
+    /// Bytes reached the OS (flushed) without an `fsync` since.
+    flushed_since_sync: bool,
+    /// Durable prefix of the current segment: every byte below this is
+    /// known `fsync`ed. The fault-injection harness truncates here to
+    /// model a crash that loses the OS page cache.
+    synced_len: u64,
 }
 
 impl DeltaLog {
@@ -307,7 +318,7 @@ impl DeltaLog {
         first_lsn: u64,
         segment_bytes: u64,
         flush_bytes: usize,
-        sync_data: bool,
+        policy: crate::SyncPolicy,
     ) -> Result<Self> {
         let file = new_segment(dir, seq, first_lsn)?;
         Ok(DeltaLog {
@@ -318,7 +329,12 @@ impl DeltaLog {
             buf: Vec::with_capacity(flush_bytes + 4096),
             flush_bytes,
             segment_bytes,
-            sync_data,
+            policy,
+            unsynced_updates: 0,
+            last_sync: std::time::Instant::now(),
+            // The just-written segment header has not been fsynced.
+            flushed_since_sync: true,
+            synced_len: 0,
         })
     }
 
@@ -330,15 +346,18 @@ impl DeltaLog {
         if self.seg_bytes < self.segment_bytes {
             return Ok(());
         }
-        self.flush()?;
-        self.file.sync_data()?;
+        self.sync()?;
         self.seq += 1;
         self.file = new_segment(&self.dir, self.seq, next_lsn)?;
         self.seg_bytes = SEGMENT_HEADER_LEN;
+        self.flushed_since_sync = true;
+        self.synced_len = 0;
         Ok(())
     }
 
-    /// Frame `payload` and append it (buffered).
+    /// Frame `payload` and append it (buffered; flushed to the OS at
+    /// the group-commit threshold — syncing is the separate, per-update
+    /// [`DeltaLog::note_update`] decision).
     pub fn append(&mut self, payload: &[u8]) -> Result<()> {
         let mut hdr = [0u8; FRAME_HEADER_LEN as usize];
         hdr[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -348,11 +367,31 @@ impl DeltaLog {
         self.seg_bytes += FRAME_HEADER_LEN + payload.len() as u64;
         if self.buf.len() >= self.flush_bytes {
             self.flush()?;
-            if self.sync_data {
-                self.file.sync_data()?;
-            }
         }
         Ok(())
+    }
+
+    /// Apply the sync policy at an update-acknowledgement boundary.
+    /// Returns `true` iff everything appended so far is durable (the
+    /// caller advances its durable-LSN watermark on `true`).
+    pub fn note_update(&mut self) -> Result<bool> {
+        self.unsynced_updates += 1;
+        let due = match self.policy {
+            crate::SyncPolicy::OnCheckpoint => false,
+            // Sync as soon as a threshold flush has put bytes at the
+            // OS: the flush boundary is the durability boundary.
+            crate::SyncPolicy::EveryFlush => self.flushed_since_sync,
+            crate::SyncPolicy::Batched {
+                max_updates,
+                max_delay,
+            } => {
+                self.unsynced_updates >= max_updates.max(1) || self.last_sync.elapsed() >= max_delay
+            }
+        };
+        if due {
+            self.sync()?;
+        }
+        Ok(self.unsynced_updates == 0)
     }
 
     /// Write the group-commit buffer through to the OS.
@@ -360,6 +399,7 @@ impl DeltaLog {
         if !self.buf.is_empty() {
             self.file.write_all(&self.buf)?;
             self.buf.clear();
+            self.flushed_since_sync = true;
         }
         Ok(())
     }
@@ -368,7 +408,18 @@ impl DeltaLog {
     pub fn sync(&mut self) -> Result<()> {
         self.flush()?;
         self.file.sync_data()?;
+        self.synced_len = self.seg_bytes;
+        self.unsynced_updates = 0;
+        self.last_sync = std::time::Instant::now();
+        self.flushed_since_sync = false;
         Ok(())
+    }
+
+    /// `(current segment seq, durable byte length of that segment)` —
+    /// the crash-simulation cut point for fault-injection tests: a
+    /// power loss may keep anything past `synced_len`, or lose it.
+    pub fn durable_span(&self) -> (u64, u64) {
+        (self.seq, self.synced_len)
     }
 
     /// Current segment sequence number.

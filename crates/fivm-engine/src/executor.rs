@@ -1021,6 +1021,41 @@ impl<R: Ring> IvmEngine<R> {
         self.views[node].as_ref().map(ViewStore::version)
     }
 
+    /// Borrow a node's view store, if materialized. The serving layer's
+    /// snapshot publisher clones stores through this, copy-on-write
+    /// keyed on [`ViewStore::version`].
+    pub fn view_store(&self, node: NodeId) -> Option<&ViewStore<R>> {
+        self.views.get(node)?.as_ref()
+    }
+
+    /// Number of view-tree nodes (the index space of
+    /// [`IvmEngine::view_store`] / [`IvmEngine::view_version`]).
+    pub fn node_count(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Enable or disable output-delta capture on a node's store (the
+    /// subscription layer's feed). Returns `false` if the node is not
+    /// materialized. While enabled, every applied `(key, payload)` pair
+    /// is recorded until [`IvmEngine::drain_changes`] collects them.
+    pub fn set_change_capture(&mut self, node: NodeId, on: bool) -> bool {
+        match self.views.get_mut(node).and_then(Option::as_mut) {
+            Some(store) => {
+                store.set_capture(on);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Move a node's captured change pairs into `out` (appending;
+    /// uncoalesced — callers sum payloads per key and drop zeros).
+    pub fn drain_changes(&mut self, node: NodeId, out: &mut Vec<(Tuple, R)>) {
+        if let Some(store) = self.views.get_mut(node).and_then(Option::as_mut) {
+            store.drain_captured(out);
+        }
+    }
+
     /// Apply an update to `rel` (paper §4's IVM trigger): maintains the
     /// leaf store, propagates the delta leaf-to-root, then maintains and
     /// propagates any indicator projections of `rel`.

@@ -13,6 +13,9 @@
 //!   (Appendix B) and an optional factorized-payload mode (§6.3).
 //! * [`enumerate`] — constant-delay enumeration of query results from
 //!   factorized payloads.
+//! * [`snapshot`] / [`subscribe`] — the serving layer: epoch-pinned
+//!   lock-free snapshot reads concurrent with maintenance, and
+//!   per-view output-delta subscriptions.
 //! * Baselines from the paper’s evaluation (§7): [`FirstOrderIvm`]
 //!   (1-IVM), [`RecursiveIvm`] (DBToaster-style fully recursive
 //!   higher-order IVM — DBT / DBT-RING), and [`reeval`] (F-RE, DBT-RE).
@@ -27,6 +30,8 @@ pub mod memory;
 pub mod parallel;
 pub mod recursive;
 pub mod reeval;
+pub mod snapshot;
+pub mod subscribe;
 pub mod view;
 
 pub use enumerate::FactorizedResult;
@@ -35,4 +40,6 @@ pub use executor::{IvmEngine, PayloadTransform};
 pub use first_order::FirstOrderIvm;
 pub use parallel::WorkerPool;
 pub use recursive::RecursiveIvm;
+pub use snapshot::{EngineSnapshot, ServingEngine, SnapshotPublisher, SnapshotReader};
+pub use subscribe::{Subscriber, SubscriptionHub, ViewDelta};
 pub use view::ViewStore;

@@ -1,0 +1,169 @@
+//! Reactive view subscriptions: per-view output-delta streams.
+//!
+//! Delta propagation already computes the exact output delta of every
+//! materialized view on every update — the subscription layer just
+//! keeps it instead of dropping it. A subscribed node's [`ViewStore`]
+//! records each applied `(key, payload-delta)` pair (change capture,
+//! one branch on the unsubscribed hot path); at **publish** the hub
+//! drains the capture buffer, coalesces it per key over the ring
+//! (dropping zero net changes), and sends one [`ViewDelta`] per
+//! subscription over a channel.
+//!
+//! Delivery semantics:
+//!
+//! * **epoch-ordered** — deltas arrive in strictly increasing epoch
+//!   order per subscription;
+//! * **at-most-once per epoch** — at most one `ViewDelta` per
+//!   subscription per epoch, and none when the view's net change over
+//!   the epoch is empty;
+//! * **exactly the epoch boundary** — applying a subscription's deltas
+//!   in order over the epoch-0 snapshot reproduces each published
+//!   epoch's view state (pairs within one delta are unordered);
+//! * dropped receivers are pruned at the next delivery, and a node's
+//!   capture is switched off when its last subscriber goes away.
+//!
+//! [`ViewStore`]: crate::view::ViewStore
+
+use crate::executor::IvmEngine;
+use fivm_core::{Ring, Tuple, TupleMap};
+use fivm_query::NodeId;
+use std::sync::mpsc;
+
+/// One epoch's coalesced output delta for one view.
+#[derive(Debug, Clone)]
+pub struct ViewDelta<R> {
+    /// Epoch whose publish produced this delta.
+    pub epoch: u64,
+    /// Update boundary of that epoch (all updates with LSN ≤ this are
+    /// reflected).
+    pub lsn: u64,
+    /// The view-tree node this delta belongs to.
+    pub node: NodeId,
+    /// Net `(key, payload-delta)` pairs, coalesced per key, zero-free,
+    /// in unspecified order.
+    pub pairs: Vec<(Tuple, R)>,
+}
+
+/// The receiving end of one subscription.
+pub struct Subscriber<R> {
+    node: NodeId,
+    rx: mpsc::Receiver<ViewDelta<R>>,
+}
+
+impl<R> Subscriber<R> {
+    /// The subscribed node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Next delivered delta, if one is ready (non-blocking).
+    pub fn try_recv(&self) -> Option<ViewDelta<R>> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Block until the next delta (or `None` once the publisher side is
+    /// gone and the queue is drained).
+    pub fn recv(&self) -> Option<ViewDelta<R>> {
+        self.rx.recv().ok()
+    }
+
+    /// Drain everything currently queued.
+    pub fn drain(&self) -> Vec<ViewDelta<R>> {
+        self.rx.try_iter().collect()
+    }
+}
+
+/// The delivery side: owns the subscription registry and the per-epoch
+/// coalescing scratch. Embedded by `ServingEngine` and the durable
+/// engine wrapper; [`SubscriptionHub::deliver`] runs on the maintenance
+/// thread at each publish.
+pub struct SubscriptionHub<R> {
+    subs: Vec<(NodeId, mpsc::Sender<ViewDelta<R>>)>,
+    /// Raw captured pairs drained from the engine (reused).
+    raw: Vec<(Tuple, R)>,
+    /// Per-key coalescing scratch (reused).
+    acc: TupleMap<R>,
+}
+
+impl<R: Ring> SubscriptionHub<R> {
+    pub fn new() -> Self {
+        SubscriptionHub {
+            subs: Vec::new(),
+            raw: Vec::new(),
+            acc: TupleMap::new(),
+        }
+    }
+
+    /// Register a subscription for `node`. The caller is responsible
+    /// for having enabled change capture on the node's store
+    /// (`IvmEngine::set_change_capture`).
+    pub fn subscribe(&mut self, node: NodeId) -> Subscriber<R> {
+        let (tx, rx) = mpsc::channel();
+        self.subs.push((node, tx));
+        Subscriber { node, rx }
+    }
+
+    /// Whether any live subscription targets `node`.
+    pub fn has_subscribers(&self, node: NodeId) -> bool {
+        self.subs.iter().any(|(n, _)| *n == node)
+    }
+
+    /// Drain each subscribed node's captured changes from `engine`,
+    /// coalesce them, and deliver one [`ViewDelta`] per subscription
+    /// (skipping empty net changes). Dead receivers are pruned; a node
+    /// whose last subscriber vanished has its capture switched off.
+    pub fn deliver(&mut self, epoch: u64, lsn: u64, engine: &mut IvmEngine<R>) {
+        // One coalescing pass per distinct subscribed node.
+        let mut nodes: Vec<NodeId> = self.subs.iter().map(|(n, _)| *n).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let mut per_node: Vec<(NodeId, Vec<(Tuple, R)>)> = Vec::with_capacity(nodes.len());
+        for node in nodes {
+            self.raw.clear();
+            engine.drain_changes(node, &mut self.raw);
+            debug_assert!(self.acc.is_empty());
+            for (t, p) in self.raw.drain(..) {
+                self.acc.upsert(&t, R::zero).1.add_assign(&p);
+            }
+            let pairs: Vec<(Tuple, R)> = self
+                .acc
+                .iter()
+                .filter(|(_, p)| !p.is_zero())
+                .map(|(t, p)| (t.clone(), p.clone()))
+                .collect();
+            self.acc.clear();
+            per_node.push((node, pairs));
+        }
+        self.subs.retain(|(node, tx)| {
+            let pairs = &per_node
+                .iter()
+                .find(|(n, _)| n == node)
+                .expect("every subscribed node was coalesced")
+                .1;
+            if pairs.is_empty() {
+                // Empty net change: nothing sent this epoch (at-most-once
+                // means zero is allowed), liveness unprobed until the
+                // node next changes.
+                return true;
+            }
+            tx.send(ViewDelta {
+                epoch,
+                lsn,
+                node: *node,
+                pairs: pairs.clone(),
+            })
+            .is_ok()
+        });
+        for (node, _) in &per_node {
+            if !self.has_subscribers(*node) {
+                engine.set_change_capture(*node, false);
+            }
+        }
+    }
+}
+
+impl<R: Ring> Default for SubscriptionHub<R> {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -88,8 +88,19 @@ pub struct ViewStore<R> {
     /// applied payload in [`ViewStore::insert_ref`] or a wholesale
     /// [`ViewStore::reload`] — bumps it; index (re)builds do not, since
     /// indexes are derived state. Incremental checkpoints compare it
-    /// against the last-checkpointed version to skip clean views.
+    /// against the last-checkpointed version to skip clean views, and
+    /// snapshot publication reuses it to carry clean views forward by
+    /// reference instead of cloning.
     version: u64,
+    /// Change-capture buffer for the subscription layer: when present,
+    /// every applied `(key, payload-delta)` pair of
+    /// [`ViewStore::insert_ref`] is recorded (uncoalesced — the
+    /// subscription hub coalesces per epoch). `None` costs one
+    /// predictable branch per insert, keeping the unsubscribed hot path
+    /// allocation-free. [`ViewStore::reload`] does not record: wholesale
+    /// replacement is not an output delta (callers publish a fresh
+    /// snapshot instead).
+    capture: Option<Vec<(Tuple, R)>>,
 }
 
 impl<R: Ring> ViewStore<R> {
@@ -100,6 +111,30 @@ impl<R: Ring> ViewStore<R> {
             data: TupleMap::new(),
             indexes: Vec::new(),
             version: 0,
+            capture: None,
+        }
+    }
+
+    /// Enable or disable change capture (see the `capture` field docs).
+    /// Disabling drops any pending captured pairs.
+    pub fn set_capture(&mut self, on: bool) {
+        match (on, &self.capture) {
+            (true, None) => self.capture = Some(Vec::new()),
+            (false, Some(_)) => self.capture = None,
+            _ => {}
+        }
+    }
+
+    /// Whether change capture is enabled.
+    pub fn capture_enabled(&self) -> bool {
+        self.capture.is_some()
+    }
+
+    /// Move the captured `(key, payload-delta)` pairs into `out`
+    /// (appending), leaving the buffer empty but with its capacity.
+    pub fn drain_captured(&mut self, out: &mut Vec<(Tuple, R)>) {
+        if let Some(buf) = &mut self.capture {
+            out.append(buf);
         }
     }
 
@@ -198,6 +233,9 @@ impl<R: Ring> ViewStore<R> {
     pub fn insert_ref(&mut self, t: &Tuple, payload: R) -> SupportChange {
         if payload.is_zero() {
             return SupportChange::Unchanged;
+        }
+        if let Some(buf) = &mut self.capture {
+            buf.push((t.clone(), payload.clone()));
         }
         self.version += 1;
         let (appeared, slot) = self.data.upsert(t, R::zero);

@@ -68,9 +68,10 @@ pub mod prelude {
         Catalog, Codec, CodecError, Delta, FxHashMap, FxHashSet, Lifting, LiftingMap, Relation,
         Ring, Schema, Semiring, Tuple, Value, VarId,
     };
-    pub use fivm_durability::{DurabilityConfig, DurableEngine, RecoveryReport};
+    pub use fivm_durability::{DurabilityConfig, DurableEngine, RecoveryReport, SyncPolicy};
     pub use fivm_engine::{
-        eval_tree, Database, FactorizedResult, FirstOrderIvm, IvmEngine, RecursiveIvm, ViewStore,
+        eval_tree, Database, EngineSnapshot, FactorizedResult, FirstOrderIvm, IvmEngine,
+        RecursiveIvm, ServingEngine, SnapshotReader, Subscriber, ViewDelta, ViewStore,
     };
     pub use fivm_ml::{train, CofactorSpec, TrainConfig, TrainedModel};
     pub use fivm_query::{

@@ -390,3 +390,223 @@ fn crash_points_recover_identically_with_four_workers() {
     }
     std::fs::remove_dir_all(&base).unwrap();
 }
+
+// ---------------------------------------------------------------------
+// Sync-policy crash points: the fsync gap between acknowledgement and
+// durability, and checkpoint GC against damaged retained checkpoints.
+// ---------------------------------------------------------------------
+
+const N_EXTRA: usize = 7;
+
+/// A second, disjoint schedule appended after [`specs`] (fresh seeds;
+/// deletes only ever target rows this schedule inserted, so combined
+/// multiplicities stay non-negative).
+fn extra_specs() -> Vec<BatchSpec> {
+    (0..N_EXTRA)
+        .map(|i| BatchSpec {
+            rel: (i + 1) % 3,
+            size_exp: (i as u32) % 3,
+            jitter: (i as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+            seed: 0xBEEF_0000 + i as u64,
+        })
+        .collect()
+}
+
+/// Reference snapshots over `specs()` followed by `extra_specs()`.
+fn reference_snapshots_extended(workers: Option<usize>) -> Vec<Snapshot> {
+    let (q, mut engine) = fresh(workers);
+    let mut out = vec![snapshot(&engine)];
+    for s in [specs(), extra_specs()] {
+        let mut gen = ScheduleGen::new(&q, &s, &sym_vars(&q));
+        while let Some((rel, delta)) = gen.next_batch(&q.catalog) {
+            engine.apply(rel, &Delta::Flat(delta));
+            out.push(snapshot(&engine));
+        }
+    }
+    out
+}
+
+/// `SyncPolicy::Batched` contract under the worst crash the model
+/// admits: the process dies *between* the group-commit flush (bytes at
+/// the OS) and the fsync (bytes on the platter), and the power then
+/// fails. Everything at or below the engine's reported `durable_lsn`
+/// must survive; the loss window must stay under `max_updates`.
+#[test]
+fn acked_durable_survives_loss_of_unsynced_tail() {
+    let dir = scratch("batched");
+    let refs = reference_snapshots(None);
+    let (q, engine) = fresh(None);
+    let mut gen = ScheduleGen::new(&q, &specs(), &sym_vars(&q));
+    let batched = DurabilityConfig {
+        checkpoint_every: 0,
+        // No rotation: the batching cadence alone drives durability.
+        segment_bytes: 1 << 20,
+        sync: SyncPolicy::Batched {
+            max_updates: 8,
+            max_delay: std::time::Duration::from_secs(3600),
+        },
+        ..DurabilityConfig::default()
+    };
+    let mut d = DurableEngine::create(&dir, engine, batched.clone()).unwrap();
+    while let Some((rel, delta)) = gen.next_batch(&q.catalog) {
+        d.apply(rel, &Delta::Flat(delta)).unwrap();
+        assert!(
+            d.last_lsn() - d.durable_lsn() < 8,
+            "ack window exceeded max_updates at LSN {}",
+            d.last_lsn()
+        );
+    }
+    let durable = d.durable_lsn();
+    let n = N_UPDATES as u64;
+    assert!(durable >= n - 7, "batching must sync at least every 8 acks");
+    assert!(
+        durable < n,
+        "fixture: the schedule must end with an unsynced tail (25 % 8 != 0)"
+    );
+    let (seq, synced_len) = d.wal_durable_span();
+    // Process kill: Drop flushes the group-commit buffer to the OS…
+    drop(d);
+    // …then power loss: the OS page cache never reaches the platter.
+    // Cut the segment back to its fsynced prefix.
+    let seg = wal::list_segments(&dir)
+        .unwrap()
+        .into_iter()
+        .find(|s| s.seq == seq)
+        .expect("current segment exists");
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&seg.path)
+        .unwrap()
+        .set_len(synced_len)
+        .unwrap();
+
+    let (_q2, engine2) = fresh(None);
+    let (recovered, report) = DurableEngine::open(&dir, engine2, batched).unwrap();
+    assert!(
+        report.last_lsn >= durable,
+        "acknowledged-durable updates were lost: recovered {} < durable {durable}",
+        report.last_lsn
+    );
+    assert_eq!(
+        snapshot(recovered.engine()),
+        refs[report.last_lsn as usize],
+        "recovered views diverge at LSN {}",
+        report.last_lsn
+    );
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A corrupt *retained* manifest must not wedge checkpointing: GC
+/// treats it as unrestorable, purges it, and keeps the truncation
+/// watermark anchored on manifests that actually restore. (The old GC
+/// hard-errored on the first unreadable retained manifest, making
+/// every subsequent checkpoint fail permanently.)
+#[test]
+fn gc_tolerates_corrupt_retained_manifest() {
+    let dir = scratch("gccorrupt");
+    let refs = reference_snapshots_extended(None);
+    let (q, engine) = fresh(None);
+    let mut d = DurableEngine::create(&dir, engine, cfg()).unwrap();
+    let mut gen = ScheduleGen::new(&q, &specs(), &sym_vars(&q));
+    while let Some((rel, delta)) = gen.next_batch(&q.catalog) {
+        d.apply(rel, &Delta::Flat(delta)).unwrap();
+    }
+    // Truncate the newest retained manifest to half its size.
+    let manifests = fivm::durability::checkpoint::list_manifests(&dir).unwrap();
+    assert_eq!(manifests.len(), 2, "two checkpoints retained");
+    let victim = manifests.last().unwrap().path.clone();
+    let size = std::fs::metadata(&victim).unwrap().len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&victim)
+        .unwrap()
+        .set_len(size / 2)
+        .unwrap();
+    // The next auto-checkpoint runs GC over the damaged directory: it
+    // must succeed and purge the corrupt manifest.
+    let mut gen2 = ScheduleGen::new(&q, &extra_specs(), &sym_vars(&q));
+    while let Some((rel, delta)) = gen2.next_batch(&q.catalog) {
+        d.apply(rel, &Delta::Flat(delta))
+            .expect("checkpoint GC must survive a corrupt retained manifest");
+    }
+    d.sync_all().unwrap();
+    let total = d.last_lsn();
+    drop(d);
+    let remaining = fivm::durability::checkpoint::list_manifests(&dir).unwrap();
+    assert!(
+        remaining
+            .iter()
+            .all(|m| fivm::durability::checkpoint::read_manifest(&m.path).is_ok()),
+        "the corrupt manifest must be gone after GC"
+    );
+    let (_q2, engine2) = fresh(None);
+    let (recovered, report) = DurableEngine::open(&dir, engine2, cfg()).unwrap();
+    assert_eq!(report.last_lsn, total);
+    assert_eq!(snapshot(recovered.engine()), refs[total as usize]);
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Watermark vs. restorability: a retained manifest whose view file is
+/// gone must not anchor the WAL truncation cutoff. After GC runs over
+/// such a directory, dropping the *newest* manifest must still leave a
+/// recoverable pair — an older restorable checkpoint plus a log tail
+/// that reaches back to it. (The old GC counted the unrestorable
+/// manifest toward `retained`, evicted the older good checkpoint, and
+/// truncated the WAL past the point recovery could actually reach.)
+#[test]
+fn drop_newest_manifest_after_gc() {
+    let dir = scratch("gcdropnew");
+    let refs = reference_snapshots_extended(None);
+    let (q, engine) = fresh(None);
+    let mut d = DurableEngine::create(&dir, engine, cfg()).unwrap();
+    let mut gen = ScheduleGen::new(&q, &specs(), &sym_vars(&q));
+    while let Some((rel, delta)) = gen.next_batch(&q.catalog) {
+        d.apply(rel, &Delta::Flat(delta)).unwrap();
+    }
+    // Delete a view file only the newest retained manifest references,
+    // making it unrestorable while its manifest still reads fine.
+    let manifests = fivm::durability::checkpoint::list_manifests(&dir).unwrap();
+    assert_eq!(manifests.len(), 2);
+    let newest = fivm::durability::checkpoint::read_manifest(&manifests[1].path).unwrap();
+    let older = fivm::durability::checkpoint::read_manifest(&manifests[0].path).unwrap();
+    let &(node, file_seq) = newest
+        .views
+        .iter()
+        .find(|v| !older.views.contains(v))
+        .expect("newest checkpoint rewrote at least one view");
+    std::fs::remove_file(fivm::durability::checkpoint::view_file_path(
+        &dir, node, file_seq,
+    ))
+    .unwrap();
+    // More updates trigger the next checkpoint + GC, which must skip
+    // the unrestorable manifest when picking what to retain and where
+    // to truncate the log.
+    let mut gen2 = ScheduleGen::new(&q, &extra_specs(), &sym_vars(&q));
+    while let Some((rel, delta)) = gen2.next_batch(&q.catalog) {
+        d.apply(rel, &Delta::Flat(delta)).unwrap();
+    }
+    d.sync_all().unwrap();
+    let total = d.last_lsn();
+    drop(d);
+    // Fixture check: the post-damage checkpoint must have rewritten the
+    // damaged node (the extra schedule dirties every relation), so the
+    // newest manifest does not share the deleted file.
+    let manifests = fivm::durability::checkpoint::list_manifests(&dir).unwrap();
+    let newest_after =
+        fivm::durability::checkpoint::read_manifest(&manifests.last().unwrap().path).unwrap();
+    assert!(
+        !newest_after.views.contains(&(node, file_seq)),
+        "fixture: node {node} must be rewritten by the post-damage checkpoint"
+    );
+    // Crash scenario: the newest manifest is lost *after* that GC ran.
+    std::fs::remove_file(&manifests.last().unwrap().path).unwrap();
+    let (_q2, engine2) = fresh(None);
+    let (recovered, report) = DurableEngine::open(&dir, engine2, cfg())
+        .expect("must recover from an older kept checkpoint plus the WAL tail");
+    assert_eq!(report.last_lsn, total);
+    assert_eq!(snapshot(recovered.engine()), refs[total as usize]);
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

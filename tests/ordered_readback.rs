@@ -1,0 +1,158 @@
+//! Ordered readback with interned string keys.
+//!
+//! `Value::Sym` compares by intern id, which is allocation order — not
+//! dictionary order. Internal machinery (view merges, canonical test
+//! forms) may sort however it likes, but *user-facing* ordered
+//! enumeration must resolve symbols through the catalog first:
+//! `Tuple::cmp_resolved` / `Relation::sorted_resolved` /
+//! `EngineSnapshot::sorted`. These tests pin the regression where ids
+//! were interned out of dictionary order (late-arriving keys, recovery
+//! replay order, reversed streams) and `sorted()` silently returned
+//! id-ordered — not lexicographic — output.
+
+use fivm::data::housing;
+use fivm::prelude::*;
+
+/// Constructed mismatch: intern "zzz" before "aaa" so id order and
+/// dictionary order disagree, then check both sort paths.
+#[test]
+fn sorted_resolved_is_lexicographic_when_intern_order_is_not() {
+    let q = QueryDef::example_rst(&["B"]);
+    let zzz = q.catalog.sym("zzz");
+    let aaa = q.catalog.sym("aaa");
+    let schema = q.relations[0].schema.clone();
+    let rel = Relation::from_pairs(
+        schema,
+        [
+            (Tuple::new(vec![Value::Int(1), zzz.clone()]), 2i64),
+            (Tuple::new(vec![Value::Int(1), aaa.clone()]), 3i64),
+        ],
+    );
+    let by_id = rel.sorted();
+    let by_str = rel.sorted_resolved(&q.catalog);
+    // Id order: zzz (interned first) sorts first — the internal order.
+    assert_eq!(by_id[0].0.get(1), &zzz);
+    // Dictionary order: aaa first — the user-facing order.
+    assert_eq!(by_str[0].0.get(1), &aaa);
+    assert_ne!(
+        by_id, by_str,
+        "the fixture must actually exercise the mismatch"
+    );
+}
+
+#[test]
+fn tuple_cmp_resolved_resolves_symbols_and_falls_back_to_length() {
+    let c = Catalog::new();
+    let z = c.sym("zebra");
+    let a = c.sym("apple");
+    let t_z = Tuple::new(vec![z.clone()]);
+    let t_a = Tuple::new(vec![a.clone()]);
+    assert_eq!(t_a.cmp_resolved(&t_z, &c), std::cmp::Ordering::Less);
+    assert_eq!(t_z.cmp_resolved(&t_a, &c), std::cmp::Ordering::Greater);
+    let t_za = Tuple::new(vec![z.clone(), a]);
+    assert_eq!(
+        t_z.cmp_resolved(&t_za, &c),
+        std::cmp::Ordering::Less,
+        "equal prefix: the shorter tuple sorts first"
+    );
+}
+
+/// The serving layer's ordered enumeration goes through the resolved
+/// path: a snapshot of a view keyed by out-of-order-interned symbols
+/// enumerates in dictionary order.
+#[test]
+fn snapshot_sorted_is_dictionary_ordered() {
+    let q = QueryDef::example_rst(&["B"]);
+    // Interned in reverse dictionary order.
+    let keys: Vec<Value> = (0..6)
+        .rev()
+        .map(|i| q.catalog.sym(&format!("k{i}")))
+        .collect();
+    let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
+    let tree = ViewTree::build(&q, &vo);
+    let mut engine: IvmEngine<i64> = IvmEngine::new(q.clone(), tree, &[0, 1, 2], LiftingMap::new());
+    for (rel, t) in [(1usize, fivm::tuple![1, 3, 5]), (2, fivm::tuple![3, 4])] {
+        let d = Relation::from_pairs(q.relations[rel].schema.clone(), [(t, 1i64)]);
+        engine.apply(rel, &Delta::Flat(d));
+    }
+    for k in &keys {
+        let t = Tuple::new(vec![Value::Int(1), k.clone()]);
+        let d = Relation::from_pairs(q.relations[0].schema.clone(), [(t, 1i64)]);
+        engine.apply(0, &Delta::Flat(d));
+    }
+    let mut s = ServingEngine::new(engine);
+    let snap = s.publish();
+    let root = s.engine().tree().root;
+    let rows = snap.sorted(root, &q.catalog).expect("root is materialized");
+    assert_eq!(rows.len(), 6);
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|(t, _)| {
+            q.catalog
+                .resolve_sym(t.get(0).as_sym().expect("root key is a symbol"))
+                .unwrap()
+                .to_string()
+        })
+        .collect();
+    let mut want = rendered.clone();
+    want.sort();
+    assert_eq!(
+        rendered, want,
+        "snapshot sorted() must be dictionary-ordered"
+    );
+    // And it must differ from naive id order, or the fixture is vacuous.
+    let naive: Vec<Tuple> = snap
+        .view(root)
+        .unwrap()
+        .to_relation()
+        .sorted()
+        .into_iter()
+        .map(|(t, _)| t)
+        .collect();
+    assert_ne!(
+        naive,
+        rows.iter().map(|(t, _)| t.clone()).collect::<Vec<_>>(),
+        "intern order must disagree with dictionary order in this fixture"
+    );
+}
+
+/// Figure 11's string-keyed Housing variant: postcodes interned in
+/// stream order (here reversed, as a late-loading site would see) must
+/// still read back in dictionary order through the resolved path.
+#[test]
+fn housing_string_postcodes_read_back_in_dictionary_order() {
+    let q = housing::query();
+    // A reversed arrival order: PC000009 interns before PC000000.
+    let n = 10usize;
+    let keys: Vec<Value> = (0..n)
+        .rev()
+        .map(|pc| q.catalog.sym(&format!("PC{pc:06}")))
+        .collect();
+    let schema = q.relations[4].schema.clone(); // Demographics(postcode, ...)
+    let arity = schema.len();
+    let pairs: Vec<(Tuple, i64)> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, pc)| {
+            let mut vals = vec![pc.clone()];
+            vals.extend((0..arity - 1).map(|j| Value::Int((i * 10 + j) as i64)));
+            (Tuple::new(vals), 1i64)
+        })
+        .collect();
+    let rel = Relation::from_pairs(schema, pairs);
+    let by_str = rel.sorted_resolved(&q.catalog);
+    let rendered: Vec<&str> = by_str
+        .iter()
+        .map(|(t, _)| q.catalog.resolve_sym(t.get(0).as_sym().unwrap()).unwrap())
+        .collect();
+    assert!(
+        rendered.windows(2).all(|w| w[0] <= w[1]),
+        "postcodes must enumerate in dictionary order, got {rendered:?}"
+    );
+    assert_eq!(rendered[0], "PC000000");
+    assert_ne!(
+        rel.sorted(),
+        by_str,
+        "reversed intern order must make id order disagree"
+    );
+}
