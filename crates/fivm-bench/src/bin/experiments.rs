@@ -520,6 +520,7 @@ fn smoke() {
             let d = std::env::temp_dir().join(format!(
                 "fivm-bench-dur-{tag}-{}-{}",
                 std::process::id(),
+                // relaxed-ok: unique-id counter; no ordering needed.
                 N.fetch_add(1, Ordering::Relaxed)
             ));
             let _ = std::fs::remove_dir_all(&d);
@@ -724,6 +725,8 @@ fn smoke() {
                     scope.spawn(move || {
                         let mut i = 0usize;
                         let mut local = 0u64;
+                        // relaxed-ok: bench stop flag; eventual
+                        // visibility is all the loop needs.
                         while !stop.load(Ordering::Relaxed) {
                             let snap = reader.pin();
                             for _ in 0..64 {
@@ -733,6 +736,7 @@ fn smoke() {
                                 }
                             }
                             local += snap.iter(probe_node).take(32).count() as u64;
+                            // relaxed-ok: throughput counter only.
                             ops.fetch_add(65, Ordering::Relaxed);
                         }
                         let _ = local;
@@ -745,9 +749,10 @@ fn smoke() {
                     }
                 }
                 let elapsed = start.elapsed().as_secs_f64().max(1e-9);
-                stop.store(true, Ordering::Relaxed);
+                stop.store(true, Ordering::Relaxed); // relaxed-ok: bench stop flag.
                 elapsed
             });
+            // relaxed-ok: counter read after the scope joined all readers.
             let agg = ops.load(Ordering::Relaxed) as f64 / elapsed;
             agg_by_readers.push((readers, agg));
             out.push_str(&format!(",\"serving_reader_agg_{readers}\":{agg:.0}"));

@@ -12,6 +12,8 @@
 //! re-evaluation baselines. Streams honour the paper’s one-hour-timeout
 //! protocol through a configurable [`Budget`].
 
+#![forbid(unsafe_code)]
+
 pub mod foil;
 
 use fivm_core::{Delta, LiftingMap, Relation, Ring, Tuple};

@@ -1,0 +1,838 @@
+//! Deterministic-interleaving scheduler: the execution engine behind
+//! [`crate::Checker`].
+//!
+//! Model threads are real OS threads, but the scheduler serializes them:
+//! at every instrumented operation a thread parks until the controller
+//! grants it the turn, so exactly one model thread runs between two
+//! scheduling decisions. Every decision (which thread runs next, which
+//! store a weak load observes, which waiter a `notify_one` wakes) is a
+//! *choice point* recorded on a tape; the explorer backtracks over the
+//! tape depth-first, replaying the prefix and taking the next branch,
+//! until the whole tree (optionally preemption-bounded) is exhausted.
+//!
+//! Weak memory is modeled per atomic location as a store list with
+//! vector clocks: a load may observe any store not superseded by one
+//! the reader already happens-after, and only an `Acquire` load of a
+//! `Release` store joins clocks (synchronizes-with). This is what lets
+//! the checker catch a `Release`→`Relaxed` downgrade that no
+//! sequentially-consistent interleaving explorer can see.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+/// Hard cap on threads per model (vector clocks are fixed-width).
+pub const MAX_THREADS: usize = 8;
+
+pub(crate) type VClock = [u32; MAX_THREADS];
+
+pub(crate) fn clock_le(a: &VClock, b: &VClock) -> bool {
+    a.iter().zip(b.iter()).all(|(x, y)| x <= y)
+}
+
+pub(crate) fn clock_join(a: &mut VClock, b: &VClock) {
+    for (x, y) in a.iter_mut().zip(b.iter()) {
+        *x = (*x).max(*y);
+    }
+}
+
+/// One store event on an atomic location.
+pub(crate) struct StoreEvent {
+    pub value: u64,
+    /// Modification-order timestamp (position in the store list).
+    pub ts: u32,
+    /// Clock of the storing thread at the store: a reader that
+    /// happens-after a *later* store can no longer observe this one.
+    pub hb: VClock,
+    /// `Some(clock)` iff the store (or the head of its release
+    /// sequence) had Release ordering: an Acquire load that observes it
+    /// joins this clock. A Relaxed store publishes no clock — that is
+    /// exactly the bug class the checker exists to catch.
+    pub release: Option<VClock>,
+}
+
+pub(crate) enum Loc {
+    Atomic {
+        stores: Vec<StoreEvent>,
+    },
+    Mutex {
+        owner: Option<usize>,
+        clock: VClock,
+    },
+    RwLock {
+        writer: Option<usize>,
+        readers: Vec<usize>,
+        clock: VClock,
+    },
+    Condvar {
+        waiters: Vec<usize>,
+    },
+    /// A plain (non-atomic) cell guarded by the surrounding protocol;
+    /// reads race-check against the last writer's clock.
+    Cell {
+        write: VClock,
+        last_writer: Option<usize>,
+    },
+}
+
+/// Why a thread is not currently runnable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum RunState {
+    Runnable,
+    /// Waiting to acquire the mutex at this location.
+    Mutex(usize),
+    RwRead(usize),
+    RwWrite(usize),
+    /// Parked on a condvar; only a notify makes it runnable again.
+    Condvar(usize),
+    Join(usize),
+    Finished,
+}
+
+pub(crate) struct ThreadState {
+    pub run: RunState,
+    pub clock: VClock,
+    /// Per-location minimum observable store timestamp (read coherence:
+    /// a thread never observes a store older than one it already read).
+    pub frontier: Vec<u32>,
+    pub ops: u32,
+    pub name: String,
+}
+
+pub(crate) struct TraceEv {
+    pub tid: usize,
+    pub desc: &'static str,
+}
+
+const MAX_TRACE: usize = 4000;
+
+pub(crate) struct ExecCore {
+    pub threads: Vec<ThreadState>,
+    pub locs: Vec<Loc>,
+    /// The thread currently granted the turn; `None` while the
+    /// controller is deciding.
+    pub active: Option<usize>,
+    pub aborting: bool,
+    pub failure: Option<String>,
+    pub trace: Vec<TraceEv>,
+    /// Replay tape: choices forced for this execution (prefix).
+    pub schedule: Vec<u32>,
+    /// Position in `schedule` during replay.
+    pub cursor: usize,
+    /// Choices actually taken this execution, with their arity
+    /// (branching factor) — the DFS frontier.
+    pub taken: Vec<(u32, u32)>,
+    pub last_run: usize,
+    pub preemptions: u32,
+    pub steps: u64,
+    pub generation: u64,
+    pub join_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ExecCore {
+    fn new(generation: u64) -> Self {
+        ExecCore {
+            threads: Vec::new(),
+            locs: Vec::new(),
+            active: None,
+            aborting: false,
+            failure: None,
+            trace: Vec::new(),
+            schedule: Vec::new(),
+            cursor: 0,
+            taken: Vec::new(),
+            last_run: 0,
+            preemptions: 0,
+            steps: 0,
+            generation,
+            join_handles: Vec::new(),
+        }
+    }
+
+    pub(crate) fn alloc_loc(&mut self, loc: Loc) -> usize {
+        self.locs.push(loc);
+        self.locs.len() - 1
+    }
+
+    pub(crate) fn register_thread(&mut self, name: String, clock: VClock) -> usize {
+        let tid = self.threads.len();
+        assert!(
+            tid < MAX_THREADS,
+            "fivm-check: model exceeds {MAX_THREADS} threads"
+        );
+        self.threads.push(ThreadState {
+            run: RunState::Runnable,
+            clock,
+            frontier: Vec::new(),
+            ops: 0,
+            name,
+        });
+        tid
+    }
+
+    /// Resolve one choice point of the given arity: replay from the
+    /// tape if a forced choice remains, otherwise take branch 0 and
+    /// record the frontier for backtracking.
+    pub(crate) fn choose(&mut self, arity: u32) -> u32 {
+        debug_assert!(arity >= 1);
+        let pick = if self.cursor < self.schedule.len() {
+            let p = self.schedule[self.cursor];
+            self.cursor += 1;
+            // During an abort teardown un-modeled destructor effects
+            // may have shifted later arities; the execution is being
+            // discarded, so divergence is only an error before then.
+            debug_assert!(
+                self.aborting || p < arity,
+                "fivm-check: replay divergence (tape pick out of range)"
+            );
+            p.min(arity - 1)
+        } else {
+            0
+        };
+        self.taken.push((pick, arity));
+        pick
+    }
+
+    pub(crate) fn frontier_ts(&mut self, tid: usize, loc: usize) -> u32 {
+        let f = &mut self.threads[tid].frontier;
+        if f.len() <= loc {
+            f.resize(loc + 1, 0);
+        }
+        f[loc]
+    }
+
+    pub(crate) fn set_frontier(&mut self, tid: usize, loc: usize, ts: u32) {
+        let f = &mut self.threads[tid].frontier;
+        if f.len() <= loc {
+            f.resize(loc + 1, 0);
+        }
+        f[loc] = f[loc].max(ts);
+    }
+
+    pub(crate) fn push_trace(&mut self, tid: usize, desc: &'static str) {
+        if self.trace.len() < MAX_TRACE {
+            self.trace.push(TraceEv { tid, desc });
+        }
+    }
+
+    pub(crate) fn fail(&mut self, msg: String) {
+        if self.failure.is_none() {
+            self.failure = Some(msg);
+        }
+        self.aborting = true;
+    }
+
+    /// Wake every thread blocked with the given run state.
+    pub(crate) fn wake_where(&mut self, pred: impl Fn(RunState) -> bool) {
+        for t in self.threads.iter_mut() {
+            if t.run != RunState::Finished && pred(t.run) {
+                t.run = RunState::Runnable;
+            }
+        }
+    }
+
+    /// Hash of the abstract model state, for visited-state reporting.
+    fn state_hash(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        for t in &self.threads {
+            t.run.hash(&mut h);
+            t.ops.hash(&mut h);
+        }
+        for loc in &self.locs {
+            match loc {
+                Loc::Atomic { stores } => {
+                    0u8.hash(&mut h);
+                    stores.len().hash(&mut h);
+                    if let Some(s) = stores.last() {
+                        s.value.hash(&mut h);
+                    }
+                }
+                Loc::Mutex { owner, .. } => {
+                    1u8.hash(&mut h);
+                    owner.hash(&mut h);
+                }
+                Loc::RwLock {
+                    writer, readers, ..
+                } => {
+                    2u8.hash(&mut h);
+                    writer.hash(&mut h);
+                    readers.hash(&mut h);
+                }
+                Loc::Condvar { waiters } => {
+                    3u8.hash(&mut h);
+                    waiters.hash(&mut h);
+                }
+                Loc::Cell { last_writer, .. } => {
+                    4u8.hash(&mut h);
+                    last_writer.hash(&mut h);
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+pub(crate) struct ExecShared {
+    pub core: StdMutex<ExecCore>,
+    pub cv: StdCondvar,
+}
+
+/// Panic payload used to unwind model threads when an execution aborts.
+pub(crate) struct Abort;
+
+/// Result of one instrumented-operation attempt.
+pub(crate) enum Step<R> {
+    Done(R),
+    Block(RunState),
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<ThreadCtx>> = const { std::cell::RefCell::new(None) };
+}
+
+#[derive(Clone)]
+pub(crate) struct ThreadCtx {
+    pub shared: Arc<ExecShared>,
+    pub tid: usize,
+}
+
+/// True when the calling thread is a model thread under a checker.
+pub fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&ThreadCtx) -> R) -> R {
+    CTX.with(|c| {
+        let b = c.borrow();
+        let ctx = b.as_ref().expect(
+            "fivm-check instrumented primitive used outside Checker::check \
+             (model-check builds must run code under the checker)",
+        );
+        f(ctx)
+    })
+}
+
+struct CtxGuard;
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CTX.with(|c| *c.borrow_mut() = None);
+    }
+}
+
+fn install_ctx(ctx: ThreadCtx) -> CtxGuard {
+    CTX.with(|c| *c.borrow_mut() = Some(ctx));
+    CtxGuard
+}
+
+const STEP_BUDGET: u64 = 100_000;
+
+impl ThreadCtx {
+    /// Run one instrumented operation. The thread parks until the
+    /// controller grants it the turn, then applies `f` under the core
+    /// lock. `Block` parks the thread (state set by `f`) until another
+    /// operation wakes it, at which point `f` is retried on its next
+    /// granted turn.
+    pub(crate) fn op<R>(
+        &self,
+        desc: &'static str,
+        mut f: impl FnMut(&mut ExecCore, usize) -> Step<R>,
+    ) -> R {
+        let tid = self.tid;
+        let mut core = self.shared.core.lock().unwrap();
+        // Already unwinding (teardown Abort, or a real model failure
+        // whose destructors — e.g. a pool shutdown in Drop — perform
+        // sync ops): apply the effect without turn discipline or a
+        // second panic. The execution is over and will be discarded or
+        // reported as-is, so determinism no longer matters; the thread
+        // leaves the model (marked Finished, never granted turns) and
+        // its remaining effects run opportunistically under the core
+        // lock so lock/unlock bookkeeping stays coherent and the
+        // teardown cannot wedge the controller.
+        if std::thread::panicking() {
+            // A real panic mid-execution means destructor effects now
+            // interleave outside the schedule tape: the execution is no
+            // longer replayable, so end it for every thread.
+            core.aborting = true;
+            core.threads[tid].run = RunState::Finished;
+            if core.active == Some(tid) {
+                core.active = None;
+            }
+            loop {
+                match f(&mut core, tid) {
+                    Step::Done(r) => {
+                        self.shared.cv.notify_all();
+                        return r;
+                    }
+                    Step::Block(_) => {
+                        // Do NOT record the block state: the scheduler
+                        // must keep seeing this thread as Finished.
+                        // Every model mutation notifies the condvar, so
+                        // waiting and retrying cannot miss the release.
+                        self.shared.cv.notify_all();
+                        core = self.shared.cv.wait(core).unwrap();
+                    }
+                }
+            }
+        }
+        loop {
+            // Wait for the turn (or an abort).
+            while core.active != Some(tid) && !core.aborting {
+                core = self.shared.cv.wait(core).unwrap();
+            }
+            if core.aborting {
+                core.threads[tid].run = RunState::Finished;
+                if core.active == Some(tid) {
+                    core.active = None;
+                }
+                self.shared.cv.notify_all();
+                drop(core);
+                std::panic::panic_any(Abort);
+            }
+            match f(&mut core, tid) {
+                Step::Done(r) => {
+                    core.threads[tid].clock[tid] += 1;
+                    core.threads[tid].ops += 1;
+                    core.steps += 1;
+                    core.push_trace(tid, desc);
+                    if core.steps > STEP_BUDGET && core.failure.is_none() {
+                        core.fail(format!(
+                            "step budget exceeded ({STEP_BUDGET} ops): livelock or runaway model"
+                        ));
+                    }
+                    core.active = None;
+                    self.shared.cv.notify_all();
+                    return r;
+                }
+                Step::Block(st) => {
+                    core.threads[tid].run = st;
+                    core.active = None;
+                    self.shared.cv.notify_all();
+                    // Loop: wait until woken (Runnable) and granted
+                    // the turn again, then retry `f`.
+                }
+            }
+        }
+    }
+
+    /// Mutate core state without consuming a turn. Only for effects
+    /// that must happen during unwinding (guard drops while panicking)
+    /// or that are invisible to the model (join-handle stashing):
+    /// anything else would break replay determinism.
+    pub(crate) fn side_effect(&self, f: impl FnOnce(&mut ExecCore, usize)) {
+        let mut core = self.shared.core.lock().unwrap();
+        f(&mut core, self.tid);
+        self.shared.cv.notify_all();
+    }
+}
+
+/// Spawn a model thread: registers it with the scheduler (as an
+/// instrumented op on the parent) and launches the real thread.
+pub(crate) fn spawn_model_thread(name: String, f: impl FnOnce() + Send + 'static) -> usize {
+    let (shared, child) = with_ctx(|ctx| {
+        let shared = ctx.shared.clone();
+        let child = ctx.op("spawn", |core, tid| {
+            let clock = core.threads[tid].clock;
+            Step::Done(core.register_thread(name.clone(), clock))
+        });
+        (shared, child)
+    });
+    let child_shared = shared.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("fivm-check-{name}"))
+        .spawn(move || {
+            let _g = install_ctx(ThreadCtx {
+                shared: child_shared.clone(),
+                tid: child,
+            });
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            finish_thread(&child_shared, child, r);
+        })
+        .expect("fivm-check: failed to spawn model thread");
+    // Stash the handle for end-of-execution joining. Not a model
+    // effect: join_handles is invisible to state hashing and replay.
+    let mut core = shared.core.lock().unwrap();
+    core.join_handles.push(handle);
+    drop(core);
+    child
+}
+
+/// Terminal transition of a model thread: records panics as failures,
+/// marks the thread finished (as a scheduled op so replay stays
+/// deterministic), and wakes joiners.
+fn finish_thread(shared: &Arc<ExecShared>, tid: usize, result: std::thread::Result<()>) {
+    match result {
+        Ok(()) => {
+            let ctx = ThreadCtx {
+                shared: shared.clone(),
+                tid,
+            };
+            // `exit` is a scheduled op: a thread only becomes Finished
+            // when the controller grants it the turn, so the point at
+            // which joiners can proceed is tape-driven, not racy.
+            // Abort during exit unwinds; state was already set then.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                ctx.op("exit", |core, t| {
+                    core.threads[t].run = RunState::Finished;
+                    core.wake_where(|r| r == RunState::Join(t));
+                    Step::Done(())
+                });
+            }));
+        }
+        Err(payload) => {
+            if payload.is::<Abort>() {
+                // Teardown unwind. Destructors that ran while
+                // unwinding (pool shutdowns joining on sync ops) may
+                // have overwritten this thread's run state — re-mark
+                // it Finished so the controller's drain terminates.
+                let mut core = shared.core.lock().unwrap();
+                core.threads[tid].run = RunState::Finished;
+                if core.active == Some(tid) {
+                    core.active = None;
+                }
+                shared.cv.notify_all();
+                return;
+            }
+            let msg = payload_to_string(&payload);
+            let mut core = shared.core.lock().unwrap();
+            let name = core.threads[tid].name.clone();
+            core.fail(format!("model thread '{name}' panicked: {msg}"));
+            core.threads[tid].run = RunState::Finished;
+            if core.active == Some(tid) {
+                core.active = None;
+            }
+            shared.cv.notify_all();
+        }
+    }
+}
+
+fn payload_to_string(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// A failing execution: the invariant violation plus the interleaving
+/// that produced it.
+pub struct Failure {
+    pub message: String,
+    pub trace: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.message)?;
+        write!(f, "interleaving:\n{}", self.trace)
+    }
+}
+
+/// Outcome of exhaustive exploration of one model.
+pub struct Report {
+    pub name: String,
+    /// Complete executions (interleavings) explored.
+    pub executions: u64,
+    /// Distinct abstract model states visited (hash-based estimate).
+    pub states: u64,
+    /// True if exploration stopped at `max_executions` before the
+    /// tree was exhausted.
+    pub truncated: bool,
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// Assert the model is correct: exploration found no failure and
+    /// was not truncated (so the result is a proof over the bounded
+    /// schedule space, not a sample).
+    pub fn assert_ok(&self) {
+        if let Some(f) = &self.failure {
+            panic!(
+                "model '{}' FAILED after {} executions:\n{}",
+                self.name, self.executions, f
+            );
+        }
+        assert!(
+            !self.truncated,
+            "model '{}' exploration truncated at {} executions — raise max_executions",
+            self.name, self.executions
+        );
+    }
+
+    /// Assert the checker caught a (seeded) bug whose message contains
+    /// `needle` — the mutation-verification direction.
+    pub fn assert_fails(&self, needle: &str) {
+        match &self.failure {
+            None => panic!(
+                "model '{}' expected to fail (needle: {:?}) but {} executions all passed",
+                self.name, needle, self.executions
+            ),
+            Some(f) => assert!(
+                f.message.contains(needle),
+                "model '{}' failed with the wrong message.\nwanted needle: {:?}\ngot: {}",
+                self.name,
+                needle,
+                f
+            ),
+        }
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model '{}': {} executions, {} distinct states{}{}",
+            self.name,
+            self.executions,
+            self.states,
+            if self.truncated {
+                " (TRUNCATED)"
+            } else {
+                " (exhaustive)"
+            },
+            if self.failure.is_some() {
+                " FAILED"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+static EXEC_GEN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+/// The explorer: exhaustively enumerates interleavings of a model
+/// closure via DFS over the choice tape.
+pub struct Checker {
+    /// Max context switches away from a still-runnable thread per
+    /// execution (`None` = unbounded). Bounding is sound for bug
+    /// *finding* (most bugs need few preemptions) and keeps the
+    /// schedule space tractable; `assert_ok` proofs are relative to
+    /// this bound.
+    pub preemption_bound: Option<u32>,
+    /// Safety valve on the number of executions.
+    pub max_executions: u64,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Checker {
+            preemption_bound: Some(2),
+            max_executions: 500_000,
+        }
+    }
+}
+
+impl Checker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn preemption_bound(mut self, b: Option<u32>) -> Self {
+        self.preemption_bound = b;
+        self
+    }
+
+    pub fn max_executions(mut self, m: u64) -> Self {
+        self.max_executions = m;
+        self
+    }
+
+    /// Exhaustively explore `model`. The closure runs once per
+    /// execution as model thread 0; it may spawn further model threads
+    /// through `check::sync::thread`.
+    pub fn check<F>(&self, name: &str, model: F) -> Report
+    where
+        F: Fn() + Sync,
+    {
+        let mut schedule: Vec<u32> = Vec::new();
+        let mut executions: u64 = 0;
+        let mut states: HashSet<u64> = HashSet::new();
+        let mut truncated = false;
+        let mut failure: Option<Failure> = None;
+
+        loop {
+            let (fail, taken) = self.run_once(&model, &schedule, &mut states);
+            executions += 1;
+            if let Some(f) = fail {
+                failure = Some(f);
+                break;
+            }
+            let more = next_schedule(&taken, &mut schedule);
+            if !more {
+                break;
+            }
+            if executions >= self.max_executions {
+                truncated = true; // unexplored branches remain
+                break;
+            }
+        }
+
+        Report {
+            name: name.to_string(),
+            executions,
+            states: states.len() as u64,
+            truncated,
+            failure,
+        }
+    }
+
+    /// Run one execution under the forced `schedule` prefix; returns
+    /// the failure (if any) and the full choice tape taken.
+    fn run_once<F>(
+        &self,
+        model: &F,
+        schedule: &[u32],
+        states: &mut HashSet<u64>,
+    ) -> (Option<Failure>, Vec<(u32, u32)>)
+    where
+        F: Fn() + Sync,
+    {
+        let generation = EXEC_GEN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut core = ExecCore::new(generation);
+        core.schedule = schedule.to_vec();
+        core.register_thread("main".to_string(), [0; MAX_THREADS]);
+        let shared = Arc::new(ExecShared {
+            core: StdMutex::new(core),
+            cv: StdCondvar::new(),
+        });
+
+        std::thread::scope(|scope| {
+            let root_shared = shared.clone();
+            let root = scope.spawn(move || {
+                let _g = install_ctx(ThreadCtx {
+                    shared: root_shared.clone(),
+                    tid: 0,
+                });
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(model));
+                finish_thread(&root_shared, 0, r);
+            });
+
+            // Controller loop: wait for quiescence, pick, grant.
+            let mut core = shared.core.lock().unwrap();
+            loop {
+                while core.active.is_some() {
+                    core = shared.cv.wait(core).unwrap();
+                }
+                if core.aborting {
+                    break;
+                }
+                let unfinished: Vec<usize> = (0..core.threads.len())
+                    .filter(|&t| core.threads[t].run != RunState::Finished)
+                    .collect();
+                if unfinished.is_empty() {
+                    break; // execution complete
+                }
+                states.insert(core.state_hash());
+                let mut candidates: Vec<usize> = unfinished
+                    .iter()
+                    .copied()
+                    .filter(|&t| core.threads[t].run == RunState::Runnable)
+                    .collect();
+                if candidates.is_empty() {
+                    let held: Vec<String> = unfinished
+                        .iter()
+                        .map(|&t| {
+                            let th = &core.threads[t];
+                            format!("'{}' blocked on {}", th.name, runstate_desc(th.run))
+                        })
+                        .collect();
+                    core.fail(format!("deadlock: {}", held.join(", ")));
+                    break;
+                }
+                // Preemption bounding: once the budget is spent, a
+                // still-runnable previous thread must keep running.
+                if let Some(bound) = self.preemption_bound {
+                    if core.preemptions >= bound && candidates.contains(&core.last_run) {
+                        candidates = vec![core.last_run];
+                    }
+                }
+                let pick = core.choose(candidates.len() as u32) as usize;
+                let tid = candidates[pick];
+                if tid != core.last_run
+                    && core.threads[core.last_run].run == RunState::Runnable
+                    && core.threads[core.last_run].ops > 0
+                {
+                    core.preemptions += 1;
+                }
+                core.last_run = tid;
+                core.active = Some(tid);
+                shared.cv.notify_all();
+            }
+
+            // Abort/teardown: wake everything until all threads finish.
+            core.aborting = core.aborting || core.failure.is_some();
+            if core.aborting {
+                shared.cv.notify_all();
+                while core.threads.iter().any(|t| t.run != RunState::Finished) {
+                    shared.cv.notify_all();
+                    core = shared.cv.wait(core).unwrap();
+                }
+            }
+            let handles = std::mem::take(&mut core.join_handles);
+            drop(core);
+            // Join every real thread — root included — BEFORE reading
+            // the failure: a thread unwinding a real panic records its
+            // failure in `finish_thread`, which runs after any
+            // destructor-driven teardown ops, so reading earlier could
+            // drop the failure of an execution that did fail.
+            for h in handles {
+                let _ = h.join();
+            }
+            let _ = root.join();
+            let mut core = shared.core.lock().unwrap();
+            let fail = core.failure.take().map(|message| Failure {
+                message,
+                trace: render_trace(&core),
+            });
+            let taken = std::mem::take(&mut core.taken);
+            (fail, taken)
+        })
+    }
+}
+
+fn runstate_desc(r: RunState) -> &'static str {
+    match r {
+        RunState::Runnable => "ready",
+        RunState::Mutex(_) => "mutex acquire",
+        RunState::RwRead(_) => "rwlock read acquire",
+        RunState::RwWrite(_) => "rwlock write acquire",
+        RunState::Condvar(_) => "condvar wait",
+        RunState::Join(_) => "thread join",
+        RunState::Finished => "finished",
+    }
+}
+
+fn render_trace(core: &ExecCore) -> String {
+    let mut out = String::new();
+    let tail = core.trace.len().saturating_sub(120);
+    if tail > 0 {
+        out.push_str(&format!("  ... {tail} earlier ops elided ...\n"));
+    }
+    for ev in &core.trace[tail..] {
+        let name = &core.threads[ev.tid].name;
+        out.push_str(&format!("  [{name}] {}\n", ev.desc));
+    }
+    out
+}
+
+/// DFS backtracking: find the deepest choice point with an untaken
+/// branch, bump it, truncate the tape there. Returns false when the
+/// tree is exhausted.
+fn next_schedule(taken: &[(u32, u32)], schedule: &mut Vec<u32>) -> bool {
+    for i in (0..taken.len()).rev() {
+        let (pick, arity) = taken[i];
+        if pick + 1 < arity {
+            schedule.clear();
+            schedule.extend(taken[..i].iter().map(|&(p, _)| p));
+            schedule.push(pick + 1);
+            return true;
+        }
+    }
+    schedule.clear();
+    false
+}

@@ -1,0 +1,941 @@
+//! Instrumented mirrors of the `std::sync` primitives the fivm
+//! concurrency core uses. Under the checker every operation is a
+//! scheduling point, atomics carry per-location store lists with
+//! vector clocks (weak-memory modeling), and blocking primitives
+//! park/wake through the model scheduler instead of the OS.
+//!
+//! `Arc` is re-exported from std: the scheduler serializes model
+//! threads, so std refcounts behave deterministically, and epoch
+//! retirement via `Arc::strong_count`-style reasoning is still
+//! observable through model state.
+
+use crate::sched::{
+    clock_join, clock_le, with_ctx, ExecCore, Loc, RunState, Step, StoreEvent, VClock, MAX_THREADS,
+};
+use std::cell::UnsafeCell;
+use std::sync::atomic::Ordering;
+use std::sync::Mutex as StdMutex;
+
+pub use std::sync::Arc;
+pub use std::sync::{LockResult, TryLockError, TryLockResult};
+
+const ZERO: VClock = [0; MAX_THREADS];
+
+/// Lazily-registered scheduler location. Registration is per
+/// *execution* (keyed on the generation counter), so instrumented
+/// objects may live in statics and still get fresh model state each
+/// explored interleaving.
+struct LocHandle {
+    slot: StdMutex<(u64, usize)>,
+}
+
+impl LocHandle {
+    const fn new() -> Self {
+        LocHandle {
+            slot: StdMutex::new((0, usize::MAX)),
+        }
+    }
+
+    fn get(&self, core: &mut ExecCore, make: impl FnOnce() -> Loc) -> usize {
+        let mut s = self.slot.lock().unwrap();
+        if s.0 != core.generation {
+            *s = (core.generation, core.alloc_loc(make()));
+        }
+        s.1
+    }
+}
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+// ---------------------------------------------------------------------------
+// Atomics (u64 backing store; SeqCst is modeled as AcqRel)
+// ---------------------------------------------------------------------------
+
+struct AtomicRepr {
+    init: u64,
+    loc: LocHandle,
+}
+
+impl AtomicRepr {
+    const fn new(init: u64) -> Self {
+        AtomicRepr {
+            init,
+            loc: LocHandle::new(),
+        }
+    }
+
+    fn loc(&self, core: &mut ExecCore) -> usize {
+        let init = self.init;
+        self.loc.get(core, || Loc::Atomic {
+            stores: vec![StoreEvent {
+                value: init,
+                ts: 0,
+                hb: ZERO,
+                release: None,
+            }],
+        })
+    }
+
+    /// A load observes any store not superseded by one the reader
+    /// already happens-after and not behind its coherence frontier;
+    /// when several are observable, which one is a choice point.
+    fn load(&self, order: Ordering) -> u64 {
+        with_ctx(|ctx| {
+            ctx.op("atomic load", |core, tid| {
+                let loc = self.loc(core);
+                let frontier = core.frontier_ts(tid, loc);
+                let reader_clock = core.threads[tid].clock;
+                let Loc::Atomic { stores } = &core.locs[loc] else {
+                    unreachable!()
+                };
+                let cands: Vec<(u32, u64, Option<VClock>)> = stores
+                    .iter()
+                    .filter(|s| {
+                        s.ts >= frontier
+                            && !stores
+                                .iter()
+                                .any(|s2| s2.ts > s.ts && clock_le(&s2.hb, &reader_clock))
+                    })
+                    .map(|s| (s.ts, s.value, s.release))
+                    .collect();
+                debug_assert!(!cands.is_empty());
+                let pick = if cands.len() > 1 {
+                    core.choose(cands.len() as u32) as usize
+                } else {
+                    0
+                };
+                let (ts, value, release) = cands[pick];
+                if is_acquire(order) {
+                    if let Some(rc) = release {
+                        clock_join(&mut core.threads[tid].clock, &rc);
+                    }
+                }
+                core.set_frontier(tid, loc, ts);
+                Step::Done(value)
+            })
+        })
+    }
+
+    fn store(&self, value: u64, order: Ordering) {
+        with_ctx(|ctx| {
+            ctx.op("atomic store", |core, tid| {
+                let loc = self.loc(core);
+                // The store's own tick must be part of its hb clock so
+                // that clock-dominance implies happens-after the store.
+                core.threads[tid].clock[tid] += 1;
+                let clock = core.threads[tid].clock;
+                let release = if is_release(order) { Some(clock) } else { None };
+                let Loc::Atomic { stores } = &mut core.locs[loc] else {
+                    unreachable!()
+                };
+                let ts = stores.len() as u32;
+                stores.push(StoreEvent {
+                    value,
+                    ts,
+                    hb: clock,
+                    release,
+                });
+                core.set_frontier(tid, loc, ts);
+                Step::Done(())
+            })
+        })
+    }
+
+    /// Read-modify-write: reads the newest store in modification
+    /// order; a release RMW continues the release sequence it joins.
+    fn rmw(&self, order: Ordering, f: impl Fn(u64) -> Option<u64>) -> Result<u64, u64> {
+        with_ctx(|ctx| {
+            ctx.op("atomic rmw", |core, tid| {
+                let loc = self.loc(core);
+                let Loc::Atomic { stores } = &core.locs[loc] else {
+                    unreachable!()
+                };
+                let last = stores.last().expect("atomic has an initial store");
+                let (old, prev_release) = (last.value, last.release);
+                let Some(new) = f(old) else {
+                    if is_acquire(order) {
+                        if let Some(rc) = prev_release {
+                            clock_join(&mut core.threads[tid].clock, &rc);
+                        }
+                    }
+                    let ts = last.ts;
+                    core.set_frontier(tid, loc, ts);
+                    return Step::Done(Err(old));
+                };
+                if is_acquire(order) {
+                    if let Some(rc) = prev_release {
+                        clock_join(&mut core.threads[tid].clock, &rc);
+                    }
+                }
+                core.threads[tid].clock[tid] += 1;
+                let clock = core.threads[tid].clock;
+                let release = match (is_release(order), prev_release) {
+                    (true, Some(p)) => {
+                        let mut c = clock;
+                        clock_join(&mut c, &p);
+                        Some(c)
+                    }
+                    (true, None) => Some(clock),
+                    (false, seq) => seq,
+                };
+                let Loc::Atomic { stores } = &mut core.locs[loc] else {
+                    unreachable!()
+                };
+                let ts = stores.len() as u32;
+                stores.push(StoreEvent {
+                    value: new,
+                    ts,
+                    hb: clock,
+                    release,
+                });
+                core.set_frontier(tid, loc, ts);
+                Step::Done(Ok(old))
+            })
+        })
+    }
+}
+
+macro_rules! atomic_int {
+    ($name:ident, $ty:ty) => {
+        pub struct $name {
+            repr: AtomicRepr,
+        }
+
+        impl $name {
+            pub const fn new(v: $ty) -> Self {
+                $name {
+                    repr: AtomicRepr::new(v as u64),
+                }
+            }
+
+            pub fn load(&self, order: Ordering) -> $ty {
+                self.repr.load(order) as $ty
+            }
+
+            pub fn store(&self, v: $ty, order: Ordering) {
+                self.repr.store(v as u64, order)
+            }
+
+            pub fn swap(&self, v: $ty, order: Ordering) -> $ty {
+                self.repr.rmw(order, |_| Some(v as u64)).unwrap() as $ty
+            }
+
+            pub fn fetch_add(&self, v: $ty, order: Ordering) -> $ty {
+                self.repr
+                    .rmw(order, |old| Some((old as $ty).wrapping_add(v) as u64))
+                    .unwrap() as $ty
+            }
+
+            pub fn fetch_sub(&self, v: $ty, order: Ordering) -> $ty {
+                self.repr
+                    .rmw(order, |old| Some((old as $ty).wrapping_sub(v) as u64))
+                    .unwrap() as $ty
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.repr
+                    .rmw(success, |old| (old as $ty == current).then_some(new as u64))
+                    .map(|v| v as $ty)
+                    .map_err(|v| v as $ty)
+            }
+
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_struct(stringify!($name)).finish_non_exhaustive()
+            }
+        }
+    };
+}
+
+atomic_int!(AtomicU32, u32);
+atomic_int!(AtomicU64, u64);
+atomic_int!(AtomicUsize, usize);
+
+pub struct AtomicBool {
+    repr: AtomicRepr,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> Self {
+        AtomicBool {
+            repr: AtomicRepr::new(v as u64),
+        }
+    }
+
+    pub fn load(&self, order: Ordering) -> bool {
+        self.repr.load(order) != 0
+    }
+
+    pub fn store(&self, v: bool, order: Ordering) {
+        self.repr.store(v as u64, order)
+    }
+
+    pub fn swap(&self, v: bool, order: Ordering) -> bool {
+        self.repr.rmw(order, |_| Some(v as u64)).unwrap() != 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex + Condvar
+// ---------------------------------------------------------------------------
+
+pub struct Mutex<T: ?Sized> {
+    loc: LocHandle,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the model scheduler enforces mutual exclusion (a guard only
+// exists while `owner == Some(tid)`), mirroring std's contract.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+// SAFETY: as above; `&Mutex<T>` only hands out data access through
+// scheduler-serialized guards.
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    loc: usize,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Self {
+        Mutex {
+            loc: LocHandle::new(),
+            data: UnsafeCell::new(t),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner())
+    }
+}
+
+fn mutex_unlock(core: &mut ExecCore, tid: usize, loc: usize) {
+    let my = core.threads[tid].clock;
+    let Loc::Mutex { owner, clock } = &mut core.locs[loc] else {
+        unreachable!()
+    };
+    debug_assert_eq!(*owner, Some(tid), "unlock by non-owner");
+    *owner = None;
+    clock_join(clock, &my);
+    core.wake_where(|r| r == RunState::Mutex(loc));
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn make_loc() -> Loc {
+        Loc::Mutex {
+            owner: None,
+            clock: ZERO,
+        }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let loc = with_ctx(|ctx| {
+            ctx.op("mutex lock", |core, tid| {
+                let loc = self.loc.get(core, Self::make_loc);
+                let Loc::Mutex { owner, clock } = &mut core.locs[loc] else {
+                    unreachable!()
+                };
+                match *owner {
+                    None => {
+                        *owner = Some(tid);
+                        let c = *clock;
+                        clock_join(&mut core.threads[tid].clock, &c);
+                        Step::Done(loc)
+                    }
+                    Some(o) if o == tid => {
+                        core.fail(format!(
+                            "self-deadlock: thread '{}' relocks a mutex it holds",
+                            core.threads[tid].name
+                        ));
+                        Step::Block(RunState::Mutex(loc))
+                    }
+                    Some(_) => Step::Block(RunState::Mutex(loc)),
+                }
+            })
+        });
+        Ok(MutexGuard { lock: self, loc })
+    }
+
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        let loc = with_ctx(|ctx| {
+            ctx.op("mutex try_lock", |core, tid| {
+                let loc = self.loc.get(core, Self::make_loc);
+                let Loc::Mutex { owner, clock } = &mut core.locs[loc] else {
+                    unreachable!()
+                };
+                if owner.is_none() {
+                    *owner = Some(tid);
+                    let c = *clock;
+                    clock_join(&mut core.threads[tid].clock, &c);
+                    Step::Done(Some(loc))
+                } else {
+                    Step::Done(None)
+                }
+            })
+        });
+        match loc {
+            Some(loc) => Ok(MutexGuard { lock: self, loc }),
+            None => Err(TryLockError::WouldBlock),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(self.data.get_mut())
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: exclusion is enforced by the model scheduler while
+        // this guard is live.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref`.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let loc = self.loc;
+        if std::thread::panicking() {
+            // Unwinding (failure teardown): release the model state
+            // without consuming a scheduling turn.
+            with_ctx(|ctx| ctx.side_effect(|core, tid| mutex_unlock(core, tid, loc)));
+        } else {
+            with_ctx(|ctx| {
+                ctx.op("mutex unlock", |core, tid| {
+                    mutex_unlock(core, tid, loc);
+                    Step::Done(())
+                })
+            });
+        }
+    }
+}
+
+pub struct Condvar {
+    loc: LocHandle,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar {
+            loc: LocHandle::new(),
+        }
+    }
+
+    fn make_loc() -> Loc {
+        Loc::Condvar {
+            waiters: Vec::new(),
+        }
+    }
+
+    /// Atomic release-and-wait; on wakeup the mutex is reacquired
+    /// before returning, exactly like std.
+    pub fn wait<'a, T: ?Sized>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        let mloc = guard.loc;
+        std::mem::forget(guard);
+        with_ctx(|ctx| {
+            let mut released = false;
+            ctx.op("condvar wait", |core, tid| {
+                if !released {
+                    released = true;
+                    mutex_unlock(core, tid, mloc);
+                    let cvloc = self.loc.get(core, Self::make_loc);
+                    let Loc::Condvar { waiters } = &mut core.locs[cvloc] else {
+                        unreachable!()
+                    };
+                    waiters.push(tid);
+                    Step::Block(RunState::Condvar(cvloc))
+                } else {
+                    // Notified: reacquire the mutex.
+                    let Loc::Mutex { owner, clock } = &mut core.locs[mloc] else {
+                        unreachable!()
+                    };
+                    if owner.is_none() {
+                        *owner = Some(tid);
+                        let c = *clock;
+                        clock_join(&mut core.threads[tid].clock, &c);
+                        Step::Done(())
+                    } else {
+                        Step::Block(RunState::Mutex(mloc))
+                    }
+                }
+            });
+            Ok(MutexGuard { lock, loc: mloc })
+        })
+    }
+
+    /// Which waiter wakes is a choice point — lost-wakeup bugs that
+    /// depend on the victim are explored, not sampled.
+    pub fn notify_one(&self) {
+        with_ctx(|ctx| {
+            ctx.op("condvar notify_one", |core, _tid| {
+                let cvloc = self.loc.get(core, Self::make_loc);
+                let Loc::Condvar { waiters } = &mut core.locs[cvloc] else {
+                    unreachable!()
+                };
+                let n = waiters.len();
+                if n == 0 {
+                    return Step::Done(());
+                }
+                let pick = if n > 1 {
+                    core.choose(n as u32) as usize
+                } else {
+                    0
+                };
+                let Loc::Condvar { waiters } = &mut core.locs[cvloc] else {
+                    unreachable!()
+                };
+                let w = waiters.remove(pick);
+                // A waiter aborted mid-teardown stays Finished.
+                if core.threads[w].run == RunState::Condvar(cvloc) {
+                    core.threads[w].run = RunState::Runnable;
+                }
+                Step::Done(())
+            })
+        })
+    }
+
+    pub fn notify_all(&self) {
+        with_ctx(|ctx| {
+            ctx.op("condvar notify_all", |core, _tid| {
+                let cvloc = self.loc.get(core, Self::make_loc);
+                let Loc::Condvar { waiters } = &mut core.locs[cvloc] else {
+                    unreachable!()
+                };
+                let ws = std::mem::take(waiters);
+                for w in ws {
+                    // A waiter aborted mid-teardown stays Finished.
+                    if core.threads[w].run == RunState::Condvar(cvloc) {
+                        core.threads[w].run = RunState::Runnable;
+                    }
+                }
+                Step::Done(())
+            })
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+pub struct RwLock<T: ?Sized> {
+    loc: LocHandle,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: reader/writer exclusion is enforced by the model scheduler,
+// mirroring std's contract.
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+// SAFETY: as above; requires T: Sync for shared read guards.
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    loc: usize,
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    loc: usize,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(t: T) -> Self {
+        RwLock {
+            loc: LocHandle::new(),
+            data: UnsafeCell::new(t),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    fn make_loc() -> Loc {
+        Loc::RwLock {
+            writer: None,
+            readers: Vec::new(),
+            clock: ZERO,
+        }
+    }
+
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        let loc = with_ctx(|ctx| {
+            ctx.op("rwlock read", |core, tid| {
+                let loc = self.loc.get(core, Self::make_loc);
+                let Loc::RwLock {
+                    writer,
+                    readers,
+                    clock,
+                } = &mut core.locs[loc]
+                else {
+                    unreachable!()
+                };
+                if writer.is_none() {
+                    readers.push(tid);
+                    let c = *clock;
+                    clock_join(&mut core.threads[tid].clock, &c);
+                    Step::Done(loc)
+                } else {
+                    Step::Block(RunState::RwRead(loc))
+                }
+            })
+        });
+        Ok(RwLockReadGuard { lock: self, loc })
+    }
+
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        let loc = with_ctx(|ctx| {
+            ctx.op("rwlock write", |core, tid| {
+                let loc = self.loc.get(core, Self::make_loc);
+                let Loc::RwLock {
+                    writer,
+                    readers,
+                    clock,
+                } = &mut core.locs[loc]
+                else {
+                    unreachable!()
+                };
+                if writer.is_none() && readers.is_empty() {
+                    *writer = Some(tid);
+                    let c = *clock;
+                    clock_join(&mut core.threads[tid].clock, &c);
+                    Step::Done(loc)
+                } else {
+                    Step::Block(RunState::RwWrite(loc))
+                }
+            })
+        });
+        Ok(RwLockWriteGuard { lock: self, loc })
+    }
+}
+
+fn rw_release_read(core: &mut ExecCore, tid: usize, loc: usize) {
+    let my = core.threads[tid].clock;
+    let Loc::RwLock { readers, clock, .. } = &mut core.locs[loc] else {
+        unreachable!()
+    };
+    if let Some(p) = readers.iter().position(|&r| r == tid) {
+        readers.remove(p);
+    }
+    clock_join(clock, &my);
+    core.wake_where(|r| matches!(r, RunState::RwRead(l) | RunState::RwWrite(l) if l == loc));
+}
+
+fn rw_release_write(core: &mut ExecCore, tid: usize, loc: usize) {
+    let my = core.threads[tid].clock;
+    let Loc::RwLock { writer, clock, .. } = &mut core.locs[loc] else {
+        unreachable!()
+    };
+    debug_assert_eq!(*writer, Some(tid));
+    *writer = None;
+    clock_join(clock, &my);
+    core.wake_where(|r| matches!(r, RunState::RwRead(l) | RunState::RwWrite(l) if l == loc));
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: no writer exists while read guards are live
+        // (enforced by the model scheduler).
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: exclusive access enforced by the model scheduler.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref`.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        let loc = self.loc;
+        if std::thread::panicking() {
+            with_ctx(|ctx| ctx.side_effect(|core, tid| rw_release_read(core, tid, loc)));
+        } else {
+            with_ctx(|ctx| {
+                ctx.op("rwlock read release", |core, tid| {
+                    rw_release_read(core, tid, loc);
+                    Step::Done(())
+                })
+            });
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        let loc = self.loc;
+        if std::thread::panicking() {
+            with_ctx(|ctx| ctx.side_effect(|core, tid| rw_release_write(core, tid, loc)));
+        } else {
+            with_ctx(|ctx| {
+                ctx.op("rwlock write release", |core, tid| {
+                    rw_release_write(core, tid, loc);
+                    Step::Done(())
+                })
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OnceLock
+// ---------------------------------------------------------------------------
+
+/// Write-once cell built on the instrumented atomics: state 0 = empty,
+/// 1 = initializing, 2 = ready. The value itself is a plain cell whose
+/// reads race-check against the initializing thread's clock — so a
+/// reader that reaches the value without a happens-before edge from
+/// initialization (e.g. through a Relaxed publish) is flagged even if
+/// the bytes would happen to be intact on the test host.
+pub struct OnceLock<T> {
+    state: AtomicU32,
+    value: UnsafeCell<Option<T>>,
+    val_loc: LocHandle,
+}
+
+// SAFETY: writes are serialized by the state CAS; reads are
+// race-checked by the model (and a detected race fails the execution
+// before the read is used).
+unsafe impl<T: Send> Send for OnceLock<T> {}
+// SAFETY: as above.
+unsafe impl<T: Send + Sync> Sync for OnceLock<T> {}
+
+impl<T> Default for OnceLock<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> OnceLock<T> {
+    pub const fn new() -> Self {
+        OnceLock {
+            state: AtomicU32::new(0),
+            value: UnsafeCell::new(None),
+            val_loc: LocHandle::new(),
+        }
+    }
+
+    fn value_write(&self) {
+        with_ctx(|ctx| {
+            ctx.op("oncelock value write", |core, tid| {
+                let loc = self.val_loc.get(core, || Loc::Cell {
+                    write: ZERO,
+                    last_writer: None,
+                });
+                core.threads[tid].clock[tid] += 1;
+                let clock = core.threads[tid].clock;
+                let Loc::Cell { write, last_writer } = &mut core.locs[loc] else {
+                    unreachable!()
+                };
+                *write = clock;
+                *last_writer = Some(tid);
+                Step::Done(())
+            })
+        })
+    }
+
+    fn value_read_check(&self) {
+        with_ctx(|ctx| {
+            ctx.op("oncelock value read", |core, tid| {
+                let loc = self.val_loc.get(core, || Loc::Cell {
+                    write: ZERO,
+                    last_writer: None,
+                });
+                let Loc::Cell { write, last_writer } = &core.locs[loc] else {
+                    unreachable!()
+                };
+                let (w, lw) = (*write, *last_writer);
+                if !clock_le(&w, &core.threads[tid].clock) {
+                    let name = core.threads[tid].name.clone();
+                    core.fail(format!(
+                        "data race: thread '{name}' reads OnceLock value without \
+                         happens-before from its initialization (writer {lw:?})"
+                    ));
+                }
+                Step::Done(())
+            })
+        })
+    }
+
+    pub fn get(&self) -> Option<&T> {
+        if self.state.load(Ordering::Acquire) == 2 {
+            self.value_read_check();
+            // SAFETY: state 2 means the unique initializer completed
+            // its write; the model race-check above flags any access
+            // not ordered after it.
+            unsafe { (*self.value.get()).as_ref() }
+        } else {
+            None
+        }
+    }
+
+    pub fn set(&self, value: T) -> Result<(), T> {
+        match self
+            .state
+            .compare_exchange(0, 1, Ordering::Acquire, Ordering::Acquire)
+        {
+            Ok(_) => {
+                self.value_write();
+                // SAFETY: the CAS made this thread the unique
+                // initializer; no reader dereferences before state 2.
+                unsafe { *self.value.get() = Some(value) };
+                self.state.store(2, Ordering::Release);
+                Ok(())
+            }
+            Err(2) => Err(value),
+            Err(_) => {
+                // Mid-initialization contention: std blocks here; the
+                // fivm usage never contends (chunk init is serialized
+                // by the intern mutex), so the model flags it instead
+                // of modeling the park.
+                panic!("OnceLock::set contention not supported by the model");
+            }
+        }
+    }
+
+    pub fn get_or_init(&self, f: impl FnOnce() -> T) -> &T {
+        if let Some(v) = self.get() {
+            return v;
+        }
+        match self
+            .state
+            .compare_exchange(0, 1, Ordering::Acquire, Ordering::Acquire)
+        {
+            Ok(_) => {
+                let value = f();
+                self.value_write();
+                // SAFETY: unique initializer, as in `set`.
+                unsafe { *self.value.get() = Some(value) };
+                self.state.store(2, Ordering::Release);
+                // SAFETY: just initialized by this thread.
+                unsafe { (*self.value.get()).as_ref().unwrap() }
+            }
+            Err(2) => self.get().expect("state 2 implies initialized"),
+            Err(_) => panic!("OnceLock::get_or_init contention not supported by the model"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+pub mod thread {
+    use crate::sched::{clock_join, spawn_model_thread, with_ctx, RunState, Step};
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    pub struct JoinHandle<T> {
+        tid: usize,
+        result: Arc<StdMutex<Option<T>>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Model join: blocks until the target thread's `exit` op has
+        /// been scheduled, then collects its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            let target = self.tid;
+            with_ctx(|ctx| {
+                ctx.op("join", |core, tid| {
+                    if core.threads[target].run == RunState::Finished {
+                        let c = core.threads[target].clock;
+                        clock_join(&mut core.threads[tid].clock, &c);
+                        Step::Done(())
+                    } else {
+                        Step::Block(RunState::Join(target))
+                    }
+                })
+            });
+            match self.result.lock().unwrap().take() {
+                Some(v) => Ok(v),
+                None => Err(Box::new("model thread panicked".to_string())),
+            }
+        }
+    }
+
+    #[derive(Default)]
+    pub struct Builder {
+        name: Option<String>,
+    }
+
+    impl Builder {
+        pub fn new() -> Self {
+            Builder { name: None }
+        }
+
+        pub fn name(mut self, name: String) -> Self {
+            self.name = Some(name);
+            self
+        }
+
+        pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            let name = self.name.unwrap_or_else(|| "model-thread".to_string());
+            let result = Arc::new(StdMutex::new(None));
+            let slot = result.clone();
+            let tid = spawn_model_thread(name, move || {
+                let r = f();
+                *slot.lock().unwrap() = Some(r);
+            });
+            Ok(JoinHandle { tid, result })
+        }
+    }
+
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        Builder::new().spawn(f).expect("model spawn failed")
+    }
+}

@@ -35,6 +35,7 @@ pub mod lifting;
 pub mod relation;
 pub mod ring;
 pub mod schema;
+pub mod sync;
 pub mod table;
 pub mod tuple;
 pub mod update;

@@ -37,10 +37,19 @@
 //! catalog-aware lexicographic comparison used by display and tests).
 
 use crate::hash::FxHashMap;
+use crate::sync::atomic::{AtomicU32, Ordering};
+use crate::sync::{Mutex, OnceLock};
 use crate::value::Value;
 use std::fmt;
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::Arc;
+
+/// Model-check fault injection: when set, `intern` publishes `len`
+/// with `Relaxed` instead of `Release` — the seeded mutation the
+/// SymbolTable model must catch (a reader can then pass the length
+/// gate without the slot write being visible).
+#[cfg(fivm_model_check)]
+pub static SYM_FAULT_RELAXED_PUBLISH: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
 
 /// log2 of the first symbol chunk's capacity (256 entries).
 const SYM_CHUNK0_LOG2: u32 = 8;
@@ -111,6 +120,8 @@ impl SymbolTable {
         if let Some(&id) = map.get(s) {
             return id;
         }
+        // relaxed-ok: read under the intern mutex; every writer of
+        // `len` holds the same mutex, so no concurrent store exists.
         let id = self.inner.len.load(Ordering::Relaxed);
         let (chunk_idx, slot) = sym_locate(id);
         assert!(
@@ -129,7 +140,19 @@ impl SymbolTable {
             .unwrap_or_else(|_| unreachable!("slot below len is written exactly once"));
         // Publish: slot contents happen-before any reader that observes
         // the new length.
+        #[cfg(not(fivm_model_check))]
         self.inner.len.store(id + 1, Ordering::Release);
+        #[cfg(fivm_model_check)]
+        {
+            // relaxed-ok: fault knob, set before the checker runs; and
+            // the injected weak order IS the seeded bug under test.
+            let order = if SYM_FAULT_RELAXED_PUBLISH.load(std::sync::atomic::Ordering::Relaxed) {
+                Ordering::Relaxed
+            } else {
+                Ordering::Release
+            };
+            self.inner.len.store(id + 1, order);
+        }
         map.insert(arc, id);
         id
     }

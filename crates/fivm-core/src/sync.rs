@@ -1,0 +1,47 @@
+//! Switchable synchronization layer for the concurrency core.
+//!
+//! Normal builds: zero-cost type aliases onto `std::sync` — nothing is
+//! wrapped, nothing is monomorphized differently, production codegen
+//! is byte-for-byte what `use std::sync::*` would produce.
+//!
+//! Under `RUSTFLAGS="--cfg fivm_model_check"` the same names resolve
+//! to the instrumented primitives of `fivm-check`: every operation
+//! becomes a scheduling point of the exhaustive interleaving explorer,
+//! and atomics get C11-style store-list semantics so downgraded
+//! memory orderings are *observable*, not just racy.
+//!
+//! Code using this module must spell `Ordering` as
+//! `crate::sync::atomic::Ordering` (it is std's type in both builds)
+//! and take `Mutex`/`Condvar`/`RwLock`/`OnceLock`/atomics from here
+//! instead of `std::sync`.
+
+#[cfg(not(fivm_model_check))]
+pub use std::sync::{
+    Condvar, Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+#[cfg(not(fivm_model_check))]
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+}
+
+#[cfg(not(fivm_model_check))]
+pub mod thread {
+    pub use std::thread::{spawn, Builder, JoinHandle};
+}
+
+#[cfg(fivm_model_check)]
+pub use fivm_check::sync::{
+    Condvar, Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+#[cfg(fivm_model_check)]
+pub mod atomic {
+    pub use fivm_check::sync::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize};
+    pub use std::sync::atomic::Ordering;
+}
+
+#[cfg(fivm_model_check)]
+pub mod thread {
+    pub use fivm_check::sync::thread::{spawn, Builder, JoinHandle};
+}

@@ -18,6 +18,8 @@
 //! * [`stream`] — round-robin interleaving of inserts into fixed-size
 //!   batches, including single-relation (ONE) streams.
 
+#![forbid(unsafe_code)]
+
 pub mod housing;
 pub mod matrices;
 pub mod retailer;

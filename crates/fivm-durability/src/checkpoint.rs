@@ -21,7 +21,7 @@
 //! manifest on any failure.
 
 use crate::crc::crc32;
-use crate::wal::FRAME_HEADER_LEN;
+use crate::wal::{self, FRAME_HEADER_LEN};
 use crate::{DurabilityError, Result};
 use fivm_core::{Codec, Relation, Semiring};
 use std::fs::{File, OpenOptions};
@@ -95,8 +95,8 @@ fn read_framed(path: &Path, magic: &[u8; 8]) -> Result<Vec<u8>> {
     if bytes.len() < 8 + FRAME_HEADER_LEN as usize || &bytes[0..8] != magic {
         return Err(corrupt("bad magic or truncated header"));
     }
-    let len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
-    let crc = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    let len = wal::le_u32(&bytes, 8).ok_or_else(|| corrupt("truncated frame header"))? as usize;
+    let crc = wal::le_u32(&bytes, 12).ok_or_else(|| corrupt("truncated frame header"))?;
     let payload = bytes
         .get(16..16 + len)
         .ok_or_else(|| corrupt("payload shorter than frame length"))?;

@@ -83,7 +83,8 @@ unsafe fn update_hw(crc: u32, data: &[u8]) -> u32 {
     let mut chunks = data.chunks_exact(8);
     let mut crc64 = u64::from(crc);
     for c in &mut chunks {
-        crc64 = _mm_crc32_u64(crc64, u64::from_le_bytes(c.try_into().unwrap()));
+        let word = [c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]];
+        crc64 = _mm_crc32_u64(crc64, u64::from_le_bytes(word));
     }
     let mut crc = crc64 as u32;
     for &b in chunks.remainder() {
@@ -98,6 +99,8 @@ pub fn crc32(data: &[u8]) -> u32 {
     #[cfg(target_arch = "x86_64")]
     {
         if std::arch::is_x86_feature_detected!("sse4.2") {
+            // SAFETY: the runtime detection above proves SSE4.2 is
+            // available, which is `update_hw`'s only precondition.
             return !unsafe { update_hw(!0, data) };
         }
     }

@@ -327,7 +327,7 @@ impl<R: Ring + Codec> DurableEngine<R> {
         let view_versions = engine
             .materialized_nodes()
             .into_iter()
-            .map(|n| (n, engine.view_version(n).unwrap()))
+            .filter_map(|n| engine.view_version(n).map(|v| (n, v)))
             .collect();
         // Recovery lands in a published epoch: readers pinning right
         // after `open` observe exactly the recovered prefix.
@@ -394,18 +394,23 @@ impl<R: Ring + Codec> DurableEngine<R> {
         self.log.sync()?;
         self.durable_lsn = self.last_lsn;
         for node in self.engine.materialized_nodes() {
-            let ver = self.engine.view_version(node).expect("materialized");
+            // A node without a stored view has nothing to snapshot.
+            let Some(ver) = self.engine.view_version(node) else {
+                continue;
+            };
             if self.view_versions.get(&node) == Some(&ver) && self.view_files.contains_key(&node) {
                 continue;
             }
+            let Some(rel) = self.engine.view_relation(node) else {
+                continue;
+            };
             let file_seq = self.next_file_seq;
             self.next_file_seq += 1;
-            let rel = self.engine.view_relation(node).expect("materialized");
             checkpoint::write_view_file(&self.dir, node, file_seq, &rel)?;
             self.view_files.insert(node, file_seq);
             self.view_versions.insert(node, ver);
         }
-        let symbols = self.symbol_snapshot();
+        let symbols = self.symbol_snapshot()?;
         let mut views: Vec<(usize, u64)> = self.view_files.iter().map(|(&n, &f)| (n, f)).collect();
         views.sort_unstable();
         let manifest = Manifest {
@@ -500,8 +505,12 @@ impl<R: Ring + Codec> DurableEngine<R> {
         }
         let first_id = self.symbols_logged as u32;
         let syms: Vec<&str> = (self.symbols_logged..len)
-            .map(|id| table.resolve(id as u32).expect("dense symbol ids"))
-            .collect();
+            .map(|id| {
+                table.resolve(id as u32).ok_or_else(|| {
+                    DurabilityError::Mismatch(format!("symbol id {id} missing from a dense table"))
+                })
+            })
+            .collect::<Result<_>>()?;
         wal::encode_symbols_record(&mut self.payload_buf, first_id, &syms);
         drop(syms);
         self.log.append(&self.payload_buf)?;
@@ -509,14 +518,13 @@ impl<R: Ring + Codec> DurableEngine<R> {
         Ok(())
     }
 
-    fn symbol_snapshot(&self) -> Vec<String> {
+    fn symbol_snapshot(&self) -> Result<Vec<String>> {
         let table = self.engine.query().catalog.symbols();
         (0..table.len())
             .map(|id| {
-                table
-                    .resolve(id as u32)
-                    .expect("dense symbol ids")
-                    .to_string()
+                table.resolve(id as u32).map(str::to_string).ok_or_else(|| {
+                    DurabilityError::Mismatch(format!("symbol id {id} missing from a dense table"))
+                })
             })
             .collect()
     }

@@ -48,6 +48,22 @@ pub const FRAME_HEADER_LEN: u64 = 8;
 const REC_SYMBOLS: u8 = 1;
 const REC_UPDATE: u8 = 2;
 
+/// Little-endian u32 at `off`, or `None` when the slice is too short.
+/// Recovery code reads untrusted bytes, so field reads are fallible
+/// rather than `try_into().unwrap()` on a sub-slice.
+pub(crate) fn le_u32(bytes: &[u8], off: usize) -> Option<u32> {
+    let b = bytes.get(off..off + 4)?;
+    Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+/// Little-endian u64 at `off`, or `None` when the slice is too short.
+pub(crate) fn le_u64(bytes: &[u8], off: usize) -> Option<u64> {
+    let b = bytes.get(off..off + 8)?;
+    Some(u64::from_le_bytes([
+        b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+    ]))
+}
+
 /// One decoded log record.
 #[derive(Debug)]
 pub enum WalRecord<R> {
@@ -237,8 +253,8 @@ fn valid_frame_at(bytes: &[u8], off: usize) -> Option<usize> {
     if rest.len() < FRAME_HEADER_LEN as usize {
         return None;
     }
-    let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
-    let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+    let len = le_u32(rest, 0)? as usize;
+    let crc = le_u32(rest, 4)?;
     let payload = rest.get(8..8 + len)?;
     if len == 0 || crc32(payload) != crc {
         return None;
@@ -258,8 +274,8 @@ pub fn read_segment<R: Semiring + Codec>(
     File::open(&info.path)?.read_to_end(&mut bytes)?;
     if bytes.len() < SEGMENT_HEADER_LEN as usize
         || &bytes[0..8] != SEGMENT_MAGIC
-        || u64::from_le_bytes(bytes[8..16].try_into().unwrap()) != info.seq
-        || u64::from_le_bytes(bytes[16..24].try_into().unwrap()) != info.first_lsn
+        || le_u64(&bytes, 8) != Some(info.seq)
+        || le_u64(&bytes, 16) != Some(info.first_lsn)
     {
         return Err(DurabilityError::Corrupt {
             file: info.path.clone(),

@@ -109,6 +109,8 @@
 //! payloads are deterministic for a fixed worker count but may round
 //! differently across counts.
 
+pub mod verify;
+
 use crate::parallel::{self, ParRuntime};
 use crate::view::{SupportChange, ViewStore};
 use fivm_core::{
@@ -525,6 +527,12 @@ impl<R: Ring> IvmEngine<R> {
             let plan = self.compile_factored(r, shape.schemas()).map(Arc::new);
             self.rel_factored[r].push((shape, plan));
         }
+        // Debug builds typecheck every plan just compiled against the
+        // view tree — a defective plan aborts construction instead of
+        // corrupting views at the first update (release builds run the
+        // same checks on demand via `verify_plans`).
+        #[cfg(debug_assertions)]
+        verify::assert_clean(&self.verify_plans(), "engine plan compilation");
     }
 
     /// Compile one maintenance path, or `None` if its shape is not
@@ -1105,6 +1113,14 @@ impl<R: Ring> IvmEngine<R> {
         }
         let shape = FactorShape::of(factors);
         let plan = self.compile_factored(rel, shape.schemas()).map(Arc::new);
+        #[cfg(debug_assertions)]
+        if let Some(p) = &plan {
+            let findings = fivm_check::plan_ir::verify_factored_plan(
+                &self.plan_ctx(),
+                &verify::factored_plan_ir(&shape, p),
+            );
+            verify::assert_clean(&findings, "lazily compiled factored plan");
+        }
         self.rel_factored[rel].push((shape, plan.clone()));
         plan
     }

@@ -52,10 +52,28 @@
 //! [`DEFAULT_PARALLEL_THRESHOLD`] tuples the executor skips all of
 //! this, so single-tuple latency pays one length comparison.
 
+use fivm_core::sync::thread::JoinHandle;
+use fivm_core::sync::{Condvar, Mutex};
 use fivm_core::{DeltaAccumulator, Ring, Tuple};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::Arc;
+
+/// Model-check fault injection for the dispatch protocol — the seeded
+/// scatter bugs the WorkerPool model must catch.
+#[cfg(fivm_model_check)]
+pub mod faults {
+    use std::sync::atomic::AtomicBool;
+
+    /// `scatter` signals new work with `notify_one` instead of
+    /// `notify_all`: with more than one parked worker, one never wakes
+    /// and the dispatcher waits forever (modeled deadlock).
+    pub static NOTIFY_ONE: AtomicBool = AtomicBool::new(false);
+
+    /// `scatter` returns without waiting for `remaining == 0`: the
+    /// lifetime-erased closure borrow ends while workers can still
+    /// call through the raw pointer (modeled use-after-free).
+    pub static NO_WAIT: AtomicBool = AtomicBool::new(false);
+}
 
 /// Steps with fewer input tuples than this take the sequential path
 /// (see the executor): below it, the two wake/park rounds of a
@@ -159,7 +177,7 @@ impl WorkerPool {
         let handles = (0..workers)
             .map(|w| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
+                fivm_core::sync::thread::Builder::new()
                     .name(format!("fivm-worker-{w}"))
                     .spawn(move || worker_loop(w, &shared))
                     .expect("failed to spawn fivm worker thread")
@@ -193,6 +211,9 @@ impl WorkerPool {
     /// which is why this takes `&mut self`: exclusive access makes
     /// concurrent dispatch unrepresentable in safe code.
     pub fn scatter(&mut self, f: &(dyn Fn(usize) + Sync)) {
+        // SAFETY: pure lifetime erasure (same pointee, same vtable);
+        // the doc comment above argues why the erased borrow outlives
+        // every dereference.
         let task: *const (dyn Fn(usize) + Sync) = unsafe {
             std::mem::transmute::<
                 *const (dyn Fn(usize) + Sync + '_),
@@ -204,7 +225,21 @@ impl WorkerPool {
         st.epoch += 1;
         st.remaining = self.workers;
         st.panicked = false;
+        #[cfg(not(fivm_model_check))]
         self.shared.work.notify_all();
+        #[cfg(fivm_model_check)]
+        {
+            // relaxed-ok: fault knob, set before the checker runs.
+            if faults::NOTIFY_ONE.load(std::sync::atomic::Ordering::Relaxed) {
+                self.shared.work.notify_one();
+            } else {
+                self.shared.work.notify_all();
+            }
+            // relaxed-ok: fault knob, set before the checker runs.
+            if faults::NO_WAIT.load(std::sync::atomic::Ordering::Relaxed) {
+                return; // seeded bug: borrow ends while workers still run
+            }
+        }
         while st.remaining > 0 {
             st = self.shared.done.wait(st).expect("pool state poisoned");
         }

@@ -30,9 +30,81 @@
 use crate::executor::IvmEngine;
 use crate::subscribe::{Subscriber, SubscriptionHub};
 use crate::view::ViewStore;
+use fivm_core::sync::atomic::{AtomicU64, Ordering};
+use fivm_core::sync::RwLock;
 use fivm_core::{Catalog, Delta, Relation, Ring, Tuple, TupleKey};
 use fivm_query::{NodeId, RelIndex};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
+
+/// Seeded-fault knobs for the model checker (`--cfg fivm_model_check`
+/// builds only). Real builds compile none of this.
+#[cfg(fivm_model_check)]
+pub mod faults {
+    use std::sync::atomic::AtomicBool;
+
+    /// Advertise the new epoch number *before* the slot holds the new
+    /// snapshot (and with `Relaxed` instead of `Release`): a reader that
+    /// observes the advertised epoch can then pin the *previous*
+    /// snapshot — the torn publish the model checker must catch.
+    pub static TORN_PUBLISH: AtomicBool = AtomicBool::new(false);
+}
+
+/// Single-slot epoch handoff: one writer publishes immutable values,
+/// any number of readers pin the current one.
+///
+/// This is the whole synchronization story of the serving layer,
+/// extracted so the model checker can explore it in isolation:
+///
+/// * [`EpochCell::publish`] swaps the new `Arc` into the slot under the
+///   write lock, then advertises its epoch number with a `Release`
+///   store;
+/// * [`EpochCell::pin`] clones the `Arc` under a brief read lock —
+///   everything after is lock-free against the immutable value;
+/// * [`EpochCell::epoch`] is the cheap freshness probe (`Acquire`
+///   load, no lock): once it returns `e`, a subsequent `pin` is
+///   guaranteed to return epoch `>= e`.
+pub struct EpochCell<T> {
+    slot: RwLock<Arc<T>>,
+    epoch: AtomicU64,
+}
+
+impl<T> EpochCell<T> {
+    /// A cell holding `initial` as epoch `epoch`.
+    pub fn new(epoch: u64, initial: Arc<T>) -> Self {
+        EpochCell {
+            slot: RwLock::new(initial),
+            epoch: AtomicU64::new(epoch),
+        }
+    }
+
+    /// Publish `next` as epoch `epoch`. Pinned older values are
+    /// unaffected; new pins see `next`. The epoch number must only
+    /// increase (single writer).
+    pub fn publish(&self, epoch: u64, next: Arc<T>) {
+        #[cfg(fivm_model_check)]
+        // relaxed-ok: fault knob, set before the checker runs.
+        if faults::TORN_PUBLISH.load(std::sync::atomic::Ordering::Relaxed) {
+            // Seeded bug: advertise before the slot holds the value
+            // (relaxed-ok: the weak order IS the bug under test).
+            self.epoch.store(epoch, Ordering::Relaxed);
+            *self.slot.write().expect("epoch slot poisoned") = next;
+            return;
+        }
+        *self.slot.write().expect("epoch slot poisoned") = next;
+        self.epoch.store(epoch, Ordering::Release);
+    }
+
+    /// Pin the current value (brief read lock, then lock-free).
+    pub fn pin(&self) -> Arc<T> {
+        self.slot.read().expect("epoch slot poisoned").clone()
+    }
+
+    /// The advertised epoch: after `epoch()` returns `e`, `pin()`
+    /// returns a value published as epoch `>= e`.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}
 
 /// One published epoch: an immutable, internally consistent image of
 /// every materialized view at a single update boundary (LSN).
@@ -96,7 +168,7 @@ impl<R: Ring> EngineSnapshot<R> {
 /// The write half of the epoch handoff: owned by the maintenance
 /// thread, builds and publishes [`EngineSnapshot`]s.
 pub struct SnapshotPublisher<R> {
-    slot: Arc<RwLock<Arc<EngineSnapshot<R>>>>,
+    slot: Arc<EpochCell<EngineSnapshot<R>>>,
     /// Per-node [`ViewStore::version`] at the last publish — the
     /// copy-on-write key.
     versions: Vec<Option<u64>>,
@@ -109,12 +181,15 @@ impl<R: Ring> SnapshotPublisher<R> {
     pub fn new(engine: &IvmEngine<R>) -> Self {
         let n = engine.node_count();
         let mut this = SnapshotPublisher {
-            slot: Arc::new(RwLock::new(Arc::new(EngineSnapshot {
-                epoch: 0,
-                lsn: engine.updates_applied(),
-                root: engine.tree().root,
-                views: vec![None; n],
-            }))),
+            slot: Arc::new(EpochCell::new(
+                0,
+                Arc::new(EngineSnapshot {
+                    epoch: 0,
+                    lsn: engine.updates_applied(),
+                    root: engine.tree().root,
+                    views: vec![None; n],
+                }),
+            )),
             versions: vec![None; n],
             epoch: 0,
         };
@@ -131,7 +206,7 @@ impl<R: Ring> SnapshotPublisher<R> {
     }
 
     fn publish_at(&mut self, engine: &IvmEngine<R>, epoch: u64) -> Arc<EngineSnapshot<R>> {
-        let prev = self.slot.read().expect("snapshot slot poisoned").clone();
+        let prev = self.slot.pin();
         let views = (0..engine.node_count())
             .map(|node| {
                 let store = engine.view_store(node)?;
@@ -151,7 +226,7 @@ impl<R: Ring> SnapshotPublisher<R> {
             root: engine.tree().root,
             views,
         });
-        *self.slot.write().expect("snapshot slot poisoned") = snap.clone();
+        self.slot.publish(epoch, snap.clone());
         self.epoch = epoch;
         snap
     }
@@ -174,7 +249,7 @@ impl<R: Ring> SnapshotPublisher<R> {
 /// against the immutable snapshot. Epochs retire when the last pin
 /// (and the publisher's slot) drop their `Arc`.
 pub struct SnapshotReader<R> {
-    slot: Arc<RwLock<Arc<EngineSnapshot<R>>>>,
+    slot: Arc<EpochCell<EngineSnapshot<R>>>,
 }
 
 impl<R> Clone for SnapshotReader<R> {
@@ -188,7 +263,13 @@ impl<R> Clone for SnapshotReader<R> {
 impl<R: Ring> SnapshotReader<R> {
     /// Pin the current epoch.
     pub fn pin(&self) -> Arc<EngineSnapshot<R>> {
-        self.slot.read().expect("snapshot slot poisoned").clone()
+        self.slot.pin()
+    }
+
+    /// Freshness probe without pinning: once this returns `e`, a
+    /// subsequent [`SnapshotReader::pin`] returns epoch `>= e`.
+    pub fn epoch(&self) -> u64 {
+        self.slot.epoch()
     }
 }
 
@@ -373,6 +454,8 @@ mod tests {
             let stop = &stop;
             let h = scope.spawn(move || {
                 let mut last = 0u64;
+                // relaxed-ok: test stop flag; eventual visibility
+                // is all the loop needs.
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                     let snap = r.pin();
                     assert!(snap.epoch() >= last, "epochs must be monotonic");
@@ -391,6 +474,7 @@ mod tests {
                 s.apply(rel, &d);
                 s.publish();
             }
+            // relaxed-ok: test stop flag.
             stop.store(true, std::sync::atomic::Ordering::Relaxed);
             let seen = h.join().unwrap();
             assert!(seen <= s.publisher.current_epoch());

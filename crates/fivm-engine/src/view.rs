@@ -211,6 +211,13 @@ impl<R: Ring> ViewStore<R> {
         self.indexes.len() - 1
     }
 
+    /// Probe-key positions of every secondary index, in index-id order
+    /// (consumed by the static plan verifier to resolve compiled index
+    /// ids back to key layouts).
+    pub fn index_positions(&self) -> Vec<Vec<usize>> {
+        self.indexes.iter().map(|ix| ix.positions.clone()).collect()
+    }
+
     /// Keys matching `key` under index `ix`; borrowed probe keys
     /// accepted.
     #[inline]

@@ -1,0 +1,105 @@
+//! Exhaustive interleaving checks for the `WorkerPool`
+//! scatter/completion protocol (epoch bump + notify_all dispatch,
+//! remaining-counter completion, panic propagation, shutdown/join).
+//!
+//! Build with `RUSTFLAGS="--cfg fivm_model_check"`; in normal builds
+//! this file is empty.
+#![cfg(fivm_model_check)]
+
+use fivm_check::Checker;
+use fivm_core::sync::atomic::{AtomicUsize, Ordering};
+use fivm_engine::parallel::faults;
+use fivm_engine::WorkerPool;
+
+#[test]
+fn scatter_runs_every_worker_exactly_once() {
+    let report = Checker::new().check("worker-pool scatter", || {
+        let hits = [AtomicUsize::new(0), AtomicUsize::new(0)];
+        {
+            let mut pool = WorkerPool::new(2);
+            pool.scatter(&|w| {
+                hits[w].fetch_add(1, Ordering::SeqCst);
+            });
+            // scatter returned: every worker ran the job exactly once.
+            assert_eq!(hits[0].load(Ordering::SeqCst), 1, "worker 0");
+            assert_eq!(hits[1].load(Ordering::SeqCst), 1, "worker 1");
+        } // pool Drop: shutdown + join must terminate in every schedule
+    });
+    println!("{report}");
+    report.assert_ok();
+}
+
+#[test]
+fn back_to_back_scatters_do_not_mix_epochs() {
+    let report = Checker::new().check("worker-pool epochs", || {
+        let hits = AtomicUsize::new(0);
+        {
+            let mut pool = WorkerPool::new(1);
+            pool.scatter(&|_| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(hits.load(Ordering::SeqCst), 1, "first epoch");
+            pool.scatter(&|_| {
+                hits.fetch_add(10, Ordering::SeqCst);
+            });
+            assert_eq!(hits.load(Ordering::SeqCst), 11, "second epoch");
+        }
+    });
+    println!("{report}");
+    report.assert_ok();
+}
+
+#[test]
+fn worker_panic_propagates_to_the_dispatcher() {
+    let report = Checker::new().check("worker-pool panic propagation", || {
+        let mut pool = WorkerPool::new(1);
+        pool.scatter(&|_| panic!("job exploded"));
+    });
+    println!("{report}");
+    report.assert_fails("a fivm worker panicked during a parallel step");
+}
+
+/// Mutation verification: dispatch with `notify_one` instead of
+/// `notify_all` (the seeded fault) and the checker must find the
+/// schedule where the un-notified worker sleeps forever — scatter's
+/// completion wait deadlocks.
+#[test]
+fn notify_one_dispatch_deadlocks() {
+    faults::NOTIFY_ONE.store(true, std::sync::atomic::Ordering::SeqCst);
+    let report = Checker::new().check("worker-pool notify_one fault", || {
+        let hits = [AtomicUsize::new(0), AtomicUsize::new(0)];
+        let mut pool = WorkerPool::new(2);
+        pool.scatter(&|w| {
+            hits[w].fetch_add(1, Ordering::SeqCst);
+        });
+    });
+    faults::NOTIFY_ONE.store(false, std::sync::atomic::Ordering::SeqCst);
+    println!("{report}");
+    report.assert_fails("deadlock");
+}
+
+/// Mutation verification: return from scatter without waiting for
+/// `remaining == 0` (the seeded fault) and the checker must find a
+/// schedule where the borrow has ended while a worker still runs the
+/// erased closure — observed as a completion-count violation.
+#[test]
+fn scatter_without_completion_wait_is_caught() {
+    faults::NO_WAIT.store(true, std::sync::atomic::Ordering::SeqCst);
+    let report = Checker::new().check("worker-pool no-wait fault", || {
+        let hits = AtomicUsize::new(0);
+        {
+            let mut pool = WorkerPool::new(2);
+            pool.scatter(&|_| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(
+                hits.load(Ordering::SeqCst),
+                2,
+                "scatter returned before every worker finished"
+            );
+        }
+    });
+    faults::NO_WAIT.store(false, std::sync::atomic::Ordering::SeqCst);
+    println!("{report}");
+    report.assert_fails("scatter returned before every worker finished");
+}

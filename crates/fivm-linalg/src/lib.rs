@@ -23,6 +23,8 @@
 //! Figure 6 hash runtime, exercising the engine's compiled factored
 //! fast path.
 
+#![forbid(unsafe_code)]
+
 pub mod chain;
 pub mod decomp;
 pub mod engine_chain;

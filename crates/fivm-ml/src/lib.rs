@@ -13,6 +13,8 @@
 //!   (the convergence step of §6.2), supporting any choice of label and
 //!   feature set from the maintained statistics (as in [36]).
 
+#![forbid(unsafe_code)]
+
 pub mod cofactor;
 pub mod regression;
 

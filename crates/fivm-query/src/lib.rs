@@ -21,6 +21,8 @@
 //!
 //! Execution of these plans over a concrete ring lives in `fivm-engine`.
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod delta;
 pub mod gyo;

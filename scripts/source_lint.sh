@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Source-level lint gates that rustc/clippy cannot express:
+#
+#   1. `Ordering::Relaxed` is denied in library code unless the site is
+#      annotated with a `relaxed-ok:` comment (same line or within the
+#      three preceding lines) explaining why no ordering is needed.
+#      Every un-annotated Relaxed is a potential publication bug of the
+#      kind the model checker exists to catch — the annotation forces
+#      the argument to be written down next to the code.
+#      `fivm-check` itself is exempt: it implements the memory model,
+#      so weak orderings are its subject matter.
+#
+#   2. `.unwrap()` / `.expect(` are denied in fivm-durability library
+#      code (tests exempt). The durability layer parses untrusted bytes
+#      off disk; a panic during recovery turns recoverable corruption
+#      into an unrecoverable crash. Errors must flow through
+#      `DurabilityError`.
+#
+# Exits non-zero and prints every violation when the gate fails.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- gate 1: un-annotated Ordering::Relaxed --------------------------
+while IFS=: read -r file line _; do
+  [ -n "$file" ] || continue
+  start=$((line - 3))
+  [ "$start" -lt 1 ] && start=1
+  if ! sed -n "${start},${line}p" "$file" | grep -q 'relaxed-ok:'; then
+    echo "source_lint: $file:$line: Ordering::Relaxed without a 'relaxed-ok:' justification" >&2
+    fail=1
+  fi
+done < <(grep -rn 'Ordering::Relaxed' crates/*/src --include='*.rs' \
+  | grep -v '^crates/fivm-check/')
+
+# --- gate 2: unwrap/expect in durability lib code --------------------
+# Strip `#[cfg(test)] mod tests` blocks by cutting each file at the
+# first `mod tests` marker; unit tests in this crate all live in a
+# trailing tests module.
+# Comment text (e.g. docs discussing unwrap) is stripped first.
+for f in crates/fivm-durability/src/*.rs; do
+  hits=$(awk '/mod tests/{exit} {print}' "$f" | sed 's|//.*||' \
+    | grep -n '\.unwrap()\|\.expect(' || true)
+  if [ -n "$hits" ]; then
+    printf '%s\n' "$hits" | while IFS=: read -r line _; do
+      echo "source_lint: $f:$line: unwrap/expect in durability library code (use DurabilityError)" >&2
+    done
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "source_lint: FAILED" >&2
+  exit 1
+fi
+echo "source_lint: OK"
