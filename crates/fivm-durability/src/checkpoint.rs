@@ -14,18 +14,18 @@
 //!
 //! Commit protocol: view files are written and fsynced first, then the
 //! manifest is written to a temp name, fsynced, and renamed into
-//! place. A crash mid-checkpoint therefore leaves either no new
-//! manifest (stray view files are garbage-collected later) or a
-//! complete one. Recovery validates a manifest by checksum *and* by
-//! opening every view file it references, falling back to the previous
-//! manifest on any failure.
+//! place. A crash (or injected fault — every operation here goes
+//! through the [`crate::vfs::Vfs`] seam) mid-checkpoint therefore
+//! leaves either no new manifest (stray view files are
+//! garbage-collected later) or a complete one. Recovery validates a
+//! manifest by checksum *and* by opening every view file it
+//! references, falling back to the previous manifest on any failure.
 
 use crate::crc::crc32;
+use crate::vfs::{write_all_at, StdVfs, Vfs};
 use crate::wal::{self, FRAME_HEADER_LEN};
 use crate::{DurabilityError, Result};
 use fivm_core::{Codec, Relation, Semiring};
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 /// Magic prefix of manifest files.
@@ -56,9 +56,13 @@ pub struct ManifestInfo {
 
 /// List manifests of `dir`, sorted by sequence number (oldest first).
 pub fn list_manifests(dir: &Path) -> Result<Vec<ManifestInfo>> {
+    list_manifests_in(&StdVfs, dir)
+}
+
+/// [`list_manifests`] through an explicit [`Vfs`].
+pub fn list_manifests_in(vfs: &dyn Vfs, dir: &Path) -> Result<Vec<ManifestInfo>> {
     let mut out = Vec::new();
-    for entry in std::fs::read_dir(dir)? {
-        let path = entry?.path();
+    for path in vfs.read_dir(dir)? {
         let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
             continue;
         };
@@ -85,9 +89,8 @@ pub fn view_file_path(dir: &Path, node: usize, file_seq: u64) -> PathBuf {
 }
 
 /// Read a magic-prefixed single-frame file, validating the checksum.
-fn read_framed(path: &Path, magic: &[u8; 8]) -> Result<Vec<u8>> {
-    let mut bytes = Vec::new();
-    File::open(path)?.read_to_end(&mut bytes)?;
+fn read_framed(vfs: &dyn Vfs, path: &Path, magic: &[u8; 8]) -> Result<Vec<u8>> {
+    let bytes = vfs.read(path)?;
     let corrupt = |detail: &str| DurabilityError::Corrupt {
         file: path.to_path_buf(),
         detail: detail.into(),
@@ -107,23 +110,26 @@ fn read_framed(path: &Path, magic: &[u8; 8]) -> Result<Vec<u8>> {
 }
 
 /// Write a magic-prefixed single-frame file at `path` and fsync it.
-fn write_framed(path: &Path, magic: &[u8; 8], payload: &[u8]) -> Result<()> {
-    let mut file = OpenOptions::new()
-        .write(true)
-        .create(true)
-        .truncate(true)
-        .open(path)?;
-    file.write_all(magic)?;
-    file.write_all(&(payload.len() as u32).to_le_bytes())?;
-    file.write_all(&crc32(payload).to_le_bytes())?;
-    file.write_all(payload)?;
+fn write_framed(vfs: &dyn Vfs, path: &Path, magic: &[u8; 8], payload: &[u8]) -> Result<()> {
+    let mut file = vfs.create(path)?;
+    let mut bytes = Vec::with_capacity(16 + payload.len());
+    bytes.extend_from_slice(magic);
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    write_all_at(file.as_mut(), 0, &bytes)?;
     file.sync_all()?;
     Ok(())
 }
 
 /// Read and validate a manifest file.
 pub fn read_manifest(path: &Path) -> Result<Manifest> {
-    let payload = read_framed(path, MANIFEST_MAGIC)?;
+    read_manifest_in(&StdVfs, path)
+}
+
+/// [`read_manifest`] through an explicit [`Vfs`].
+pub fn read_manifest_in(vfs: &dyn Vfs, path: &Path) -> Result<Manifest> {
+    let payload = read_framed(vfs, path, MANIFEST_MAGIC)?;
     let input = &mut payload.as_slice();
     let seq = fivm_core::codec::take_u64(input)?;
     let lsn = fivm_core::codec::take_u64(input)?;
@@ -151,6 +157,11 @@ pub fn read_manifest(path: &Path) -> Result<Manifest> {
 
 /// Write a manifest via the temp-then-rename commit protocol.
 pub fn write_manifest(dir: &Path, m: &Manifest) -> Result<()> {
+    write_manifest_in(&StdVfs, dir, m)
+}
+
+/// [`write_manifest`] through an explicit [`Vfs`].
+pub fn write_manifest_in(vfs: &dyn Vfs, dir: &Path, m: &Manifest) -> Result<()> {
     let mut payload = Vec::new();
     payload.extend_from_slice(&m.seq.to_le_bytes());
     payload.extend_from_slice(&m.lsn.to_le_bytes());
@@ -165,8 +176,8 @@ pub fn write_manifest(dir: &Path, m: &Manifest) -> Result<()> {
         payload.extend_from_slice(&file_seq.to_le_bytes());
     }
     let tmp = dir.join(format!("ckpt-{:06}.tmp", m.seq));
-    write_framed(&tmp, MANIFEST_MAGIC, &payload)?;
-    std::fs::rename(&tmp, manifest_path(dir, m.seq))?;
+    write_framed(vfs, &tmp, MANIFEST_MAGIC, &payload)?;
+    vfs.rename(&tmp, &manifest_path(dir, m.seq))?;
     Ok(())
 }
 
@@ -177,10 +188,26 @@ pub fn write_view_file<R: Semiring + Codec>(
     file_seq: u64,
     rel: &Relation<R>,
 ) -> Result<()> {
+    write_view_file_in(&StdVfs, dir, node, file_seq, rel)
+}
+
+/// [`write_view_file`] through an explicit [`Vfs`].
+pub fn write_view_file_in<R: Semiring + Codec>(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    node: usize,
+    file_seq: u64,
+    rel: &Relation<R>,
+) -> Result<()> {
     let mut payload = Vec::new();
     payload.extend_from_slice(&(node as u32).to_le_bytes());
     rel.encode(&mut payload);
-    write_framed(&view_file_path(dir, node, file_seq), VIEW_MAGIC, &payload)
+    write_framed(
+        vfs,
+        &view_file_path(dir, node, file_seq),
+        VIEW_MAGIC,
+        &payload,
+    )
 }
 
 /// Read and validate one view snapshot file.
@@ -189,8 +216,18 @@ pub fn read_view_file<R: Semiring + Codec>(
     node: usize,
     file_seq: u64,
 ) -> Result<Relation<R>> {
+    read_view_file_in(&StdVfs, dir, node, file_seq)
+}
+
+/// [`read_view_file`] through an explicit [`Vfs`].
+pub fn read_view_file_in<R: Semiring + Codec>(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    node: usize,
+    file_seq: u64,
+) -> Result<Relation<R>> {
     let path = view_file_path(dir, node, file_seq);
-    let payload = read_framed(&path, VIEW_MAGIC)?;
+    let payload = read_framed(vfs, &path, VIEW_MAGIC)?;
     let input = &mut payload.as_slice();
     let stored_node = fivm_core::codec::take_u32(input)? as usize;
     if stored_node != node {
@@ -217,7 +254,12 @@ pub fn read_view_file<R: Semiring + Codec>(
 /// (or, worse, let the WAL be truncated past the newest manifest that
 /// *does* restore).
 pub fn gc(dir: &Path, retained: usize) -> Result<Option<u64>> {
-    let manifests = list_manifests(dir)?;
+    gc_in(&StdVfs, dir, retained)
+}
+
+/// [`gc`] through an explicit [`Vfs`].
+pub fn gc_in(vfs: &dyn Vfs, dir: &Path, retained: usize) -> Result<Option<u64>> {
+    let manifests = list_manifests_in(vfs, dir)?;
     if manifests.is_empty() {
         return Ok(None);
     }
@@ -232,10 +274,10 @@ pub fn gc(dir: &Path, retained: usize) -> Result<Option<u64>> {
             doomed.push(info);
             continue;
         }
-        let restorable = read_manifest(&info.path).ok().filter(|m| {
+        let restorable = read_manifest_in(vfs, &info.path).ok().filter(|m| {
             m.views
                 .iter()
-                .all(|&(node, file_seq)| view_file_path(dir, node, file_seq).is_file())
+                .all(|&(node, file_seq)| vfs.is_file(&view_file_path(dir, node, file_seq)))
         });
         match restorable {
             Some(m) => kept.push((info, m)),
@@ -249,17 +291,16 @@ pub fn gc(dir: &Path, retained: usize) -> Result<Option<u64>> {
         }
     }
     for info in doomed {
-        std::fs::remove_file(&info.path)?;
+        vfs.remove_file(&info.path)?;
     }
-    for entry in std::fs::read_dir(dir)? {
-        let path = entry?.path();
+    for path in vfs.read_dir(dir)? {
         let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
             continue;
         };
         let is_view = name.starts_with("view-") && name.ends_with(".vw");
         let is_stale_tmp = name.starts_with("ckpt-") && name.ends_with(".tmp");
         if (is_view && !referenced.contains(&path)) || is_stale_tmp {
-            std::fs::remove_file(&path)?;
+            vfs.remove_file(&path)?;
         }
     }
     // `kept` is newest-first; the cutoff is the oldest kept manifest.

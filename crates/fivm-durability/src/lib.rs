@@ -22,10 +22,14 @@
 pub mod checkpoint;
 pub mod crc;
 mod engine;
+pub mod vfs;
 pub mod wal;
 
-pub use engine::{DurableEngine, RecoveryReport};
-pub use fivm_engine::{EngineSnapshot, SnapshotReader, Subscriber, ViewDelta};
+pub use engine::{DurabilityStats, DurableEngine, EngineMode, HealReport, RecoveryReport};
+pub use fivm_engine::{
+    EngineSnapshot, ServingStats, SnapshotReader, SubMessage, Subscriber, ViewDelta,
+};
+pub use vfs::{FaultKind, FaultVfs, StdVfs, Vfs, VfsFile};
 
 use std::fmt;
 use std::path::PathBuf;
@@ -86,6 +90,15 @@ pub struct DurabilityConfig {
     /// corrupted newest checkpoint still recovers from the previous
     /// one plus a longer log tail.
     pub retained_checkpoints: usize,
+    /// How many times a *transient* storage fault (see
+    /// [`DurabilityError::is_transient`]) on the logging path is
+    /// retried before the engine degrades. `0` degrades on the first
+    /// failure.
+    pub max_retries: u32,
+    /// Base delay between retries, doubled per attempt (capped at
+    /// 100 ms). `Duration::ZERO` retries immediately — what the
+    /// fault-injection suites use.
+    pub retry_backoff: std::time::Duration,
 }
 
 impl Default for DurabilityConfig {
@@ -96,6 +109,8 @@ impl Default for DurabilityConfig {
             flush_bytes: 256 << 10,
             sync: SyncPolicy::OnCheckpoint,
             retained_checkpoints: 2,
+            max_retries: 2,
+            retry_backoff: std::time::Duration::from_millis(1),
         }
     }
 }
@@ -115,6 +130,36 @@ pub enum DurabilityError {
     /// The directory's state does not belong to this engine (query
     /// fingerprint, symbol table, or LSN clock disagree).
     Mismatch(String),
+    /// The engine is in degraded read-only mode: a persistent WAL
+    /// failure exhausted its retries, so writes are rejected while
+    /// reads keep serving the last published epoch. Carries the cause
+    /// and the exact durability watermark at rejection time; see
+    /// [`DurableEngine::try_heal`] for the way back.
+    Degraded {
+        /// Rendering of the storage error that drove the engine
+        /// read-only (the original is kept — see
+        /// [`DurableEngine::degraded_cause`]).
+        cause: String,
+        /// Everything at or below this LSN survives any crash.
+        durable_lsn: u64,
+        /// Last applied (acknowledged) update; the range
+        /// `durable_lsn+1..=last_lsn` is in memory and the retained
+        /// log buffer, re-persisted by a successful heal.
+        last_lsn: u64,
+    },
+}
+
+impl DurabilityError {
+    /// Whether retrying the failed operation can plausibly succeed.
+    /// Storage-level failures (EIO, ENOSPC, short writes, failed
+    /// fsync) are transient — the condition may clear, and a bounded
+    /// retry then degrade-and-heal path caps the cost of optimism.
+    /// Decode failures, corruption, state mismatches, and the
+    /// `Degraded` rejection itself are fatal: retrying cannot change
+    /// the bytes.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DurabilityError::Io(_))
+    }
 }
 
 impl fmt::Display for DurabilityError {
@@ -130,6 +175,15 @@ impl fmt::Display for DurabilityError {
                 )
             }
             DurabilityError::Mismatch(detail) => write!(f, "state mismatch: {detail}"),
+            DurabilityError::Degraded {
+                cause,
+                durable_lsn,
+                last_lsn,
+            } => write!(
+                f,
+                "engine degraded to read-only (durable_lsn {durable_lsn}, \
+                 last_lsn {last_lsn}): {cause}"
+            ),
         }
     }
 }

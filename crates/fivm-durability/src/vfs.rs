@@ -1,0 +1,494 @@
+//! The storage seam: every byte `fivm-durability` reads or writes goes
+//! through a [`Vfs`], so the fault-injection suite can fail any
+//! individual storage operation *mid-run* — not just damage files
+//! between runs the way the crash-point harness does.
+//!
+//! Two implementations ship:
+//!
+//! * [`StdVfs`] — a passthrough to `std::fs`. The indirection is one
+//!   dynamic dispatch per *file operation* (a 256 KiB group-commit
+//!   flush is one call), never per byte, so the logged hot path costs
+//!   nothing measurable (the fig11 overhead budget still holds).
+//! * [`FaultVfs`] — wraps the real filesystem and injects deterministic
+//!   faults: EIO, ENOSPC, short writes (some bytes land, then the call
+//!   fails), fsync failure, rename failure, and torn-write-then-crash
+//!   (a write lands a garbled prefix and the "device" goes away). Two
+//!   trigger modes compose: one-shot faults at an exact operation index
+//!   (for exhaustive every-call-site sweeps) and a seeded per-operation
+//!   probability (for the chaos harness). All scheduling is
+//!   deterministic in the seed.
+//!
+//! The engine-side response policy — transient-vs-fatal classification,
+//! bounded retry, degraded mode, healing — lives in
+//! [`crate::DurableEngine`]; see `docs/fault-injection.md`.
+
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// An open writable file behind the seam.
+///
+/// Writes are positioned (`write_at`) rather than cursor-based so the
+/// caller can re-write a suspect tail after a failed or short write
+/// without reasoning about where a half-failed operation left the
+/// cursor. Short writes are allowed (return `Ok(n)` with `n < buf
+/// .len()`); callers loop.
+pub trait VfsFile: Send {
+    /// Write `buf` at absolute offset `off`; returns bytes written.
+    fn write_at(&mut self, off: u64, buf: &[u8]) -> io::Result<usize>;
+    /// Flush file *data* to stable storage (`fdatasync`).
+    fn sync_data(&mut self) -> io::Result<()>;
+    /// Flush data and metadata to stable storage (`fsync`).
+    fn sync_all(&mut self) -> io::Result<()>;
+}
+
+/// The filesystem operations the durability layer needs, behind a
+/// trait object so tests can interpose faults at every call site.
+pub trait Vfs: Send + Sync {
+    /// Create a file that must not already exist (WAL segments — a
+    /// name collision means a sequencing bug, not a retry case).
+    fn create_new(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Create or truncate a file (checkpoint view files / manifests,
+    /// whose names may be re-tried after an aborted attempt).
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Read a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Current length of a file.
+    fn file_len(&self, path: &Path) -> io::Result<u64>;
+    /// Truncate (or extend) a file to `len` bytes.
+    fn set_len(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// Atomically rename `from` to `to` (the manifest commit point).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Delete a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Entries of a directory (files only need their paths).
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+    /// Create a directory and its parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// Whether `path` exists as a file (non-faultable existence probe;
+    /// GC uses it to decide what a manifest can still restore).
+    fn is_file(&self, path: &Path) -> bool;
+}
+
+// ---------------------------------------------------------------------
+// StdVfs
+// ---------------------------------------------------------------------
+
+/// Zero-cost passthrough to `std::fs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdVfs;
+
+struct StdFile(std::fs::File);
+
+impl VfsFile for StdFile {
+    fn write_at(&mut self, off: u64, buf: &[u8]) -> io::Result<usize> {
+        self.0.seek(SeekFrom::Start(off))?;
+        self.0.write(buf)
+    }
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+}
+
+impl Vfs for StdVfs {
+    fn create_new(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)?;
+        Ok(Box::new(StdFile(f)))
+    }
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Box::new(StdFile(f)))
+    }
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        Ok(bytes)
+    }
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        Ok(std::fs::metadata(path)?.len())
+    }
+    fn set_len(&self, path: &Path, len: u64) -> io::Result<()> {
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)?
+            .set_len(len)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            out.push(entry?.path());
+        }
+        Ok(out)
+    }
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+    fn is_file(&self, path: &Path) -> bool {
+        path.is_file()
+    }
+}
+
+// ---------------------------------------------------------------------
+// FaultVfs
+// ---------------------------------------------------------------------
+
+/// What a single injected fault does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The operation fails with `EIO`; no bytes change.
+    Eio,
+    /// The operation fails with `ENOSPC`; no bytes change.
+    Enospc,
+    /// A write lands only a prefix of its bytes, then fails with `EIO`
+    /// — the classic short write. One-shot faults can pin the exact
+    /// prefix length; random faults pick one from the seed.
+    ShortWrite,
+    /// `sync_data`/`sync_all` fails with `EIO`. Per fsync semantics the
+    /// caller must assume every unsynced byte is now in unknown state.
+    SyncFail,
+    /// `rename` fails with `EIO`; the destination is untouched.
+    RenameFail,
+    /// A write lands a garbled prefix (last landed byte flipped) and
+    /// every subsequent operation fails: the device is gone. Pair with
+    /// dropping the engine to model a torn-write-then-crash.
+    TornWrite,
+}
+
+impl FaultKind {
+    fn to_error(self) -> io::Error {
+        match self {
+            // EIO = 5, ENOSPC = 28 on every Unix this builds on.
+            FaultKind::Enospc => io::Error::from_raw_os_error(28),
+            _ => io::Error::from_raw_os_error(5),
+        }
+    }
+}
+
+/// Operation categories, used to decide which fault kinds apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpClass {
+    Write,
+    Sync,
+    Rename,
+    Other,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OneShot {
+    /// Absolute operation index (see [`FaultVfs::op_count`]).
+    at: u64,
+    kind: FaultKind,
+    /// For `ShortWrite`: exact bytes to land before failing.
+    short_len: Option<usize>,
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    /// Operations observed so far (always counted, even when disabled,
+    /// so sweeps can locate call sites with faults off).
+    ops: u64,
+    enabled: bool,
+    one_shots: Vec<OneShot>,
+    /// Seeded random faults: probability per mille per operation.
+    random_permille: u32,
+    /// Remaining random-fault budget (so chaos runs eventually drain).
+    random_budget: u64,
+    rng: u64,
+    injected: u64,
+    /// Set by a `TornWrite`: the device is gone, everything fails.
+    frozen: bool,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A fault-injecting [`Vfs`] wrapping the real filesystem. Clones share
+/// the fault schedule, so a test keeps one handle to steer faults while
+/// the engine holds another.
+#[derive(Clone, Default)]
+pub struct FaultVfs {
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultVfs {
+    /// No faults armed (pure passthrough until configured).
+    pub fn new() -> Self {
+        FaultVfs::default()
+    }
+
+    /// Seeded random faults: each fault-eligible operation fails with
+    /// probability `permille`/1000, drawing the kind from the seed,
+    /// until `budget` faults have fired. Deterministic in `seed`.
+    pub fn seeded(seed: u64, permille: u32, budget: u64) -> Self {
+        let vfs = FaultVfs::new();
+        {
+            let mut st = vfs.lock();
+            st.enabled = true;
+            st.random_permille = permille;
+            st.random_budget = budget;
+            st.rng = seed ^ 0x5851_f42d_4c95_7f2d;
+        }
+        vfs
+    }
+
+    fn lock(&self) -> MutexGuard<'_, FaultState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Arm a one-shot fault on the `n`-th fault-eligible operation from
+    /// now (0 = the next one).
+    pub fn fail_nth(&self, n: u64, kind: FaultKind) {
+        let mut st = self.lock();
+        let at = st.ops + n;
+        st.enabled = true;
+        st.one_shots.push(OneShot {
+            at,
+            kind,
+            short_len: None,
+        });
+    }
+
+    /// Arm a one-shot short write on the `n`-th operation from now that
+    /// lands exactly `short_len` bytes before failing.
+    pub fn fail_nth_short(&self, n: u64, short_len: usize) {
+        let mut st = self.lock();
+        let at = st.ops + n;
+        st.enabled = true;
+        st.one_shots.push(OneShot {
+            at,
+            kind: FaultKind::ShortWrite,
+            short_len: Some(short_len),
+        });
+    }
+
+    /// Master switch: with `false` the wrapper is a pure passthrough
+    /// (operations are still counted). A frozen device stays frozen.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.lock().enabled = enabled;
+    }
+
+    /// Thaw a device frozen by a [`FaultKind::TornWrite`].
+    pub fn unfreeze(&self) {
+        self.lock().frozen = false;
+    }
+
+    /// Total fault-eligible operations observed so far. Sweeps measure
+    /// a region's operation count with faults disabled, then arm
+    /// one-shots at each index inside it.
+    pub fn op_count(&self) -> u64 {
+        self.lock().ops
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.lock().injected
+    }
+
+    /// Decide whether the current operation faults. Counts the op.
+    fn draw(&self, class: OpClass) -> Option<(FaultKind, Option<usize>)> {
+        let mut st = self.lock();
+        let op = st.ops;
+        st.ops += 1;
+        if st.frozen {
+            st.injected += 1;
+            return Some((FaultKind::Eio, None));
+        }
+        if !st.enabled {
+            return None;
+        }
+        if let Some(i) = st.one_shots.iter().position(|o| o.at == op) {
+            let shot = st.one_shots.swap_remove(i);
+            st.injected += 1;
+            return Some(coerce(shot.kind, shot.short_len, class));
+        }
+        if st.random_permille > 0 && st.random_budget > 0 {
+            let roll = splitmix64(&mut st.rng);
+            if roll % 1000 < st.random_permille as u64 {
+                st.random_budget -= 1;
+                st.injected += 1;
+                let kind = match splitmix64(&mut st.rng) % 6 {
+                    0 => FaultKind::Eio,
+                    1 => FaultKind::Enospc,
+                    2 => FaultKind::ShortWrite,
+                    3 => FaultKind::SyncFail,
+                    4 => FaultKind::RenameFail,
+                    // TornWrite freezes the device; random schedules
+                    // use plain EIO for the final slot so a chaos run
+                    // keeps exercising retry/heal. Torn-write-then-
+                    // crash is driven explicitly via `fail_nth`.
+                    _ => FaultKind::Eio,
+                };
+                return Some(coerce(kind, None, class));
+            }
+        }
+        None
+    }
+
+    /// Fail the whole call (non-write ops) if a fault fires.
+    fn gate(&self, class: OpClass) -> io::Result<()> {
+        match self.draw(class) {
+            Some((kind, _)) => Err(kind.to_error()),
+            None => Ok(()),
+        }
+    }
+
+    fn freeze(&self) {
+        self.lock().frozen = true;
+    }
+}
+
+/// Map a drawn fault kind onto the operation class it fired against:
+/// a kind that cannot apply (a short write on a rename, say) degrades
+/// to a plain EIO so every armed fault observably fires.
+fn coerce(kind: FaultKind, short_len: Option<usize>, class: OpClass) -> (FaultKind, Option<usize>) {
+    let fits = match kind {
+        FaultKind::ShortWrite | FaultKind::TornWrite => class == OpClass::Write,
+        FaultKind::SyncFail => class == OpClass::Sync,
+        FaultKind::RenameFail => class == OpClass::Rename,
+        FaultKind::Eio | FaultKind::Enospc => true,
+    };
+    if fits {
+        (kind, short_len)
+    } else {
+        (FaultKind::Eio, None)
+    }
+}
+
+/// A write-side file handle that consults the shared fault schedule.
+struct FaultFile {
+    inner: Box<dyn VfsFile>,
+    vfs: FaultVfs,
+}
+
+impl VfsFile for FaultFile {
+    fn write_at(&mut self, off: u64, buf: &[u8]) -> io::Result<usize> {
+        match self.vfs.draw(OpClass::Write) {
+            None => self.inner.write_at(off, buf),
+            Some((FaultKind::ShortWrite, short_len)) => {
+                let n = short_len
+                    .unwrap_or(buf.len() / 2)
+                    .min(buf.len().saturating_sub(1));
+                if n > 0 {
+                    write_fully(self.inner.as_mut(), off, &buf[..n])?;
+                }
+                Err(io::Error::other(format!(
+                    "injected short write ({n}/{} bytes)",
+                    buf.len()
+                )))
+            }
+            Some((FaultKind::TornWrite, _)) => {
+                // Land a garbled prefix, then the device goes away.
+                let n = (buf.len() / 2).max(1).min(buf.len());
+                let mut torn = buf[..n].to_vec();
+                if let Some(last) = torn.last_mut() {
+                    *last ^= 0xff;
+                }
+                let _ = write_fully(self.inner.as_mut(), off, &torn);
+                self.vfs.freeze();
+                Err(io::Error::other("injected torn write; device frozen"))
+            }
+            Some((kind, _)) => Err(kind.to_error()),
+        }
+    }
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.vfs.gate(OpClass::Sync)?;
+        self.inner.sync_data()
+    }
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.vfs.gate(OpClass::Sync)?;
+        self.inner.sync_all()
+    }
+}
+
+fn write_fully(f: &mut dyn VfsFile, mut off: u64, mut buf: &[u8]) -> io::Result<()> {
+    while !buf.is_empty() {
+        let n = f.write_at(off, buf)?;
+        if n == 0 {
+            return Err(io::ErrorKind::WriteZero.into());
+        }
+        off += n as u64;
+        buf = &buf[n..];
+    }
+    Ok(())
+}
+
+impl Vfs for FaultVfs {
+    fn create_new(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.gate(OpClass::Other)?;
+        let inner = StdVfs.create_new(path)?;
+        Ok(Box::new(FaultFile {
+            inner,
+            vfs: self.clone(),
+        }))
+    }
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.gate(OpClass::Other)?;
+        let inner = StdVfs.create(path)?;
+        Ok(Box::new(FaultFile {
+            inner,
+            vfs: self.clone(),
+        }))
+    }
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.gate(OpClass::Other)?;
+        StdVfs.read(path)
+    }
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        self.gate(OpClass::Other)?;
+        StdVfs.file_len(path)
+    }
+    fn set_len(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.gate(OpClass::Write)?;
+        StdVfs.set_len(path, len)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.gate(OpClass::Rename)?;
+        StdVfs.rename(from, to)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.gate(OpClass::Other)?;
+        StdVfs.remove_file(path)
+    }
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.gate(OpClass::Other)?;
+        StdVfs.read_dir(dir)
+    }
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.gate(OpClass::Other)?;
+        StdVfs.create_dir_all(dir)
+    }
+    fn is_file(&self, path: &Path) -> bool {
+        // Existence probes are not fault-eligible: GC's restorability
+        // check must reflect the actual directory.
+        StdVfs.is_file(path)
+    }
+}
+
+/// Write `buf` fully at `off`, looping over short writes.
+pub(crate) fn write_all_at(f: &mut dyn VfsFile, off: u64, buf: &[u8]) -> io::Result<()> {
+    write_fully(f, off, buf)
+}

@@ -40,6 +40,8 @@ pub use executor::{IvmEngine, PayloadTransform};
 pub use first_order::FirstOrderIvm;
 pub use parallel::WorkerPool;
 pub use recursive::RecursiveIvm;
-pub use snapshot::{EngineSnapshot, ServingEngine, SnapshotPublisher, SnapshotReader};
-pub use subscribe::{Subscriber, SubscriptionHub, ViewDelta};
+pub use snapshot::{
+    EngineSnapshot, ServingEngine, ServingStats, SnapshotPublisher, SnapshotReader,
+};
+pub use subscribe::{SubMessage, Subscriber, SubscriptionHub, ViewDelta};
 pub use view::ViewStore;

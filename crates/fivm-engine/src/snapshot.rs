@@ -165,6 +165,26 @@ impl<R: Ring> EngineSnapshot<R> {
     }
 }
 
+/// Live-epoch observability of the serving layer: which published
+/// epochs are still reachable and how far behind the oldest pin is.
+/// An epoch stays alive as long as any reader holds its `Arc` (the
+/// current epoch is always alive — the publish slot itself holds it),
+/// so a wedged reader shows up as `oldest_pinned_age` growing without
+/// bound while `live_epochs` stays flat.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServingStats {
+    /// Epoch of the most recent publish.
+    pub current_epoch: u64,
+    /// Published epochs still reachable (pinned by a reader or held by
+    /// the publish slot). At least 1 once anything was published.
+    pub live_epochs: usize,
+    /// The oldest still-reachable epoch.
+    pub oldest_live_epoch: Option<u64>,
+    /// `current_epoch - oldest_live_epoch`: how many epochs behind the
+    /// most stale pin is. 0 when only the current epoch is alive.
+    pub oldest_pinned_age: u64,
+}
+
 /// The write half of the epoch handoff: owned by the maintenance
 /// thread, builds and publishes [`EngineSnapshot`]s.
 pub struct SnapshotPublisher<R> {
@@ -172,6 +192,10 @@ pub struct SnapshotPublisher<R> {
     /// Per-node [`ViewStore::version`] at the last publish — the
     /// copy-on-write key.
     versions: Vec<Option<u64>>,
+    /// Weak handle per published epoch still alive at the last publish
+    /// — pruned there, so its length is bounded by the number of
+    /// epochs readers actually keep pinned (plus the current one).
+    live: Vec<(u64, std::sync::Weak<EngineSnapshot<R>>)>,
     epoch: u64,
 }
 
@@ -191,6 +215,7 @@ impl<R: Ring> SnapshotPublisher<R> {
                 }),
             )),
             versions: vec![None; n],
+            live: Vec::new(),
             epoch: 0,
         };
         this.publish_at(engine, 0);
@@ -228,12 +253,36 @@ impl<R: Ring> SnapshotPublisher<R> {
         });
         self.slot.publish(epoch, snap.clone());
         self.epoch = epoch;
+        self.live.retain(|(_, w)| w.strong_count() > 0);
+        self.live.push((epoch, Arc::downgrade(&snap)));
         snap
     }
 
     /// Epoch of the most recent publish.
     pub fn current_epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Count the epochs still reachable right now. O(live epochs) —
+    /// the registry only holds epochs that were alive at the last
+    /// publish, so a pin leak is visible without being payable.
+    pub fn stats(&self) -> ServingStats {
+        let mut live_epochs = 0;
+        let mut oldest_live_epoch = None;
+        for (epoch, w) in &self.live {
+            if w.strong_count() > 0 {
+                live_epochs += 1;
+                if oldest_live_epoch.is_none() {
+                    oldest_live_epoch = Some(*epoch);
+                }
+            }
+        }
+        ServingStats {
+            current_epoch: self.epoch,
+            live_epochs,
+            oldest_live_epoch,
+            oldest_pinned_age: oldest_live_epoch.map_or(0, |o| self.epoch - o),
+        }
     }
 
     /// A handle readers use to pin epochs; cheap to clone, `Send`.
@@ -319,6 +368,23 @@ impl<R: Ring> ServingEngine<R> {
             return None;
         }
         Some(self.hub.subscribe(node))
+    }
+
+    /// [`ServingEngine::subscribe`] with a per-subscriber queue bound:
+    /// once more than `bound` deltas are queued, the oldest are dropped
+    /// and folded into a [`crate::subscribe::SubMessage::Lagged`]
+    /// marker, so a slow consumer costs bounded memory and never blocks
+    /// the maintenance thread.
+    pub fn subscribe_bounded(&mut self, node: NodeId, bound: usize) -> Option<Subscriber<R>> {
+        if !self.engine.set_change_capture(node, true) {
+            return None;
+        }
+        Some(self.hub.subscribe_bounded(node, bound))
+    }
+
+    /// Live-epoch / pin-age observability (see [`ServingStats`]).
+    pub fn serving_stats(&self) -> ServingStats {
+        self.publisher.stats()
     }
 
     /// Apply one update (then maybe auto-publish).
@@ -441,6 +507,35 @@ mod tests {
             }
         }
         assert!(b.epoch() > a.epoch());
+    }
+
+    /// A wedged reader (one that pins an epoch and never unpins) is
+    /// visible in [`ServingStats`] — live epochs stay flat at 2 while
+    /// the pin's age grows — and releasing the pin retires the epoch
+    /// at the next publish.
+    #[test]
+    fn serving_stats_expose_wedged_reader() {
+        let mut s = serving();
+        let d = rst_delta(&s, 0, tuple![1, 2]);
+        s.apply(0, &d);
+        s.publish();
+        let wedged = s.reader().pin();
+        let pinned_epoch = wedged.epoch();
+        for i in 0..5i64 {
+            let d = rst_delta(&s, 0, tuple![i + 10, i + 11]);
+            s.apply(0, &d);
+            s.publish();
+            let stats = s.serving_stats();
+            assert_eq!(stats.live_epochs, 2, "wedged pin + current epoch");
+            assert_eq!(stats.oldest_live_epoch, Some(pinned_epoch));
+            assert_eq!(stats.oldest_pinned_age, stats.current_epoch - pinned_epoch);
+        }
+        drop(wedged);
+        s.publish();
+        let stats = s.serving_stats();
+        assert_eq!(stats.live_epochs, 1, "released epoch must retire");
+        assert_eq!(stats.oldest_pinned_age, 0);
+        assert_eq!(stats.oldest_live_epoch, Some(stats.current_epoch));
     }
 
     /// Readers can pin from other threads while the writer publishes.

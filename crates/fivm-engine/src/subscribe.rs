@@ -6,8 +6,8 @@
 //! records each applied `(key, payload-delta)` pair (change capture,
 //! one branch on the unsubscribed hot path); at **publish** the hub
 //! drains the capture buffer, coalesces it per key over the ring
-//! (dropping zero net changes), and sends one [`ViewDelta`] per
-//! subscription over a channel.
+//! (dropping zero net changes), and queues one [`ViewDelta`] per
+//! subscription.
 //!
 //! Delivery semantics:
 //!
@@ -19,6 +19,14 @@
 //! * **exactly the epoch boundary** — applying a subscription's deltas
 //!   in order over the epoch-0 snapshot reproduces each published
 //!   epoch's view state (pairs within one delta are unordered);
+//! * **bounded lag, loss made explicit** — a subscription created with
+//!   [`SubscriptionHub::subscribe_bounded`] holds at most `bound`
+//!   queued deltas; when a slow consumer falls further behind, the
+//!   *oldest* deltas are dropped and replaced by a single
+//!   [`SubMessage::Lagged`] marker carrying how many epochs were lost,
+//!   so the publisher never blocks and never grows without bound, and
+//!   the consumer can tell a gap from an empty epoch (resync by
+//!   pinning a fresh snapshot, then resume applying deltas);
 //! * dropped receivers are pruned at the next delivery, and a node's
 //!   capture is switched off when its last subscriber goes away.
 //!
@@ -27,7 +35,8 @@
 use crate::executor::IvmEngine;
 use fivm_core::{Ring, Tuple, TupleMap};
 use fivm_query::NodeId;
-use std::sync::mpsc;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// One epoch's coalesced output delta for one view.
 #[derive(Debug, Clone)]
@@ -44,10 +53,140 @@ pub struct ViewDelta<R> {
     pub pairs: Vec<(Tuple, R)>,
 }
 
+/// What a subscriber receives: an epoch's delta, or notice that the
+/// queue bound forced older deltas to be dropped.
+#[derive(Debug, Clone)]
+pub enum SubMessage<R> {
+    /// One epoch's coalesced output delta.
+    Delta(ViewDelta<R>),
+    /// The consumer lagged past its queue bound: the deltas of
+    /// `missed_epochs` published epochs were dropped. The stream is no
+    /// longer a replayable prefix — resync from a pinned snapshot
+    /// before applying subsequent deltas.
+    Lagged {
+        /// The subscribed node the gap belongs to.
+        node: NodeId,
+        /// How many epochs' deltas were dropped (empty-change epochs,
+        /// which never enqueue anything, are not counted).
+        missed_epochs: u64,
+    },
+}
+
+impl<R> SubMessage<R> {
+    /// The delta, if this message carries one.
+    pub fn into_delta(self) -> Option<ViewDelta<R>> {
+        match self {
+            SubMessage::Delta(d) => Some(d),
+            SubMessage::Lagged { .. } => None,
+        }
+    }
+
+    /// Whether this is a [`SubMessage::Lagged`] gap marker.
+    pub fn is_lagged(&self) -> bool {
+        matches!(self, SubMessage::Lagged { .. })
+    }
+}
+
+/// The queue shared by one subscription's two ends. The hub pushes at
+/// publish; the subscriber pops. The mutex is held only for queue
+/// surgery — never while coalescing or while user code runs.
+struct Queue<R> {
+    inner: Mutex<QueueInner<R>>,
+    ready: Condvar,
+}
+
+struct QueueInner<R> {
+    items: VecDeque<SubMessage<R>>,
+    /// `Delta` messages currently queued (`Lagged` markers are exempt
+    /// from the bound — there is at most one, at the front).
+    deltas: usize,
+    /// Max queued deltas; `None` is unbounded.
+    bound: Option<usize>,
+    /// Cleared when the hub (publisher side) goes away.
+    tx_alive: bool,
+    /// Cleared when the subscriber is dropped.
+    rx_alive: bool,
+}
+
+impl<R> Queue<R> {
+    fn new(bound: Option<usize>) -> Self {
+        Queue {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                deltas: 0,
+                bound,
+                tx_alive: true,
+                rx_alive: true,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueInner<R>> {
+        // A panic mid-pop can poison the lock; the queue itself is
+        // still structurally sound, so keep serving.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Push one delta, evicting from the front (and folding the loss
+    /// into a single leading `Lagged` marker) if the bound is hit.
+    /// Returns `false` if the receiver is gone.
+    fn push(&self, node: NodeId, delta: ViewDelta<R>) -> bool {
+        let mut q = self.lock();
+        if !q.rx_alive {
+            return false;
+        }
+        if let Some(bound) = q.bound {
+            let mut missed = 0u64;
+            while q.deltas >= bound.max(1) {
+                match q.items.pop_front() {
+                    Some(SubMessage::Delta(_)) => {
+                        q.deltas -= 1;
+                        missed += 1;
+                    }
+                    Some(SubMessage::Lagged { missed_epochs, .. }) => {
+                        missed += missed_epochs;
+                    }
+                    None => break,
+                }
+            }
+            if missed > 0 {
+                // Merge with an existing front marker so a persistently
+                // slow consumer sees one cumulative gap, not a trickle.
+                if let Some(SubMessage::Lagged { missed_epochs, .. }) = q.items.front_mut() {
+                    *missed_epochs += missed;
+                } else {
+                    q.items.push_front(SubMessage::Lagged {
+                        node,
+                        missed_epochs: missed,
+                    });
+                }
+            }
+        }
+        q.items.push_back(SubMessage::Delta(delta));
+        q.deltas += 1;
+        drop(q);
+        self.ready.notify_one();
+        true
+    }
+
+    fn pop(&self) -> Option<SubMessage<R>> {
+        let mut q = self.lock();
+        let m = q.items.pop_front();
+        if matches!(m, Some(SubMessage::Delta(_))) {
+            q.deltas -= 1;
+        }
+        m
+    }
+}
+
 /// The receiving end of one subscription.
 pub struct Subscriber<R> {
     node: NodeId,
-    rx: mpsc::Receiver<ViewDelta<R>>,
+    queue: Arc<Queue<R>>,
 }
 
 impl<R> Subscriber<R> {
@@ -56,20 +195,43 @@ impl<R> Subscriber<R> {
         self.node
     }
 
-    /// Next delivered delta, if one is ready (non-blocking).
-    pub fn try_recv(&self) -> Option<ViewDelta<R>> {
-        self.rx.try_recv().ok()
+    /// Next queued message, if one is ready (non-blocking).
+    pub fn try_recv(&self) -> Option<SubMessage<R>> {
+        self.queue.pop()
     }
 
-    /// Block until the next delta (or `None` once the publisher side is
-    /// gone and the queue is drained).
-    pub fn recv(&self) -> Option<ViewDelta<R>> {
-        self.rx.recv().ok()
+    /// Block until the next message (or `None` once the publisher side
+    /// is gone and the queue is drained).
+    pub fn recv(&self) -> Option<SubMessage<R>> {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(m) = q.items.pop_front() {
+                if matches!(m, SubMessage::Delta(_)) {
+                    q.deltas -= 1;
+                }
+                return Some(m);
+            }
+            if !q.tx_alive {
+                return None;
+            }
+            q = match self.queue.ready.wait(q) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
     }
 
     /// Drain everything currently queued.
-    pub fn drain(&self) -> Vec<ViewDelta<R>> {
-        self.rx.try_iter().collect()
+    pub fn drain(&self) -> Vec<SubMessage<R>> {
+        let mut q = self.queue.lock();
+        q.deltas = 0;
+        q.items.drain(..).collect()
+    }
+}
+
+impl<R> Drop for Subscriber<R> {
+    fn drop(&mut self) {
+        self.queue.lock().rx_alive = false;
     }
 }
 
@@ -78,7 +240,7 @@ impl<R> Subscriber<R> {
 /// engine wrapper; [`SubscriptionHub::deliver`] runs on the maintenance
 /// thread at each publish.
 pub struct SubscriptionHub<R> {
-    subs: Vec<(NodeId, mpsc::Sender<ViewDelta<R>>)>,
+    subs: Vec<(NodeId, Arc<Queue<R>>)>,
     /// Raw captured pairs drained from the engine (reused).
     raw: Vec<(Tuple, R)>,
     /// Per-key coalescing scratch (reused).
@@ -94,22 +256,35 @@ impl<R: Ring> SubscriptionHub<R> {
         }
     }
 
-    /// Register a subscription for `node`. The caller is responsible
-    /// for having enabled change capture on the node's store
-    /// (`IvmEngine::set_change_capture`).
+    /// Register an unbounded subscription for `node`. The caller is
+    /// responsible for having enabled change capture on the node's
+    /// store (`IvmEngine::set_change_capture`).
     pub fn subscribe(&mut self, node: NodeId) -> Subscriber<R> {
-        let (tx, rx) = mpsc::channel();
-        self.subs.push((node, tx));
-        Subscriber { node, rx }
+        self.subscribe_inner(node, None)
+    }
+
+    /// Register a subscription holding at most `bound` queued deltas;
+    /// beyond that the oldest are dropped and folded into a
+    /// [`SubMessage::Lagged`] marker (a bound of 0 behaves as 1).
+    pub fn subscribe_bounded(&mut self, node: NodeId, bound: usize) -> Subscriber<R> {
+        self.subscribe_inner(node, Some(bound))
+    }
+
+    fn subscribe_inner(&mut self, node: NodeId, bound: Option<usize>) -> Subscriber<R> {
+        let queue = Arc::new(Queue::new(bound));
+        self.subs.push((node, queue.clone()));
+        Subscriber { node, queue }
     }
 
     /// Whether any live subscription targets `node`.
     pub fn has_subscribers(&self, node: NodeId) -> bool {
-        self.subs.iter().any(|(n, _)| *n == node)
+        self.subs
+            .iter()
+            .any(|(n, q)| *n == node && q.lock().rx_alive)
     }
 
     /// Drain each subscribed node's captured changes from `engine`,
-    /// coalesce them, and deliver one [`ViewDelta`] per subscription
+    /// coalesce them, and queue one [`ViewDelta`] per subscription
     /// (skipping empty net changes). Dead receivers are pruned; a node
     /// whose last subscriber vanished has its capture switched off.
     pub fn deliver(&mut self, epoch: u64, lsn: u64, engine: &mut IvmEngine<R>) {
@@ -134,30 +309,43 @@ impl<R: Ring> SubscriptionHub<R> {
             self.acc.clear();
             per_node.push((node, pairs));
         }
-        self.subs.retain(|(node, tx)| {
+        self.subs.retain(|(node, queue)| {
             let pairs = &per_node
                 .iter()
                 .find(|(n, _)| n == node)
                 .expect("every subscribed node was coalesced")
                 .1;
             if pairs.is_empty() {
-                // Empty net change: nothing sent this epoch (at-most-once
-                // means zero is allowed), liveness unprobed until the
-                // node next changes.
-                return true;
+                // Empty net change: nothing queued this epoch
+                // (at-most-once means zero is allowed), but a dropped
+                // receiver is still pruned.
+                return queue.lock().rx_alive;
             }
-            tx.send(ViewDelta {
-                epoch,
-                lsn,
-                node: *node,
-                pairs: pairs.clone(),
-            })
-            .is_ok()
+            queue.push(
+                *node,
+                ViewDelta {
+                    epoch,
+                    lsn,
+                    node: *node,
+                    pairs: pairs.clone(),
+                },
+            )
         });
         for (node, _) in &per_node {
             if !self.has_subscribers(*node) {
                 engine.set_change_capture(*node, false);
             }
+        }
+    }
+}
+
+impl<R> Drop for SubscriptionHub<R> {
+    fn drop(&mut self) {
+        // Unblock subscribers waiting in `recv`: the publisher side is
+        // gone for good.
+        for (_, queue) in &self.subs {
+            queue.lock().tx_alive = false;
+            queue.ready.notify_all();
         }
     }
 }

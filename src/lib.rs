@@ -68,10 +68,14 @@ pub mod prelude {
         Catalog, Codec, CodecError, Delta, FxHashMap, FxHashSet, Lifting, LiftingMap, Relation,
         Ring, Schema, Semiring, Tuple, Value, VarId,
     };
-    pub use fivm_durability::{DurabilityConfig, DurableEngine, RecoveryReport, SyncPolicy};
+    pub use fivm_durability::{
+        DurabilityConfig, DurableEngine, EngineMode, FaultKind, FaultVfs, HealReport,
+        RecoveryReport, StdVfs, SyncPolicy, Vfs,
+    };
     pub use fivm_engine::{
         eval_tree, Database, EngineSnapshot, FactorizedResult, FirstOrderIvm, IvmEngine,
-        RecursiveIvm, ServingEngine, SnapshotReader, Subscriber, ViewDelta, ViewStore,
+        RecursiveIvm, ServingEngine, ServingStats, SnapshotReader, SubMessage, Subscriber,
+        ViewDelta, ViewStore,
     };
     pub use fivm_ml::{train, CofactorSpec, TrainConfig, TrainedModel};
     pub use fivm_query::{

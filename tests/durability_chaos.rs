@@ -1,0 +1,748 @@
+//! Chaos harness for the fault-injectable storage layer.
+//!
+//! Every test here runs the engine against a hostile disk — a
+//! [`FaultVfs`] injecting EIO, ENOSPC, short writes, fsync failures and
+//! torn-write-then-freeze at its Vfs call sites — and holds the
+//! degraded-mode contract:
+//!
+//! * **no panic, ever** — every fault surfaces as a typed error or is
+//!   absorbed by a retry;
+//! * **nothing at or below `durable_lsn()` is ever lost** — after any
+//!   fault followed by a simulated power cut (directory copied, the
+//!   current segment truncated to its fsynced prefix), recovery
+//!   restores at least the durable watermark and lands byte-identical
+//!   on a reference prefix;
+//! * **heal loses nothing acked** — a degraded engine keeps serving
+//!   reads, `try_heal()` rolls the log over from the retained buffer,
+//!   and the healed engine converges byte-identical to a fault-free
+//!   reference run of the same schedule.
+//!
+//! The short-write sweep additionally pins the post-error contract of
+//! `DurableEngine::apply`: a failed append rolls the group-commit
+//! buffer back to the last frame boundary, so the log never carries a
+//! half-frame — verified at **every byte offset** of an update frame.
+
+#[path = "support/oracle.rs"]
+mod oracle;
+
+use fivm::durability::wal;
+use fivm::prelude::*;
+use oracle::{BatchSpec, ScheduleGen};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// All materialized views, sorted — the byte-identity witness.
+type Snapshot = Vec<(usize, Vec<(Tuple, i64)>)>;
+
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "fivm-chaos-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+}
+
+fn snapshot(e: &IvmEngine<i64>) -> Snapshot {
+    e.materialized_nodes()
+        .into_iter()
+        .map(|n| (n, e.view_relation(n).unwrap().sorted()))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Numeric fixture (no symbol columns → exactly one WAL frame, and
+// exactly one Vfs write, per update — the unit the sweeps count in).
+// ---------------------------------------------------------------------
+
+const N_NUMERIC: usize = 8;
+/// The update whose frame the short-write sweep attacks.
+const TARGET: usize = 3;
+
+fn numeric_fresh() -> (QueryDef, IvmEngine<i64>) {
+    let q = QueryDef::example_rst(&[]);
+    let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
+    let mut tree = ViewTree::build(&q, &vo);
+    add_indicators(&mut tree, &q);
+    let engine = IvmEngine::new(q.clone(), tree, &[0, 1, 2], LiftingMap::new());
+    (q, engine)
+}
+
+fn numeric_specs() -> Vec<BatchSpec> {
+    (0..N_NUMERIC)
+        .map(|i| BatchSpec {
+            rel: i % 3,
+            size_exp: (i as u32) % 2, // 1–2 tuples: small, cheap frames
+            jitter: (i as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
+            seed: 0xBAD_D15C + i as u64,
+        })
+        .collect()
+}
+
+fn numeric_reference() -> Snapshot {
+    let (q, mut engine) = numeric_fresh();
+    let mut gen = ScheduleGen::new(&q, &numeric_specs(), &[]);
+    while let Some((rel, delta)) = gen.next_batch(&q.catalog) {
+        engine.apply(rel, &Delta::Flat(delta));
+    }
+    snapshot(&engine)
+}
+
+/// One write op per apply, no fsyncs until asked, no rotation.
+fn numeric_cfg(max_retries: u32) -> DurabilityConfig {
+    DurabilityConfig {
+        checkpoint_every: 0,
+        segment_bytes: 1 << 30,
+        flush_bytes: 0,
+        sync: SyncPolicy::OnCheckpoint,
+        retained_checkpoints: 2,
+        max_retries,
+        retry_backoff: Duration::ZERO,
+    }
+}
+
+fn reopen_numeric(dir: &Path) -> (DurableEngine<i64>, RecoveryReport) {
+    let (_q, engine) = numeric_fresh();
+    DurableEngine::open(dir, engine, numeric_cfg(2)).expect("recovery after chaos")
+}
+
+/// Every update LSN in the on-disk log, in log order, with torn-tail
+/// detection — the "no half-frame, no duplicate" witness.
+fn log_update_lsns(dir: &Path, q: &QueryDef) -> Vec<u64> {
+    let schemas: Vec<Schema> = q.relations.iter().map(|r| r.schema.clone()).collect();
+    let mut lsns = Vec::new();
+    for seg in wal::list_segments(dir).unwrap() {
+        let (records, torn) = wal::read_segment::<i64>(&seg, &schemas).unwrap();
+        assert_eq!(torn, None, "segment {} carries a torn frame", seg.seq);
+        for rec in records {
+            if let wal::WalRecord::Update { lsn, .. } = rec {
+                lsns.push(lsn);
+            }
+        }
+    }
+    lsns
+}
+
+/// Byte length of the single frame `apply` writes for update `TARGET`,
+/// measured on a fault-free run (the sweep space of the short-write
+/// tests).
+fn target_frame_len() -> u64 {
+    let dir = scratch("framelen");
+    let (q, engine) = numeric_fresh();
+    let mut gen = ScheduleGen::new(&q, &numeric_specs(), &[]);
+    let mut d = DurableEngine::create(&dir, engine, numeric_cfg(2)).unwrap();
+    for _ in 0..=TARGET {
+        let (rel, delta) = gen.next_batch(&q.catalog).unwrap();
+        d.apply(rel, &Delta::Flat(delta)).unwrap();
+    }
+    let segs = wal::list_segments(&dir).unwrap();
+    assert_eq!(segs.len(), 1, "fixture: a single unrotated segment");
+    let spans = wal::frame_spans(&segs[0].path).unwrap();
+    assert_eq!(spans.len(), TARGET + 1, "fixture: one frame per update");
+    drop(d);
+    std::fs::remove_dir_all(&dir).unwrap();
+    spans[TARGET].1
+}
+
+/// Satellite 1a — a short write at **every byte offset** of an update
+/// frame is retried transparently: the apply succeeds, the log ends on
+/// a frame boundary (never a half-frame), and the full run recovers
+/// byte-identical with every LSN exactly once.
+#[test]
+fn short_write_at_every_frame_offset_is_retried_to_a_frame_boundary() {
+    let reference = numeric_reference();
+    let frame_len = target_frame_len();
+    for cut in 0..frame_len {
+        let dir = scratch("shortwrite-retry");
+        let (q, engine) = numeric_fresh();
+        let mut gen = ScheduleGen::new(&q, &numeric_specs(), &[]);
+        let vfs = FaultVfs::new(); // counts ops; injects nothing until armed
+        let mut d =
+            DurableEngine::create_with_vfs(&dir, engine, numeric_cfg(2), Arc::new(vfs.clone()))
+                .unwrap();
+        for k in 0.. {
+            let Some((rel, delta)) = gen.next_batch(&q.catalog) else {
+                break;
+            };
+            if k == TARGET {
+                // The very next Vfs op is this frame's group-commit
+                // write: land exactly `cut` bytes, then fail.
+                vfs.fail_nth_short(0, cut as usize);
+            }
+            d.apply(rel, &Delta::Flat(delta))
+                .unwrap_or_else(|e| panic!("cut {cut}: retry did not absorb the fault: {e}"));
+            if k == TARGET {
+                assert_eq!(vfs.injected(), 1, "cut {cut}: armed fault must fire");
+                assert!(
+                    d.stats().io_retries >= 1,
+                    "cut {cut}: the absorbed fault must be visible in stats"
+                );
+                // Post-error contract: the buffer rolled back to the
+                // last frame boundary and was rewritten — the log holds
+                // exactly the applied frames, none of them torn.
+                assert_eq!(
+                    log_update_lsns(&dir, &q),
+                    (1..=TARGET as u64 + 1).collect::<Vec<_>>(),
+                    "cut {cut}: log is not the exact applied prefix"
+                );
+            }
+        }
+        d.sync_all().unwrap();
+        assert_eq!(d.last_lsn(), N_NUMERIC as u64);
+        drop(d);
+        let (recovered, report) = reopen_numeric(&dir);
+        assert_eq!(report.last_lsn, N_NUMERIC as u64, "cut {cut}");
+        assert_eq!(
+            snapshot(recovered.engine()),
+            reference,
+            "cut {cut}: recovered state diverges from the fault-free reference"
+        );
+        drop(recovered);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Satellite 1b — the same sweep with retries disabled: the apply fails
+/// with a typed `Degraded` error carrying the exact watermark, nothing
+/// was applied (rollback to the frame boundary), and `try_heal()` +
+/// re-apply converge to the fault-free reference.
+#[test]
+fn short_write_at_every_frame_offset_degrades_cleanly_and_heals() {
+    let reference = numeric_reference();
+    let frame_len = target_frame_len();
+    for cut in 0..frame_len {
+        let dir = scratch("shortwrite-heal");
+        let (q, engine) = numeric_fresh();
+        let mut gen = ScheduleGen::new(&q, &numeric_specs(), &[]);
+        let vfs = FaultVfs::new();
+        let mut d =
+            DurableEngine::create_with_vfs(&dir, engine, numeric_cfg(0), Arc::new(vfs.clone()))
+                .unwrap();
+        for k in 0.. {
+            let Some((rel, delta)) = gen.next_batch(&q.catalog) else {
+                break;
+            };
+            if k != TARGET {
+                d.apply(rel, &Delta::Flat(delta)).unwrap();
+                continue;
+            }
+            vfs.fail_nth_short(0, cut as usize);
+            let err = d
+                .apply(rel, &Delta::Flat(delta.clone()))
+                .expect_err("zero retries must degrade on the first fault");
+            match &err {
+                fivm::durability::DurabilityError::Degraded {
+                    durable_lsn,
+                    last_lsn,
+                    ..
+                } => {
+                    assert_eq!(
+                        *last_lsn, TARGET as u64,
+                        "cut {cut}: the failed update must not count as applied"
+                    );
+                    assert_eq!(*durable_lsn, d.durable_lsn(), "cut {cut}");
+                }
+                other => panic!("cut {cut}: expected Degraded, got {other}"),
+            }
+            assert!(d.is_degraded());
+            assert_eq!(d.mode(), EngineMode::Degraded);
+            assert!(d.degraded_cause().is_some());
+            let heal = d
+                .try_heal()
+                .unwrap_or_else(|e| panic!("cut {cut}: heal: {e}"));
+            assert!(heal.healed, "cut {cut}");
+            assert!(heal.carried_bytes > 0, "cut {cut}: retained buffer carried");
+            assert_eq!(d.stats().heals, 1);
+            assert_eq!(
+                d.durable_lsn(),
+                d.last_lsn(),
+                "cut {cut}: heal must re-persist every acked update"
+            );
+            // The update the fault rejected is re-applied, losing nothing.
+            d.apply(rel, &Delta::Flat(delta))
+                .unwrap_or_else(|e| panic!("cut {cut}: post-heal apply: {e}"));
+        }
+        d.sync_all().unwrap();
+        drop(d);
+        let (recovered, report) = reopen_numeric(&dir);
+        assert_eq!(report.last_lsn, N_NUMERIC as u64, "cut {cut}");
+        assert_eq!(
+            snapshot(recovered.engine()),
+            reference,
+            "cut {cut}: healed run diverges from the fault-free reference"
+        );
+        drop(recovered);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Degraded mode is a serving mode, not an outage: after a persistent
+/// fsync failure the engine rejects writes with the exact durable
+/// watermark but keeps pinning epochs, publishing, and feeding
+/// subscribers — and `try_heal()` recovers without losing the
+/// acknowledged-but-not-yet-durable update.
+#[test]
+fn degraded_mode_serves_reads_and_heals_without_losing_acked_updates() {
+    let dir = scratch("degraded-serving");
+    let (q, engine) = numeric_fresh();
+    let root = engine.tree().root;
+    // Explicit schedule: complete the join first, then R rows that each
+    // change the root — so every epoch below carries a root delta.
+    let updates: Vec<(usize, Tuple)> = [(1usize, fivm::tuple![1, 3, 5]), (2, fivm::tuple![3, 4])]
+        .into_iter()
+        .chain((0..6).map(|k| (0usize, fivm::tuple![1, k])))
+        .collect();
+    let mk = |rel: usize, t: &Tuple| {
+        Delta::Flat(Relation::from_pairs(
+            q.relations[rel].schema.clone(),
+            [(t.clone(), 1i64)],
+        ))
+    };
+    let reference = {
+        let (_qr, mut e) = numeric_fresh();
+        for (rel, t) in &updates {
+            e.apply(*rel, &mk(*rel, t));
+        }
+        snapshot(&e)
+    };
+    let cfg = DurabilityConfig {
+        sync: SyncPolicy::EveryFlush, // ops per apply: write, fsync
+        max_retries: 0,
+        ..numeric_cfg(0)
+    };
+    let vfs = FaultVfs::new();
+    let mut d = DurableEngine::create_with_vfs(&dir, engine, cfg, Arc::new(vfs.clone())).unwrap();
+    let reader = d.reader();
+    let sub = d.subscribe(root).expect("root is materialized");
+
+    const ACKED_OK: usize = 5;
+    for (rel, t) in &updates[..ACKED_OK] {
+        d.apply(*rel, &mk(*rel, t)).unwrap();
+    }
+    assert_eq!(
+        d.durable_lsn(),
+        ACKED_OK as u64,
+        "EveryFlush syncs each apply"
+    );
+
+    // Fail the ack-boundary fsync of the next update: the engine has
+    // already applied it, so apply acks Ok — and degrades, with the
+    // update in memory and the retained buffer but not on stable media.
+    vfs.fail_nth(1, FaultKind::SyncFail);
+    let (rel, t) = &updates[ACKED_OK];
+    d.apply(*rel, &mk(*rel, t))
+        .expect("the update itself was applied; only durability lagged");
+    assert_eq!(vfs.injected(), 1);
+    assert!(d.is_degraded());
+    let acked = ACKED_OK as u64 + 1;
+    assert_eq!(d.last_lsn(), acked);
+    assert_eq!(
+        d.durable_lsn(),
+        ACKED_OK as u64,
+        "the failed fsync must not ack durability"
+    );
+
+    // Writes are rejected with the exact watermark...
+    let (rel2, t2) = &updates[ACKED_OK + 1];
+    for err in [
+        d.apply(*rel2, &mk(*rel2, t2))
+            .expect_err("degraded rejects writes"),
+        d.checkpoint().expect_err("degraded rejects checkpoints"),
+        d.sync_all().expect_err("degraded rejects syncs"),
+    ] {
+        match err {
+            fivm::durability::DurabilityError::Degraded {
+                durable_lsn,
+                last_lsn,
+                ..
+            } => {
+                assert_eq!(durable_lsn, ACKED_OK as u64);
+                assert_eq!(last_lsn, acked);
+            }
+            other => panic!("expected Degraded, got {other}"),
+        }
+    }
+    // ...while reads keep flowing: pins, publishes, subscriptions.
+    let snap = d.publish();
+    assert_eq!(
+        snap.lsn(),
+        acked,
+        "degraded publish covers every acked update"
+    );
+    assert_eq!(reader.pin().lsn(), acked);
+    assert!(
+        sub.drain().iter().any(|m| !m.is_lagged()),
+        "subscribers must keep draining deltas in degraded mode"
+    );
+    assert!(d.serving_stats().current_epoch > 0);
+
+    // Heal: the log rolls over from the retained buffer; the acked
+    // update becomes durable without being re-applied.
+    let heal = d.try_heal().expect("fault cleared, heal must succeed");
+    assert!(heal.healed);
+    assert!(heal.carried_bytes > 0);
+    assert_eq!(d.stats().heals, 1);
+    assert!(!d.is_degraded());
+    assert_eq!(d.durable_lsn(), d.last_lsn());
+    assert_eq!(
+        d.last_lsn(),
+        acked,
+        "heal must not re-apply or drop updates"
+    );
+
+    // The rejected update and the rest of the schedule land normally.
+    for (rel, t) in &updates[ACKED_OK + 1..] {
+        d.apply(*rel, &mk(*rel, t)).unwrap();
+    }
+    d.sync_all().unwrap();
+    drop(d);
+    let (recovered, report) = reopen_numeric(&dir);
+    assert_eq!(report.last_lsn, updates.len() as u64);
+    assert_eq!(
+        snapshot(recovered.engine()),
+        reference,
+        "acked update lost across degrade + heal + recovery"
+    );
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Torn-write-then-crash: the device garbles half a frame and freezes
+/// (every later op fails). The engine degrades without panicking, heal
+/// is refused while the device is dead, and recovery on the real
+/// directory truncates the garbled tail and restores exactly the
+/// durable prefix.
+#[test]
+fn torn_write_then_crash_recovers_the_durable_prefix() {
+    let dir = scratch("torn");
+    let (q, engine) = numeric_fresh();
+    let mut gen = ScheduleGen::new(&q, &numeric_specs(), &[]);
+    let cfg = DurabilityConfig {
+        sync: SyncPolicy::EveryFlush,
+        max_retries: 1, // the retry meets the frozen device and fails too
+        ..numeric_cfg(1)
+    };
+    let vfs = FaultVfs::new();
+    let mut d = DurableEngine::create_with_vfs(&dir, engine, cfg, Arc::new(vfs.clone())).unwrap();
+
+    // Build reference prefixes as we go: refs[k] = state after k updates.
+    let (_qr, mut ref_engine) = numeric_fresh();
+    let mut ref_gen = ScheduleGen::new(&q, &numeric_specs(), &[]);
+    let mut refs = vec![snapshot(&ref_engine)];
+
+    const DURABLE: usize = 6;
+    for _ in 0..DURABLE {
+        let (rel, delta) = gen.next_batch(&q.catalog).unwrap();
+        d.apply(rel, &Delta::Flat(delta)).unwrap();
+        let (rrel, rdelta) = ref_gen.next_batch(&q.catalog).unwrap();
+        ref_engine.apply(rrel, &Delta::Flat(rdelta));
+        refs.push(snapshot(&ref_engine));
+    }
+    assert_eq!(d.durable_lsn(), DURABLE as u64);
+
+    vfs.fail_nth(0, FaultKind::TornWrite);
+    let (rel, delta) = gen.next_batch(&q.catalog).unwrap();
+    let err = d
+        .apply(rel, &Delta::Flat(delta))
+        .expect_err("torn write + frozen device must degrade");
+    match err {
+        fivm::durability::DurabilityError::Degraded {
+            durable_lsn,
+            last_lsn,
+            ..
+        } => {
+            assert_eq!(durable_lsn, DURABLE as u64);
+            assert_eq!(last_lsn, DURABLE as u64, "rolled back, not applied");
+        }
+        other => panic!("expected Degraded, got {other}"),
+    }
+    assert!(
+        d.try_heal().is_err(),
+        "heal against a frozen device must fail, not pretend"
+    );
+    assert!(d.is_degraded(), "a failed heal leaves the engine degraded");
+    drop(d); // crash: the Drop-flush hits the frozen device and is swallowed
+
+    // Recovery reads the real directory (StdVfs): the half-written,
+    // bit-flipped tail fails its CRC and is truncated away.
+    let (recovered, report) = reopen_numeric(&dir);
+    assert_eq!(
+        report.last_lsn, DURABLE as u64,
+        "recovery must land exactly on the durable prefix"
+    );
+    assert!(
+        report.truncated_bytes > 0,
+        "the torn tail must be physically truncated"
+    );
+    assert_eq!(snapshot(recovered.engine()), refs[DURABLE]);
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Seeded chaos: randomized faults at every Vfs call site, over the
+// symbol-carrying running-example schedule, with mid-run crash
+// simulation and final byte-identical convergence.
+// ---------------------------------------------------------------------
+
+const N_CHAOS: usize = 30;
+
+fn chaos_fresh() -> (QueryDef, IvmEngine<i64>) {
+    let q = QueryDef::example_rst(&["A"]);
+    let vo = VariableOrder::parse("A - { B, C - { D, E } }", &q.catalog);
+    let mut tree = ViewTree::build(&q, &vo);
+    add_indicators(&mut tree, &q);
+    let engine = IvmEngine::new(q.clone(), tree, &[0, 1, 2], LiftingMap::new());
+    (q, engine)
+}
+
+fn chaos_sym_vars(q: &QueryDef) -> Vec<VarId> {
+    vec![
+        q.catalog.lookup("B").unwrap(),
+        q.catalog.lookup("E").unwrap(),
+    ]
+}
+
+fn chaos_specs() -> Vec<BatchSpec> {
+    (0..N_CHAOS)
+        .map(|i| BatchSpec {
+            rel: (i * 2 + 1) % 3,
+            size_exp: (i as u32 * 3 + 1) % 4,
+            jitter: (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            seed: 0xCAFE_F00D + i as u64,
+        })
+        .collect()
+}
+
+fn chaos_cfg() -> DurabilityConfig {
+    DurabilityConfig {
+        checkpoint_every: 6,
+        segment_bytes: 1024, // rotate often: faults hit rotation too
+        flush_bytes: 64,
+        sync: SyncPolicy::Batched {
+            max_updates: 3,
+            max_delay: Duration::from_secs(3600),
+        },
+        retained_checkpoints: 2,
+        max_retries: 1,
+        retry_backoff: Duration::ZERO,
+    }
+}
+
+/// `refs[k]` = fault-free state after exactly the first `k` updates.
+fn chaos_references() -> Vec<Snapshot> {
+    let (q, mut engine) = chaos_fresh();
+    let mut gen = ScheduleGen::new(&q, &chaos_specs(), &chaos_sym_vars(&q));
+    let mut out = vec![snapshot(&engine)];
+    while let Some((rel, delta)) = gen.next_batch(&q.catalog) {
+        engine.apply(rel, &Delta::Flat(delta));
+        out.push(snapshot(&engine));
+    }
+    out
+}
+
+/// Simulated power cut: copy the directory, truncate the current
+/// segment to its fsynced prefix (drop it entirely if not even its
+/// header is durable), and recover from the wreckage with a plain
+/// `StdVfs`. Anything at or below the durable watermark must survive,
+/// and the recovered state must be byte-identical to the fault-free
+/// reference at the recovered LSN.
+fn chaos_crash_check(dir: &Path, d: &DurableEngine<i64>, refs: &[Snapshot], seed: u64) {
+    let (seq, synced_len) = d.wal_durable_span();
+    let durable = d.durable_lsn();
+    let crashed = scratch("chaos-cut");
+    copy_dir(dir, &crashed);
+    for seg in wal::list_segments(&crashed).unwrap() {
+        if seg.seq == seq {
+            if synced_len == 0 {
+                std::fs::remove_file(&seg.path).unwrap();
+            } else {
+                std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(&seg.path)
+                    .unwrap()
+                    .set_len(synced_len)
+                    .unwrap();
+            }
+        }
+    }
+    let (_q, engine) = chaos_fresh();
+    let (recovered, report) = DurableEngine::open(&crashed, engine, chaos_cfg())
+        .unwrap_or_else(|e| panic!("seed {seed:#x}: crash recovery failed: {e}"));
+    assert!(
+        report.last_lsn >= durable,
+        "seed {seed:#x}: crash lost durable update {durable} (recovered {})",
+        report.last_lsn
+    );
+    assert!(
+        (report.last_lsn as usize) < refs.len(),
+        "seed {seed:#x}: recovery invented updates"
+    );
+    assert_eq!(
+        snapshot(recovered.engine()),
+        refs[report.last_lsn as usize],
+        "seed {seed:#x}: recovered state is not the reference prefix at LSN {}",
+        report.last_lsn
+    );
+    drop(recovered);
+    std::fs::remove_dir_all(&crashed).unwrap();
+}
+
+fn chaos_seeds() -> Vec<u64> {
+    match std::env::var("FIVM_CHAOS_SEEDS") {
+        Ok(s) => s
+            .split(',')
+            .filter_map(|t| {
+                let t = t.trim();
+                t.strip_prefix("0x")
+                    .map_or_else(|| t.parse().ok(), |h| u64::from_str_radix(h, 16).ok())
+            })
+            .collect(),
+        Err(_) => vec![1, 2, 3, 0xC0FFEE, 0xDEAD_BEEF],
+    }
+}
+
+fn chaos_run(seed: u64) {
+    println!("chaos: seed {seed:#x}");
+    let refs = chaos_references();
+    let dir = scratch("chaos");
+    let (q, engine) = chaos_fresh();
+    let root = engine.tree().root;
+    let mut gen = ScheduleGen::new(&q, &chaos_specs(), &chaos_sym_vars(&q));
+    let vfs = FaultVfs::seeded(seed, 80, 25);
+    vfs.set_enabled(false); // creation is fault-free; the storm starts after
+    let mut d =
+        DurableEngine::create_with_vfs(&dir, engine, chaos_cfg(), Arc::new(vfs.clone())).unwrap();
+    let reader = d.reader();
+    let sub = d.subscribe_bounded(root, 3).expect("root is materialized");
+    vfs.set_enabled(true);
+
+    // Bring the engine back from degraded mode, whatever the disk does.
+    let heal = |d: &mut DurableEngine<i64>, vfs: &FaultVfs| {
+        for attempt in 0u32.. {
+            assert!(attempt < 50, "seed {seed:#x}: heal never succeeded");
+            vfs.unfreeze(); // a frozen device counts as replaced hardware
+            if attempt >= 5 {
+                vfs.set_enabled(false); // stop the storm: heal must then land
+            }
+            match d.try_heal() {
+                Ok(h) if h.healed => break,
+                Ok(_) | Err(_) => continue,
+            }
+        }
+        vfs.set_enabled(true);
+    };
+
+    let mut k = 0u64; // applied (acked) updates
+    let mut crash_checked = [false, false];
+    while let Some((rel, delta)) = gen.next_batch(&q.catalog) {
+        loop {
+            let before = d.last_lsn();
+            assert_eq!(before, k, "seed {seed:#x}: ack count drifted");
+            match d.apply(rel, &Delta::Flat(delta.clone())) {
+                Ok(()) => {
+                    assert_eq!(d.last_lsn(), before + 1, "seed {seed:#x}");
+                    k += 1;
+                    if d.is_degraded() {
+                        // Ack-boundary fsync failed: acked, not durable.
+                        assert!(d.durable_lsn() < k, "seed {seed:#x}");
+                        heal(&mut d, &vfs);
+                    }
+                    break;
+                }
+                Err(fivm::durability::DurabilityError::Degraded {
+                    durable_lsn,
+                    last_lsn,
+                    ..
+                }) => {
+                    assert_eq!(
+                        last_lsn, before,
+                        "seed {seed:#x}: a rejected apply must not count"
+                    );
+                    assert_eq!(durable_lsn, d.durable_lsn(), "seed {seed:#x}");
+                    assert!(d.is_degraded());
+                    assert!(d.degraded_cause().is_some());
+                    // Degraded serving: pins and publishes keep working.
+                    let pinned = reader.pin().lsn();
+                    assert!(pinned <= before, "seed {seed:#x}");
+                    assert_eq!(d.publish().lsn(), before, "seed {seed:#x}");
+                    heal(&mut d, &vfs);
+                    // retry the same update — nothing may be lost or doubled
+                }
+                Err(other) => {
+                    panic!("seed {seed:#x}: apply surfaced a non-degraded error: {other}")
+                }
+            }
+        }
+        assert!(
+            d.durable_lsn() <= d.last_lsn(),
+            "seed {seed:#x}: watermark ran ahead of acks"
+        );
+        if k.is_multiple_of(5) {
+            let snap = d.publish();
+            assert_eq!(snap.lsn(), k, "seed {seed:#x}");
+            let _ = sub.drain(); // lag markers are fine under chaos
+        }
+        for (slot, at) in [(0usize, N_CHAOS as u64 / 3), (1, 2 * N_CHAOS as u64 / 3)] {
+            if k == at && !crash_checked[slot] {
+                crash_checked[slot] = true;
+                chaos_crash_check(&dir, &d, &refs, seed);
+            }
+        }
+    }
+
+    // The storm passes: heal if needed, then converge and compare
+    // byte-identically against the fault-free reference.
+    vfs.set_enabled(false);
+    vfs.unfreeze();
+    if d.is_degraded() {
+        let h = d
+            .try_heal()
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: final heal: {e}"));
+        assert!(h.healed, "seed {seed:#x}");
+    }
+    d.sync_all().unwrap();
+    assert_eq!(d.last_lsn(), N_CHAOS as u64, "seed {seed:#x}");
+    assert_eq!(d.durable_lsn(), N_CHAOS as u64, "seed {seed:#x}");
+    assert_eq!(
+        snapshot(d.engine()),
+        refs[N_CHAOS],
+        "seed {seed:#x}: live state diverged from the fault-free reference"
+    );
+    drop(d);
+    let (_q2, engine2) = chaos_fresh();
+    let (recovered, report) = DurableEngine::open(&dir, engine2, chaos_cfg())
+        .unwrap_or_else(|e| panic!("seed {seed:#x}: final recovery: {e}"));
+    assert_eq!(report.last_lsn, N_CHAOS as u64, "seed {seed:#x}");
+    assert_eq!(
+        snapshot(recovered.engine()),
+        refs[N_CHAOS],
+        "seed {seed:#x}: recovered state diverged from the fault-free reference"
+    );
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The tentpole proof: randomized fault schedules (seeds from
+/// `FIVM_CHAOS_SEEDS`, comma-separated, or a fixed default matrix) at
+/// every Vfs call site. No panic; every `durable_lsn()` survives a
+/// crash; the healed engine converges byte-identical to a fault-free
+/// reference. Failures print the seed for replay.
+#[test]
+fn seeded_chaos_schedules_survive_and_converge() {
+    for seed in chaos_seeds() {
+        chaos_run(seed);
+    }
+}

@@ -27,6 +27,7 @@ use fivm::prelude::*;
 use oracle::{BatchSpec, ScheduleGen};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 const N_UPDATES: usize = 25;
 const CHECKPOINT_EVERY: u64 = 7;
@@ -546,6 +547,100 @@ fn gc_tolerates_corrupt_retained_manifest() {
     assert_eq!(snapshot(recovered.engine()), refs[total as usize]);
     drop(recovered);
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Satellite sweep for checkpoint atomicity: inject a storage fault at
+/// **every Vfs operation** a checkpoint performs (EIO, ENOSPC and
+/// fsync-failure rotate across indices) and assert that no fault can
+/// cost recoverability: the previously committed checkpoint remains
+/// restorable, GC never truncates WAL segments that checkpoint still
+/// needs, and the full durable prefix recovers — from the directory
+/// exactly as the fault left it, and again after the engine repairs
+/// itself (deferred-checkpoint retry, or heal when the fault hit the
+/// WAL-sync half).
+#[test]
+fn fault_at_every_vfs_call_inside_checkpoint_is_survivable() {
+    let refs = reference_snapshots(None);
+    let n = N_UPDATES as u64;
+    let sweep_cfg = DurabilityConfig {
+        // One retry would mask single one-shot faults.
+        max_retries: 0,
+        retry_backoff: std::time::Duration::ZERO,
+        ..cfg()
+    };
+    // Everything below replays the same deterministic schedule, so the
+    // operation indices measured here line up across runs.
+    let run = |dir: &Path, vfs: &FaultVfs| -> DurableEngine<i64> {
+        let (q, engine) = fresh(None);
+        let mut gen = ScheduleGen::new(&q, &specs(), &sym_vars(&q));
+        let mut d =
+            DurableEngine::create_with_vfs(dir, engine, sweep_cfg.clone(), Arc::new(vfs.clone()))
+                .unwrap();
+        while let Some((rel, delta)) = gen.next_batch(&q.catalog) {
+            d.apply(rel, &Delta::Flat(delta)).unwrap();
+        }
+        d.sync_all().unwrap();
+        d
+    };
+
+    // Baseline: count the Vfs operations one manual checkpoint makes.
+    let base = scratch("ckptsweep-base");
+    let base_vfs = FaultVfs::new();
+    let mut d = run(&base, &base_vfs);
+    let before = base_vfs.op_count();
+    d.checkpoint().unwrap();
+    let ckpt_ops = base_vfs.op_count() - before;
+    assert!(ckpt_ops > 10, "fixture: a checkpoint is many Vfs calls");
+    drop(d);
+    std::fs::remove_dir_all(&base).unwrap();
+
+    for i in 0..ckpt_ops {
+        let kind = match i % 3 {
+            0 => FaultKind::Eio,
+            1 => FaultKind::Enospc,
+            _ => FaultKind::SyncFail,
+        };
+        let dir = scratch("ckptsweep");
+        let vfs = FaultVfs::new();
+        let mut d = run(&dir, &vfs);
+        vfs.fail_nth(i, kind);
+        let result = d.checkpoint();
+        assert_eq!(vfs.injected(), 1, "op {i}: the armed fault must fire");
+        vfs.set_enabled(false);
+
+        // The fault may surface as an error or be absorbed (GC treats
+        // an unreadable manifest as unrestorable and purges it); either
+        // way the directory must recover the full durable prefix right
+        // now, exactly as the fault left it.
+        let crashed = scratch("ckptsweep-crash");
+        copy_dir(&dir, &crashed);
+        let report = recover_and_check(&crashed, &refs, None);
+        assert_eq!(
+            report.last_lsn, n,
+            "op {i} ({kind:?}): fault inside checkpoint lost durable updates"
+        );
+        std::fs::remove_dir_all(&crashed).unwrap();
+
+        // The engine repairs itself: a WAL-half fault degraded it
+        // (heal), a file-half fault left it active (retry succeeds).
+        if result.is_err() {
+            if d.is_degraded() {
+                let heal = d.try_heal().expect("heal with faults cleared");
+                assert!(heal.healed, "op {i}: heal must succeed");
+            } else {
+                d.checkpoint()
+                    .expect("op {i}: checkpoint retry with faults cleared");
+            }
+        }
+        assert!(!d.is_degraded());
+        drop(d);
+        let report = recover_and_check(&dir, &refs, None);
+        assert_eq!(
+            report.last_lsn, n,
+            "op {i} ({kind:?}): post-repair recovery"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 }
 
 /// Watermark vs. restorability: a retained manifest whose view file is

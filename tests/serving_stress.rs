@@ -200,3 +200,60 @@ fn eight_readers_never_see_a_torn_snapshot() {
 fn four_readers_against_a_four_worker_writer() {
     run_stress(4, Some(4));
 }
+
+/// Pin-leak observability: `ServingStats` tracks exactly the epochs
+/// still pinned somewhere. Transient readers never push the live-epoch
+/// count past `pins held + current`, a wedged reader shows up as a
+/// growing `oldest_pinned_age`, and releasing it drains the count back
+/// to one — retired epochs are freed, not accumulated.
+#[test]
+fn serving_stats_stay_bounded_under_pin_churn() {
+    let (q, engine) = fresh();
+    let mut serving = ServingEngine::new(engine).with_publish_every(1);
+    let mut gen = ScheduleGen::new(&q, &specs(), &sym_vars(&q));
+    let mut wedged: Option<std::sync::Arc<EngineSnapshot<i64>>> = None;
+    let mut wedged_epoch = 0u64;
+    let mut applied = 0usize;
+    let reader = serving.reader();
+    while let Some((rel, delta)) = gen.next_batch(&q.catalog) {
+        serving.apply(rel, &Delta::Flat(delta));
+        applied += 1;
+        if applied == N_UPDATES / 3 {
+            let snap = reader.pin();
+            wedged_epoch = snap.epoch();
+            wedged = Some(snap); // a consumer that stopped progressing
+        }
+        if applied == 2 * N_UPDATES / 3 {
+            wedged = None; // the wedged consumer finally lets go
+        }
+        // A transient pin, dropped immediately — the common case.
+        let transient = reader.pin();
+        assert_eq!(transient.lsn(), applied as u64);
+        drop(transient);
+
+        let stats = serving.serving_stats();
+        let held = usize::from(wedged.is_some());
+        assert!(
+            stats.live_epochs <= held + 1,
+            "after update {applied}: {} live epochs with {held} pins held — \
+             retired epochs are leaking",
+            stats.live_epochs
+        );
+        if wedged.is_some() {
+            assert_eq!(stats.oldest_live_epoch, Some(wedged_epoch));
+            assert_eq!(
+                stats.oldest_pinned_age,
+                stats.current_epoch - wedged_epoch,
+                "wedged reader must be visible as pinned age"
+            );
+        } else {
+            assert_eq!(
+                stats.oldest_pinned_age, 0,
+                "no pins held, yet stats report a pinned epoch"
+            );
+        }
+    }
+    let stats = serving.serving_stats();
+    assert_eq!(stats.live_epochs, 1, "only the current epoch stays live");
+    assert_eq!(stats.current_epoch, N_UPDATES as u64);
+}

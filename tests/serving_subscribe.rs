@@ -85,7 +85,8 @@ fn folded_deltas_reproduce_every_subscribed_view() {
         let mut state: BTreeMap<Tuple, i64> = BTreeMap::new(); // epoch 0 = empty
         let mut last_epoch = 0u64;
         let mut last_lsn = 0u64;
-        for d in sub.drain() {
+        for m in sub.drain() {
+            let d = m.into_delta().expect("unbounded subscription never lags");
             assert_eq!(d.node, node);
             assert!(
                 d.epoch > last_epoch,
@@ -186,7 +187,8 @@ fn cross_thread_consumption() {
     let consumer = std::thread::spawn(move || {
         let mut state: BTreeMap<Tuple, i64> = BTreeMap::new();
         let mut last_epoch = 0u64;
-        while let Some(d) = sub.recv() {
+        while let Some(m) = sub.recv() {
+            let d = m.into_delta().expect("unbounded subscription never lags");
             assert!(d.epoch > last_epoch, "epoch order broken across threads");
             last_epoch = d.epoch;
             fold(&mut state, &d);
@@ -201,6 +203,71 @@ fn cross_thread_consumption() {
     drop(s); // hangs up the channel; the consumer drains and exits
     let got = consumer.join().expect("consumer panicked");
     assert_eq!(got, want, "cross-thread folded state diverges");
+}
+
+/// Backpressure: a bounded subscription that falls behind drops its
+/// oldest deltas and surfaces exactly one [`SubMessage::Lagged`] marker
+/// carrying the number of missed epochs, while the retained tail stays
+/// byte-identical to what an unbounded subscriber received.
+#[test]
+fn bounded_subscription_drops_oldest_and_reports_lag() {
+    let (q, engine) = fresh();
+    let root = engine.tree().root;
+    let mut s = ServingEngine::new(engine);
+    let bounded = s.subscribe_bounded(root, 2).expect("root is materialized");
+    let witness = s.subscribe(root).expect("root is materialized");
+    let pair = |rel: usize, t: Tuple, m: i64| {
+        Delta::Flat(Relation::from_pairs(
+            q.relations[rel].schema.clone(),
+            [(t, m)],
+        ))
+    };
+    // Complete the join so every new R row reaches the root.
+    s.apply(1, &pair(1, fivm::tuple![1, 3, 5], 1));
+    s.apply(2, &pair(2, fivm::tuple![3, 4], 1));
+    s.publish(); // root still empty: no delta for either subscriber
+                 // Six epochs, each with a distinct root delta, none drained.
+    for k in 0..6 {
+        s.apply(0, &pair(0, fivm::tuple![1, k], 1));
+        s.publish();
+    }
+
+    let full: Vec<ViewDelta<i64>> = witness
+        .drain()
+        .into_iter()
+        .map(|m| m.into_delta().expect("unbounded subscription never lags"))
+        .collect();
+    assert_eq!(full.len(), 6, "fixture: six non-empty epochs published");
+
+    let msgs = bounded.drain();
+    assert_eq!(
+        msgs.len(),
+        3,
+        "bound of 2 keeps two deltas plus one lag marker"
+    );
+    match &msgs[0] {
+        SubMessage::Lagged {
+            node,
+            missed_epochs,
+        } => {
+            assert_eq!(*node, root);
+            assert_eq!(*missed_epochs, 4, "four of six epochs were evicted");
+        }
+        SubMessage::Delta(_) => panic!("first message must be the lag marker"),
+    }
+    for (got, want) in msgs[1..].iter().zip(&full[4..]) {
+        let got = got.clone().into_delta().expect("tail must be deltas");
+        assert_eq!(got.epoch, want.epoch, "retained tail epochs diverge");
+        assert_eq!(got.pairs, want.pairs, "retained tail payloads diverge");
+    }
+    // Recovery protocol: a lagged consumer re-bases on the live view,
+    // after which the retained tail has already been incorporated — the
+    // folded witness state equals that re-base target.
+    let mut state: BTreeMap<Tuple, i64> = BTreeMap::new();
+    for d in &full {
+        fold(&mut state, d);
+    }
+    assert_eq!(state, canon(&s.engine().view_relation(root).unwrap()));
 }
 
 /// The durable engine serves the same way: subscriptions and epoch
@@ -230,7 +297,8 @@ fn durable_engine_serves_and_recovery_lands_in_an_epoch() {
     assert_eq!(snap.lsn(), applied);
     assert_eq!(reader.pin().lsn(), applied, "readers see the last publish");
     let mut state: BTreeMap<Tuple, i64> = BTreeMap::new();
-    for delta in sub.drain() {
+    for m in sub.drain() {
+        let delta = m.into_delta().expect("unbounded subscription never lags");
         fold(&mut state, &delta);
     }
     assert_eq!(

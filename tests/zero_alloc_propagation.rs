@@ -382,12 +382,20 @@ fn factored_phase() {
 /// enabled** stays zero-alloc in the steady state. The log's encode
 /// scratch and group-commit buffer are both reused, `log_new_symbols`
 /// early-returns without touching the heap when the symbol table has
-/// not grown, and flushing is a plain `write_all` — so after warm-up
-/// (which sizes both buffers to their high-water marks) a logged
-/// toggle cycle performs exactly as many allocations as an unlogged
-/// one: zero. `flush_bytes` is set low enough that the counting window
-/// crosses many flush boundaries, so the group-commit drain path is
-/// covered too, not just buffered appends.
+/// not grown, and flushing is plain positional writes — so after
+/// warm-up (which sizes both buffers to their high-water marks) a
+/// logged toggle cycle performs exactly as many allocations as an
+/// unlogged one: zero. `flush_bytes` is set low enough that the
+/// counting window crosses many flush boundaries, so the group-commit
+/// drain path is covered too, not just buffered appends.
+///
+/// The policy is `EveryFlush` because the buffer is *retained* until
+/// the bytes are fsynced (the fault-tolerance contract: a failed fsync
+/// may drop dirty pages, so acked-but-unsynced records must stay
+/// rewritable from memory — see docs/fault-injection.md). Zero-alloc
+/// steady state therefore holds between durability points (fsyncs,
+/// checkpoints, rotations), which every production configuration has;
+/// a window with none would legitimately grow the retained buffer.
 fn logging_phase() {
     let dir = std::env::temp_dir().join(format!("fivm-zeroalloc-log-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -397,9 +405,10 @@ fn logging_phase() {
     let tree = ViewTree::build(&q, &vo);
     let engine: IvmEngine<i64> = IvmEngine::new(q.clone(), tree, &[0, 1, 2], LiftingMap::new());
     let cfg = DurabilityConfig {
-        checkpoint_every: 0,    // checkpoints allocate; they are not the hot path
-        segment_bytes: 1 << 30, // no rotation inside the counting window
-        flush_bytes: 4096,      // ~ every 4 toggle cycles cross a flush
+        checkpoint_every: 0,          // checkpoints allocate; they are not the hot path
+        segment_bytes: 1 << 30,       // no rotation inside the counting window
+        flush_bytes: 4096,            // ~ every 4 toggle cycles cross a flush
+        sync: SyncPolicy::EveryFlush, // each flush fsyncs, bounding the retained buffer
         ..DurabilityConfig::default()
     };
     let mut engine = DurableEngine::create(&dir, engine, cfg).unwrap();
