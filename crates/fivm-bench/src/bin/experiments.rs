@@ -213,6 +213,97 @@ fn smoke() {
         &tupdates,
     );
 
+    // Heavy/light crossover (fig13_hl): COUNT over the triangle on
+    // Zipf(s)-skewed Twitter streams, classical indicator-projected
+    // engine vs the IVM^ε partitioned engine (`TriangleHlEngine`).
+    // The classical path pays O(deg) per single-tuple update on hub
+    // keys while the partitioned path bounds every update by O(N^ε)
+    // via heavy/light routing — so uniform streams (s = 0) favor
+    // classical (partition bookkeeping is pure overhead) and strongly
+    // skewed streams favor the partitioned path. The sweep records
+    // both sides of that crossover; final triangle counts are asserted
+    // equal at every point, and the partitioned engine must be ≥ 2x
+    // classical at the heavy end (machine-independent ratio).
+    let hl_crossover = {
+        use fivm_data::twitter::ZipfTwitterConfig;
+        use fivm_engine::{HlConfig, TriangleHlEngine};
+        let mut out = String::new();
+        let mut heavy_speedup = 0.0f64;
+        for (label, s_exp) in [("s00", 0.0), ("s10", 1.0), ("s15", 1.5)] {
+            let tz = twitter::generate_zipf(&ZipfTwitterConfig {
+                edges: 30_000,
+                nodes: 3_000,
+                exponent: s_exp,
+                seed: 0x7717,
+            });
+            let zq = tz.query.clone();
+            let mut ztree = ViewTree::build(&zq, &tz.order);
+            fivm_query::add_indicators(&mut ztree, &zq);
+            let zupdates = single_tuple_deltas::<i64>(&zq, &tz.stream(1));
+            let classical_tput = best_throughput(
+                || {
+                    fivm_engine::IvmEngine::new(
+                        zq.clone(),
+                        ztree.clone(),
+                        &[0, 1, 2],
+                        LiftingMap::new(),
+                    )
+                },
+                &zupdates,
+            );
+            let flat: Vec<(usize, fivm_core::Tuple)> = tz
+                .stream(1)
+                .iter()
+                .flat_map(|b| b.tuples.iter().map(|tu| (b.relation, tu.clone())))
+                .collect();
+            let mut hl_total = 0i64;
+            let hl_tput = (0..3)
+                .map(|_| {
+                    let mut e =
+                        TriangleHlEngine::<i64>::new(zq.clone(), HlConfig::default()).unwrap();
+                    let start = Instant::now();
+                    for (rel, tu) in &flat {
+                        e.apply_update(*rel, tu, 1);
+                    }
+                    let tput = flat.len() as f64 / start.elapsed().as_secs_f64().max(1e-9);
+                    hl_total = *e.total();
+                    tput
+                })
+                .fold(0.0f64, f64::max);
+            // Same stream once more through a classical engine purely
+            // for the equality check (outside any timed loop).
+            let mut check = fivm_engine::IvmEngine::<i64>::new(
+                zq.clone(),
+                ztree.clone(),
+                &[0, 1, 2],
+                LiftingMap::new(),
+            );
+            for (rel, d) in &zupdates {
+                check.apply(*rel, d);
+            }
+            assert_eq!(
+                hl_total,
+                check.result().payload(&fivm_core::Tuple::unit()),
+                "partitioned and classical triangle counts diverge at s = {s_exp}"
+            );
+            let speedup = hl_tput / classical_tput.max(1e-9);
+            if s_exp >= 1.5 {
+                heavy_speedup = speedup;
+            }
+            out.push_str(&format!(
+                ",\"fig13_hl_classical_{label}\":{classical_tput:.0},\
+                 \"fig13_hl_partitioned_{label}\":{hl_tput:.0},\
+                 \"fig13_hl_speedup_{label}\":{speedup:.2}"
+            ));
+        }
+        assert!(
+            heavy_speedup >= 2.0,
+            "partitioned engine only {heavy_speedup:.2}x classical at the heavy end \
+             (the crossover requires >= 2x)"
+        );
+        out
+    };
+
     // fig11 string variant: the same star-join shape with the shared
     // join key `postcode` as an interned string ("PC000042"), SUM over
     // the numeric `price` column. Symbols are interned at load (delta
@@ -784,7 +875,7 @@ fn smoke() {
          \"fig11_control_sum_price\":{hctput:.0},\
          \"fig11_string_sum_star\":{hstput:.0},\
          \"fig13_string_triangle\":{thtput:.0}\
-         {foil}{fig6}{fig12}{durability}{serving}}}",
+         {hl_crossover}{foil}{fig6}{fig12}{durability}{serving}}}",
         hupdates.len(),
         tupdates.len(),
     );

@@ -14,8 +14,18 @@
 //! slower than F-IVM’s ring in Figure 7 — the paper’s point that implicit
 //! vector/matrix encodings beat explicit degree indexing.
 
+//! The second half of this module is the **degree bookkeeping** for the
+//! IVM^ε heavy/light partitioning of cyclic queries (Kara et al.,
+//! “Counting Triangles under Updates in Worst-Case Optimal Time”):
+//! [`DegreeTracker`] counts, per partition-key value, the number of
+//! distinct tuples currently in the relation with that key, and records
+//! the key's current part assignment; [`PartitionThreshold`] is the
+//! doubling/halving hysteresis band around Θ(N^ε) that decides when a
+//! key migrates between parts.
+
 use super::{Ring, Semiring};
-use crate::hash::FxHashMap;
+use crate::hash::{FxHashMap, FxHashSet};
+use crate::Value;
 
 /// Sentinel for “no variable” in a degree pair.
 pub const NONE: u32 = u32::MAX;
@@ -151,6 +161,126 @@ impl Ring for DegreeRing {
     }
 }
 
+/// Per-key degree bookkeeping for one heavy/light-partitioned relation.
+///
+/// The *degree* of a partition-key value is the number of **distinct**
+/// tuples currently in the relation whose partition column holds that
+/// value (multiplicities don't count — a tuple inserted twice still
+/// contributes one to the degree, matching the support semantics of the
+/// stores). The tracker also records each key's current **part
+/// assignment**: the partition is an explicit assignment map, *not*
+/// derived from the degree — any assignment yields a correct partitioned
+/// view as long as the stores and auxiliary views are consistent with
+/// it; degrees only drive *migration decisions* (see
+/// [`PartitionThreshold`]). New keys default to light.
+#[derive(Clone, Debug, Default)]
+pub struct DegreeTracker {
+    degrees: FxHashMap<Value, u32>,
+    heavy: FxHashSet<Value>,
+}
+
+impl DegreeTracker {
+    /// Empty tracker (no keys, everything light).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current degree of `key` (0 if unseen).
+    pub fn degree(&self, key: &Value) -> u32 {
+        self.degrees.get(key).copied().unwrap_or(0)
+    }
+
+    /// Current part assignment of `key`.
+    pub fn is_heavy(&self, key: &Value) -> bool {
+        self.heavy.contains(key)
+    }
+
+    /// Number of keys currently assigned heavy.
+    pub fn heavy_count(&self) -> usize {
+        self.heavy.len()
+    }
+
+    /// Iterate the heavy key set (the delta computation for updates
+    /// whose join key is heavy enumerates this — its size is what the
+    /// threshold bounds by O(N^{1−ε})).
+    pub fn heavy_keys(&self) -> impl Iterator<Item = &Value> {
+        self.heavy.iter()
+    }
+
+    /// Apply a support transition for `key` (`+1` a distinct tuple
+    /// appeared, `-1` one disappeared) and return the new degree.
+    pub fn record(&mut self, key: &Value, delta: i32) -> u32 {
+        let e = self.degrees.entry(key.clone()).or_insert(0);
+        if delta >= 0 {
+            *e += delta as u32;
+        } else {
+            *e = e.saturating_sub((-delta) as u32);
+        }
+        let d = *e;
+        // Keys at degree 0 are dropped once they are light; a heavy key
+        // keeps its (zero) entry until the engine demotes it, so the
+        // assignment stays observable for the migration check.
+        if d == 0 && !self.heavy.contains(key) {
+            self.degrees.remove(key);
+        }
+        d
+    }
+
+    /// Set the part assignment of `key`. Called by the engine *after*
+    /// it has migrated the key's tuples and fixed up the auxiliary
+    /// views — the assignment and the stores must flip together.
+    pub fn set_heavy(&mut self, key: &Value, heavy: bool) {
+        if heavy {
+            self.heavy.insert(key.clone());
+        } else {
+            self.heavy.remove(key);
+            if self.degree(key) == 0 {
+                self.degrees.remove(key);
+            }
+        }
+    }
+
+    /// Number of keys with nonzero degree or heavy assignment.
+    pub fn tracked_keys(&self) -> usize {
+        self.degrees.len()
+    }
+}
+
+/// The hysteresis band around the heavy/light threshold θ = Θ(N^ε).
+///
+/// A light key is **promoted** when its degree exceeds `2θ` and a heavy
+/// key **demoted** when its degree falls below `θ/2` (strictly:
+/// `2·deg < θ`). The sticky zone `[θ/2, 2θ]` guarantees that between two
+/// consecutive migrations of the same key at least `(3/2)·θ = Ω(N^ε)`
+/// support-changing updates touched it, so a migration's O(deg) cost
+/// amortizes to O(N^ε) per update (docs/heavy-light.md).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartitionThreshold {
+    /// θ itself (≥ 1).
+    pub theta: u32,
+}
+
+impl PartitionThreshold {
+    /// Threshold for a relation population of `n` tuples:
+    /// `θ = max(min_theta, ⌈n^ε⌉)`.
+    pub fn for_size(n: usize, epsilon: f64, min_theta: u32) -> Self {
+        let t = (n as f64).powf(epsilon).ceil();
+        PartitionThreshold {
+            theta: (t as u32).max(min_theta).max(1),
+        }
+    }
+
+    /// Should a light key with this degree be promoted to heavy?
+    pub fn promotes(&self, degree: u32) -> bool {
+        degree > 2 * self.theta
+    }
+
+    /// Should a heavy key with this degree be demoted to light?
+    pub fn demotes(&self, degree: u32) -> bool {
+        2 * degree < self.theta
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::{Ring, Semiring};
@@ -238,5 +368,55 @@ mod tests {
                 assert!((d.prod(i, j) - c.prod(i, j)).abs() < 1e-9, "prod({i},{j})");
             }
         }
+    }
+
+    #[test]
+    fn degree_tracker_counts_and_assigns() {
+        let mut t = DegreeTracker::new();
+        let k = Value::Int(7);
+        assert_eq!(t.degree(&k), 0);
+        assert!(!t.is_heavy(&k));
+        assert_eq!(t.record(&k, 1), 1);
+        assert_eq!(t.record(&k, 1), 2);
+        assert_eq!(t.record(&k, -1), 1);
+        assert_eq!(t.record(&k, -1), 0);
+        // light key at degree 0 is dropped entirely
+        assert_eq!(t.tracked_keys(), 0);
+        // heavy assignment outlives a zero degree until demotion
+        t.record(&k, 1);
+        t.set_heavy(&k, true);
+        assert!(t.is_heavy(&k));
+        assert_eq!(t.heavy_count(), 1);
+        t.record(&k, -1);
+        assert_eq!(t.degree(&k), 0);
+        assert!(t.is_heavy(&k), "assignment is explicit, not degree-derived");
+        t.set_heavy(&k, false);
+        assert_eq!(t.tracked_keys(), 0);
+        assert_eq!(t.heavy_count(), 0);
+    }
+
+    #[test]
+    fn hysteresis_band_is_sticky() {
+        let th = PartitionThreshold { theta: 10 };
+        // promote strictly above 2θ
+        assert!(!th.promotes(20));
+        assert!(th.promotes(21));
+        // demote strictly below θ/2
+        assert!(!th.demotes(5));
+        assert!(th.demotes(4));
+        // the sticky zone is non-empty for every θ ≥ 1
+        for theta in 1..100 {
+            let th = PartitionThreshold { theta };
+            assert!(!th.promotes(2 * theta));
+            assert!(!th.demotes(theta.div_ceil(2)));
+        }
+    }
+
+    #[test]
+    fn threshold_scales_as_n_to_epsilon() {
+        assert_eq!(PartitionThreshold::for_size(0, 0.5, 4).theta, 4);
+        assert_eq!(PartitionThreshold::for_size(100, 0.5, 1).theta, 10);
+        assert_eq!(PartitionThreshold::for_size(10_000, 0.5, 1).theta, 100);
+        assert_eq!(PartitionThreshold::for_size(10_000, 0.25, 1).theta, 10);
     }
 }

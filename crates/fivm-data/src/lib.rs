@@ -17,6 +17,9 @@
 //!   encodings for the matrix-chain workload (Figure 6).
 //! * [`stream`] — round-robin interleaving of inserts into fixed-size
 //!   batches, including single-relation (ONE) streams.
+//! * [`zipf`] — Zipf(s) rank sampling with a tail-exponent estimator,
+//!   behind the degree-skewed Twitter streams of the heavy/light
+//!   crossover experiments.
 
 #![forbid(unsafe_code)]
 
@@ -25,8 +28,10 @@ pub mod matrices;
 pub mod retailer;
 pub mod stream;
 pub mod twitter;
+pub mod zipf;
 
 pub use housing::HousingConfig;
 pub use retailer::RetailerConfig;
 pub use stream::{interleave_round_robin, Batch};
-pub use twitter::TwitterConfig;
+pub use twitter::{TwitterConfig, ZipfTwitterConfig};
+pub use zipf::Zipf;

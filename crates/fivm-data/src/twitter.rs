@@ -91,6 +91,55 @@ fn generate_with(cfg: &TwitterConfig, node: impl Fn(&QueryDef, usize) -> Value) 
     }
 }
 
+/// Knobs for the degree-skewed variant: a directed multigraph whose
+/// endpoints are drawn i.i.d. from Zipf(s) over the node domain, so
+/// vertex degrees follow a genuine power law with tail exponent `s`
+/// (the heavy/light crossover workload; `s = 0` recovers the uniform
+/// [`generate`] shape).
+#[derive(Clone, Debug)]
+pub struct ZipfTwitterConfig {
+    /// Total directed edges (split round-robin into R, S, T).
+    pub edges: usize,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Zipf exponent of the endpoint distribution.
+    pub exponent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ZipfTwitterConfig {
+    fn default() -> Self {
+        ZipfTwitterConfig {
+            edges: 30_000,
+            nodes: 4_500,
+            exponent: 1.2,
+            seed: 0x7717,
+        }
+    }
+}
+
+/// Generate a Zipf(s)-skewed edge stream: node id = popularity rank
+/// (node 0 is the hub), both endpoints sampled independently, edges
+/// split round-robin into R, S, T like [`generate`].
+pub fn generate_zipf(cfg: &ZipfTwitterConfig) -> Twitter {
+    let q = query();
+    let order = variable_order(&q);
+    let zipf = crate::zipf::Zipf::new(cfg.nodes, cfg.exponent);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut tuples: Vec<Vec<Tuple>> = vec![Vec::new(); 3];
+    for e in 0..cfg.edges {
+        let u = zipf.sample(&mut rng) as i64;
+        let v = zipf.sample(&mut rng) as i64;
+        tuples[e % 3].push(Tuple::new(vec![Value::Int(u), Value::Int(v)]));
+    }
+    Twitter {
+        query: q,
+        order,
+        tuples,
+    }
+}
+
 impl Twitter {
     /// Round-robin insert stream over R, S, T.
     pub fn stream(&self, batch_size: usize) -> Vec<Batch> {
@@ -165,6 +214,43 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn zipf_stream_is_deterministic_and_skewed() {
+        let cfg = ZipfTwitterConfig {
+            edges: 30_000,
+            nodes: 2_000,
+            exponent: 1.2,
+            seed: 42,
+        };
+        let a = generate_zipf(&cfg);
+        let b = generate_zipf(&cfg);
+        assert_eq!(a.tuples, b.tuples);
+        assert_eq!(a.tuples[0].len(), 10_000);
+        // Realized out-degree distribution of R carries the nominal
+        // tail exponent (the property the crossover bench relies on).
+        let mut counts = vec![0usize; cfg.nodes];
+        for t in &a.tuples[0] {
+            counts[t.get(0).as_int().unwrap() as usize] += 1;
+        }
+        let est = crate::zipf::fit_tail_exponent(&counts, 50);
+        assert!(
+            (est - cfg.exponent).abs() < 0.25,
+            "tail exponent {est:.3} vs nominal {}",
+            cfg.exponent
+        );
+        // ...and the hub is genuinely heavy, unlike the uniform shape.
+        let uniform = generate(&TwitterConfig {
+            edges: 30_000,
+            nodes: 2_000,
+            seed: 42,
+        });
+        let mut ucounts = vec![0usize; cfg.nodes];
+        for t in &uniform.tuples[0] {
+            ucounts[t.get(0).as_int().unwrap() as usize] += 1;
+        }
+        assert!(counts[0] > 10 * ucounts.iter().copied().max().unwrap());
     }
 
     #[test]

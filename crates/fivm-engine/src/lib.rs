@@ -13,6 +13,9 @@
 //!   (Appendix B) and an optional factorized-payload mode (§6.3).
 //! * [`enumerate`] — constant-delay enumeration of query results from
 //!   factorized payloads.
+//! * [`heavylight`] — the IVM^ε adaptive layer for triangle queries:
+//!   degree-partitioned part stores, auxiliary views and the
+//!   threshold-migration router (sub-linear single-tuple maintenance).
 //! * [`snapshot`] / [`subscribe`] — the serving layer: epoch-pinned
 //!   lock-free snapshot reads concurrent with maintenance, and
 //!   per-view output-delta subscriptions.
@@ -26,6 +29,7 @@ pub mod enumerate;
 pub mod eval;
 pub mod executor;
 pub mod first_order;
+pub mod heavylight;
 pub mod memory;
 pub mod parallel;
 pub mod recursive;
@@ -38,6 +42,7 @@ pub use enumerate::FactorizedResult;
 pub use eval::{eval_node, eval_tree, Database};
 pub use executor::{IvmEngine, PayloadTransform};
 pub use first_order::FirstOrderIvm;
+pub use heavylight::{HlConfig, HlStats, TriangleHlEngine};
 pub use parallel::WorkerPool;
 pub use recursive::RecursiveIvm;
 pub use snapshot::{

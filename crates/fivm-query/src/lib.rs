@@ -18,6 +18,9 @@
 //!   updatable-relation workload (Figure 5).
 //! * [`gyo`] / [`indicator`] — GYO reduction and indicator projections
 //!   that bound view sizes for cyclic queries (Appendix B, Figure 10).
+//! * [`partition`] — IVM^ε heavy/light partition plans for triangle
+//!   queries: cycle orientation, partition columns and auxiliary-view
+//!   schemas consumed by the adaptive engine in `fivm-engine`.
 //!
 //! Execution of these plans over a concrete ring lives in `fivm-engine`.
 
@@ -28,6 +31,7 @@ pub mod delta;
 pub mod gyo;
 pub mod indicator;
 pub mod materialize;
+pub mod partition;
 pub mod query;
 pub mod varorder;
 pub mod viewtree;
@@ -36,6 +40,7 @@ pub use cost::{best_order, enumerate_orders, CostModel};
 pub use delta::{delta_path, FactorShape};
 pub use indicator::add_indicators;
 pub use materialize::{materialization, MaterializationPlan};
+pub use partition::{PartitionError, TrianglePlan};
 pub use query::{QueryDef, RelDef, RelIndex};
 pub use varorder::VariableOrder;
 pub use viewtree::{NodeId, NodeKind, ViewNode, ViewTree};

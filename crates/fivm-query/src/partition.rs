@@ -1,0 +1,242 @@
+//! Heavy/light partition plans for triangle-shaped cyclic queries
+//! (IVM^ε; Kara et al., “Counting Triangles under Updates in Worst-Case
+//! Optimal Time”, ICDT 2019).
+//!
+//! The classical delta queries of the triangle count are O(N) per
+//! single-tuple update when a join key is heavy. The IVM^ε strategy
+//! partitions each relation of the 3-cycle **on its cycle-first
+//! variable** into a heavy and a light part at threshold θ = Θ(N^ε) and
+//! maintains one auxiliary view per heavy⊗light pairing, so every delta
+//! is answered in O(N^ε + N^{1−ε}) — O(√N) at ε = 1/2.
+//!
+//! This module is the ring-agnostic *plan*: it recognizes a 3-cycle in a
+//! [`QueryDef`], orients it, and compiles the positional metadata the
+//! engine's router needs (partition column per relation, canonical
+//! part-store and auxiliary-view schemas). Execution lives in
+//! `fivm-engine::heavylight`.
+//!
+//! With the cycle oriented as `rel₀(v₀,v₁) ⋈ rel₁(v₁,v₂) ⋈ rel₂(v₂,v₀)`
+//! (indices mod 3 throughout):
+//!
+//! * relation `relₖ` is partitioned on `vₖ`, its cycle-first variable;
+//! * auxiliary view `Wₖ(vₖ, vₖ₊₂) = Σ_{vₖ₊₁} relₖᴴ(vₖ, vₖ₊₁) ⊗
+//!   relₖ₊₁ᴸ(vₖ₊₁, vₖ₊₂)` — each heavy part joined with the *next*
+//!   relation's light part. Every maintenance enumeration of `Wₖ` is
+//!   bounded by θ (a light key's degree) or by the heavy-key count
+//!   ≤ 2N/θ, which is what makes the update cost sub-linear.
+
+use crate::query::{QueryDef, RelIndex};
+use fivm_core::{Schema, VarId};
+use std::fmt;
+
+/// Why a query has no triangle partition plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PartitionError {
+    /// The plan covers exactly the 3-relation cyclic join.
+    NotThreeRelations(usize),
+    /// Relation at this index is not binary (or has a repeated variable).
+    NotBinary(RelIndex),
+    /// The three relations do not form a single 3-cycle.
+    NotACycle,
+    /// The plan maintains the closed (no group-by) aggregate only.
+    FreeVariables,
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::NotThreeRelations(n) => {
+                write!(f, "triangle partition plan needs 3 relations, got {n}")
+            }
+            PartitionError::NotBinary(i) => {
+                write!(f, "relation {i} is not binary with distinct variables")
+            }
+            PartitionError::NotACycle => write!(f, "relations do not form a 3-cycle"),
+            PartitionError::FreeVariables => {
+                write!(
+                    f,
+                    "triangle partition plan maintains the closed aggregate only"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// A compiled heavy/light partition plan for a triangle query: the
+/// oriented 3-cycle plus the positional metadata the update router
+/// needs. All arrays are indexed by **cycle position** `k ∈ {0,1,2}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrianglePlan {
+    /// `rels[k]` = index (into [`QueryDef::relations`]) of the relation
+    /// at cycle position `k`.
+    pub rels: [RelIndex; 3],
+    /// The cycle variables: the relation at position `k` has schema
+    /// `{vars[k], vars[(k+1) % 3]}`.
+    pub vars: [VarId; 3],
+    /// Position of the **partition column** `vars[k]` within the
+    /// declared schema of the relation at cycle position `k`.
+    pub pos_part: [usize; 3],
+    /// Position of the other column `vars[(k+1) % 3]`.
+    pub pos_other: [usize; 3],
+    /// Inverse of `rels`: `cycle_of_rel[r]` = cycle position of
+    /// relation index `r`.
+    pub cycle_of_rel: [usize; 3],
+}
+
+impl TrianglePlan {
+    /// Recognize and orient the 3-cycle of `q`; the orientation starts
+    /// at relation 0's first declared variable, so
+    /// [`QueryDef::triangle`] (`R(A,B), S(B,C), T(C,A)`) compiles to
+    /// the paper's partitioning: R on A, S on B, T on C.
+    pub fn build(q: &QueryDef) -> Result<Self, PartitionError> {
+        if q.relations.len() != 3 {
+            return Err(PartitionError::NotThreeRelations(q.relations.len()));
+        }
+        if !q.free.is_empty() {
+            return Err(PartitionError::FreeVariables);
+        }
+        let pair = |r: RelIndex| -> Result<(VarId, VarId), PartitionError> {
+            let s = &q.relations[r].schema;
+            if s.len() != 2 || s.vars()[0] == s.vars()[1] {
+                return Err(PartitionError::NotBinary(r));
+            }
+            Ok((s.vars()[0], s.vars()[1]))
+        };
+        let (v0, v1) = pair(0)?;
+        let (_, _) = (pair(1)?, pair(2)?);
+        // Find the successor of relation 0: the relation containing v1
+        // whose other variable closes the cycle through the remaining
+        // relation. Both candidate orders are tried.
+        for (r1, r2) in [(1usize, 2usize), (2, 1)] {
+            let s1 = &q.relations[r1].schema;
+            if !s1.contains(v1) {
+                continue;
+            }
+            let v2 = if s1.vars()[0] == v1 {
+                s1.vars()[1]
+            } else {
+                s1.vars()[0]
+            };
+            if v2 == v0 || v2 == v1 {
+                continue;
+            }
+            let s2 = &q.relations[r2].schema;
+            if !(s2.contains(v2) && s2.contains(v0)) {
+                continue;
+            }
+            let rels = [0, r1, r2];
+            let vars = [v0, v1, v2];
+            let mut pos_part = [0usize; 3];
+            let mut pos_other = [0usize; 3];
+            for k in 0..3 {
+                let s = &q.relations[rels[k]].schema;
+                pos_part[k] = s.position(vars[k]).ok_or(PartitionError::NotACycle)?;
+                pos_other[k] = s
+                    .position(vars[(k + 1) % 3])
+                    .ok_or(PartitionError::NotACycle)?;
+            }
+            let mut cycle_of_rel = [0usize; 3];
+            for (k, &r) in rels.iter().enumerate() {
+                cycle_of_rel[r] = k;
+            }
+            return Ok(TrianglePlan {
+                rels,
+                vars,
+                pos_part,
+                pos_other,
+                cycle_of_rel,
+            });
+        }
+        Err(PartitionError::NotACycle)
+    }
+
+    /// Canonical schema `[vars[k], vars[k+1]]` of both part stores of
+    /// the relation at cycle position `k` — partition column first, so
+    /// a first-column index enumerates a key's tuples and the primary
+    /// map answers point probes.
+    pub fn part_schema(&self, k: usize) -> Schema {
+        Schema::new(vec![self.vars[k], self.vars[(k + 1) % 3]])
+    }
+
+    /// Schema `[vars[k], vars[k+2]]` of auxiliary view `Wₖ`.
+    pub fn aux_schema(&self, k: usize) -> Schema {
+        Schema::new(vec![self.vars[k], self.vars[(k + 2) % 3]])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orients_the_canonical_triangle() {
+        let q = QueryDef::triangle();
+        let p = TrianglePlan::build(&q).unwrap();
+        assert_eq!(p.rels, [0, 1, 2]);
+        // R on A, S on B, T on C — each relation's first declared column.
+        assert_eq!(p.pos_part, [0, 0, 0]);
+        assert_eq!(p.pos_other, [1, 1, 1]);
+        assert_eq!(p.cycle_of_rel, [0, 1, 2]);
+        let names: Vec<&str> = p.vars.iter().map(|&v| q.catalog.name(v)).collect();
+        assert_eq!(names, ["A", "B", "C"]);
+    }
+
+    #[test]
+    fn handles_permuted_schemas_and_relation_order() {
+        // Same cycle, but S and T swapped and declared with flipped
+        // columns: R(A,B), T(C,A), S(C,B).
+        let q = QueryDef::new(
+            &[("R", &["A", "B"]), ("T", &["C", "A"]), ("S", &["C", "B"])],
+            &[],
+        );
+        let p = TrianglePlan::build(&q).unwrap();
+        assert_eq!(p.rels[0], 0);
+        // successor of R through B is S (relation index 2)
+        assert_eq!(p.rels[1], 2);
+        assert_eq!(p.rels[2], 1);
+        // S is declared (C, B): its partition column B sits at position 1.
+        assert_eq!(p.pos_part[1], 1);
+        assert_eq!(p.pos_other[1], 0);
+        let names: Vec<&str> = p.vars.iter().map(|&v| q.catalog.name(v)).collect();
+        assert_eq!(names, ["A", "B", "C"]);
+    }
+
+    #[test]
+    fn rejects_non_triangles() {
+        let path = QueryDef::new(
+            &[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["C", "D"])],
+            &[],
+        );
+        assert_eq!(TrianglePlan::build(&path), Err(PartitionError::NotACycle));
+
+        let two = QueryDef::new(&[("R", &["A", "B"]), ("S", &["B", "A"])], &[]);
+        assert_eq!(
+            TrianglePlan::build(&two),
+            Err(PartitionError::NotThreeRelations(2))
+        );
+
+        let ternary = QueryDef::new(
+            &[
+                ("R", &["A", "B", "C"]),
+                ("S", &["B", "C"]),
+                ("T", &["C", "A"]),
+            ],
+            &[],
+        );
+        assert_eq!(
+            TrianglePlan::build(&ternary),
+            Err(PartitionError::NotBinary(0))
+        );
+
+        let free = QueryDef::new(
+            &[("R", &["A", "B"]), ("S", &["B", "C"]), ("T", &["C", "A"])],
+            &["A"],
+        );
+        assert_eq!(
+            TrianglePlan::build(&free),
+            Err(PartitionError::FreeVariables)
+        );
+    }
+}

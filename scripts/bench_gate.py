@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the CI smoke report.
+
+Usage:
+    python3 scripts/bench_gate.py BENCH_smoke.json BENCH_BASELINE.json
+    python3 scripts/bench_gate.py BENCH_smoke.json BENCH_BASELINE.json --reseed
+
+Compares the one-line JSON report emitted by
+`cargo run --release -p fivm-bench --bin experiments -- --smoke`
+against the committed baseline `BENCH_BASELINE.json` and exits
+non-zero if any gated metric regresses outside its tolerance band
+(or is missing from the report). A delta table is printed either way.
+
+Baseline format — a curated subset of the smoke metrics, each with its
+own band:
+
+    {
+      "source": "BENCH_PR10.json",
+      "metrics": {
+        "fig13_triangle": {"baseline": 193352, "dir": "higher",
+                           "tol_pct": 50},
+        ...
+      }
+    }
+
+`dir` says which direction is good: "higher" (throughputs, speedup
+ratios — the gate fails when value < baseline * (1 - tol_pct/100)) or
+"lower" (overheads, latencies — fails when
+value > baseline * (1 + tol_pct/100)). A metric may carry `tol_abs`
+instead of `tol_pct`, giving an *additive* band
+(value must stay >= baseline - tol_abs, resp. <= baseline + tol_abs) —
+use it for percentage-point metrics like logging overhead, whose
+baseline can sit near or below zero where a multiplicative band is
+meaningless. Absolute throughputs carry wide bands (CI runners vary a
+lot machine-to-machine); dimensionless ratios (speedups, scaling
+factors) are machine-independent and carry tighter ones.
+
+Update protocol
+---------------
+The baseline is committed on purpose: it only moves when a human moves
+it.
+
+1. A PR that *intentionally* changes performance (new fast path, new
+   metric, accepted regression) regenerates the report on a quiet
+   machine:
+       cargo run --release -p fivm-bench --bin experiments -- --smoke \
+           | tee BENCH_PRn.json
+2. Re-seed the baseline values from that report (bands and directions
+   are preserved; metrics present in the baseline but missing from the
+   report are left untouched and listed):
+       python3 scripts/bench_gate.py BENCH_PRn.json BENCH_BASELINE.json --reseed
+3. Commit BENCH_BASELINE.json together with the BENCH_PRn.json it was
+   seeded from (update "source"), and say in the PR message *why* the
+   numbers moved.
+
+Adding a gated metric = adding one entry to "metrics" with a band
+chosen by direction and machine-dependence. Removing one = deleting
+the entry. Never hand-edit "baseline" values; re-seed from a real run.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def reseed(report, baseline, baseline_path):
+    untouched = []
+    for name, spec in baseline["metrics"].items():
+        if name in report:
+            spec["baseline"] = report[name]
+        else:
+            untouched.append(name)
+    with open(baseline_path, "w", encoding="utf-8") as f:
+        json.dump(baseline, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"re-seeded {len(baseline['metrics']) - len(untouched)} metric(s) "
+          f"into {baseline_path}")
+    for name in untouched:
+        print(f"  kept (absent from report): {name}")
+    print('remember to update "source" and commit the report it came from')
+
+
+def gate(report, baseline):
+    rows = []
+    failures = []
+    for name, spec in sorted(baseline["metrics"].items()):
+        base, direction = spec["baseline"], spec["dir"]
+        if "tol_abs" in spec:
+            slack, band = spec["tol_abs"], f"±{spec['tol_abs']}"
+        else:
+            slack, band = abs(base) * spec["tol_pct"] / 100.0, f"±{spec['tol_pct']}%"
+        if name not in report:
+            failures.append(f"{name}: missing from report")
+            rows.append((name, base, None, None, direction, band, "MISSING"))
+            continue
+        value = report[name]
+        delta_pct = (value - base) / abs(base) * 100.0 if base else 0.0
+        if direction == "higher":
+            ok = value >= base - slack
+        elif direction == "lower":
+            ok = value <= base + slack
+        else:
+            failures.append(f"{name}: bad dir {direction!r}")
+            continue
+        status = "ok" if ok else "FAIL"
+        if not ok:
+            failures.append(
+                f"{name}: {value} vs baseline {base} "
+                f"({delta_pct:+.1f}%, {direction} is better, band {band})")
+        rows.append((name, base, value, delta_pct, direction, band, status))
+
+    name_w = max(len(r[0]) for r in rows)
+    print(f"{'metric':<{name_w}} {'baseline':>12} {'current':>12} "
+          f"{'delta':>8} {'dir':>6} {'band':>6}  status")
+    for name, base, value, delta, direction, band, status in rows:
+        cur = f"{value}" if value is not None else "-"
+        dp = f"{delta:+.1f}%" if delta is not None else "-"
+        print(f"{name:<{name_w}} {base:>12} {cur:>12} {dp:>8} "
+              f"{direction:>6} {band:>6}  {status}")
+    return failures
+
+
+def main():
+    args = [a for a in sys.argv[1:] if a != "--reseed"]
+    if len(args) != 2:
+        print(__doc__.split("\n\n", 1)[0], file=sys.stderr)
+        print("usage: bench_gate.py REPORT.json BASELINE.json [--reseed]",
+              file=sys.stderr)
+        sys.exit(2)
+    report_path, baseline_path = args
+    report = load(report_path)
+    baseline = load(baseline_path)
+    if "metrics" not in baseline:
+        print(f"bench_gate: {baseline_path} has no 'metrics' object",
+              file=sys.stderr)
+        sys.exit(2)
+
+    if "--reseed" in sys.argv[1:]:
+        reseed(report, baseline, baseline_path)
+        return
+
+    failures = gate(report, baseline)
+    if failures:
+        print(f"\nbench_gate: {len(failures)} regression(s) "
+              f"vs {baseline.get('source', baseline_path)}:")
+        for f_ in failures:
+            print(f"  {f_}")
+        sys.exit(1)
+    print(f"\nbench_gate: all {len(baseline['metrics'])} gated metrics "
+          f"within band (baseline: {baseline.get('source', baseline_path)})")
+
+
+if __name__ == "__main__":
+    main()

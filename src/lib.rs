@@ -73,13 +73,14 @@ pub mod prelude {
         RecoveryReport, StdVfs, SyncPolicy, Vfs,
     };
     pub use fivm_engine::{
-        eval_tree, Database, EngineSnapshot, FactorizedResult, FirstOrderIvm, IvmEngine,
-        RecursiveIvm, ServingEngine, ServingStats, SnapshotReader, SubMessage, Subscriber,
-        ViewDelta, ViewStore,
+        eval_tree, Database, EngineSnapshot, FactorizedResult, FirstOrderIvm, HlConfig, HlStats,
+        IvmEngine, RecursiveIvm, ServingEngine, ServingStats, SnapshotReader, SubMessage,
+        Subscriber, TriangleHlEngine, ViewDelta, ViewStore,
     };
     pub use fivm_ml::{train, CofactorSpec, TrainConfig, TrainedModel};
     pub use fivm_query::{
         add_indicators, delta_path, materialization, MaterializationPlan, NodeId, NodeKind,
-        QueryDef, RelDef, RelIndex, VariableOrder, ViewNode, ViewTree,
+        PartitionError, QueryDef, RelDef, RelIndex, TrianglePlan, VariableOrder, ViewNode,
+        ViewTree,
     };
 }

@@ -131,6 +131,126 @@ fn indicator_bounds_view_size() {
     assert_eq!(ind_size, 1, "indicator bounds the view by R’s support");
 }
 
+/// Migration storm for the heavy/light partitioned triangle engine:
+/// a handful of keys oscillate around the partition threshold (hub
+/// build-ups interleaved with targeted deletions), forcing repeated
+/// promotions and demotions while background edges keep every part
+/// combination populated. After every single-tuple update the
+/// partitioned result must be byte-identical to the classical
+/// indicator-projected engine at 1 and 4 workers and to the
+/// `eval_tree` oracle.
+#[test]
+fn heavy_light_migration_storm_matches_classical() {
+    let q = QueryDef::triangle();
+    let vo = VariableOrder::parse("A - B - C", &q.catalog);
+    let mut tree = ViewTree::build(&q, &vo);
+    add_indicators(&mut tree, &q);
+    let all = [0usize, 1, 2];
+    let lifts = LiftingMap::<i64>::new();
+    let mut classical = [1usize, 4].map(|w| {
+        let mut e: IvmEngine<i64> = IvmEngine::new(q.clone(), tree.clone(), &all, lifts.clone());
+        e.set_workers(w);
+        e.set_parallel_threshold(1);
+        e
+    });
+    // ε = 0 pins θ to min_theta: promotion at degree > 6, demotion
+    // below 3 — cheap to oscillate across, expensive to get wrong.
+    let mut hl = TriangleHlEngine::<i64>::new(
+        q.clone(),
+        HlConfig {
+            epsilon: 0.0,
+            min_theta: 3,
+        },
+    )
+    .unwrap();
+    let mut db = Database::empty(&q);
+
+    let mut step = 0usize;
+    let mut apply = |hl: &mut TriangleHlEngine<i64>,
+                     classical: &mut [IvmEngine<i64>; 2],
+                     db: &mut Database<i64>,
+                     rel: usize,
+                     a: i64,
+                     b: i64,
+                     m: i64| {
+        let t = Tuple::new(vec![Value::Int(a), Value::Int(b)]);
+        hl.apply_update(rel, &t, m);
+        let d = Relation::from_pairs(q.relations[rel].schema.clone(), [(t, m)]);
+        for e in classical.iter_mut() {
+            e.apply(rel, &Delta::Flat(d.clone()));
+        }
+        db.relations[rel].union_in_place(&d);
+        step += 1;
+        let got = hl.result();
+        for (w, e) in classical.iter().enumerate() {
+            assert_eq!(got, e.result(), "vs workers variant {w} at step {step}");
+        }
+        let oracle = eval_tree(&tree, db, &lifts);
+        assert_eq!(
+            got.payload(&Tuple::unit()),
+            oracle.payload(&Tuple::unit()),
+            "vs oracle at step {step}"
+        );
+    };
+
+    // Background edges: a small dense mesh so the hub updates close
+    // real triangles (R(hub, j) ⋈ S(j, c) ⋈ T(c, hub) for j < 5).
+    for i in 0..5i64 {
+        for j in 0..5i64 {
+            apply(&mut hl, &mut classical, &mut db, 1, i, j, 1); // S(i, j)
+            apply(&mut hl, &mut classical, &mut db, 2, j, i, 1); // T(j, i)
+        }
+    }
+    // Storm: three R-hub keys ramp past the promotion bound (8 distinct
+    // neighbours > 2θ = 6), with tear-downs of the previous hub
+    // interleaved into the build-up of the next, then a full drain back
+    // below the demotion bound — repeated for three rounds.
+    let mut mult = [[0i64; 8]; 3];
+    for round in 0..3 {
+        for hub in 0..3usize {
+            for j in 0..8i64 {
+                apply(&mut hl, &mut classical, &mut db, 0, hub as i64, j, 1);
+                mult[hub][j as usize] += 1;
+                let prev = (hub + 2) % 3;
+                if mult[prev][j as usize] > 0 {
+                    apply(&mut hl, &mut classical, &mut db, 0, prev as i64, j, -1);
+                    mult[prev][j as usize] -= 1;
+                }
+            }
+            assert!(
+                hl.is_heavy(0, &Value::Int(hub as i64)),
+                "hub {hub} not heavy in round {round}"
+            );
+        }
+        // Finish draining every hub back to light.
+        for (hub, row) in mult.iter_mut().enumerate() {
+            for (j, m) in row.iter_mut().enumerate() {
+                while *m > 0 {
+                    apply(
+                        &mut hl,
+                        &mut classical,
+                        &mut db,
+                        0,
+                        hub as i64,
+                        j as i64,
+                        -1,
+                    );
+                    *m -= 1;
+                }
+            }
+            assert!(!hl.is_heavy(0, &Value::Int(hub as i64)));
+            assert_eq!(hl.degree(0, &Value::Int(hub as i64)), 0);
+        }
+        hl.verify_consistency().unwrap();
+    }
+    let stats = hl.stats();
+    assert!(
+        stats.promotions >= 9 && stats.demotions >= 9,
+        "storm too calm: {stats:?}"
+    );
+    assert!(stats.tuples_migrated > 0);
+}
+
 /// Indicator deltas propagate on both growth and shrinkage of the
 /// active domain (Example B.2’s count maintenance).
 #[test]
